@@ -1,0 +1,29 @@
+"""Figure 6: average slip of an instruction in the base and GALS designs.
+
+Paper result: the fetch-to-commit latency ("slip") grows substantially in the
+GALS machine -- +65 % on average in the paper -- because the asynchronous
+channels lengthen the effective pipeline.  Our reproduction shows the same
+direction with a smaller magnitude (the completion/forwarding path is modelled
+as a visibility latency rather than an explicit queue); see EXPERIMENTS.md.
+"""
+
+from repro.analysis import slip_table
+from repro.core.experiments import average_slip_increase, run_pair
+
+from conftest import TIMED_INSTRUCTIONS
+
+
+def test_fig06_average_slip(benchmark, suite_rows):
+    benchmark.pedantic(
+        run_pair, args=("gcc",), kwargs={"num_instructions": TIMED_INSTRUCTIONS},
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 6: average slip (fetch-to-commit latency, ns) ===")
+    print(slip_table(suite_rows))
+
+    increase = average_slip_increase(suite_rows)
+    print(f"\naverage slip increase in GALS: {increase:+.1%} (paper: +65%)")
+    # Direction: GALS slip must be higher on average and for most benchmarks.
+    assert increase > 0.10
+    higher = sum(1 for row in suite_rows if row.slip_ratio > 1.0)
+    assert higher >= len(suite_rows) - 2

@@ -1,0 +1,48 @@
+"""Figure 12: ijpeg with fetch -10 %, FP -20 %, and a memory-clock sweep.
+
+Paper result: for ijpeg (very few memory accesses in its hot loops but a
+non-trivial working set) slowing the memory clock trades performance for
+energy poorly: energy savings of 4-13 % cost 15-25 % of performance, and the
+voltage-scaled *synchronous* machine at the same performance ("ideal") is more
+energy-efficient.  The crossover argument -- which domains are worth slowing
+depends on the application -- is the point being reproduced.
+"""
+
+from repro.analysis import dvfs_table
+from repro.core.dvfs import IJPEG_SWEEP
+from repro.core.experiments import selective_slowdown
+
+from conftest import TIMED_INSTRUCTIONS
+
+
+def test_fig12_ijpeg_memory_sweep(benchmark, figure12_results):
+    benchmark.pedantic(
+        selective_slowdown, args=("ijpeg", IJPEG_SWEEP[0]),
+        kwargs={"num_instructions": TIMED_INSTRUCTIONS},
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 12: ijpeg, memory clock slowdown sweep "
+          "(gals-00 / 10 / 20 / 50) ===")
+    print(dvfs_table(figure12_results))
+
+    performances = [r.relative_performance for r in figure12_results]
+    energies = [r.relative_energy for r in figure12_results]
+
+    # Slowing the memory clock further never helps performance (allow a small
+    # tolerance for run-to-run phase noise between adjacent sweep points).
+    for earlier, later in zip(performances, performances[1:]):
+        assert later <= earlier + 0.02
+    assert performances[-1] < performances[0]
+    # Energy goes down (or at worst stays flat) as more of the chip slows and
+    # its voltage scales.
+    assert energies[-1] <= energies[0] + 0.02
+    # All configurations lose performance relative to the synchronous base.
+    assert all(p < 1.0 for p in performances)
+    # The ideal (voltage-scaled synchronous) reference is more energy
+    # efficient than the GALS configuration at the same performance for the
+    # aggressive memory slowdowns -- the paper's "not a good tradeoff" claim.
+    aggressive = figure12_results[-1]
+    assert aggressive.ideal_energy <= aggressive.relative_energy + 0.02
+    print(f"\ngals-50: perf {aggressive.relative_performance:.3f}, "
+          f"energy {aggressive.relative_energy:.3f}, "
+          f"ideal {aggressive.ideal_energy:.3f}")

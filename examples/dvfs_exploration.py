@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Multiple-clock / multiple-voltage exploration (paper Section 5.2).
+
+For a chosen benchmark this example:
+
+1. runs the paper's named DVFS policies (generic, ijpeg sweep, gcc cases),
+2. derives an *application-driven* policy from the benchmark's profile using
+   :func:`repro.core.recommend_policy` (the paper's "study the application's
+   characteristics" guidance), and
+3. compares everything against the voltage-scaled synchronous "ideal".
+
+Usage::
+
+    python examples/dvfs_exploration.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro.analysis import dvfs_table
+from repro.core import (GCC_GALS_1, GENERIC_SLOWDOWN, PERL_FP_BY_3,
+                        recommend_policy, selective_slowdown)
+from repro.workloads import get_profile
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 1500
+
+    profile = get_profile(benchmark)
+    print(f"Benchmark '{benchmark}': {profile.description}")
+    print(f"  branches: {profile.branches_per_instruction:.1%} of instructions, "
+          f"FP: {profile.fp_fraction:.1%}, "
+          f"memory: {profile.load_fraction + profile.store_fraction:.1%}")
+    print()
+
+    policies = [GENERIC_SLOWDOWN, PERL_FP_BY_3, GCC_GALS_1,
+                recommend_policy(profile)]
+    results = []
+    for policy in policies:
+        print(f"running policy '{policy.name}': {policy.description}")
+        voltages = policy.voltages()
+        for domain, vdd in sorted(voltages.items()):
+            print(f"    {domain:8s} slowdown {policy.slowdowns[domain]:.2f} "
+                  f"-> Vdd {vdd:.3f} V")
+        results.append(selective_slowdown(benchmark, policy,
+                                          num_instructions=instructions))
+    print()
+    print("=== normalised to the fully synchronous base processor ===")
+    print(dvfs_table(results))
+    print()
+    best = min(results, key=lambda r: r.relative_energy)
+    print(f"lowest-energy policy for {benchmark}: '{best.policy}' "
+          f"(energy {best.relative_energy:.3f} at performance "
+          f"{best.relative_performance:.3f}; ideal synchronous reference "
+          f"{best.ideal_energy:.3f})")
+
+
+if __name__ == "__main__":
+    main()

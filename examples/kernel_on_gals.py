@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run a real (assembled and functionally executed) kernel on both machines.
+
+The profile-driven synthetic workloads reproduce the paper's figures, but the
+library also runs genuine programs: this example assembles a kernel written in
+the small RISC ISA, executes it functionally to obtain its dynamic trace, and
+feeds that trace to the synchronous and GALS timing models.
+
+Usage::
+
+    python examples/kernel_on_gals.py [kernel] [size]
+
+Kernels: vector_sum, dot_product, saxpy, matmul, fibonacci, string_search.
+"""
+
+import sys
+
+from repro import build_base_processor, build_gals_processor, compare
+from repro.workloads import get_kernel
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dot_product"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 120
+
+    kernel = get_kernel(name)
+    program, memory = kernel.build(size)
+    print(f"Kernel '{name}' ({kernel.description}), size {size}: "
+          f"{len(program)} static instructions")
+    print()
+    print(program.listing())
+    print()
+
+    trace = kernel.trace(size)
+    print(f"dynamic trace: {len(trace)} instructions")
+
+    base = build_base_processor(kernel.trace(size)).run()
+    gals = build_gals_processor(kernel.trace(size)).run()
+    row = compare(base, gals)
+
+    print()
+    print(base.summary())
+    print()
+    print(gals.summary())
+    print()
+    print(f"GALS relative performance: {row.relative_performance:.3f}")
+    print(f"GALS relative energy:      {row.relative_energy:.3f}")
+    print(f"GALS relative power:       {row.relative_power:.3f}")
+    print()
+    print("per-cluster issue counts (base run):")
+    print(f"  note: kernels with FP work exercise the fp cluster; integer "
+          f"kernels leave it idle at 10% power, which is what the "
+          f"application-driven DVFS policies exploit.")
+
+
+if __name__ == "__main__":
+    main()

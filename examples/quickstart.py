@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the synchronous and GALS processors on one benchmark.
+
+Runs the perl-like workload on both machines with all clocks at the same
+frequency (the paper's first experiment set) and prints the headline metrics:
+relative performance, energy, power, slip and mis-speculation.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import run_pair
+from repro.analysis import bar_chart
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "perl"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    print(f"Running base and GALS processors on '{benchmark}' "
+          f"({instructions} instructions)...")
+    row = run_pair(benchmark, num_instructions=instructions)
+
+    base, gals = row.base_result, row.gals_result
+    print()
+    print(base.summary())
+    print()
+    print(gals.summary())
+    print()
+    print(bar_chart(
+        {
+            "relative performance": row.relative_performance,
+            "relative energy": row.relative_energy,
+            "relative power": row.relative_power,
+        },
+        title=f"GALS vs base ({benchmark}), 1.0 = synchronous baseline",
+        maximum=1.2,
+    ))
+    print()
+    print(f"performance drop : {row.performance_drop:7.1%}   (paper average: ~10%)")
+    print(f"power saving     : {row.power_saving:7.1%}   (paper average: ~10%)")
+    print(f"energy change    : {row.energy_increase:+7.1%}   (paper average: +1%)")
+    print(f"slip             : {row.base_slip_ns:.1f} ns -> {row.gals_slip_ns:.1f} ns "
+          f"({row.gals_fifo_slip_fraction:.0%} of GALS slip inside FIFOs)")
+    print(f"mis-speculation  : {row.base_misspeculation:.1%} -> "
+          f"{row.gals_misspeculation:.1%} of fetched instructions")
+
+
+if __name__ == "__main__":
+    main()

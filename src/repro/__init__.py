@@ -1,0 +1,62 @@
+"""repro -- a reproduction of "Power and Performance Evaluation of Globally
+Asynchronous Locally Synchronous Processors" (Iyer & Marculescu, ISCA 2002).
+
+The library provides:
+
+* an event-driven simulation engine able to mix clocked and asynchronous
+  components (:mod:`repro.sim`),
+* a cycle-accurate out-of-order superscalar processor model
+  (:mod:`repro.uarch`, :mod:`repro.memory`, :mod:`repro.isa`),
+* mixed-clock FIFO communication between clock domains (:mod:`repro.async_comm`),
+* Wattch-style power models with per-domain voltage scaling (:mod:`repro.power`),
+* the synchronous-vs-GALS evaluation framework itself (:mod:`repro.core`), and
+* Spec95/Mediabench-like workload models (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import run_pair
+    row = run_pair("perl", num_instructions=2000)
+    print(f"GALS relative performance: {row.relative_performance:.3f}")
+    print(f"GALS relative power:       {row.relative_power:.3f}")
+"""
+
+from .core import (ClockPlan, ComparisonRow, DEFAULT_CONFIG, DvfsResult,
+                   Processor, ProcessorConfig, SimulationResult, SlowdownPolicy,
+                   baseline_comparison, build_base_processor,
+                   build_gals_processor, compare, phase_sensitivity, run_pair,
+                   run_single, selective_slowdown, slowdown_plan, slowdown_sweep,
+                   uniform_plan)
+from .workloads import (DEFAULT_BENCHMARKS, PROFILES, get_kernel, get_profile,
+                        kernel_trace, make_trace, make_workload)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClockPlan",
+    "ComparisonRow",
+    "DEFAULT_BENCHMARKS",
+    "DEFAULT_CONFIG",
+    "DvfsResult",
+    "PROFILES",
+    "Processor",
+    "ProcessorConfig",
+    "SimulationResult",
+    "SlowdownPolicy",
+    "__version__",
+    "baseline_comparison",
+    "build_base_processor",
+    "build_gals_processor",
+    "compare",
+    "get_kernel",
+    "get_profile",
+    "kernel_trace",
+    "make_trace",
+    "make_workload",
+    "phase_sensitivity",
+    "run_pair",
+    "run_single",
+    "selective_slowdown",
+    "slowdown_plan",
+    "slowdown_sweep",
+    "uniform_plan",
+]

@@ -1,0 +1,24 @@
+"""Result analysis: the Table-1 clock-skew case study, tables and ASCII charts."""
+
+from .clock_skew import (CLOCK_SKEW_CASES, ClockSkewCase, clock_skew_table,
+                         projected_skew_fraction, skew_trend)
+from .report import (ascii_bar, bar_chart, breakdown_table, dvfs_table,
+                     energy_power_table, misspeculation_table,
+                     performance_table, slip_breakdown_table, slip_table)
+
+__all__ = [
+    "CLOCK_SKEW_CASES",
+    "ClockSkewCase",
+    "ascii_bar",
+    "bar_chart",
+    "breakdown_table",
+    "clock_skew_table",
+    "dvfs_table",
+    "energy_power_table",
+    "misspeculation_table",
+    "performance_table",
+    "projected_skew_fraction",
+    "skew_trend",
+    "slip_breakdown_table",
+    "slip_table",
+]

@@ -1,0 +1,102 @@
+"""Clock-distribution case study (paper Section 2.2, Table 1).
+
+Table 1 of the paper tracks global clock skew across four CMOS process
+generations of commercial microprocessors (Alpha 21064/21164/21264 and the
+Itanium prototype with and without active deskewing), showing that skew
+consumes a growing fraction of the cycle time even as designers spend more
+and more resources on the distribution network.  This module carries that
+published data and the simple derived metrics (skew as a fraction of cycle
+time, devices clocked per ps of skew budget) the paper's argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ClockSkewCase:
+    """One row of Table 1."""
+
+    design: str
+    technology_um: float
+    year: int
+    device_count_millions: float
+    cycle_time_ns: float
+    skew_ps: float
+    remarks: str
+
+    @property
+    def frequency_mhz(self) -> float:
+        return 1000.0 / self.cycle_time_ns
+
+    @property
+    def skew_fraction_of_cycle(self) -> float:
+        """Skew as a fraction of the cycle time (the paper's ~10 % argument)."""
+        return (self.skew_ps / 1000.0) / self.cycle_time_ns
+
+    @property
+    def devices_per_ps_of_skew(self) -> float:
+        """How many devices must be clocked per picosecond of skew budget."""
+        return self.device_count_millions * 1e6 / self.skew_ps
+
+
+#: The published case-study data (Table 1 of the paper).
+CLOCK_SKEW_CASES: Tuple[ClockSkewCase, ...] = (
+    ClockSkewCase("Alpha 21064", 0.8, 1992, 1.6, 5.0, 200.0,
+                  "Single line of drivers for clock grid"),
+    ClockSkewCase("Alpha 21164", 0.5, 1995, 9.3, 3.3, 80.0,
+                  "Two lines of drivers for clock grid"),
+    ClockSkewCase("Alpha 21264", 0.35, 1998, 15.2, 1.7, 65.0,
+                  "16 distributed lines of drivers"),
+    ClockSkewCase("Itanium (with active deskewing)", 0.18, 2001, 25.4, 1.25, 28.0,
+                  "32 active deskewing circuits"),
+    ClockSkewCase("Itanium (without active deskewing)", 0.18, 2001, 25.4, 1.25, 110.0,
+                  "Projected skew without deskewing"),
+)
+
+
+def clock_skew_table(cases: Tuple[ClockSkewCase, ...] = CLOCK_SKEW_CASES) -> str:
+    """Render Table 1 (plus the derived skew/cycle column) as text."""
+    header = (f"{'Design':<36} {'Tech':>8} {'Devices':>9} {'Cycle':>8} "
+              f"{'Skew':>8} {'Skew/cycle':>11}  Remarks")
+    lines = [header, "-" * len(header)]
+    for case in cases:
+        lines.append(
+            f"{case.design:<36} {case.technology_um:>5.2f} um "
+            f"{case.device_count_millions:>7.1f}M {case.cycle_time_ns:>6.2f} ns "
+            f"{case.skew_ps:>5.0f} ps {case.skew_fraction_of_cycle:>10.1%}  "
+            f"{case.remarks}")
+    return "\n".join(lines)
+
+
+def skew_trend(cases: Tuple[ClockSkewCase, ...] = CLOCK_SKEW_CASES
+               ) -> List[Tuple[str, float]]:
+    """(design, skew fraction of cycle) series, the paper's headline trend."""
+    return [(case.design, case.skew_fraction_of_cycle) for case in cases]
+
+
+def projected_skew_fraction(technology_um: float,
+                            cases: Tuple[ClockSkewCase, ...] = CLOCK_SKEW_CASES
+                            ) -> float:
+    """Extrapolate the skew/cycle fraction to a future technology node.
+
+    A simple log-linear fit of skew fraction against feature size over the
+    *non-deskewed* designs; used by the clock-distribution example to argue,
+    as Section 2.2 does, that skew grows into a first-order constraint.
+    """
+    import math
+
+    if technology_um <= 0:
+        raise ValueError("technology_um must be positive")
+    points = [(math.log(c.technology_um), math.log(c.skew_fraction_of_cycle))
+              for c in cases if "without" in c.design or "deskewing" not in c.design]
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    var = sum((x - mean_x) ** 2 for x, _ in points)
+    slope = cov / var if var else 0.0
+    intercept = mean_y - slope * mean_x
+    return math.exp(intercept + slope * math.log(technology_um))

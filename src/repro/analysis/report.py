@@ -1,0 +1,120 @@
+"""Textual reports and ASCII charts of experiment results.
+
+The paper presents its results as bar charts (Figures 5-13); this module
+renders the same series as text tables and simple horizontal ASCII bars so
+the benchmark harness can print directly comparable output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.experiments import DvfsResult
+from ..core.metrics import ComparisonRow
+from ..power.accounting import EnergyBreakdown
+from ..power.blocks import BREAKDOWN_CATEGORIES
+
+
+def ascii_bar(value: float, scale: float = 50.0, maximum: float = 1.2) -> str:
+    """A horizontal bar of '#' characters for a normalised value."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    clamped = max(0.0, min(value, maximum))
+    return "#" * int(round(clamped / maximum * scale))
+
+
+def bar_chart(series: Mapping[str, float], title: str = "",
+              maximum: Optional[float] = None, width: int = 40) -> str:
+    """Render a named series as an ASCII bar chart."""
+    if not series:
+        return title
+    peak = maximum if maximum is not None else max(series.values()) or 1.0
+    label_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for name, value in series.items():
+        bar = ascii_bar(value, scale=width, maximum=peak)
+        lines.append(f"{name:<{label_width}}  {value:6.3f}  {bar}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ Figures 5-9
+def performance_table(rows: Sequence[ComparisonRow]) -> str:
+    """Figure 5: GALS performance relative to base, per benchmark."""
+    lines = [f"{'benchmark':<10} {'relative performance':>21}"]
+    for row in rows:
+        lines.append(f"{row.benchmark:<10} {row.relative_performance:>21.3f}")
+    mean = sum(r.relative_performance for r in rows) / len(rows)
+    lines.append(f"{'average':<10} {mean:>21.3f}")
+    return "\n".join(lines)
+
+
+def slip_table(rows: Sequence[ComparisonRow]) -> str:
+    """Figure 6: average slip (ns) in base and GALS."""
+    lines = [f"{'benchmark':<10} {'base slip':>10} {'gals slip':>10} {'ratio':>7}"]
+    for row in rows:
+        lines.append(f"{row.benchmark:<10} {row.base_slip_ns:>10.2f} "
+                     f"{row.gals_slip_ns:>10.2f} {row.slip_ratio:>7.2f}")
+    return "\n".join(lines)
+
+
+def slip_breakdown_table(rows: Sequence[ComparisonRow]) -> str:
+    """Figure 7: share of the GALS slip spent in FIFOs vs in the pipeline."""
+    lines = [f"{'benchmark':<10} {'FIFO share':>11} {'pipeline share':>15}"]
+    for row in rows:
+        fifo = row.gals_fifo_slip_fraction
+        lines.append(f"{row.benchmark:<10} {fifo:>11.2%} {1 - fifo:>15.2%}")
+    return "\n".join(lines)
+
+
+def misspeculation_table(rows: Sequence[ComparisonRow]) -> str:
+    """Figure 8: percentage of mis-speculated instructions, base vs GALS."""
+    lines = [f"{'benchmark':<10} {'base':>8} {'gals':>8}"]
+    for row in rows:
+        lines.append(f"{row.benchmark:<10} {row.base_misspeculation:>8.1%} "
+                     f"{row.gals_misspeculation:>8.1%}")
+    return "\n".join(lines)
+
+
+def energy_power_table(rows: Sequence[ComparisonRow]) -> str:
+    """Figure 9: GALS energy and power normalised to base."""
+    lines = [f"{'benchmark':<10} {'rel energy':>11} {'rel power':>10}"]
+    for row in rows:
+        lines.append(f"{row.benchmark:<10} {row.relative_energy:>11.3f} "
+                     f"{row.relative_power:>10.3f}")
+    mean_e = sum(r.relative_energy for r in rows) / len(rows)
+    mean_p = sum(r.relative_power for r in rows) / len(rows)
+    lines.append(f"{'average':<10} {mean_e:>11.3f} {mean_p:>10.3f}")
+    return "\n".join(lines)
+
+
+# -------------------------------------------------------------------- Figure 10
+def breakdown_table(base: EnergyBreakdown, gals: EnergyBreakdown) -> str:
+    """Figure 10: per-macro-block energy, both machines normalised to base."""
+    lines = [f"{'category':<18} {'base':>8} {'gals':>8}"]
+    total = base.total_energy_nj or 1.0
+    for category in BREAKDOWN_CATEGORIES:
+        base_share = base.by_category.get(category, 0.0) / total
+        gals_share = gals.by_category.get(category, 0.0) / total
+        lines.append(f"{category:<18} {base_share:>8.3f} {gals_share:>8.3f}")
+    lines.append(f"{'total':<18} {1.0:>8.3f} "
+                 f"{gals.total_energy_nj / total:>8.3f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- Figures 11-13
+def dvfs_table(results: Sequence[DvfsResult], include_ideal: bool = True) -> str:
+    """Figures 11-13: normalised performance / energy / (ideal) / power."""
+    header = f"{'config':<22} {'performance':>12} {'energy':>8}"
+    if include_ideal:
+        header += f" {'ideal':>7}"
+    header += f" {'power':>7}"
+    lines = [header]
+    for result in results:
+        line = (f"{result.benchmark + '/' + result.policy:<22} "
+                f"{result.relative_performance:>12.3f} "
+                f"{result.relative_energy:>8.3f}")
+        if include_ideal:
+            line += f" {result.ideal_energy:>7.3f}"
+        line += f" {result.relative_power:>7.3f}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Asynchronous communication mechanisms between clock domains (paper §3.2).
+
+* :class:`~repro.async_comm.fifo.MixedClockFifo` -- the Chelcea/Nowick style
+  FIFO used between the GALS processor's synchronous blocks.
+* :class:`~repro.async_comm.synchronizer.Synchronizer` -- flip-flop
+  synchronizer latency model underlying the FIFO's full/empty flags.
+* :class:`~repro.async_comm.pausible.PausibleClockModel` -- analytical model
+  of the stretchable-clock alternative the paper argues against.
+"""
+
+from .fifo import MixedClockFifo
+from .pausible import PausibleClockModel
+from .synchronizer import Synchronizer, synchronization_failure_probability
+
+__all__ = [
+    "MixedClockFifo",
+    "PausibleClockModel",
+    "Synchronizer",
+    "synchronization_failure_probability",
+]

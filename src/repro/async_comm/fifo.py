@@ -1,0 +1,134 @@
+"""Mixed-clock (asynchronous) FIFO between two clock domains.
+
+This is the behavioural model of the low-latency token-ring FIFO of Chelcea
+and Nowick that the paper uses for all inter-domain communication
+(Section 3.2, Figure 2).  The circuit details are abstracted away; what
+matters architecturally is:
+
+* data written by the producer becomes visible to the consumer only after the
+  *empty* flag has been synchronized into the consumer's clock domain
+  (``consumer_sync`` consumer cycles);
+* space freed by the consumer becomes visible to the producer only after the
+  *full* flag has been synchronized into the producer's clock domain
+  (``producer_sync`` producer cycles);
+* in the steady state (FIFO neither empty nor full) items stream through with
+  high throughput -- the latency penalties appear when the FIFO drains or
+  fills, exactly the behaviour the paper relies on to explain why fpppp (few
+  branches, steady streams) loses the least performance.
+
+Residency time in these FIFOs is what Figure 7 reports as the "FIFO" share of
+the instruction slip.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
+
+from ..sim.channel import Channel
+from ..sim.clock import Clock
+from .synchronizer import Synchronizer
+
+
+class MixedClockFifo(Channel):
+    """Asynchronous FIFO connecting a producer domain to a consumer domain."""
+
+    counts_as_fifo = True
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        producer_clock: Clock,
+        consumer_clock: Clock,
+        consumer_sync: int = 1,
+        producer_sync: int = 1,
+    ) -> None:
+        super().__init__(name, capacity)
+        self.producer_clock = producer_clock
+        self.consumer_clock = consumer_clock
+        self._data_sync = Synchronizer(consumer_clock, depth=consumer_sync)
+        self._space_sync = Synchronizer(producer_clock, depth=producer_sync)
+        # entries: (item, push_time, visible_to_consumer_at)
+        self._entries: Deque[Tuple[Any, float, float]] = deque()
+        # times at which freed slots become visible to the producer
+        self._pending_space: Deque[float] = deque()
+
+    # -------------------------------------------------------------- producer
+    @property
+    def occupancy(self) -> int:
+        """Number of items physically present in the FIFO."""
+        return len(self._entries)
+
+    def apparent_occupancy(self, time: float) -> int:
+        """Occupancy as seen by the producer (full flag synchronization).
+
+        Slots freed by the consumer less than ``producer_sync`` producer cycles
+        ago are not yet visible, so the FIFO may appear fuller than it is.
+        """
+        hidden_free = sum(1 for t in self._pending_space if t > time)
+        return len(self._entries) + hidden_free
+
+    def can_push(self, time: float) -> bool:
+        return self.apparent_occupancy(time) < self.capacity
+
+    def push(self, item: Any, time: float) -> None:
+        if not self.can_push(time):
+            raise OverflowError(f"push into apparently-full FIFO {self.name!r}")
+        visible_at = self._data_sync.observable_at(time)
+        self._entries.append((item, time, visible_at))
+        self.push_count += 1
+
+    # -------------------------------------------------------------- consumer
+    def can_pop(self, time: float) -> bool:
+        self._expire_space(time)
+        return bool(self._entries) and self._entries[0][2] <= time
+
+    def peek(self, time: float) -> Any:
+        if not self.can_pop(time):
+            raise LookupError(f"peek on (apparently) empty FIFO {self.name!r}")
+        return self._entries[0][0]
+
+    def pop(self, time: float) -> Any:
+        if not self.can_pop(time):
+            raise LookupError(f"pop on (apparently) empty FIFO {self.name!r}")
+        item, pushed_at, _visible = self._entries.popleft()
+        self.last_pop_wait = max(0.0, time - pushed_at)
+        self.total_wait += self.last_pop_wait
+        self.pop_count += 1
+        self._pending_space.append(self._space_sync.observable_at(time))
+        return item
+
+    def _expire_space(self, time: float) -> None:
+        while self._pending_space and self._pending_space[0] <= time:
+            self._pending_space.popleft()
+
+    # ----------------------------------------------------------------- misc
+    def flush(self, predicate: Optional[Callable[[Any], bool]] = None) -> int:
+        """Drop entries matching ``predicate`` (all of them when None).
+
+        Flushed slots are returned to the producer immediately; a pipeline
+        flush resets the FIFO control state on both sides.
+        """
+        if predicate is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            kept = [e for e in self._entries if not predicate(e[0])]
+            dropped = len(self._entries) - len(kept)
+            self._entries = deque(kept)
+        self.flush_count += dropped
+        return dropped
+
+    def items(self) -> List[Any]:
+        return [item for item, _, _ in self._entries]
+
+    @property
+    def steady_state_latency(self) -> float:
+        """Forward latency (ns) of one item through an otherwise-busy FIFO."""
+        return self._data_sync.latency()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MixedClockFifo(name={self.name!r}, occ={self.occupancy}/"
+                f"{self.capacity}, producer={self.producer_clock.name!r}, "
+                f"consumer={self.consumer_clock.name!r})")

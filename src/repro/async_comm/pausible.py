@@ -1,0 +1,62 @@
+"""Pausible / stretchable clocking model.
+
+The paper (Section 3.2) discusses stretchable clocks -- the alternative to
+FIFO-based communication in which an arbiter inside the ring-oscillator loop
+stretches one clock phase while a handshake completes -- and argues that in a
+processor pipeline, where transactions occur practically every cycle, the
+effective clock frequency would end up set by the communication rate rather
+than by the clock generator.
+
+This module provides a small analytical model of that effect so the argument
+can be reproduced quantitatively (see ``benchmarks/bench_ablation_pausible.py``
+and ``examples/async_mechanisms.py``).  It is not used inside the processor
+timing model (the paper's processor uses FIFOs), but it is part of the design
+space the paper surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PausibleClockModel:
+    """Analytical model of a pausible (stretchable) clock.
+
+    Parameters
+    ----------
+    nominal_period:
+        Free-running period of the local ring oscillator, in ns.
+    stretch_per_transaction:
+        How long one phase is stretched while a handshake completes, in ns.
+        Typically on the order of the partner domain's period when the
+        partner is slower, or the arbitration delay when it is not.
+    """
+
+    nominal_period: float
+    stretch_per_transaction: float
+
+    def __post_init__(self) -> None:
+        if self.nominal_period <= 0:
+            raise ValueError("nominal_period must be positive")
+        if self.stretch_per_transaction < 0:
+            raise ValueError("stretch_per_transaction must be non-negative")
+
+    def effective_period(self, transactions_per_cycle: float) -> float:
+        """Average clock period once stretching is accounted for.
+
+        ``transactions_per_cycle`` is the average number of inter-domain
+        transactions initiated per local clock cycle (0 = never communicates,
+        1 = communicates every cycle, as in a processor pipeline).
+        """
+        if transactions_per_cycle < 0:
+            raise ValueError("transactions_per_cycle must be non-negative")
+        return self.nominal_period + transactions_per_cycle * self.stretch_per_transaction
+
+    def effective_frequency(self, transactions_per_cycle: float) -> float:
+        """Average frequency in GHz under the given communication rate."""
+        return 1.0 / self.effective_period(transactions_per_cycle)
+
+    def slowdown(self, transactions_per_cycle: float) -> float:
+        """Effective period divided by nominal period (>= 1)."""
+        return self.effective_period(transactions_per_cycle) / self.nominal_period

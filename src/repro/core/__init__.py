@@ -1,0 +1,72 @@
+"""Core GALS evaluation framework: configurations, processors, experiments.
+
+This package holds the paper's primary contribution: the side-by-side
+synchronous vs. GALS processor models, the clock-domain partitioning, the
+multiple-clock / multiple-voltage policies, and the experiment drivers that
+regenerate the evaluation figures.
+"""
+
+from .config import DEFAULT_CONFIG, ProcessorConfig
+from .domains import (DOMAIN_DECODE, DOMAIN_FETCH, DOMAIN_FP, DOMAIN_INTEGER,
+                      DOMAIN_MEMORY, GALS_DOMAINS, SYNC_DOMAIN, ClockPlan,
+                      pipeline_stage_table, slowdown_plan, uniform_plan)
+from .dvfs import (GCC_GALS_1, GCC_GALS_2, GENERIC_SLOWDOWN, IJPEG_SWEEP,
+                   PERL_FP_BY_3, POLICIES, SlowdownPolicy, get_policy,
+                   recommend_policy)
+from .experiments import (DEFAULT_INSTRUCTIONS, DvfsResult, average_energy_increase,
+                          average_performance_drop, average_power_saving,
+                          average_slip_increase, baseline_comparison,
+                          phase_sensitivity, run_pair, run_single,
+                          selective_slowdown, slowdown_sweep)
+from .metrics import (ComparisonRow, SimulationResult, SimulationStats,
+                      arithmetic_mean, compare, geometric_mean)
+from .processor import (BASE_PROCESSOR, GALS_PROCESSOR, Processor,
+                        build_base_processor, build_gals_processor)
+
+__all__ = [
+    "BASE_PROCESSOR",
+    "ClockPlan",
+    "ComparisonRow",
+    "DEFAULT_CONFIG",
+    "DEFAULT_INSTRUCTIONS",
+    "DOMAIN_DECODE",
+    "DOMAIN_FETCH",
+    "DOMAIN_FP",
+    "DOMAIN_INTEGER",
+    "DOMAIN_MEMORY",
+    "DvfsResult",
+    "GALS_DOMAINS",
+    "GALS_PROCESSOR",
+    "GCC_GALS_1",
+    "GCC_GALS_2",
+    "GENERIC_SLOWDOWN",
+    "IJPEG_SWEEP",
+    "PERL_FP_BY_3",
+    "POLICIES",
+    "Processor",
+    "ProcessorConfig",
+    "SimulationResult",
+    "SimulationStats",
+    "SlowdownPolicy",
+    "SYNC_DOMAIN",
+    "arithmetic_mean",
+    "average_energy_increase",
+    "average_performance_drop",
+    "average_power_saving",
+    "average_slip_increase",
+    "baseline_comparison",
+    "build_base_processor",
+    "build_gals_processor",
+    "compare",
+    "geometric_mean",
+    "get_policy",
+    "phase_sensitivity",
+    "pipeline_stage_table",
+    "recommend_policy",
+    "run_pair",
+    "run_single",
+    "selective_slowdown",
+    "slowdown_plan",
+    "slowdown_sweep",
+    "uniform_plan",
+]

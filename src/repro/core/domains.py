@@ -1,0 +1,150 @@
+"""Clock-domain partitioning of the GALS processor (paper Section 4.1).
+
+The GALS machine has five clock domains, chosen to mirror the 21264's
+major-clock partitioning (Figure 3b):
+
+1. ``fetch``   -- L1 instruction cache and branch prediction unit,
+2. ``decode``  -- decode, register rename, register files, dispatch and commit,
+3. ``integer`` -- integer issue queue and integer ALUs,
+4. ``fp``      -- floating-point issue queue and FP ALUs,
+5. ``memory``  -- memory issue queue, data cache and L2.
+
+:class:`ClockPlan` captures how those domains are clocked in one experiment:
+a common base period, a per-domain slowdown, a per-domain phase (random in the
+GALS experiments) and optionally a per-domain supply voltage derived from the
+slowdown (the multiple-voltage experiments of Section 5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..power.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from ..power.voltage import voltage_for_slowdown
+from ..sim.clock import Clock, ClockDomain
+
+#: Canonical domain names, in pipeline order.
+DOMAIN_FETCH = "fetch"
+DOMAIN_DECODE = "decode"
+DOMAIN_INTEGER = "integer"
+DOMAIN_FP = "fp"
+DOMAIN_MEMORY = "memory"
+GALS_DOMAINS: Tuple[str, ...] = (DOMAIN_FETCH, DOMAIN_DECODE, DOMAIN_INTEGER,
+                                 DOMAIN_FP, DOMAIN_MEMORY)
+
+#: Single-domain name used by the synchronous baseline.
+SYNC_DOMAIN = "core"
+
+#: Table 2: pipeline stage -> clock domains involved.
+PIPELINE_STAGES: Tuple[Tuple[int, str, Tuple[str, ...]], ...] = (
+    (1, "Fetch from I-cache", (DOMAIN_FETCH,)),
+    (2, "Decode", (DOMAIN_DECODE,)),
+    (3, "Register rename, Regfile read", (DOMAIN_DECODE,)),
+    (4, "Dispatch into issue queue",
+     (DOMAIN_DECODE, DOMAIN_INTEGER, DOMAIN_FP, DOMAIN_MEMORY)),
+    (5, "Issue to functional unit", (DOMAIN_INTEGER, DOMAIN_FP, DOMAIN_MEMORY)),
+    (6, "Execute", (DOMAIN_INTEGER, DOMAIN_FP, DOMAIN_MEMORY)),
+    (7, "Wakeup, Writeback", (DOMAIN_INTEGER, DOMAIN_FP, DOMAIN_MEMORY)),
+    (8, "Regfile write, Commit",
+     (DOMAIN_INTEGER, DOMAIN_FP, DOMAIN_MEMORY, DOMAIN_DECODE)),
+)
+
+
+def pipeline_stage_table() -> str:
+    """Render Table 2 (pipeline stages and the domains involved)."""
+    lines = [f"{'Stage':<6} {'Operation':<34} Domains"]
+    for number, operation, domains in PIPELINE_STAGES:
+        lines.append(f"{number:<6} {operation:<34} {', '.join(domains)}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ClockPlan:
+    """Clocking (and optional voltage) assignment for one simulation run."""
+
+    #: period of the nominal clock, in ns (1 GHz by default)
+    base_period: float = 1.0
+    #: per-domain slowdown factor (1.0 = nominal; 1.1 = 10 % slower clock)
+    slowdowns: Dict[str, float] = field(default_factory=dict)
+    #: per-domain starting phase in ns; missing domains get a random phase
+    #: drawn from ``phase_seed`` (the paper randomises phases at run time)
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: explicit per-domain supply voltages; overrides ``scale_voltages``
+    voltages: Dict[str, float] = field(default_factory=dict)
+    #: derive each slowed domain's voltage from Equation 1 when True
+    scale_voltages: bool = False
+    phase_seed: int = 0
+    technology: TechnologyParameters = DEFAULT_TECHNOLOGY
+
+    def slowdown_of(self, domain: str) -> float:
+        slowdown = self.slowdowns.get(domain, 1.0)
+        if slowdown <= 0:
+            raise ValueError(f"slowdown for domain {domain!r} must be positive")
+        return slowdown
+
+    def period_of(self, domain: str) -> float:
+        return self.base_period * self.slowdown_of(domain)
+
+    def voltage_of(self, domain: str) -> float:
+        if domain in self.voltages:
+            return self.voltages[domain]
+        if self.scale_voltages:
+            return voltage_for_slowdown(self.slowdown_of(domain), self.technology)
+        return self.technology.nominal_vdd
+
+    def phase_of(self, domain: str, rng: random.Random) -> float:
+        if domain in self.phases:
+            return self.phases[domain] % self.period_of(domain)
+        return rng.uniform(0.0, self.period_of(domain))
+
+    # ------------------------------------------------------------- factories
+    def build_gals_domains(self) -> Dict[str, ClockDomain]:
+        """Create the five independent clock domains of the GALS machine."""
+        rng = random.Random(self.phase_seed)
+        domains: Dict[str, ClockDomain] = {}
+        for name in GALS_DOMAINS:
+            clock = Clock(name=name, period=self.period_of(name),
+                          phase=self.phase_of(name, rng))
+            domains[name] = ClockDomain(
+                clock,
+                voltage=self.voltage_of(name),
+                nominal_voltage=self.technology.nominal_vdd,
+            )
+        return domains
+
+    def build_sync_domain(self) -> ClockDomain:
+        """Create the single global clock domain of the base machine.
+
+        A global slowdown may be requested via ``slowdowns['core']`` (used for
+        the "ideal" voltage-scaled synchronous reference of Figures 12-13).
+        """
+        slowdown = self.slowdowns.get(SYNC_DOMAIN, 1.0)
+        clock = Clock(name=SYNC_DOMAIN, period=self.base_period * slowdown,
+                      phase=self.phases.get(SYNC_DOMAIN, 0.0))
+        voltage = self.voltages.get(SYNC_DOMAIN)
+        if voltage is None:
+            voltage = (voltage_for_slowdown(slowdown, self.technology)
+                       if self.scale_voltages else self.technology.nominal_vdd)
+        return ClockDomain(clock, voltage=voltage,
+                           nominal_voltage=self.technology.nominal_vdd)
+
+
+def uniform_plan(base_period: float = 1.0, phase_seed: int = 0) -> ClockPlan:
+    """All domains at the nominal frequency (experiment set 1, Section 5.1)."""
+    return ClockPlan(base_period=base_period, phase_seed=phase_seed)
+
+
+def slowdown_plan(slowdowns: Mapping[str, float],
+                  base_period: float = 1.0,
+                  scale_voltages: bool = True,
+                  phase_seed: int = 0,
+                  technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> ClockPlan:
+    """Per-domain slowdowns with (by default) Equation-1 voltage scaling."""
+    unknown = set(slowdowns) - set(GALS_DOMAINS) - {SYNC_DOMAIN}
+    if unknown:
+        raise ValueError(f"unknown clock domains in slowdown plan: {sorted(unknown)}")
+    return ClockPlan(base_period=base_period, slowdowns=dict(slowdowns),
+                     scale_voltages=scale_voltages, phase_seed=phase_seed,
+                     technology=technology)

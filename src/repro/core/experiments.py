@@ -1,0 +1,206 @@
+"""Experiment drivers reproducing the paper's evaluation (Section 5).
+
+Two experiment families exist, mirroring Section 5:
+
+1. **Base vs GALS with all clocks equal** (Figures 5-10):
+   :func:`run_pair` / :func:`baseline_comparison` run the same workload on the
+   synchronous and GALS machines and normalise the GALS results.
+
+2. **Multiple-clock, multiple-voltage GALS** (Figures 11-13):
+   :func:`selective_slowdown` applies a per-domain slowdown policy with
+   Equation-1 voltage scaling and also computes the "ideal" reference -- the
+   synchronous machine globally slowed (and voltage-scaled) to the same
+   performance level.
+
+All drivers are deterministic given their seeds and work from the synthetic
+profile-driven workloads by default; any
+:class:`~repro.isa.trace.ListTraceSource` (e.g. a kernel trace) can be passed
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..isa.trace import ListTraceSource
+from ..power.voltage import ideal_synchronous_energy
+from ..workloads.profiles import DEFAULT_BENCHMARKS, get_profile
+from ..workloads.synthetic import SyntheticWorkload, make_workload
+from .config import DEFAULT_CONFIG, ProcessorConfig
+from .domains import ClockPlan, uniform_plan
+from .dvfs import SlowdownPolicy
+from .metrics import (ComparisonRow, SimulationResult, arithmetic_mean, compare)
+from .processor import build_base_processor, build_gals_processor
+
+#: Default trace length for the reproduction harness.  The paper simulates
+#: full SPEC runs; the synthetic workloads reach steady state quickly, so a
+#: few thousand instructions per run keep the harness fast while preserving
+#: the relative behaviour.
+DEFAULT_INSTRUCTIONS = 3000
+
+
+@dataclass
+class DvfsResult:
+    """Outcome of one multiple-clock / multiple-voltage configuration."""
+
+    benchmark: str
+    policy: str
+    relative_performance: float    # vs. the fully synchronous base
+    relative_energy: float
+    relative_power: float
+    ideal_energy: float            # voltage-scaled synchronous reference
+    gals_result: Optional[SimulationResult] = None
+    base_result: Optional[SimulationResult] = None
+
+    @property
+    def performance_drop(self) -> float:
+        return 1.0 - self.relative_performance
+
+    @property
+    def energy_saving(self) -> float:
+        return 1.0 - self.relative_energy
+
+    @property
+    def power_saving(self) -> float:
+        return 1.0 - self.relative_power
+
+
+# --------------------------------------------------------------------- helpers
+def _trace_and_workload(benchmark: str, num_instructions: int, seed: int
+                        ) -> Tuple[ListTraceSource, SyntheticWorkload]:
+    workload = make_workload(benchmark, seed=seed)
+    return workload.trace(num_instructions), workload
+
+
+def run_single(benchmark: str,
+               processor: str = "base",
+               num_instructions: int = DEFAULT_INSTRUCTIONS,
+               config: ProcessorConfig = DEFAULT_CONFIG,
+               plan: Optional[ClockPlan] = None,
+               seed: int = 1) -> SimulationResult:
+    """Run one benchmark on one machine ('base' or 'gals')."""
+    trace, workload = _trace_and_workload(benchmark, num_instructions, seed)
+    if processor == "base":
+        machine = build_base_processor(trace, config=config, plan=plan,
+                                       workload=workload)
+    elif processor == "gals":
+        machine = build_gals_processor(trace, config=config, plan=plan,
+                                       workload=workload)
+    else:
+        raise ValueError(f"unknown processor kind {processor!r}")
+    return machine.run()
+
+
+def run_pair(benchmark: str,
+             num_instructions: int = DEFAULT_INSTRUCTIONS,
+             config: ProcessorConfig = DEFAULT_CONFIG,
+             gals_plan: Optional[ClockPlan] = None,
+             base_plan: Optional[ClockPlan] = None,
+             seed: int = 1,
+             phase_seed: int = 0) -> ComparisonRow:
+    """Run the same workload on base and GALS and normalise (Figures 5-9)."""
+    if gals_plan is None:
+        gals_plan = uniform_plan(phase_seed=phase_seed)
+    base = run_single(benchmark, "base", num_instructions, config, base_plan, seed)
+    gals = run_single(benchmark, "gals", num_instructions, config, gals_plan, seed)
+    return compare(base, gals)
+
+
+def baseline_comparison(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+                        num_instructions: int = DEFAULT_INSTRUCTIONS,
+                        config: ProcessorConfig = DEFAULT_CONFIG,
+                        seed: int = 1,
+                        phase_seed: int = 0) -> List[ComparisonRow]:
+    """Experiment set 1: base vs GALS at equal clocks for a benchmark list."""
+    return [run_pair(benchmark, num_instructions, config, seed=seed,
+                     phase_seed=phase_seed)
+            for benchmark in benchmarks]
+
+
+def average_performance_drop(rows: Iterable[ComparisonRow]) -> float:
+    """Arithmetic-mean GALS slowdown over a set of comparison rows."""
+    return arithmetic_mean(row.performance_drop for row in rows)
+
+
+def average_power_saving(rows: Iterable[ComparisonRow]) -> float:
+    return arithmetic_mean(row.power_saving for row in rows)
+
+
+def average_energy_increase(rows: Iterable[ComparisonRow]) -> float:
+    return arithmetic_mean(row.energy_increase for row in rows)
+
+
+def average_slip_increase(rows: Iterable[ComparisonRow]) -> float:
+    return arithmetic_mean(row.slip_ratio - 1.0 for row in rows)
+
+
+# --------------------------------------------------------- DVFS (Figures 11-13)
+def selective_slowdown(benchmark: str,
+                       policy: SlowdownPolicy,
+                       num_instructions: int = DEFAULT_INSTRUCTIONS,
+                       config: ProcessorConfig = DEFAULT_CONFIG,
+                       seed: int = 1,
+                       phase_seed: int = 0,
+                       scale_voltages: bool = True) -> DvfsResult:
+    """Experiment set 2: slow selected GALS domains, scale their voltages.
+
+    Returns the GALS configuration's performance/energy/power relative to the
+    fully synchronous base, plus the "ideal" energy of the base machine
+    globally slowed (and voltage-scaled) to the same performance.
+    """
+    base = run_single(benchmark, "base", num_instructions, config, None, seed)
+    plan = policy.plan(scale_voltages=scale_voltages, phase_seed=phase_seed,
+                       technology=config.technology)
+    gals = run_single(benchmark, "gals", num_instructions, config, plan, seed)
+    relative_performance = base.elapsed_ns / gals.elapsed_ns
+    relative_energy = (gals.total_energy_nj / base.total_energy_nj
+                       if base.total_energy_nj else 0.0)
+    relative_power = (gals.average_power_w / base.average_power_w
+                      if base.average_power_w else 0.0)
+    ideal = ideal_synchronous_energy(min(1.0, relative_performance),
+                                     config.technology)
+    return DvfsResult(
+        benchmark=benchmark,
+        policy=policy.name,
+        relative_performance=relative_performance,
+        relative_energy=relative_energy,
+        relative_power=relative_power,
+        ideal_energy=ideal,
+        gals_result=gals,
+        base_result=base,
+    )
+
+
+def slowdown_sweep(benchmark: str,
+                   policies: Sequence[SlowdownPolicy],
+                   num_instructions: int = DEFAULT_INSTRUCTIONS,
+                   config: ProcessorConfig = DEFAULT_CONFIG,
+                   seed: int = 1) -> List[DvfsResult]:
+    """Run a list of slowdown policies on one benchmark (Figure 12 sweep)."""
+    return [selective_slowdown(benchmark, policy, num_instructions, config,
+                               seed=seed)
+            for policy in policies]
+
+
+# -------------------------------------------------------------- phase studies
+def phase_sensitivity(benchmark: str = "perl",
+                      phase_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+                      num_instructions: int = DEFAULT_INSTRUCTIONS,
+                      config: ProcessorConfig = DEFAULT_CONFIG,
+                      seed: int = 1) -> Dict[str, float]:
+    """Sensitivity of GALS performance to relative clock phases (§5.1).
+
+    The paper observes a variation of the order of 0.5 % when all clocks run
+    at the same frequency with random relative phases.  Returns the relative
+    performance for each phase seed plus its spread.
+    """
+    base = run_single(benchmark, "base", num_instructions, config, None, seed)
+    performances = {}
+    for phase_seed in phase_seeds:
+        gals = run_single(benchmark, "gals", num_instructions, config,
+                          uniform_plan(phase_seed=phase_seed), seed)
+        performances[f"phase-{phase_seed}"] = base.elapsed_ns / gals.elapsed_ns
+    values = list(performances.values())
+    performances["spread"] = (max(values) - min(values)) / arithmetic_mean(values)
+    return performances

@@ -1,0 +1,482 @@
+"""Assembly of the synchronous (base) and GALS processor models.
+
+Both machines are built from the same microarchitecture components
+(:mod:`repro.uarch`), the same memory hierarchy and the same power models;
+the only differences -- exactly as in the paper -- are
+
+* the clocking: one global clock domain for the base machine vs. five
+  independent clock domains for the GALS machine (Figure 3), and
+* the inter-stage communication: plain pipeline queues inside a clock domain
+  vs. mixed-clock FIFOs (with synchronization latency) between domains, plus
+  the synchronization delay of results, completions and branch redirects that
+  cross domains.
+
+:class:`Processor` is the common assembly; :func:`build_base_processor` and
+:func:`build_gals_processor` are the two concrete factories.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ..async_comm.fifo import MixedClockFifo
+from ..isa.trace import ListTraceSource
+from ..memory.hierarchy import MemoryHierarchy
+from ..power.accounting import PowerAccountant
+from ..power.activity import ActivityCounters
+from ..power.blocks import default_block_models, global_clock_block, local_clock_block
+from ..sim.channel import Channel, SyncQueue
+from ..sim.clock import ClockDomain
+from ..sim.engine import SimulationEngine
+from ..uarch.branch_predictor import (BranchTargetBuffer, BranchUnit,
+                                      make_direction_predictor)
+from ..uarch.commit import CommitUnit
+from ..uarch.decode import DecodeRenameUnit
+from ..uarch.execute import ExecutionUnit, FunctionalUnitPool
+from ..uarch.fetch import FetchUnit, RedirectMessage
+from ..uarch.instruction import DynamicInstruction
+from ..uarch.issue_queue import IssueQueue
+from ..uarch.regfile import PhysicalRegisterFile
+from ..uarch.rename import RegisterAliasTable
+from ..uarch.rob import ReorderBuffer
+from .config import DEFAULT_CONFIG, ProcessorConfig
+from .domains import (DOMAIN_DECODE, DOMAIN_FETCH, DOMAIN_FP, DOMAIN_INTEGER,
+                      DOMAIN_MEMORY, GALS_DOMAINS, SYNC_DOMAIN, ClockPlan,
+                      uniform_plan)
+from .metrics import SimulationResult, SimulationStats
+
+BASE_PROCESSOR = "base"
+GALS_PROCESSOR = "gals"
+
+
+class _FifoActivityProbe:
+    """Per-cycle probe translating FIFO pushes/pops into power-model activity."""
+
+    def __init__(self, channels: Iterable[Channel], activity: ActivityCounters) -> None:
+        self._channels = [c for c in channels if c.counts_as_fifo]
+        self._activity = activity
+        self._last_transfer_count = 0
+
+    def clock_edge(self, cycle: int, time: float) -> None:
+        transfers = sum(c.push_count + c.pop_count for c in self._channels)
+        delta = transfers - self._last_transfer_count
+        self._last_transfer_count = transfers
+        if delta > 0:
+            self._activity.record("fifo", delta)
+
+
+class Processor:
+    """A fully assembled processor model ready to run one workload trace."""
+
+    def __init__(
+        self,
+        trace: ListTraceSource,
+        config: ProcessorConfig = DEFAULT_CONFIG,
+        plan: Optional[ClockPlan] = None,
+        gals: bool = True,
+        workload=None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.plan = plan or uniform_plan()
+        self.gals = gals
+        self.workload = workload
+        self.kind = GALS_PROCESSOR if gals else BASE_PROCESSOR
+        self.name = name or f"{self.kind}-{trace.name}"
+
+        self.engine = SimulationEngine()
+        self.activity = ActivityCounters()
+        self.stats = SimulationStats()
+        self.epoch = 0
+        self.recoveries = 0
+        self._has_run = False
+
+        self._build()
+
+    # ----------------------------------------------------------------- build
+    def _build(self) -> None:
+        config = self.config
+        plan = self.plan
+
+        # Clock domains -----------------------------------------------------
+        if self.gals:
+            self.domains: Dict[str, ClockDomain] = plan.build_gals_domains()
+            self._cluster_domains = {"int": DOMAIN_INTEGER, "fp": DOMAIN_FP,
+                                     "mem": DOMAIN_MEMORY}
+            fetch_domain = self.domains[DOMAIN_FETCH]
+            decode_domain = self.domains[DOMAIN_DECODE]
+            int_domain = self.domains[DOMAIN_INTEGER]
+            fp_domain = self.domains[DOMAIN_FP]
+            mem_domain = self.domains[DOMAIN_MEMORY]
+        else:
+            core = plan.build_sync_domain()
+            self.domains = {SYNC_DOMAIN: core}
+            self._cluster_domains = {"int": SYNC_DOMAIN, "fp": SYNC_DOMAIN,
+                                     "mem": SYNC_DOMAIN}
+            fetch_domain = decode_domain = int_domain = fp_domain = mem_domain = core
+
+        # Shared structures ---------------------------------------------------
+        self.memory = MemoryHierarchy(config.memory)
+        self.regfile = PhysicalRegisterFile(config.int_registers, config.fp_registers)
+        self.rat = RegisterAliasTable(self.regfile)
+        self.rob = ReorderBuffer(config.rob_entries)
+        predictor = make_direction_predictor(config.predictor_kind,
+                                             config.predictor_entries,
+                                             config.predictor_history_bits)
+        btb = BranchTargetBuffer(config.btb_entries, config.btb_associativity)
+        self.branch_unit = BranchUnit(predictor, btb)
+
+        # Channels -----------------------------------------------------------
+        self.fetch_channel = self._make_channel(
+            "fetch->decode", config.fetch_queue_entries, fetch_domain, decode_domain)
+        self.dispatch_channels: Dict[str, Channel] = {
+            "int": self._make_channel("dispatch->int", config.dispatch_queue_entries,
+                                      decode_domain, int_domain),
+            "fp": self._make_channel("dispatch->fp", config.dispatch_queue_entries,
+                                     decode_domain, fp_domain),
+            "mem": self._make_channel("dispatch->mem", config.dispatch_queue_entries,
+                                      decode_domain, mem_domain),
+        }
+        self.redirect_channel = self._make_channel(
+            "redirect", 4, int_domain, fetch_domain,
+            sync_cycles=self.config.redirect_sync_cycles)
+        self.all_channels: List[Channel] = [self.fetch_channel,
+                                            self.redirect_channel,
+                                            *self.dispatch_channels.values()]
+
+        # Pipeline stages ------------------------------------------------------
+        self.fetch_unit = FetchUnit(
+            source=self.trace,
+            output_channel=self.fetch_channel,
+            redirect_channel=self.redirect_channel,
+            branch_unit=self.branch_unit,
+            memory=self.memory,
+            clock_period=lambda: fetch_domain.period,
+            activity=self.activity,
+            fetch_width=config.fetch_width,
+            wrong_path_generator=(self.workload.wrong_path_instruction
+                                  if self.workload is not None else None),
+        )
+        self.decode_unit = DecodeRenameUnit(
+            input_channel=self.fetch_channel,
+            issue_channels=self.dispatch_channels,
+            rob=self.rob,
+            rat=self.rat,
+            regfile=self.regfile,
+            clock_period=lambda: decode_domain.period,
+            current_epoch=lambda: self.epoch,
+            activity=self.activity,
+            decode_width=config.decode_width,
+            dispatch_width=config.dispatch_width,
+            decode_stages=config.decode_stages,
+            cluster_domains=self._cluster_domains,
+        )
+        self.commit_unit = CommitUnit(
+            rob=self.rob,
+            rat=self.rat,
+            regfile=self.regfile,
+            memory=self.memory,
+            domain_name=decode_domain.name,
+            forwarding_latency=self.forwarding_latency,
+            activity=self.activity,
+            stats=self.stats,
+            commit_width=config.commit_width,
+        )
+        self.exec_units: Dict[str, ExecutionUnit] = {
+            "int": ExecutionUnit(
+                name="integer-cluster",
+                domain_name=int_domain.name,
+                issue_queue=IssueQueue("iq_int", config.int_issue_entries,
+                                       int_domain.name),
+                input_channel=self.dispatch_channels["int"],
+                regfile=self.regfile,
+                forwarding_latency=self.forwarding_latency,
+                clock_period=lambda: int_domain.period,
+                functional_units=FunctionalUnitPool("int_alu", config.num_int_alus),
+                issue_width=config.issue_width_int,
+                activity=self.activity,
+                alu_block="alu_int",
+                queue_block="iq_int",
+                branch_unit=self.branch_unit,
+                recovery_callback=self._recover,
+            ),
+            "fp": ExecutionUnit(
+                name="fp-cluster",
+                domain_name=fp_domain.name,
+                issue_queue=IssueQueue("iq_fp", config.fp_issue_entries,
+                                       fp_domain.name),
+                input_channel=self.dispatch_channels["fp"],
+                regfile=self.regfile,
+                forwarding_latency=self.forwarding_latency,
+                clock_period=lambda: fp_domain.period,
+                functional_units=FunctionalUnitPool("fp_alu", config.num_fp_alus),
+                issue_width=config.issue_width_fp,
+                activity=self.activity,
+                alu_block="alu_fp",
+                queue_block="iq_fp",
+            ),
+            "mem": ExecutionUnit(
+                name="memory-cluster",
+                domain_name=mem_domain.name,
+                issue_queue=IssueQueue("iq_mem", config.mem_issue_entries,
+                                       mem_domain.name),
+                input_channel=self.dispatch_channels["mem"],
+                regfile=self.regfile,
+                forwarding_latency=self.forwarding_latency,
+                clock_period=lambda: mem_domain.period,
+                functional_units=FunctionalUnitPool("mem_port", config.num_mem_ports),
+                issue_width=config.issue_width_mem,
+                activity=self.activity,
+                alu_block="alu_int",
+                queue_block="iq_mem",
+                memory=self.memory,
+            ),
+        }
+
+        # Component registration (reverse pipeline order inside each domain) --
+        if self.gals:
+            decode_domain.add_component(self.commit_unit)
+            decode_domain.add_component(self.decode_unit)
+            decode_domain.add_component(
+                _FifoActivityProbe(self.all_channels, self.activity))
+            int_domain.add_component(self.exec_units["int"])
+            fp_domain.add_component(self.exec_units["fp"])
+            mem_domain.add_component(self.exec_units["mem"])
+            fetch_domain.add_component(self.fetch_unit)
+        else:
+            core = fetch_domain
+            core.add_component(self.commit_unit)
+            core.add_component(self.exec_units["int"])
+            core.add_component(self.exec_units["fp"])
+            core.add_component(self.exec_units["mem"])
+            core.add_component(self.decode_unit)
+            core.add_component(self.fetch_unit)
+
+        # Power accounting ----------------------------------------------------
+        self._build_power(fetch_domain, decode_domain, int_domain, fp_domain,
+                          mem_domain)
+
+        # Bind clocks to the engine --------------------------------------------
+        for domain in self.domains.values():
+            domain.bind(self.engine)
+
+    def _make_channel(self, name: str, capacity: int,
+                      producer: ClockDomain, consumer: ClockDomain,
+                      sync_cycles: Optional[int] = None) -> Channel:
+        """Pipeline queue inside a domain, mixed-clock FIFO across domains.
+
+        Cross-domain channels use the configured FIFO capacity rather than the
+        pipeline-queue depth: the mixed-clock FIFO needs enough slack to cover
+        the round-trip synchronization latency of its full/empty flags or it
+        caps the steady-state bandwidth below the machine width (Section 3.2
+        stresses the FIFO's steady-state throughput).
+        """
+        if producer is consumer:
+            return SyncQueue(name, capacity)
+        if sync_cycles is None:
+            sync_cycles = self.config.fifo_sync_cycles
+        return MixedClockFifo(
+            name, max(capacity, self.config.fifo_capacity),
+            producer_clock=producer.clock,
+            consumer_clock=consumer.clock,
+            consumer_sync=sync_cycles,
+            producer_sync=sync_cycles,
+        )
+
+    def _build_power(self, fetch_domain, decode_domain, int_domain, fp_domain,
+                     mem_domain) -> None:
+        config = self.config
+        self.power = PowerAccountant(self.activity, config.technology)
+        models = default_block_models(
+            int_issue_entries=config.int_issue_entries,
+            fp_issue_entries=config.fp_issue_entries,
+            mem_issue_entries=config.mem_issue_entries,
+            int_registers=config.int_registers,
+            fp_registers=config.fp_registers,
+            il1_size=config.memory.il1_size,
+            il1_assoc=config.memory.il1_assoc,
+            dl1_size=config.memory.dl1_size,
+            dl1_assoc=config.memory.dl1_assoc,
+            l2_size=config.memory.l2_size,
+            l2_assoc=config.memory.l2_assoc,
+            num_int_alus=config.num_int_alus,
+            num_fp_alus=config.num_fp_alus,
+            machine_width=config.machine_width,
+        )
+        placement = {
+            "icache": fetch_domain, "bpred": fetch_domain,
+            "decode": decode_domain, "rename": decode_domain,
+            "regfile_read": decode_domain, "regfile_write": decode_domain,
+            "resultbus": decode_domain,
+            "iq_int": int_domain, "alu_int": int_domain,
+            "iq_fp": fp_domain, "alu_fp": fp_domain,
+            "iq_mem": mem_domain, "dcache": mem_domain, "l2": mem_domain,
+        }
+        for name, domain in placement.items():
+            self.power.register_block(models[name], domain)
+        if self.gals:
+            self.power.register_block(models["fifo"], decode_domain)
+        else:
+            # The base machine pays for the chip-wide global clock grid.
+            self.power.register_block(global_clock_block(), fetch_domain)
+        # Both machines have the five local (major-clock) distribution grids.
+        grid_domains = {
+            DOMAIN_FETCH: fetch_domain, DOMAIN_DECODE: decode_domain,
+            DOMAIN_INTEGER: int_domain, DOMAIN_FP: fp_domain,
+            DOMAIN_MEMORY: mem_domain,
+        }
+        for logical_name, domain in grid_domains.items():
+            self.power.register_block(local_clock_block(logical_name), domain)
+
+    # ----------------------------------------------------------- cross-domain
+    def forwarding_latency(self, producer_domain: str, consumer_domain: str) -> float:
+        """Extra delay (ns) for a result produced in one domain to be usable
+        in another.
+
+        Inside a domain (and everywhere in the synchronous machine) this is
+        zero -- normal same-cycle/next-cycle bypassing.  Across GALS domains a
+        result rides a mixed-clock FIFO: it is captured by the consumer clock
+        and synchronized, costing ``fifo_sync_cycles`` consumer cycles plus an
+        average half-cycle of arrival misalignment.
+        """
+        if producer_domain == consumer_domain or not self.gals:
+            return 0.0
+        consumer = self.domains.get(consumer_domain)
+        if consumer is None:
+            return 0.0
+        return self.config.forwarding_sync_cycles * consumer.period
+
+    # -------------------------------------------------------------- recovery
+    def _recover(self, branch: DynamicInstruction, now: float) -> None:
+        """Branch misprediction recovery, initiated at branch resolution."""
+        if branch.squashed:
+            return
+        self.epoch += 1
+        self.recoveries += 1
+        seq = branch.seq
+        squashed = self.rob.squash_younger_than(seq)
+        for instr in squashed:
+            if instr.phys_dest is not None:
+                self.regfile.free(instr.phys_dest)
+        if branch.rename_checkpoint is not None:
+            self.rat.restore(branch.rename_checkpoint)
+        self.decode_unit.squash_younger_than(seq)
+        for unit in self.exec_units.values():
+            unit.squash_younger_than(seq)
+        message = RedirectMessage(epoch=self.epoch, branch_seq=seq,
+                                  resume_pc=branch.trace.next_pc())
+        if not self.redirect_channel.can_push(now):
+            self.redirect_channel.flush()
+        self.redirect_channel.push(message, now)
+
+    # ------------------------------------------------------------------- run
+    def run(self, max_time_ns: Optional[float] = None) -> SimulationResult:
+        """Simulate until the whole trace has committed; return the result."""
+        if self._has_run:
+            raise RuntimeError("a Processor instance can only run once; "
+                               "build a new one for another experiment")
+        self._has_run = True
+        if self.config.warm_caches:
+            self._warm_caches()
+        total_instructions = len(self.trace)
+        if max_time_ns is None:
+            max_time_ns = (total_instructions * 25 + 20_000) * self.plan.base_period
+
+        def finished() -> bool:
+            return self.stats.committed >= total_instructions
+
+        self.engine.run(until=max_time_ns, stop_condition=finished)
+        elapsed = (self.stats.last_commit_time if self.stats.committed
+                   else self.engine.now)
+        return self._collect_result(elapsed)
+
+    def _warm_caches(self) -> None:
+        """Pre-warm caches, the branch predictor and the BTB from the trace.
+
+        The paper's experiments run full SPEC/Mediabench programs, so their
+        caches and predictors operate in steady state; short synthetic traces
+        would otherwise be dominated by cold misses and untrained counters.
+        Warming touches each referenced line once, replays every branch
+        outcome through the direction predictor and BTB once, and then clears
+        the statistics; capacity/conflict misses and genuinely hard-to-predict
+        branches still show up during the timed run.
+        """
+        line = self.memory.config.line_size
+        seen_code = set()
+        seen_data = set()
+        for instr in self.trace:
+            code_line = instr.pc // line
+            if code_line not in seen_code:
+                seen_code.add(code_line)
+                self.memory.fetch_access(instr.pc)
+            if instr.mem_address is not None:
+                data_line = instr.mem_address // line
+                if data_line not in seen_data:
+                    seen_data.add(data_line)
+                    self.memory.load_access(instr.mem_address)
+            if instr.is_branch:
+                predicted, _ = self.branch_unit.predict(instr.pc)
+                self.branch_unit.resolve(instr.pc, instr.taken, predicted,
+                                         instr.target_pc)
+            elif instr.is_control and instr.target_pc is not None:
+                self.branch_unit.btb.update(instr.pc, instr.target_pc)
+        self.memory.reset_stats()
+        self.branch_unit.predictor.stats = type(self.branch_unit.predictor.stats)()
+
+    def _collect_result(self, elapsed_ns: float) -> SimulationResult:
+        committed = self.stats.committed
+        base_period = self.plan.base_period
+        reference_cycles = elapsed_ns / base_period if base_period > 0 else 0.0
+        fetched = self.fetch_unit.fetched_total
+        wrong_path = self.fetch_unit.fetched_wrong_path
+        energy = self.power.breakdown(elapsed_ns=elapsed_ns)
+        iq_occupancy = {name: unit.issue_queue.mean_occupancy
+                        for name, unit in self.exec_units.items()}
+        return SimulationResult(
+            processor=self.kind,
+            benchmark=self.trace.name,
+            committed_instructions=committed,
+            elapsed_ns=elapsed_ns,
+            reference_cycles=reference_cycles,
+            ipc=committed / reference_cycles if reference_cycles > 0 else 0.0,
+            mean_slip_ns=self.stats.mean_slip,
+            mean_fifo_time_ns=self.stats.mean_fifo_time,
+            misspeculated_fraction=wrong_path / fetched if fetched else 0.0,
+            fetched_instructions=fetched,
+            wrong_path_fetched=wrong_path,
+            branch_misprediction_rate=self.branch_unit.misprediction_rate,
+            icache_miss_rate=self.memory.icache.stats.miss_rate,
+            dcache_miss_rate=self.memory.dcache.stats.miss_rate,
+            l2_miss_rate=self.memory.l2.stats.miss_rate,
+            mean_rob_occupancy=self.stats.mean_rob_occupancy,
+            mean_int_regs_in_use=self.stats.mean_int_regs_in_use,
+            mean_fp_regs_in_use=self.stats.mean_fp_regs_in_use,
+            mean_iq_occupancy=iq_occupancy,
+            domain_cycles={name: domain.cycle
+                           for name, domain in self.domains.items()},
+            domain_voltages={name: domain.voltage
+                             for name, domain in self.domains.items()},
+            energy=energy,
+            recoveries=self.recoveries,
+        )
+
+
+# ------------------------------------------------------------------ factories
+def build_base_processor(trace: ListTraceSource,
+                         config: ProcessorConfig = DEFAULT_CONFIG,
+                         plan: Optional[ClockPlan] = None,
+                         workload=None) -> Processor:
+    """The fully synchronous baseline (Figure 3a)."""
+    return Processor(trace, config=config, plan=plan, gals=False,
+                     workload=workload)
+
+
+def build_gals_processor(trace: ListTraceSource,
+                         config: ProcessorConfig = DEFAULT_CONFIG,
+                         plan: Optional[ClockPlan] = None,
+                         workload=None) -> Processor:
+    """The five-clock-domain GALS processor (Figure 3b)."""
+    return Processor(trace, config=config, plan=plan, gals=True,
+                     workload=workload)

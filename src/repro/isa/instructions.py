@@ -1,0 +1,211 @@
+"""Instruction classes, static instructions and execution latencies.
+
+The timing model only needs to know an instruction's *class* (which issue
+queue and functional unit it uses, and its latency), its register
+dependences, and -- for branches and memory operations -- its dynamic
+behaviour.  The small RISC ISA defined here is rich enough to write real
+kernels (see :mod:`repro.workloads.kernels`) yet simple enough to execute
+functionally at trace-generation speed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from . import registers
+
+
+class InstructionClass(enum.Enum):
+    """Functional classes recognised by the issue/execute stages."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (InstructionClass.LOAD, InstructionClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (InstructionClass.BRANCH, InstructionClass.JUMP)
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (InstructionClass.FP_ALU, InstructionClass.FP_MUL,
+                        InstructionClass.FP_DIV)
+
+    @property
+    def is_int(self) -> bool:
+        return self in (InstructionClass.INT_ALU, InstructionClass.INT_MUL,
+                        InstructionClass.INT_DIV)
+
+
+#: Execution latencies in cycles (Alpha-21264-like, matching SimpleScalar's
+#: default functional-unit latencies used by the paper's infrastructure).
+DEFAULT_LATENCIES: Dict[InstructionClass, int] = {
+    InstructionClass.INT_ALU: 1,
+    InstructionClass.INT_MUL: 3,
+    InstructionClass.INT_DIV: 12,
+    InstructionClass.FP_ALU: 2,
+    InstructionClass.FP_MUL: 4,
+    InstructionClass.FP_DIV: 12,
+    InstructionClass.LOAD: 1,      # address generation; cache latency added on top
+    InstructionClass.STORE: 1,
+    InstructionClass.BRANCH: 1,
+    InstructionClass.JUMP: 1,
+    InstructionClass.NOP: 1,
+}
+
+
+class Opcode(enum.Enum):
+    """Mnemonics of the small RISC ISA used by hand-written kernels."""
+
+    # integer arithmetic / logic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SLT = "slt"
+    ADDI = "addi"
+    LI = "li"
+    MOV = "mov"
+    # floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    CVTIF = "cvtif"   # int -> fp
+    CVTFI = "cvtfi"   # fp -> int
+    # memory
+    LW = "lw"
+    SW = "sw"
+    FLW = "flw"
+    FSW = "fsw"
+    # control
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    HALT = "halt"
+    NOP = "nop"
+
+
+#: Map from opcode to the functional class the timing model uses.
+OPCODE_CLASS: Dict[Opcode, InstructionClass] = {
+    Opcode.ADD: InstructionClass.INT_ALU,
+    Opcode.SUB: InstructionClass.INT_ALU,
+    Opcode.MUL: InstructionClass.INT_MUL,
+    Opcode.DIV: InstructionClass.INT_DIV,
+    Opcode.AND: InstructionClass.INT_ALU,
+    Opcode.OR: InstructionClass.INT_ALU,
+    Opcode.XOR: InstructionClass.INT_ALU,
+    Opcode.SLL: InstructionClass.INT_ALU,
+    Opcode.SRL: InstructionClass.INT_ALU,
+    Opcode.SLT: InstructionClass.INT_ALU,
+    Opcode.ADDI: InstructionClass.INT_ALU,
+    Opcode.LI: InstructionClass.INT_ALU,
+    Opcode.MOV: InstructionClass.INT_ALU,
+    Opcode.FADD: InstructionClass.FP_ALU,
+    Opcode.FSUB: InstructionClass.FP_ALU,
+    Opcode.FMUL: InstructionClass.FP_MUL,
+    Opcode.FDIV: InstructionClass.FP_DIV,
+    Opcode.FMOV: InstructionClass.FP_ALU,
+    Opcode.CVTIF: InstructionClass.FP_ALU,
+    Opcode.CVTFI: InstructionClass.FP_ALU,
+    Opcode.LW: InstructionClass.LOAD,
+    Opcode.SW: InstructionClass.STORE,
+    Opcode.FLW: InstructionClass.LOAD,
+    Opcode.FSW: InstructionClass.STORE,
+    Opcode.BEQ: InstructionClass.BRANCH,
+    Opcode.BNE: InstructionClass.BRANCH,
+    Opcode.BLT: InstructionClass.BRANCH,
+    Opcode.BGE: InstructionClass.BRANCH,
+    Opcode.J: InstructionClass.JUMP,
+    Opcode.JAL: InstructionClass.JUMP,
+    Opcode.JR: InstructionClass.JUMP,
+    Opcode.HALT: InstructionClass.JUMP,
+    Opcode.NOP: InstructionClass.NOP,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One *static* instruction of a program.
+
+    ``dest``/``sources`` are architectural register ids (see
+    :mod:`repro.isa.registers`).  ``immediate`` holds the literal operand of
+    immediate forms, the address offset of loads/stores, and the target label
+    index (resolved to a pc by the assembler) of control instructions.
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    sources: Tuple[int, ...] = field(default_factory=tuple)
+    immediate: Optional[int] = None
+    target_label: Optional[str] = None
+
+    @property
+    def opclass(self) -> InstructionClass:
+        return OPCODE_CLASS[self.opcode]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is InstructionClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opclass is InstructionClass.JUMP
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is InstructionClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is InstructionClass.STORE
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        operands = []
+        if self.dest is not None:
+            operands.append(registers.reg_name(self.dest))
+        operands.extend(registers.reg_name(s) for s in self.sources)
+        if self.target_label is not None:
+            operands.append(self.target_label)
+        elif self.immediate is not None:
+            operands.append(str(self.immediate))
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+
+
+def latency_of(opclass: InstructionClass,
+               overrides: Optional[Dict[InstructionClass, int]] = None) -> int:
+    """Execution latency of an instruction class, with optional overrides."""
+    if overrides and opclass in overrides:
+        return overrides[opclass]
+    return DEFAULT_LATENCIES[opclass]

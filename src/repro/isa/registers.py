@@ -1,0 +1,74 @@
+"""Architectural register namespace.
+
+The processor modelled in the paper (Table 3) has 72 physical integer
+registers and 72 physical floating-point registers renamed from a
+conventional 32+32 architectural register file (Alpha-like).  This module
+defines the architectural namespace shared by the ISA, the synthetic workload
+generator and the rename stage.
+
+Architectural registers are identified by a single integer id so dependence
+tracking never needs to care which file a register lives in:
+
+* ``0 .. 31``   -- integer registers ``r0`` .. ``r31`` (``r0`` is hard-wired zero)
+* ``32 .. 63``  -- floating-point registers ``f0`` .. ``f31``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+NUM_INT_ARCH_REGS = 32
+NUM_FP_ARCH_REGS = 32
+NUM_ARCH_REGS = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS
+
+#: id of the hard-wired zero register; writes to it are discarded and reads
+#: never create dependences.
+ZERO_REG = 0
+
+FP_BASE = NUM_INT_ARCH_REGS
+
+
+def int_reg(index: int) -> int:
+    """Architectural id of integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_ARCH_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Architectural id of floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_ARCH_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True when the architectural id refers to the floating-point file."""
+    return FP_BASE <= reg < NUM_ARCH_REGS
+
+
+def is_int_reg(reg: int) -> bool:
+    """True when the architectural id refers to the integer file."""
+    return 0 <= reg < FP_BASE
+
+
+def reg_name(reg: Optional[int]) -> str:
+    """Human-readable name ('r5', 'f3', '-') for an architectural id."""
+    if reg is None:
+        return "-"
+    if is_int_reg(reg):
+        return f"r{reg}"
+    if is_fp_reg(reg):
+        return f"f{reg - FP_BASE}"
+    raise ValueError(f"invalid architectural register id: {reg}")
+
+
+def parse_reg(token: str) -> int:
+    """Parse 'r12' or 'f3' into an architectural register id."""
+    token = token.strip().lower()
+    if len(token) < 2 or token[0] not in ("r", "f") or not token[1:].isdigit():
+        raise ValueError(f"invalid register token: {token!r}")
+    index = int(token[1:])
+    if token[0] == "r":
+        return int_reg(index)
+    return fp_reg(index)

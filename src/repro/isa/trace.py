@@ -1,0 +1,117 @@
+"""Dynamic instruction trace format.
+
+The processor timing models are *trace driven at the front end*: a workload
+(either the functional executor running a real kernel, or the synthetic
+profile-driven generator) supplies a stream of :class:`TraceInstruction`
+records describing the correct execution path -- instruction class, register
+dependences, memory address and branch outcome.  The pipeline model then adds
+everything timing related: fetch/cache behaviour, wrong-path instructions
+after mispredictions, queue occupancies, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from .instructions import InstructionClass
+
+
+@dataclass
+class TraceInstruction:
+    """One correct-path dynamic instruction."""
+
+    index: int
+    pc: int
+    opclass: InstructionClass
+    dest: Optional[int] = None
+    sources: Tuple[int, ...] = ()
+    mem_address: Optional[int] = None
+    mem_size: int = 8
+    is_branch: bool = False
+    taken: bool = False
+    target_pc: Optional[int] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is InstructionClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is InstructionClass.STORE
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass.is_control
+
+    @property
+    def is_fp(self) -> bool:
+        return self.opclass.is_fp
+
+    def next_pc(self) -> int:
+        """Architectural next pc (after this instruction commits)."""
+        if self.is_control and self.taken and self.target_pc is not None:
+            return self.target_pc
+        return self.pc + 4
+
+
+class InstructionSource:
+    """Iterator-style wrapper a fetch unit pulls correct-path instructions from.
+
+    Implementations must be restartable from a pc only in the trivial sense a
+    trace allows: the fetch unit never needs random access because wrong-path
+    fetch uses synthetically generated instructions and recovery resumes the
+    trace exactly where it left off.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+
+    def __iter__(self) -> Iterator[TraceInstruction]:  # pragma: no cover
+        raise NotImplementedError
+
+    def peek(self) -> Optional[TraceInstruction]:  # pragma: no cover
+        raise NotImplementedError
+
+    def next(self) -> Optional[TraceInstruction]:  # pragma: no cover
+        raise NotImplementedError
+
+    def exhausted(self) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ListTraceSource(InstructionSource):
+    """An :class:`InstructionSource` backed by an in-memory list."""
+
+    def __init__(self, instructions, name: str = "trace") -> None:
+        super().__init__(name)
+        self._instructions = list(instructions)
+        self._position = 0
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[TraceInstruction]:
+        return iter(self._instructions)
+
+    def peek(self) -> Optional[TraceInstruction]:
+        if self._position >= len(self._instructions):
+            return None
+        return self._instructions[self._position]
+
+    def next(self) -> Optional[TraceInstruction]:
+        instr = self.peek()
+        if instr is not None:
+            self._position += 1
+        return instr
+
+    def exhausted(self) -> bool:
+        return self._position >= len(self._instructions)
+
+    def reset(self) -> None:
+        """Rewind to the beginning (used when re-running the same workload)."""
+        self._position = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._instructions) - self._position

@@ -1,0 +1,20 @@
+"""Cache and memory hierarchy models (paper Table 3)."""
+
+from .cache import Cache, CacheGeometry, CacheStats, MainMemory
+from .hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+from .replacement import (FIFOPolicy, LRUPolicy, RandomPolicy,
+                          ReplacementPolicy, make_policy)
+
+__all__ = [
+    "Cache",
+    "CacheGeometry",
+    "CacheStats",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MainMemory",
+    "MemoryHierarchy",
+    "MemoryHierarchyConfig",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

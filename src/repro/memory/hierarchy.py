@@ -1,0 +1,83 @@
+"""Composition of the paper's memory hierarchy (Table 3).
+
+* L1 I-cache: 16 KB direct-mapped, 1-cycle latency
+* L1 D-cache: 16 KB 4-way, 1-cycle latency
+* L2 unified: 256 KB 4-way, 6-cycle latency
+* main memory: fixed latency (not specified in the paper; 60 cycles default,
+  a typical value for the era's SimpleScalar configurations)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cache import Cache, MainMemory
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Sizes and latencies of the cache hierarchy."""
+
+    il1_size: int = 16 * 1024
+    il1_assoc: int = 1
+    il1_latency: int = 1
+    dl1_size: int = 16 * 1024
+    dl1_assoc: int = 4
+    dl1_latency: int = 1
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 4
+    l2_latency: int = 6
+    line_size: int = 32
+    memory_latency: int = 60
+    replacement: str = "lru"
+
+    def validate(self) -> None:
+        for name in ("il1_size", "dl1_size", "l2_size", "line_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("il1_latency", "dl1_latency", "l2_latency", "memory_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class MemoryHierarchy:
+    """The assembled hierarchy: two L1s sharing a unified L2 and main memory."""
+
+    def __init__(self, config: Optional[MemoryHierarchyConfig] = None) -> None:
+        self.config = config or MemoryHierarchyConfig()
+        self.config.validate()
+        cfg = self.config
+        self.memory = MainMemory(latency=cfg.memory_latency)
+        self.l2 = Cache("l2", cfg.l2_size, cfg.l2_assoc, cfg.line_size,
+                        hit_latency=cfg.l2_latency, replacement=cfg.replacement,
+                        next_level=self.memory)
+        self.icache = Cache("il1", cfg.il1_size, cfg.il1_assoc, cfg.line_size,
+                            hit_latency=cfg.il1_latency,
+                            replacement=cfg.replacement, next_level=self.l2)
+        self.dcache = Cache("dl1", cfg.dl1_size, cfg.dl1_assoc, cfg.line_size,
+                            hit_latency=cfg.dl1_latency,
+                            replacement=cfg.replacement, next_level=self.l2)
+
+    def fetch_access(self, pc: int) -> int:
+        """Instruction fetch: latency in cycles to obtain the line holding pc."""
+        return self.icache.access(pc, is_write=False)
+
+    def load_access(self, address: int) -> int:
+        """Data load: latency in cycles."""
+        return self.dcache.access(address, is_write=False)
+
+    def store_access(self, address: int) -> int:
+        """Data store (performed at commit): latency in cycles."""
+        return self.dcache.access(address, is_write=True)
+
+    def reset_stats(self) -> None:
+        self.icache.reset_stats()
+        self.dcache.reset_stats()
+        self.l2.reset_stats()
+        self.memory.reset_stats()
+
+    def flush(self) -> None:
+        self.icache.flush()
+        self.dcache.flush()
+        self.l2.flush()

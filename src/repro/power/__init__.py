@@ -1,0 +1,51 @@
+"""Wattch-style power modelling (paper Section 4.3) and voltage scaling (§3.3).
+
+* :mod:`repro.power.technology` -- process parameters (Vdd, Vt, alpha).
+* :mod:`repro.power.capacitance` -- parametric per-access energy models.
+* :mod:`repro.power.blocks` -- macro-block energy models (Figure 10 blocks).
+* :mod:`repro.power.activity` / :mod:`repro.power.accounting` -- per-cycle
+  conditional-clocking energy accounting.
+* :mod:`repro.power.voltage` -- Equation 1 delay/voltage model and DVFS helpers.
+"""
+
+from .accounting import EnergyBreakdown, PowerAccountant
+from .activity import ActivityCounters
+from .blocks import (BREAKDOWN_CATEGORIES, BlockEnergyModel, default_block_models,
+                     global_clock_block, local_clock_block)
+from .capacitance import (alu_energy, array_access_energy, cam_access_energy,
+                          clock_grid_energy_per_cycle, fifo_transfer_energy,
+                          global_clock_grid_energy, local_clock_grid_energy,
+                          regfile_access_energy, scale_voltage)
+from .technology import DEFAULT_TECHNOLOGY, TECH_0_35_UM, TechnologyParameters
+from .voltage import (OperatingPoint, delay_factor, energy_scale,
+                      ideal_synchronous_energy, operating_point_for_slowdown,
+                      voltage_for_slowdown)
+
+__all__ = [
+    "ActivityCounters",
+    "BREAKDOWN_CATEGORIES",
+    "BlockEnergyModel",
+    "DEFAULT_TECHNOLOGY",
+    "EnergyBreakdown",
+    "OperatingPoint",
+    "PowerAccountant",
+    "TECH_0_35_UM",
+    "TechnologyParameters",
+    "alu_energy",
+    "array_access_energy",
+    "cam_access_energy",
+    "clock_grid_energy_per_cycle",
+    "default_block_models",
+    "delay_factor",
+    "energy_scale",
+    "fifo_transfer_energy",
+    "global_clock_block",
+    "global_clock_grid_energy",
+    "ideal_synchronous_energy",
+    "local_clock_block",
+    "local_clock_grid_energy",
+    "operating_point_for_slowdown",
+    "regfile_access_energy",
+    "scale_voltage",
+    "voltage_for_slowdown",
+]

@@ -1,0 +1,122 @@
+"""Per-cycle, per-block energy accounting (the Wattch integration layer).
+
+A :class:`PowerAccountant` owns the set of macro-block energy models, knows
+which clock domain each block belongs to, and hooks every domain's clock edge.
+On each edge it drains that cycle's access counts from the shared
+:class:`~repro.power.activity.ActivityCounters`, charges each block its cycle
+energy (full, utilisation-scaled, or 10 %-idle; clock grids are never gated)
+at the domain's current supply voltage, and accumulates the results.
+
+The output is an :class:`EnergyBreakdown` -- total energy, average power and
+the per-macro-block split of Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.clock import ClockDomain
+from .activity import ActivityCounters
+from .blocks import BREAKDOWN_CATEGORIES, BlockEnergyModel
+from .technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+
+@dataclass
+class EnergyBreakdown:
+    """Result of a power-accounted simulation run."""
+
+    by_block: Dict[str, float] = field(default_factory=dict)
+    by_category: Dict[str, float] = field(default_factory=dict)
+    by_domain: Dict[str, float] = field(default_factory=dict)
+    total_energy_nj: float = 0.0
+    elapsed_ns: float = 0.0
+
+    @property
+    def average_power_w(self) -> float:
+        """Average power in watts (nJ / ns == W)."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.total_energy_nj / self.elapsed_ns
+
+    def category_share(self, category: str) -> float:
+        """Fraction of total energy spent in one reporting category."""
+        if self.total_energy_nj <= 0:
+            return 0.0
+        return self.by_category.get(category, 0.0) / self.total_energy_nj
+
+    def normalised_to(self, reference: "EnergyBreakdown") -> Dict[str, float]:
+        """Energy of each category normalised to a reference run (Figure 10)."""
+        if reference.total_energy_nj <= 0:
+            raise ValueError("reference breakdown has no energy")
+        return {category: self.by_category.get(category, 0.0)
+                / reference.total_energy_nj
+                for category in BREAKDOWN_CATEGORIES}
+
+
+class PowerAccountant:
+    """Charges block energies on every clock edge of every domain."""
+
+    def __init__(self, activity: ActivityCounters,
+                 tech: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.activity = activity
+        self.tech = tech
+        self._blocks_by_domain: Dict[str, List[BlockEnergyModel]] = {}
+        self._domains: Dict[str, ClockDomain] = {}
+        self._block_domain: Dict[str, str] = {}
+        self.energy_by_block: Dict[str, float] = {}
+        self.cycles_by_domain: Dict[str, int] = {}
+        self._last_edge_time: float = 0.0
+
+    # ------------------------------------------------------------ registration
+    def register_block(self, model: BlockEnergyModel, domain: ClockDomain) -> None:
+        """Assign a block model to the clock domain that charges it."""
+        if model.name in self._block_domain:
+            raise ValueError(f"block {model.name!r} registered twice")
+        self._blocks_by_domain.setdefault(domain.name, []).append(model)
+        self._block_domain[model.name] = domain.name
+        self.energy_by_block[model.name] = 0.0
+        if domain.name not in self._domains:
+            self._domains[domain.name] = domain
+            self.cycles_by_domain[domain.name] = 0
+            domain.add_edge_hook(self._make_edge_hook(domain))
+
+    def _make_edge_hook(self, domain: ClockDomain):
+        def hook(cycle: int, time: float) -> None:
+            self._on_edge(domain, time)
+        return hook
+
+    # ------------------------------------------------------------- accounting
+    def _on_edge(self, domain: ClockDomain, time: float) -> None:
+        self.cycles_by_domain[domain.name] = self.cycles_by_domain.get(domain.name, 0) + 1
+        self._last_edge_time = max(self._last_edge_time, time)
+        vdd = domain.voltage
+        for model in self._blocks_by_domain.get(domain.name, ()):
+            accesses = self.activity.drain(model.name)
+            self.energy_by_block[model.name] = (
+                self.energy_by_block.get(model.name, 0.0)
+                + model.cycle_energy(accesses, vdd, self.tech))
+
+    # ----------------------------------------------------------------- results
+    def total_energy(self) -> float:
+        return sum(self.energy_by_block.values())
+
+    def breakdown(self, elapsed_ns: Optional[float] = None) -> EnergyBreakdown:
+        """Snapshot the accumulated energy as an :class:`EnergyBreakdown`."""
+        categories: Dict[str, float] = {}
+        domains: Dict[str, float] = {}
+        model_by_name = {m.name: m
+                         for models in self._blocks_by_domain.values()
+                         for m in models}
+        for name, energy in self.energy_by_block.items():
+            category = model_by_name[name].category
+            categories[category] = categories.get(category, 0.0) + energy
+            domain = self._block_domain[name]
+            domains[domain] = domains.get(domain, 0.0) + energy
+        return EnergyBreakdown(
+            by_block=dict(self.energy_by_block),
+            by_category=categories,
+            by_domain=domains,
+            total_energy_nj=self.total_energy(),
+            elapsed_ns=elapsed_ns if elapsed_ns is not None else self._last_edge_time,
+        )

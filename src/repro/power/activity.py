@@ -1,0 +1,53 @@
+"""Per-block activity counters.
+
+Microarchitecture components record every access to a power-modelled block
+("icache", "rename", "alu_int", ...) through a single shared
+:class:`ActivityCounters` object.  The power accountant drains the per-cycle
+counts at each clock-domain edge and turns them into energy; cumulative
+counts remain available for reports and tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class ActivityCounters:
+    """Shared access counters, split into per-cycle (pending) and cumulative."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[str, int] = defaultdict(int)
+        self._totals: Dict[str, int] = defaultdict(int)
+
+    def record(self, block: str, count: int = 1) -> None:
+        """Record ``count`` accesses to ``block`` in the current cycle."""
+        if count < 0:
+            raise ValueError("access count must be non-negative")
+        if count == 0:
+            return
+        self._pending[block] += count
+        self._totals[block] += count
+
+    def drain(self, block: str) -> int:
+        """Return and clear the pending (current-cycle) count for ``block``."""
+        count = self._pending.get(block, 0)
+        if count:
+            self._pending[block] = 0
+        return count
+
+    def pending(self, block: str) -> int:
+        """Pending count without clearing (mainly for tests)."""
+        return self._pending.get(block, 0)
+
+    def total(self, block: str) -> int:
+        """Cumulative access count for ``block``."""
+        return self._totals.get(block, 0)
+
+    def totals(self) -> Dict[str, int]:
+        """Copy of all cumulative counts."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._totals.clear()

@@ -1,0 +1,146 @@
+"""Switching-capacitance / per-access energy models (Wattch-style).
+
+Wattch models the power of a superscalar processor by attaching an effective
+switching capacitance to each macro block (array structures, CAMs, ALUs,
+result buses, clock network) and charging ``C * Vdd^2`` per access.  The exact
+Cacti-derived capacitance tables of Wattch target a 0.35 um Alpha-like design
+and are not reproducible here, so this module provides *parametric* models:
+
+* per-access energies scale with structure size, associativity and port count
+  following the usual Cacti trends (roughly ``bits^0.6`` for RAM arrays,
+  linear in entries for CAM match lines, linear in area for clock grids);
+* the absolute calibration constants are chosen so that the default Table-3
+  configuration reproduces a 21264/Wattch-like chip-level breakdown -- in
+  particular a global clock grid around 10-12 % of chip power, total clock
+  power around a third, and cache/queue/regfile/ALU shares in Wattch's
+  reported proportions.  EXPERIMENTS.md records the resulting breakdown.
+
+All energies are in nanojoules per access at the nominal supply voltage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+# --------------------------------------------------------------------------
+# Calibration constants (nJ).  See module docstring.
+# --------------------------------------------------------------------------
+#: RAM array energy for a 16 KB single-ported direct-mapped array.
+_ARRAY_REFERENCE_ENERGY = 1.6
+_ARRAY_REFERENCE_BITS = 16 * 1024 * 8
+#: CAM energy per access for a 20-entry, 8-byte-tag issue window.
+_CAM_REFERENCE_ENERGY = 0.55
+_CAM_REFERENCE_ENTRIES = 20
+#: Combinational blocks.
+_INT_ALU_ENERGY = 0.60
+_FP_ALU_ENERGY = 0.95
+_DECODE_ENERGY_PER_INST = 0.22
+_RENAME_ENERGY_PER_INST = 0.27
+_RESULT_BUS_ENERGY = 0.30
+_FIFO_ENERGY_PER_TRANSFER = 0.08
+#: Clock grids: energy per cycle per mm^2 of gridded area (includes the
+#: drivers).  The global grid spans the whole die; the local (major-clock)
+#: grids cover their blocks only.
+_CLOCK_GRID_ENERGY_PER_MM2 = 0.0165
+#: Die and per-domain areas (mm^2), loosely following the published 21264
+#: floorplan proportions.
+DIE_AREA_MM2 = 120.0
+DOMAIN_AREAS_MM2 = {
+    "fetch": 18.0,
+    "decode": 26.0,
+    "integer": 24.0,
+    "fp": 22.0,
+    "memory": 30.0,
+}
+
+
+def scale_voltage(energy_nj: float, vdd: float,
+                  tech: TechnologyParameters = DEFAULT_TECHNOLOGY) -> float:
+    """Scale a nominal-voltage energy to supply voltage ``vdd``."""
+    return energy_nj * (vdd / tech.nominal_vdd) ** 2
+
+
+def array_access_energy(size_bytes: int, associativity: int = 1,
+                        ports: int = 1, bits_per_entry: int = 8) -> float:
+    """Per-access energy (nJ) of a RAM array (cache, register file, table).
+
+    Follows the Cacti trend of sub-linear growth with capacity, a penalty for
+    reading multiple ways in parallel, and a cost per extra port.
+    """
+    if size_bytes <= 0 or associativity <= 0 or ports <= 0:
+        raise ValueError("array parameters must be positive")
+    bits = size_bytes * 8
+    size_factor = (bits / _ARRAY_REFERENCE_BITS) ** 0.6
+    way_factor = 1.0 + 0.35 * (associativity - 1) ** 0.7
+    port_factor = math.sqrt(ports)
+    return _ARRAY_REFERENCE_ENERGY * size_factor * way_factor * port_factor
+
+
+def cam_access_energy(entries: int, tag_bits: int = 64, ports: int = 1) -> float:
+    """Per-access energy (nJ) of a CAM structure (issue-window wakeup)."""
+    if entries <= 0 or tag_bits <= 0 or ports <= 0:
+        raise ValueError("CAM parameters must be positive")
+    entry_factor = entries / _CAM_REFERENCE_ENTRIES
+    tag_factor = tag_bits / 64
+    return _CAM_REFERENCE_ENERGY * entry_factor * tag_factor * math.sqrt(ports)
+
+
+def regfile_access_energy(entries: int = 72, bits: int = 64,
+                          read_ports: int = 8, write_ports: int = 4) -> float:
+    """Per-access energy (nJ) of a multiported register file."""
+    size_bytes = entries * bits // 8
+    ports = read_ports + write_ports
+    return array_access_energy(size_bytes, associativity=1, ports=ports) * 0.45
+
+
+def alu_energy(is_fp: bool) -> float:
+    """Per-operation energy (nJ) of an integer or FP functional unit."""
+    return _FP_ALU_ENERGY if is_fp else _INT_ALU_ENERGY
+
+
+def decode_energy(width: int = 1) -> float:
+    """Per-instruction decode energy (nJ)."""
+    return _DECODE_ENERGY_PER_INST * width
+
+
+def rename_energy(width: int = 1) -> float:
+    """Per-instruction rename (map-table + free-list) energy (nJ)."""
+    return _RENAME_ENERGY_PER_INST * width
+
+
+def result_bus_energy() -> float:
+    """Per-result energy (nJ) of driving the result/bypass bus."""
+    return _RESULT_BUS_ENERGY
+
+
+def fifo_transfer_energy() -> float:
+    """Energy (nJ) per push or pop of a mixed-clock FIFO entry."""
+    return _FIFO_ENERGY_PER_TRANSFER
+
+
+def clock_grid_energy_per_cycle(area_mm2: float, density: float = 1.0) -> float:
+    """Per-cycle energy (nJ) of a clock grid covering ``area_mm2``.
+
+    ``density`` scales the metal/grid density relative to the 21264-like
+    reference (the global grid uses 1.0; lighter local grids may use less).
+    """
+    if area_mm2 <= 0 or density <= 0:
+        raise ValueError("clock grid parameters must be positive")
+    return _CLOCK_GRID_ENERGY_PER_MM2 * area_mm2 * density
+
+
+def global_clock_grid_energy() -> float:
+    """Per-cycle energy (nJ) of the chip-wide global clock grid."""
+    return clock_grid_energy_per_cycle(DIE_AREA_MM2, density=1.0)
+
+
+def local_clock_grid_energy(domain: str) -> float:
+    """Per-cycle energy (nJ) of one domain's local clock grid."""
+    try:
+        area = DOMAIN_AREAS_MM2[domain]
+    except KeyError as exc:
+        raise KeyError(f"unknown clock domain {domain!r}; known: "
+                       f"{', '.join(sorted(DOMAIN_AREAS_MM2))}") from exc
+    return clock_grid_energy_per_cycle(area, density=1.35)

@@ -1,0 +1,26 @@
+"""Event-driven simulation engine (paper Section 4.2).
+
+Public surface:
+
+* :class:`~repro.sim.engine.SimulationEngine` -- the event queue + global timer.
+* :class:`~repro.sim.event.Event` -- one queue node (callback, param, time,
+  priority, optional period for clocked systems).
+* :class:`~repro.sim.clock.Clock` / :class:`~repro.sim.clock.ClockDomain` --
+  periodic events modelling local clocks and the synchronous blocks they drive.
+* :class:`~repro.sim.channel.SyncQueue` -- same-domain pipeline buffer.
+"""
+
+from .channel import Channel, SyncQueue
+from .clock import Clock, ClockDomain
+from .engine import SimulationEngine
+from .event import Event, SimulationError
+
+__all__ = [
+    "Channel",
+    "Clock",
+    "ClockDomain",
+    "Event",
+    "SimulationEngine",
+    "SimulationError",
+    "SyncQueue",
+]

@@ -1,0 +1,174 @@
+"""Clock generators and clock domains.
+
+Each locally synchronous block of a GALS system has its own clock, generated
+locally (the paper assumes ring oscillators, Section 3).  A
+:class:`Clock` is defined by a period and a starting phase; a
+:class:`ClockDomain` groups a clock with the synchronous components it drives
+and the supply voltage it runs at.  The domain registers a periodic event with
+the simulation engine; every occurrence of that event is one rising edge and
+ticks every registered component in registration order.
+
+The synchronous baseline processor is simply a system with a single clock
+domain containing every component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+from .engine import SimulationEngine
+from .event import SimulationError
+
+
+class ClockedComponent(Protocol):
+    """Anything that does work on a rising clock edge."""
+
+    def clock_edge(self, cycle: int, time: float) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class Clock:
+    """A free-running local clock.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports ("fetch", "integer", ...).
+    period:
+        Clock period in nanoseconds.
+    phase:
+        Offset of the first rising edge, in nanoseconds, within ``[0, period)``.
+        GALS clocks have arbitrary relative phase; the paper sets each phase to
+        a random value at run time.
+    """
+
+    name: str
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise SimulationError(f"clock {self.name!r}: period must be positive")
+        if self.phase < 0:
+            raise SimulationError(f"clock {self.name!r}: phase must be non-negative")
+        self.phase = self.phase % self.period
+
+    @property
+    def frequency(self) -> float:
+        """Frequency in GHz (period is in ns)."""
+        return 1.0 / self.period
+
+    def edge_time(self, cycle: int) -> float:
+        """Absolute time of rising edge number ``cycle`` (0-based)."""
+        return self.phase + cycle * self.period
+
+    def cycles_elapsed(self, time: float) -> int:
+        """Number of rising edges that have occurred at or before ``time``."""
+        if time < self.phase:
+            return 0
+        return int((time - self.phase) / self.period) + 1
+
+    def scaled(self, slowdown: float, name: Optional[str] = None) -> "Clock":
+        """Return a copy slowed down by ``slowdown`` (1.1 == 10 % slower)."""
+        if slowdown <= 0:
+            raise SimulationError("slowdown factor must be positive")
+        return Clock(name=name or self.name, period=self.period * slowdown,
+                     phase=self.phase)
+
+
+class ClockDomain:
+    """A locally synchronous block: one clock, one voltage, many components.
+
+    The domain keeps its own cycle counter.  Components registered with
+    :meth:`add_component` are ticked in registration order on every rising
+    edge; the GALS processor registers pipeline stages in reverse pipeline
+    order so that, within a cycle, downstream stages consume before upstream
+    stages produce (the standard cycle-accurate simulation idiom the paper
+    describes for the single-clock case).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        voltage: float = 1.0,
+        nominal_voltage: Optional[float] = None,
+        priority: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.voltage = voltage
+        self.nominal_voltage = nominal_voltage if nominal_voltage is not None else voltage
+        self.priority = priority
+        self.cycle = 0
+        self._components: List[ClockedComponent] = []
+        self._edge_hooks: List[Callable[[int, float], None]] = []
+        self._engine: Optional[SimulationEngine] = None
+
+    # ------------------------------------------------------------ composition
+    @property
+    def name(self) -> str:
+        return self.clock.name
+
+    @property
+    def period(self) -> float:
+        return self.clock.period
+
+    @property
+    def frequency(self) -> float:
+        return self.clock.frequency
+
+    def add_component(self, component: ClockedComponent) -> None:
+        """Register a component to be ticked on every rising edge."""
+        self._components.append(component)
+
+    def add_edge_hook(self, hook: Callable[[int, float], None]) -> None:
+        """Register a callback ``hook(cycle, time)`` run after components tick.
+
+        Used by the power accountant to close out per-cycle energy.
+        """
+        self._edge_hooks.append(hook)
+
+    # --------------------------------------------------------------- clocking
+    def bind(self, engine: SimulationEngine) -> None:
+        """Attach this domain to an engine by scheduling its periodic edge event."""
+        self._engine = engine
+        engine.schedule_periodic(
+            start=self.clock.phase,
+            period=self.clock.period,
+            callback=self._on_edge,
+            priority=self.priority,
+            name=f"clock:{self.clock.name}",
+        )
+
+    def unbind(self) -> None:
+        """Stop this domain's clock (cancels its periodic event chain)."""
+        if self._engine is not None:
+            self._engine.cancel_chain(f"clock:{self.clock.name}")
+            self._engine = None
+
+    def _on_edge(self, _param: object) -> None:
+        time = self._engine.now if self._engine is not None else 0.0
+        for component in self._components:
+            component.clock_edge(self.cycle, time)
+        for hook in self._edge_hooks:
+            hook(self.cycle, time)
+        self.cycle += 1
+
+    # ------------------------------------------------------------------ DVFS
+    def apply_slowdown(self, slowdown: float, voltage: Optional[float] = None) -> None:
+        """Slow the clock by ``slowdown`` and optionally change the voltage.
+
+        Must be called before :meth:`bind`; mid-run frequency changes are done
+        by the DVFS controller re-binding a fresh domain (the paper's
+        experiments set slowdowns statically per run).
+        """
+        if self._engine is not None:
+            raise SimulationError("cannot change frequency after the domain is bound")
+        self.clock = self.clock.scaled(slowdown)
+        if voltage is not None:
+            self.voltage = voltage
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClockDomain(name={self.name!r}, period={self.period:.4f} ns, "
+                f"voltage={self.voltage:.3f} V, cycle={self.cycle})")

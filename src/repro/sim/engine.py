@@ -1,0 +1,213 @@
+"""General-purpose event-driven simulation engine.
+
+This is the Python equivalent of the C engine sketched in Figure 4 of the
+paper: an event queue plus a global timer.  It can simulate purely
+asynchronous systems, purely clocked systems (via periodic events -- one per
+clock domain) and mixtures of the two, which is exactly what the GALS
+processor model needs.
+
+Typical use::
+
+    engine = SimulationEngine()
+    engine.schedule_periodic(start=0.5, period=2.0, callback=clock1_logic)
+    engine.schedule_periodic(start=1.0, period=3.0, callback=clock2_logic)
+    engine.schedule_periodic(start=0.0, period=2.5, callback=clock3_logic)
+    engine.run(until=100.0)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional
+
+from .event import Event, SimulationError
+
+
+class SimulationEngine:
+    """Discrete-event simulator with support for periodic (clock) events.
+
+    Time is a float in nanoseconds by convention throughout the library,
+    although the engine itself is unit-agnostic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._now: float = 0.0
+        self._events_processed: int = 0
+        self._running: bool = False
+        self._stop_requested: bool = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue (including cancelled)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[Any], None],
+        param: Any = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule a one-shot event at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time=time, priority=priority, callback=callback,
+                      param=param, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[Any], None],
+        param: Any = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule a one-shot event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, param, priority, name)
+
+    def schedule_periodic(
+        self,
+        start: float,
+        period: float,
+        callback: Callable[[Any], None],
+        param: Any = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule a periodic event -- the building block for clock domains.
+
+        The first occurrence happens at absolute time ``start``; afterwards the
+        event re-schedules itself every ``period`` time units until cancelled.
+        The returned handle refers to the *first* occurrence; cancelling it
+        before it fires stops the whole chain.  To stop an already-running
+        periodic chain use :meth:`cancel_chain` with the event name, or have
+        the callback raise :class:`StopIteration`.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        if start < self._now:
+            raise SimulationError(
+                f"cannot start periodic event at {start} before now {self._now}"
+            )
+        event = Event(time=start, priority=priority, callback=callback,
+                      param=param, period=period, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel_chain(self, name: str) -> int:
+        """Cancel every pending event whose name matches ``name``.
+
+        Returns the number of events cancelled.  Used to stop clock domains.
+        """
+        count = 0
+        for event in self._queue:
+            if event.name == name and not event.cancelled:
+                event.cancel()
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> Optional[Event]:
+        """Execute the single next non-cancelled event.  Returns it, or None."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            event.fire()
+            self._events_processed += 1
+            if event.is_periodic and not event.cancelled:
+                heapq.heappush(self._queue, event.next_occurrence())
+            return event
+        return None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Absolute time at which to stop (events at exactly ``until`` are
+            still processed).  ``None`` runs until the queue drains.
+        max_events:
+            Safety limit on the number of events processed in this call.
+        stop_condition:
+            Callable evaluated after every event; simulation stops when it
+            returns True.  Used to stop once a processor has committed the
+            requested number of instructions.
+
+        Returns the simulation time at which the run stopped.
+        """
+        self._running = True
+        self._stop_requested = False
+        processed_this_call = 0
+        try:
+            while self._queue and not self._stop_requested:
+                next_time = self._peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = until
+                    break
+                if self.step() is None:
+                    break
+                processed_this_call += 1
+                if stop_condition is not None and stop_condition():
+                    break
+                if max_events is not None and processed_this_call >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to stop after the current event."""
+        self._stop_requested = True
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------ misc
+    def drain(self) -> Iterable[Event]:
+        """Remove and yield all remaining events without executing them."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                yield event
+
+    def reset(self) -> None:
+        """Clear the queue and reset time to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0
+        self._stop_requested = False

@@ -1,0 +1,68 @@
+"""Event primitives for the event-driven simulation engine.
+
+The paper (Section 4.2) describes a general-purpose event-driven simulation
+engine whose event-queue nodes carry: a callback function, a parameter, a
+scheduled time, a priority used to break ties between simultaneous events,
+and -- for periodic events that model clocks -- a repetition period.  This
+module defines that node type.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Monotonic tie-breaker so that events with equal (time, priority) preserve
+#: their insertion order, which keeps simulations fully deterministic.
+_SEQUENCE = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled occurrence in the simulation.
+
+    Events compare by ``(time, priority, seq)`` so they can be stored directly
+    in a heap.  Lower priority numbers execute first among events scheduled at
+    the same instant (the paper uses the same convention).
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+    callback: Callable[[Any], None] = field(compare=False, default=None)
+    param: Any = field(compare=False, default=None)
+    period: Optional[float] = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+    name: str = field(compare=False, default="")
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it (and stops re-scheduling it)."""
+        self.cancelled = True
+
+    @property
+    def is_periodic(self) -> bool:
+        """True when the event models a clock (it reschedules itself)."""
+        return self.period is not None and self.period > 0.0
+
+    def fire(self) -> None:
+        """Invoke the callback with its parameter."""
+        if self.callback is not None:
+            self.callback(self.param)
+
+    def next_occurrence(self) -> "Event":
+        """Return the follow-up event one period later (periodic events only)."""
+        if not self.is_periodic:
+            raise ValueError("next_occurrence() requires a periodic event")
+        return Event(
+            time=self.time + self.period,
+            priority=self.priority,
+            callback=self.callback,
+            param=self.param,
+            period=self.period,
+            name=self.name,
+        )
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""

@@ -1,0 +1,110 @@
+"""Commit stage (clock domain 2, pipeline stage 8: regfile write + commit).
+
+Instructions retire in program order from the reorder buffer once their
+execution has completed *and the completion is visible in the commit domain*.
+In the GALS machine a completion produced in the integer, FP or memory domain
+has to cross a FIFO back to domain 2 before the instruction can retire, so the
+commit stage is a second place (after operand forwarding) where inter-domain
+latency stretches the instruction slip (Figures 6-7).
+
+The commit unit is also the central statistics collector: per committed
+instruction it records the slip and its FIFO share, and per cycle it samples
+the occupancy statistics the paper discusses (ROB, register allocation,
+in-flight count).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..memory.hierarchy import MemoryHierarchy
+from .instruction import DynamicInstruction
+from .issue_queue import ForwardingLatency
+from .regfile import PhysicalRegisterFile
+from .rename import RegisterAliasTable
+from .rob import ReorderBuffer
+
+
+class CommitUnit:
+    """In-order retirement."""
+
+    def __init__(
+        self,
+        rob: ReorderBuffer,
+        rat: RegisterAliasTable,
+        regfile: PhysicalRegisterFile,
+        memory: MemoryHierarchy,
+        domain_name: str,
+        forwarding_latency: ForwardingLatency,
+        activity,
+        stats,
+        commit_width: int = 4,
+    ) -> None:
+        self.rob = rob
+        self.rat = rat
+        self.regfile = regfile
+        self.memory = memory
+        self.domain_name = domain_name
+        self.forwarding_latency = forwarding_latency
+        self.activity = activity
+        self.stats = stats
+        self.commit_width = commit_width
+        # statistics local to the stage
+        self.committed = 0
+        self.commit_stall_cycles = 0
+
+    # --------------------------------------------------------------- clocking
+    def clock_edge(self, cycle: int, time: float) -> None:
+        committed_this_cycle = 0
+        while committed_this_cycle < self.commit_width:
+            head = self.rob.head()
+            if head is None:
+                break
+            if not self._can_commit(head, time):
+                if committed_this_cycle == 0:
+                    self.commit_stall_cycles += 1
+                break
+            self._commit_one(head, time)
+            committed_this_cycle += 1
+        self._sample(time)
+
+    def _can_commit(self, instr: DynamicInstruction, now: float) -> bool:
+        if not instr.completed:
+            return False
+        visible_at = instr.complete_time
+        if instr.exec_domain and instr.exec_domain != self.domain_name:
+            visible_at += self.forwarding_latency(instr.exec_domain, self.domain_name)
+        return visible_at <= now
+
+    def _commit_one(self, instr: DynamicInstruction, now: float) -> None:
+        self.rob.retire_head()
+        instr.commit_time = now
+        # Completion had to cross back into the commit domain; that wait is
+        # FIFO residency from the instruction's point of view.
+        if instr.exec_domain and instr.exec_domain != self.domain_name:
+            instr.record_fifo_wait(
+                self.forwarding_latency(instr.exec_domain, self.domain_name))
+        if instr.prev_phys_dest is not None:
+            self.regfile.free(instr.prev_phys_dest)
+        if instr.is_branch and instr.rename_checkpoint is not None:
+            self.rat.release_checkpoint(instr.rename_checkpoint)
+        if instr.is_store and instr.trace.mem_address is not None:
+            self.memory.store_access(instr.trace.mem_address)
+            self.activity.record("dcache", 1)
+        self.activity.record("regfile_write", 1)
+        self.committed += 1
+        if self.stats is not None:
+            self.stats.record_commit(instr, now)
+
+    def _sample(self, now: float) -> None:
+        self.rob.sample_occupancy()
+        if self.stats is not None:
+            self.stats.sample_occupancy(
+                rob=self.rob.occupancy,
+                int_regs_in_use=self.regfile.int_in_use,
+                fp_regs_in_use=self.regfile.fp_in_use,
+            )
+
+    # ------------------------------------------------------------------ state
+    def pending_work(self) -> int:
+        return self.rob.occupancy

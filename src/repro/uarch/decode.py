@@ -1,0 +1,156 @@
+"""Decode, rename and dispatch (clock domain 2, pipeline stages 2-4).
+
+Instructions arriving from the fetch channel are decoded, spend
+``decode_stages`` cycles in the decode/rename pipeline (Table 2 lists decode,
+rename/regfile-read and dispatch as separate stages), are renamed in program
+order, allocated a ROB entry, and dispatched into the issue channel of the
+cluster that will execute them (integer, floating point, or memory).
+
+Instructions from a stale epoch -- wrong-path instructions that the fetch unit
+kept producing while the redirect message was still in flight -- are dropped
+here; they have already consumed fetch bandwidth and FIFO slots, which is
+exactly the wasted speculative work the paper attributes to the GALS design.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..isa.instructions import InstructionClass
+from ..sim.channel import Channel
+from .instruction import DynamicInstruction
+from .rename import RegisterAliasTable
+from .regfile import PhysicalRegisterFile
+from .rob import ReorderBuffer
+
+
+def cluster_for(opclass: InstructionClass) -> str:
+    """Which execution cluster ('int', 'fp', 'mem') runs this class."""
+    if opclass.is_memory:
+        return "mem"
+    if opclass.is_fp:
+        return "fp"
+    return "int"
+
+
+class DecodeRenameUnit:
+    """Decode + rename + dispatch stage group."""
+
+    def __init__(
+        self,
+        input_channel: Channel,
+        issue_channels: Dict[str, Channel],
+        rob: ReorderBuffer,
+        rat: RegisterAliasTable,
+        regfile: PhysicalRegisterFile,
+        clock_period: Callable[[], float],
+        current_epoch: Callable[[], int],
+        activity,
+        decode_width: int = 4,
+        dispatch_width: int = 4,
+        decode_stages: int = 2,
+        cluster_domains: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.input_channel = input_channel
+        self.issue_channels = issue_channels
+        #: cluster name ('int'/'fp'/'mem') -> clock-domain name executing it
+        self.cluster_domains = cluster_domains or {"int": "int", "fp": "fp",
+                                                   "mem": "mem"}
+        self.rob = rob
+        self.rat = rat
+        self.regfile = regfile
+        self.clock_period = clock_period
+        self.current_epoch = current_epoch
+        self.activity = activity
+        self.decode_width = decode_width
+        self.dispatch_width = dispatch_width
+        self.decode_stages = decode_stages
+        #: instructions inside the decode/rename pipeline: (ready_time, instr).
+        #: Bounded like a real pipe: one decode group per decode stage.
+        self.pipeline_capacity = decode_stages * decode_width
+        self._pipeline: Deque[Tuple[float, DynamicInstruction]] = deque()
+        # statistics
+        self.decoded = 0
+        self.dispatched = 0
+        self.stale_dropped = 0
+        self.rename_stalls = 0
+        self.rob_stalls = 0
+        self.channel_stalls = 0
+
+    # --------------------------------------------------------------- clocking
+    def clock_edge(self, cycle: int, time: float) -> None:
+        self._dispatch(time)
+        self._decode(time)
+        self.input_channel.sample_occupancy()
+
+    # ----------------------------------------------------------------- decode
+    def _decode(self, now: float) -> None:
+        taken = 0
+        while (taken < self.decode_width
+               and len(self._pipeline) < self.pipeline_capacity
+               and self.input_channel.can_pop(now)):
+            instr: DynamicInstruction = self.input_channel.pop(now)
+            if self.input_channel.counts_as_fifo:
+                instr.record_fifo_wait(self.input_channel.last_pop_wait)
+            if instr.squashed or instr.epoch < self.current_epoch():
+                self.stale_dropped += 1
+                continue
+            instr.decode_time = now
+            ready_at = now + self.decode_stages * self.clock_period()
+            self._pipeline.append((ready_at, instr))
+            self.decoded += 1
+            self.activity.record("decode", 1)
+            taken += 1
+
+    # --------------------------------------------------------------- dispatch
+    def _dispatch(self, now: float) -> None:
+        dispatched = 0
+        current_epoch = self.current_epoch()
+        while dispatched < self.dispatch_width and self._pipeline:
+            ready_at, instr = self._pipeline[0]
+            if ready_at > now:
+                break
+            if instr.squashed or instr.epoch < current_epoch:
+                self._pipeline.popleft()
+                self.stale_dropped += 1
+                continue
+            cluster = cluster_for(instr.opclass)
+            channel = self.issue_channels[cluster]
+            if self.rob.is_full:
+                self.rob_stalls += 1
+                break
+            if not channel.can_push(now):
+                channel.record_full_stall()
+                self.channel_stalls += 1
+                break
+            if not self.rat.rename(instr):
+                self.rename_stalls += 1
+                break
+            if instr.is_branch:
+                instr.rename_checkpoint = self.rat.take_checkpoint(instr.seq)
+            self.rob.allocate(instr)
+            instr.rename_time = now
+            instr.dispatch_time = now
+            instr.exec_domain = self.cluster_domains[cluster]
+            channel.push(instr, now)
+            self._pipeline.popleft()
+            dispatched += 1
+            self.dispatched += 1
+            self.activity.record("rename", 1)
+            self.activity.record("regfile_read", max(1, len(instr.phys_sources)))
+
+    # ----------------------------------------------------------------- squash
+    def squash_younger_than(self, branch_seq: int) -> int:
+        """Drop wrong-path instructions from the decode pipeline and input."""
+        before = len(self._pipeline)
+        self._pipeline = deque((t, i) for (t, i) in self._pipeline
+                               if i.seq <= branch_seq)
+        dropped_pipeline = before - len(self._pipeline)
+        dropped_channel = self.input_channel.flush(
+            lambda i: getattr(i, "seq", -1) > branch_seq)
+        return dropped_pipeline + dropped_channel
+
+    # ------------------------------------------------------------------ state
+    def pending_work(self) -> int:
+        return len(self._pipeline) + self.input_channel.occupancy

@@ -1,0 +1,214 @@
+"""Issue/execute units: functional-unit pools and per-domain execution engines.
+
+The GALS processor has three execution clock domains (Figure 3b): integer
+issue queue + integer ALUs, floating-point issue queue + FP ALUs, and the
+memory issue queue + data cache + L2.  Keeping the queue and its functional
+units in the same clock domain is a deliberate choice the paper explains:
+dependent instructions inside one queue can still issue back-to-back.
+
+Each :class:`ExecutionUnit` is one such block.  Per clock edge it
+
+1. retires finished operations (marking results ready and resolving branches,
+   which may trigger misprediction recovery),
+2. drains newly dispatched instructions from its input channel into the
+   issue queue,
+3. wakes up and selects ready instructions and starts them on free functional
+   units, adding data-cache latency for loads.
+
+The same class, instantiated three times and placed in a single clock domain,
+forms the execution core of the synchronous baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..isa.instructions import DEFAULT_LATENCIES, InstructionClass, latency_of
+from ..memory.hierarchy import MemoryHierarchy
+from ..sim.channel import Channel
+from .branch_predictor import BranchUnit
+from .instruction import DynamicInstruction
+from .issue_queue import ForwardingLatency, IssueQueue
+from .regfile import PhysicalRegisterFile
+
+#: Classes that occupy their functional unit for the full latency
+#: (unpipelined), rather than a single initiation cycle.
+_UNPIPELINED = {InstructionClass.INT_DIV, InstructionClass.FP_DIV}
+
+
+class FunctionalUnitPool:
+    """A pool of identical functional units with per-unit busy tracking."""
+
+    def __init__(self, name: str, count: int) -> None:
+        if count <= 0:
+            raise ValueError("functional unit count must be positive")
+        self.name = name
+        self.count = count
+        self._busy_until: List[float] = [float("-inf")] * count
+        self.operations = 0
+        self.structural_stalls = 0
+
+    def available(self, now: float) -> int:
+        """Number of units free at ``now``."""
+        return sum(1 for t in self._busy_until if t <= now)
+
+    def try_claim(self, now: float, busy_for: float) -> bool:
+        """Claim a free unit for ``busy_for`` ns; False if none is free."""
+        for index, busy_until in enumerate(self._busy_until):
+            if busy_until <= now:
+                self._busy_until[index] = now + busy_for
+                self.operations += 1
+                return True
+        self.structural_stalls += 1
+        return False
+
+    @property
+    def utilization_count(self) -> int:
+        return self.operations
+
+
+class ExecutionUnit:
+    """Issue queue + functional units for one execution cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        domain_name: str,
+        issue_queue: IssueQueue,
+        input_channel: Channel,
+        regfile: PhysicalRegisterFile,
+        forwarding_latency: ForwardingLatency,
+        clock_period: Callable[[], float],
+        functional_units: FunctionalUnitPool,
+        issue_width: int,
+        activity,
+        alu_block: str,
+        queue_block: str,
+        branch_unit: Optional[BranchUnit] = None,
+        recovery_callback: Optional[Callable[[DynamicInstruction, float], None]] = None,
+        memory: Optional[MemoryHierarchy] = None,
+        latencies: Optional[Dict[InstructionClass, int]] = None,
+    ) -> None:
+        self.name = name
+        self.domain_name = domain_name
+        self.issue_queue = issue_queue
+        self.input_channel = input_channel
+        self.regfile = regfile
+        self.forwarding_latency = forwarding_latency
+        self.clock_period = clock_period
+        self.functional_units = functional_units
+        self.issue_width = issue_width
+        self.activity = activity
+        self.alu_block = alu_block
+        self.queue_block = queue_block
+        self.branch_unit = branch_unit
+        self.recovery_callback = recovery_callback
+        self.memory = memory
+        self.latencies = latencies or dict(DEFAULT_LATENCIES)
+        #: operations in execution: list of (completion_time, instruction)
+        self._in_flight: List[DynamicInstruction] = []
+        self._completion_times: Dict[int, float] = {}
+        # statistics
+        self.completed_ops = 0
+        self.issued_ops = 0
+        self.dropped_squashed = 0
+
+    # --------------------------------------------------------------- clocking
+    def clock_edge(self, cycle: int, time: float) -> None:
+        self._complete_finished(time)
+        self._drain_input(time)
+        self._issue_ready(time)
+        self.issue_queue.sample_occupancy()
+        self.input_channel.sample_occupancy()
+
+    # ------------------------------------------------------------ completion
+    def _complete_finished(self, now: float) -> None:
+        finished = [instr for instr in self._in_flight
+                    if self._completion_times.get(instr.seq, float("inf")) <= now]
+        if not finished:
+            return
+        # Remove the finished operations from the in-flight set *before*
+        # processing them: branch resolution below may trigger misprediction
+        # recovery, which squashes younger work in this very unit.
+        for instr in finished:
+            self._in_flight.remove(instr)
+            self._completion_times.pop(instr.seq, None)
+        for instr in sorted(finished, key=lambda i: i.seq):
+            if instr.squashed:
+                continue
+            instr.completed = True
+            instr.complete_time = now
+            self.completed_ops += 1
+            if instr.phys_dest is not None:
+                self.regfile.mark_ready(instr.phys_dest, now, self.domain_name)
+                self.activity.record("regfile_write", 1)
+                self.activity.record("resultbus", 1)
+            if instr.is_branch and self.branch_unit is not None:
+                self.branch_unit.resolve(instr.pc, instr.trace.taken,
+                                         instr.predicted_taken
+                                         if instr.predicted_taken is not None
+                                         else False,
+                                         instr.trace.target_pc)
+                if instr.mispredicted and self.recovery_callback is not None:
+                    self.recovery_callback(instr, now)
+
+    # ----------------------------------------------------------------- input
+    def _drain_input(self, now: float) -> None:
+        channel = self.input_channel
+        while channel.can_pop(now) and not self.issue_queue.is_full:
+            instr: DynamicInstruction = channel.pop(now)
+            if channel.counts_as_fifo:
+                instr.record_fifo_wait(channel.last_pop_wait)
+            if instr.squashed:
+                self.dropped_squashed += 1
+                continue
+            self.issue_queue.dispatch(instr)
+            self.activity.record(self.queue_block, 1)
+
+    # ----------------------------------------------------------------- issue
+    def _issue_ready(self, now: float) -> None:
+        limit = min(self.issue_width, self.functional_units.available(now))
+        if limit <= 0:
+            return
+        ready = self.issue_queue.ready_instructions(
+            now, self.regfile, self.forwarding_latency, limit)
+        period = self.clock_period()
+        for instr in ready:
+            latency_cycles = latency_of(instr.opclass, self.latencies)
+            if instr.is_load and self.memory is not None:
+                latency_cycles += self.memory.load_access(instr.trace.mem_address or 0)
+                self.activity.record("dcache", 1)
+            busy_cycles = latency_cycles if instr.opclass in _UNPIPELINED else 1
+            if not self.functional_units.try_claim(now, busy_cycles * period):
+                break
+            self.issue_queue.remove(instr)
+            instr.issued = True
+            instr.issue_time = now
+            self._completion_times[instr.seq] = now + latency_cycles * period
+            self._in_flight.append(instr)
+            self.issued_ops += 1
+            self.activity.record(self.alu_block, 1)
+            self.activity.record(self.queue_block, 1)
+
+    # ----------------------------------------------------------------- squash
+    def squash_younger_than(self, branch_seq: int) -> int:
+        """Remove wrong-path work after a misprediction; returns count removed."""
+        squashed_queue = self.issue_queue.squash_younger_than(branch_seq)
+        squashed_flight = [i for i in self._in_flight if i.seq > branch_seq]
+        for instr in squashed_flight:
+            instr.squashed = True
+            self._completion_times.pop(instr.seq, None)
+        self._in_flight = [i for i in self._in_flight if i.seq <= branch_seq]
+        dropped_channel = self.input_channel.flush(
+            lambda i: getattr(i, "seq", -1) > branch_seq)
+        return len(squashed_queue) + len(squashed_flight) + dropped_channel
+
+    # ------------------------------------------------------------------ state
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def pending_work(self) -> int:
+        """Instructions waiting or executing in this cluster (drain check)."""
+        return (self.issue_queue.occupancy + len(self._in_flight)
+                + self.input_channel.occupancy)

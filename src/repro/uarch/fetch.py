@@ -1,0 +1,188 @@
+"""Instruction fetch unit (clock domain 1: I-cache + branch predictor).
+
+Per clock edge the fetch unit reads up to ``fetch_width`` instructions from
+the correct-path trace, predicts conditional branches, and pushes the fetched
+instructions into the fetch->decode channel (a plain pipeline queue in the
+synchronous machine, a mixed-clock FIFO in the GALS machine).
+
+Misprediction handling is where the GALS performance loss largely comes from:
+when a branch is fetched with a wrong prediction the fetch unit keeps fetching
+*wrong-path* instructions -- synthesised by the workload -- until the redirect
+message, sent by the execution cluster at branch resolution, arrives through
+the redirect channel.  In the GALS machine that message has to cross a FIFO
+into the fetch clock domain, so the wrong-path episode is longer and more
+speculative work is wasted (Figure 8), and the recovery pipeline is
+effectively longer (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..isa.instructions import InstructionClass
+from ..isa.program import INSTRUCTION_SIZE
+from ..isa.trace import InstructionSource, TraceInstruction
+from ..memory.hierarchy import MemoryHierarchy
+from ..sim.channel import Channel
+from .branch_predictor import BranchUnit
+from .instruction import DynamicInstruction
+
+
+@dataclass
+class RedirectMessage:
+    """Message sent from branch resolution back to fetch."""
+
+    epoch: int
+    branch_seq: int
+    resume_pc: int
+
+
+def _default_wrong_path(pc: int, offset: int) -> TraceInstruction:
+    """Fallback wrong-path instruction generator (simple integer mix)."""
+    classes = (InstructionClass.INT_ALU, InstructionClass.INT_ALU,
+               InstructionClass.LOAD, InstructionClass.INT_ALU)
+    opclass = classes[offset % len(classes)]
+    return TraceInstruction(index=-1, pc=pc, opclass=opclass, dest=1 + (offset % 20),
+                            sources=(1 + ((offset * 3) % 20),),
+                            mem_address=0x2000_0000 + (offset * 64) % 65536
+                            if opclass is InstructionClass.LOAD else None)
+
+
+class FetchUnit:
+    """Fetches from the trace through an I-cache and branch predictor."""
+
+    def __init__(
+        self,
+        source: InstructionSource,
+        output_channel: Channel,
+        redirect_channel: Channel,
+        branch_unit: BranchUnit,
+        memory: MemoryHierarchy,
+        clock_period: Callable[[], float],
+        activity,
+        fetch_width: int = 4,
+        wrong_path_generator: Optional[Callable[[int, int], TraceInstruction]] = None,
+    ) -> None:
+        self.source = source
+        self.output_channel = output_channel
+        self.redirect_channel = redirect_channel
+        self.branch_unit = branch_unit
+        self.memory = memory
+        self.clock_period = clock_period
+        self.activity = activity
+        self.fetch_width = fetch_width
+        self.wrong_path_generator = wrong_path_generator or _default_wrong_path
+
+        self.epoch = 0
+        self.wrong_path_mode = False
+        self._wrong_path_pc = 0
+        self._wrong_path_offset = 0
+        self._busy_until = float("-inf")
+
+        # statistics
+        self.fetched_total = 0
+        self.fetched_wrong_path = 0
+        self.fetch_stall_cycles = 0
+        self.icache_stall_cycles = 0
+        self.redirects_received = 0
+
+    # ---------------------------------------------------------------- helpers
+    def _check_redirect(self, now: float) -> None:
+        while self.redirect_channel.can_pop(now):
+            message: RedirectMessage = self.redirect_channel.pop(now)
+            self.redirects_received += 1
+            if message.epoch > self.epoch:
+                self.epoch = message.epoch
+                self.wrong_path_mode = False
+                # Abandon any wrong-path I-cache miss in flight: the front end
+                # restarts on the correct path immediately.
+                self._busy_until = now
+
+    def _enter_wrong_path(self, after_pc: int) -> None:
+        self.wrong_path_mode = True
+        self._wrong_path_pc = after_pc + INSTRUCTION_SIZE
+        self._wrong_path_offset = 0
+
+    # --------------------------------------------------------------- clocking
+    def clock_edge(self, cycle: int, time: float) -> None:
+        self._check_redirect(time)
+        self.output_channel.sample_occupancy()
+        if time < self._busy_until:
+            self.icache_stall_cycles += 1
+            return
+        if not self.wrong_path_mode and self.source.exhausted():
+            return
+
+        fetched_this_cycle = 0
+        first_pc = self._next_pc_hint()
+        if first_pc is not None:
+            latency = self.memory.fetch_access(first_pc)
+            self.activity.record("icache", 1)
+            if latency > self.memory.config.il1_latency:
+                # Miss: the front end stalls until the line arrives.
+                self._busy_until = time + latency * self.clock_period()
+                self.icache_stall_cycles += 1
+                return
+
+        while fetched_this_cycle < self.fetch_width:
+            if not self.output_channel.can_push(time):
+                self.output_channel.record_full_stall()
+                self.fetch_stall_cycles += 1
+                break
+            instr = self._fetch_one(time)
+            if instr is None:
+                break
+            self.output_channel.push(instr, time)
+            fetched_this_cycle += 1
+            # A predicted-taken control instruction ends the fetch group.
+            if instr.is_control and (instr.predicted_taken or instr.trace.opclass
+                                     is InstructionClass.JUMP):
+                break
+            # A misprediction also ends useful fetching for this group; wrong
+            # path continues next cycle.
+            if instr.mispredicted:
+                break
+
+    def _next_pc_hint(self) -> Optional[int]:
+        if self.wrong_path_mode:
+            return self._wrong_path_pc
+        peeked = self.source.peek()
+        return peeked.pc if peeked is not None else None
+
+    def _fetch_one(self, time: float) -> Optional[DynamicInstruction]:
+        if self.wrong_path_mode:
+            trace = self.wrong_path_generator(self._wrong_path_pc,
+                                              self._wrong_path_offset)
+            self._wrong_path_pc += INSTRUCTION_SIZE
+            self._wrong_path_offset += 1
+            instr = DynamicInstruction(trace, epoch=self.epoch, wrong_path=True)
+            instr.fetch_time = time
+            self.fetched_total += 1
+            self.fetched_wrong_path += 1
+            return instr
+
+        trace = self.source.next()
+        if trace is None:
+            return None
+        instr = DynamicInstruction(trace, epoch=self.epoch, wrong_path=False)
+        instr.fetch_time = time
+        self.fetched_total += 1
+
+        if trace.is_branch:
+            predicted_taken, _predicted_target = self.branch_unit.predict(trace.pc)
+            self.activity.record("bpred", 1)
+            instr.predicted_taken = predicted_taken
+            if predicted_taken != trace.taken:
+                instr.mispredicted = True
+                self._enter_wrong_path(trace.pc)
+        elif trace.is_control:
+            # Unconditional jumps are assumed correctly predicted (BTB hit).
+            self.activity.record("bpred", 1)
+            instr.predicted_taken = True
+        return instr
+
+    # ------------------------------------------------------------------ state
+    def pending_work(self) -> int:
+        """Items still queued toward decode (used by the drain check)."""
+        return self.output_channel.occupancy

@@ -1,0 +1,134 @@
+"""In-flight (dynamic) instruction state.
+
+A :class:`DynamicInstruction` wraps one fetched instruction -- correct-path
+(from the workload trace) or wrong-path (synthesised after a misprediction) --
+and carries all the per-instruction state the pipeline needs: renamed
+registers, the ROB slot, timestamps of every pipeline event, and the
+accumulated time spent inside inter-domain FIFOs (the quantity Figure 7
+reports).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from ..isa.instructions import InstructionClass
+from ..isa.trace import TraceInstruction
+
+_SEQ = itertools.count()
+
+
+class DynamicInstruction:
+    """One instruction in flight through the pipeline."""
+
+    __slots__ = (
+        "trace", "seq", "epoch", "wrong_path",
+        "phys_dest", "phys_sources", "prev_phys_dest", "rename_checkpoint",
+        "rob_index", "exec_domain",
+        "predicted_taken", "mispredicted",
+        "fetch_time", "decode_time", "rename_time", "dispatch_time",
+        "issue_time", "complete_time", "commit_time",
+        "fifo_time", "extra_latency",
+        "squashed", "completed", "issued",
+    )
+
+    def __init__(self, trace: TraceInstruction, epoch: int,
+                 wrong_path: bool = False,
+                 seq: Optional[int] = None) -> None:
+        self.trace = trace
+        self.seq = seq if seq is not None else next(_SEQ)
+        self.epoch = epoch
+        self.wrong_path = wrong_path
+
+        self.phys_dest: Optional[int] = None
+        self.phys_sources: Tuple[int, ...] = ()
+        self.prev_phys_dest: Optional[int] = None
+        self.rename_checkpoint = None
+        self.rob_index: Optional[int] = None
+        self.exec_domain: str = ""
+
+        self.predicted_taken: Optional[bool] = None
+        self.mispredicted: bool = False
+
+        self.fetch_time: float = -1.0
+        self.decode_time: float = -1.0
+        self.rename_time: float = -1.0
+        self.dispatch_time: float = -1.0
+        self.issue_time: float = -1.0
+        self.complete_time: float = -1.0
+        self.commit_time: float = -1.0
+
+        #: accumulated residency (ns) in mixed-clock FIFOs
+        self.fifo_time: float = 0.0
+        #: extra execution latency in cycles (cache misses)
+        self.extra_latency: int = 0
+
+        self.squashed: bool = False
+        self.completed: bool = False
+        self.issued: bool = False
+
+    # --------------------------------------------------------------- queries
+    @property
+    def opclass(self) -> InstructionClass:
+        return self.trace.opclass
+
+    @property
+    def pc(self) -> int:
+        return self.trace.pc
+
+    @property
+    def dest(self) -> Optional[int]:
+        return self.trace.dest
+
+    @property
+    def sources(self) -> Tuple[int, ...]:
+        return self.trace.sources
+
+    @property
+    def is_branch(self) -> bool:
+        return self.trace.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.trace.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.trace.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.trace.is_store
+
+    @property
+    def is_fp(self) -> bool:
+        return self.opclass.is_fp
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass.is_memory
+
+    @property
+    def slip(self) -> float:
+        """Fetch-to-commit latency in ns (the paper's 'slip', Figure 6)."""
+        if self.commit_time < 0 or self.fetch_time < 0:
+            return 0.0
+        return self.commit_time - self.fetch_time
+
+    def record_fifo_wait(self, wait: float) -> None:
+        """Accumulate time spent in a mixed-clock FIFO."""
+        if wait > 0:
+            self.fifo_time += wait
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.wrong_path:
+            flags.append("wrong-path")
+        if self.squashed:
+            flags.append("squashed")
+        if self.completed:
+            flags.append("done")
+        flag_text = f" [{', '.join(flags)}]" if flags else ""
+        return (f"DynInstr(seq={self.seq}, pc={self.pc:#x}, "
+                f"{self.opclass.value}{flag_text})")

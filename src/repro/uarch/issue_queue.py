@@ -1,0 +1,114 @@
+"""Out-of-order issue queues (instruction windows).
+
+The processor has three issue queues (Table 3): integer (20 entries), floating
+point (16) and memory (16).  Each queue holds renamed instructions until their
+source operands are ready *and visible in the queue's clock domain*, then
+issues the oldest ready instructions to the functional units, up to the issue
+width and functional-unit availability.
+
+Queue occupancy is one of the statistics the paper highlights (occupancies go
+up in the GALS machine because instructions wait longer for cross-domain
+operands); :meth:`IssueQueue.sample_occupancy` feeds those numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .instruction import DynamicInstruction
+from .regfile import PhysicalRegisterFile
+
+#: forwarding_latency(producer_domain, consumer_domain) -> extra ns
+ForwardingLatency = Callable[[str, str], float]
+
+
+class IssueQueue:
+    """One instruction window feeding one set of functional units."""
+
+    def __init__(self, name: str, capacity: int, domain_name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError("issue queue capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.domain_name = domain_name
+        self._entries: List[DynamicInstruction] = []
+        # statistics
+        self.dispatches = 0
+        self.issues = 0
+        self.wakeup_searches = 0
+        self.occupancy_accum = 0
+        self.occupancy_samples = 0
+        self.full_stalls = 0
+
+    # ----------------------------------------------------------------- state
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def mean_occupancy(self) -> float:
+        if self.occupancy_samples == 0:
+            return 0.0
+        return self.occupancy_accum / self.occupancy_samples
+
+    def sample_occupancy(self) -> None:
+        self.occupancy_samples += 1
+        self.occupancy_accum += len(self._entries)
+
+    def __iter__(self) -> Iterable[DynamicInstruction]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------ operations
+    def dispatch(self, instr: DynamicInstruction) -> None:
+        """Insert a renamed instruction into the window."""
+        if self.is_full:
+            self.full_stalls += 1
+            raise OverflowError(f"issue queue {self.name!r} is full")
+        self._entries.append(instr)
+        self.dispatches += 1
+
+    def ready_instructions(
+        self,
+        now: float,
+        regfile: PhysicalRegisterFile,
+        forwarding_latency: ForwardingLatency,
+        limit: int,
+    ) -> List[DynamicInstruction]:
+        """Oldest-first list of instructions whose operands are all visible.
+
+        This models the wakeup/select CAM search: every entry is examined
+        (counted as wakeup activity for the power model), and up to ``limit``
+        ready entries are returned in age order.
+        """
+        if limit <= 0:
+            return []
+        ready: List[DynamicInstruction] = []
+        for instr in sorted(self._entries, key=lambda i: i.seq):
+            self.wakeup_searches += 1
+            operands_ready = all(
+                regfile.is_ready(phys, now, self.domain_name, forwarding_latency)
+                for phys in instr.phys_sources
+            )
+            if operands_ready:
+                ready.append(instr)
+                if len(ready) >= limit:
+                    break
+        return ready
+
+    def remove(self, instr: DynamicInstruction) -> None:
+        """Remove an instruction that has been issued."""
+        self._entries.remove(instr)
+        self.issues += 1
+
+    def squash_younger_than(self, branch_seq: int) -> List[DynamicInstruction]:
+        """Drop wrong-path instructions after a misprediction."""
+        squashed = [i for i in self._entries if i.seq > branch_seq]
+        if squashed:
+            self._entries = [i for i in self._entries if i.seq <= branch_seq]
+            for instr in squashed:
+                instr.squashed = True
+        return squashed

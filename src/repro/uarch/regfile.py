@@ -1,0 +1,182 @@
+"""Physical register files and result-visibility tracking.
+
+The processor of Table 3 has 72 physical integer registers and 72 physical
+floating-point registers.  Besides allocation/freeing, the physical register
+file is where cross-domain result forwarding latency is modelled: every
+physical register remembers *when* and *in which clock domain* its value was
+produced; a consumer in another domain observes readiness only after the
+result has crossed the inter-domain FIFO (the paper's "latency in forwarding
+results from one queue to another through FIFOs", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..isa.registers import is_fp_reg
+
+#: A value produced "at the beginning of time" (architectural state).
+ALWAYS_READY = float("-inf")
+
+
+@dataclass
+class PhysicalRegister:
+    """Allocation and readiness state of one physical register."""
+
+    index: int
+    is_fp: bool
+    allocated: bool = False
+    ready_time: float = ALWAYS_READY
+    producer_domain: str = ""
+
+
+class PhysicalRegisterFile:
+    """Integer + FP physical register files with free lists.
+
+    Physical register ids are globally unique: integer registers occupy
+    ``[0, num_int)`` and FP registers ``[num_int, num_int + num_fp)``.
+    """
+
+    def __init__(self, num_int: int = 72, num_fp: int = 72,
+                 num_arch_int: int = 32, num_arch_fp: int = 32) -> None:
+        if num_int < num_arch_int or num_fp < num_arch_fp:
+            raise ValueError("physical register files must cover the architectural state")
+        self.num_int = num_int
+        self.num_fp = num_fp
+        self.num_arch_int = num_arch_int
+        self.num_arch_fp = num_arch_fp
+        self._registers: List[PhysicalRegister] = (
+            [PhysicalRegister(i, is_fp=False) for i in range(num_int)]
+            + [PhysicalRegister(num_int + i, is_fp=True) for i in range(num_fp)]
+        )
+        # The first num_arch registers of each file hold the initial
+        # architectural state and start out allocated and ready.
+        self._free_int: List[int] = []
+        self._free_fp: List[int] = []
+        for reg in self._registers:
+            in_initial_map = ((not reg.is_fp and reg.index < num_arch_int) or
+                              (reg.is_fp and reg.index - num_int < num_arch_fp))
+            if in_initial_map:
+                reg.allocated = True
+            else:
+                (self._free_fp if reg.is_fp else self._free_int).append(reg.index)
+        # statistics
+        self.reads = 0
+        self.writes = 0
+        self.allocation_failures = 0
+
+    # ----------------------------------------------------------- allocation
+    def initial_mapping(self) -> Dict[int, int]:
+        """Architectural -> physical map for the initial state."""
+        mapping = {}
+        for arch in range(self.num_arch_int):
+            mapping[arch] = arch
+        for arch in range(self.num_arch_fp):
+            mapping[self.num_arch_int + arch] = self.num_int + arch
+        return mapping
+
+    def allocate(self, for_fp: bool) -> Optional[int]:
+        """Allocate a free physical register, or None when the file is full."""
+        free_list = self._free_fp if for_fp else self._free_int
+        if not free_list:
+            self.allocation_failures += 1
+            return None
+        index = free_list.pop()
+        reg = self._registers[index]
+        reg.allocated = True
+        reg.ready_time = float("inf")
+        reg.producer_domain = ""
+        return index
+
+    def allocate_for_arch(self, arch_reg: int) -> Optional[int]:
+        """Allocate a physical register in the file matching an arch register."""
+        return self.allocate(for_fp=is_fp_reg(arch_reg))
+
+    def free(self, index: int) -> None:
+        """Return a physical register to its free list."""
+        reg = self._registers[index]
+        if not reg.allocated:
+            raise ValueError(f"double free of physical register {index}")
+        reg.allocated = False
+        reg.ready_time = ALWAYS_READY
+        reg.producer_domain = ""
+        (self._free_fp if reg.is_fp else self._free_int).append(index)
+
+    # -------------------------------------------------------------- readiness
+    def mark_pending(self, index: int) -> None:
+        """The register is allocated but its value has not been produced yet."""
+        reg = self._registers[index]
+        reg.ready_time = float("inf")
+        reg.producer_domain = ""
+
+    def mark_ready(self, index: int, time: float, domain: str) -> None:
+        """Record that the value was produced at ``time`` in ``domain``."""
+        reg = self._registers[index]
+        reg.ready_time = time
+        reg.producer_domain = domain
+        self.writes += 1
+
+    def ready_time(self, index: int) -> float:
+        return self._registers[index].ready_time
+
+    def producer_domain(self, index: int) -> str:
+        return self._registers[index].producer_domain
+
+    def is_ready(
+        self,
+        index: int,
+        now: float,
+        consumer_domain: str,
+        forwarding_latency: Callable[[str, str], float],
+    ) -> bool:
+        """Is the value usable by ``consumer_domain`` at time ``now``?
+
+        ``forwarding_latency(producer_domain, consumer_domain)`` returns the
+        extra delay (ns) a result needs to become visible across domains; it is
+        zero inside a domain and zero everywhere in the synchronous machine.
+        """
+        reg = self._registers[index]
+        self.reads += 1
+        if reg.ready_time == ALWAYS_READY:
+            return True
+        if reg.ready_time == float("inf"):
+            return False
+        extra = 0.0
+        if reg.producer_domain and reg.producer_domain != consumer_domain:
+            extra = forwarding_latency(reg.producer_domain, consumer_domain)
+        return reg.ready_time + extra <= now
+
+    def visible_ready_time(
+        self,
+        index: int,
+        consumer_domain: str,
+        forwarding_latency: Callable[[str, str], float],
+    ) -> float:
+        """Absolute time the value becomes usable in ``consumer_domain``."""
+        reg = self._registers[index]
+        if reg.ready_time in (ALWAYS_READY, float("inf")):
+            return reg.ready_time
+        extra = 0.0
+        if reg.producer_domain and reg.producer_domain != consumer_domain:
+            extra = forwarding_latency(reg.producer_domain, consumer_domain)
+        return reg.ready_time + extra
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def int_in_use(self) -> int:
+        """Allocated integer physical registers (paper: 'register allocation
+        table occupancy' went from 15 to 24 for ijpeg)."""
+        return sum(1 for r in self._registers if not r.is_fp and r.allocated)
+
+    @property
+    def fp_in_use(self) -> int:
+        return sum(1 for r in self._registers if r.is_fp and r.allocated)
+
+    @property
+    def free_int_count(self) -> int:
+        return len(self._free_int)
+
+    @property
+    def free_fp_count(self) -> int:
+        return len(self._free_fp)

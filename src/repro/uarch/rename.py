@@ -1,0 +1,121 @@
+"""Register alias table (rename logic) with branch checkpoints.
+
+Rename maps architectural registers onto the 72+72 physical registers
+(Table 3).  Every conditional branch takes a checkpoint of the map so that a
+misprediction can restore the front-end state instantly; the *timing* cost of
+recovery is modelled elsewhere (the redirect has to reach the fetch domain,
+which in the GALS machine means crossing a FIFO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.registers import ZERO_REG, is_fp_reg
+from .instruction import DynamicInstruction
+from .regfile import PhysicalRegisterFile
+
+
+@dataclass
+class RenameCheckpoint:
+    """Snapshot of the alias table taken at a branch."""
+
+    branch_seq: int
+    mapping: Dict[int, int]
+
+
+class RenameError(RuntimeError):
+    """Raised on structural misuse of the rename logic."""
+
+
+class RegisterAliasTable:
+    """Architectural -> physical register map with checkpoint/restore."""
+
+    def __init__(self, regfile: PhysicalRegisterFile) -> None:
+        self.regfile = regfile
+        self._map: Dict[int, int] = regfile.initial_mapping()
+        self._checkpoints: List[RenameCheckpoint] = []
+        # statistics
+        self.renames = 0
+        self.checkpoints_taken = 0
+        self.restores = 0
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(self, arch_reg: int) -> int:
+        """Current physical register holding ``arch_reg``."""
+        try:
+            return self._map[arch_reg]
+        except KeyError as exc:
+            raise RenameError(f"architectural register {arch_reg} has no mapping") from exc
+
+    def mapping_snapshot(self) -> Dict[int, int]:
+        """Copy of the current architectural -> physical map."""
+        return dict(self._map)
+
+    # ---------------------------------------------------------------- rename
+    def rename(self, instr: DynamicInstruction) -> bool:
+        """Rename ``instr`` in place.
+
+        Returns False (leaving no side effects) when no physical register is
+        available, in which case the caller must stall dispatch.
+        """
+        # Source operands read the current map.
+        phys_sources = tuple(self.lookup(src) for src in instr.sources
+                             if src != ZERO_REG)
+        new_phys: Optional[int] = None
+        prev_phys: Optional[int] = None
+        dest = instr.dest
+        if dest is not None and dest != ZERO_REG:
+            new_phys = self.regfile.allocate_for_arch(dest)
+            if new_phys is None:
+                return False
+            prev_phys = self._map[dest]
+            self._map[dest] = new_phys
+            self.regfile.mark_pending(new_phys)
+        instr.phys_sources = phys_sources
+        instr.phys_dest = new_phys
+        instr.prev_phys_dest = prev_phys
+        self.renames += 1
+        return True
+
+    # ------------------------------------------------------------ checkpoints
+    def take_checkpoint(self, branch_seq: int) -> RenameCheckpoint:
+        """Snapshot the map for a conditional branch."""
+        checkpoint = RenameCheckpoint(branch_seq=branch_seq,
+                                      mapping=dict(self._map))
+        self._checkpoints.append(checkpoint)
+        self.checkpoints_taken += 1
+        return checkpoint
+
+    def release_checkpoint(self, checkpoint: RenameCheckpoint) -> None:
+        """Discard a checkpoint once its branch has committed."""
+        try:
+            self._checkpoints.remove(checkpoint)
+        except ValueError:
+            pass  # already released by an earlier recovery
+
+    def restore(self, checkpoint: RenameCheckpoint) -> None:
+        """Roll the map back to ``checkpoint`` (misprediction recovery).
+
+        All checkpoints younger than the restored one become invalid and are
+        discarded.
+        """
+        if checkpoint not in self._checkpoints:
+            raise RenameError("cannot restore an unknown or stale checkpoint")
+        self._map = dict(checkpoint.mapping)
+        # Drop this checkpoint and every younger one.
+        position = self._checkpoints.index(checkpoint)
+        self._checkpoints = self._checkpoints[:position]
+        self.restores += 1
+
+    @property
+    def live_checkpoints(self) -> int:
+        return len(self._checkpoints)
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def int_mappings_beyond_arch(self) -> int:
+        """How many integer arch registers map to a non-initial physical reg."""
+        return sum(1 for arch, phys in self._map.items()
+                   if not is_fp_reg(arch) and phys != arch)

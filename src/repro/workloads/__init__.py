@@ -1,0 +1,28 @@
+"""Workloads: Spec95/Mediabench behaviour profiles, synthetic traces, kernels.
+
+* :mod:`repro.workloads.profiles` -- per-benchmark behavioural parameters.
+* :mod:`repro.workloads.synthetic` -- deterministic synthetic trace generation.
+* :mod:`repro.workloads.kernels` -- hand-written assembly kernels executed
+  functionally to produce real traces.
+"""
+
+from .kernels import KERNELS, Kernel, get_kernel, kernel_trace
+from .profiles import (DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS, PROFILES,
+                       BenchmarkProfile, get_profile, profiles_in_suite)
+from .synthetic import SyntheticWorkload, make_trace, make_workload
+
+__all__ = [
+    "BenchmarkProfile",
+    "DEFAULT_BENCHMARKS",
+    "DVFS_CASE_STUDY_BENCHMARKS",
+    "KERNELS",
+    "Kernel",
+    "PROFILES",
+    "SyntheticWorkload",
+    "get_kernel",
+    "get_profile",
+    "kernel_trace",
+    "make_trace",
+    "make_workload",
+    "profiles_in_suite",
+]

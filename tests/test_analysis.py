@@ -1,0 +1,95 @@
+"""Tests for the clock-skew case study (Table 1) and report rendering."""
+
+import pytest
+
+from repro.analysis import (CLOCK_SKEW_CASES, ascii_bar, bar_chart, breakdown_table,
+                            clock_skew_table, dvfs_table, energy_power_table,
+                            misspeculation_table, performance_table,
+                            projected_skew_fraction, skew_trend,
+                            slip_breakdown_table, slip_table)
+from repro.core.experiments import DvfsResult
+from repro.core.metrics import ComparisonRow
+
+
+def make_row(benchmark="perl"):
+    return ComparisonRow(benchmark=benchmark, relative_performance=0.9,
+                         relative_energy=1.01, relative_power=0.9,
+                         slip_ratio=1.65, base_slip_ns=10.0, gals_slip_ns=16.5,
+                         gals_fifo_slip_fraction=0.3, base_misspeculation=0.138,
+                         gals_misspeculation=0.167)
+
+
+# ------------------------------------------------------------------- Table 1
+def test_table1_rows_match_published_data():
+    by_name = {case.design: case for case in CLOCK_SKEW_CASES}
+    assert by_name["Alpha 21064"].skew_ps == 200.0
+    assert by_name["Alpha 21164"].cycle_time_ns == pytest.approx(3.3)
+    assert by_name["Alpha 21264"].device_count_millions == pytest.approx(15.2)
+    assert by_name["Itanium (with active deskewing)"].skew_ps == 28.0
+    assert by_name["Itanium (without active deskewing)"].skew_ps == 110.0
+
+
+def test_itanium_skew_without_deskewing_is_about_ten_percent_of_cycle():
+    """Section 2.2: 110 ps of skew is almost 10% of the 1.25 ns cycle."""
+    case = [c for c in CLOCK_SKEW_CASES if "without" in c.design][0]
+    assert case.skew_fraction_of_cycle == pytest.approx(0.088, abs=0.01)
+
+
+def test_clocking_demands_grow_across_generations():
+    """The devices-per-ps-of-skew metric grows monotonically (the paper's
+    'many more registers with much smaller skew budgets')."""
+    values = [c.devices_per_ps_of_skew for c in CLOCK_SKEW_CASES
+              if "without" not in c.design]
+    assert values == sorted(values)
+
+
+def test_clock_skew_table_and_trend_render():
+    table = clock_skew_table()
+    assert "Alpha 21264" in table and "Skew/cycle" in table
+    trend = skew_trend()
+    assert len(trend) == len(CLOCK_SKEW_CASES)
+
+
+def test_projected_skew_grows_for_smaller_technologies():
+    finer = projected_skew_fraction(0.09)
+    coarser = projected_skew_fraction(0.35)
+    assert finer > coarser
+    with pytest.raises(ValueError):
+        projected_skew_fraction(0.0)
+
+
+# -------------------------------------------------------------------- reports
+def test_ascii_bar_and_chart():
+    assert ascii_bar(0.0) == ""
+    assert len(ascii_bar(1.2, scale=50, maximum=1.2)) == 50
+    chart = bar_chart({"perl": 0.9, "gcc": 0.75}, title="Figure 5")
+    assert "Figure 5" in chart and "perl" in chart
+    with pytest.raises(ValueError):
+        ascii_bar(0.5, maximum=0.0)
+
+
+def test_comparison_tables_render_all_benchmarks():
+    rows = [make_row("perl"), make_row("gcc")]
+    for renderer in (performance_table, slip_table, slip_breakdown_table,
+                     misspeculation_table, energy_power_table):
+        text = renderer(rows)
+        assert "perl" in text and "gcc" in text
+    assert "average" in performance_table(rows)
+
+
+def test_breakdown_table_uses_figure10_categories(perl_pair):
+    text = breakdown_table(perl_pair.base_result.energy,
+                           perl_pair.gals_result.energy)
+    assert "Global clock" in text
+    assert "Issue windows" in text
+    assert "total" in text
+
+
+def test_dvfs_table_renders_ideal_column():
+    results = [DvfsResult(benchmark="gcc", policy="gals-1",
+                          relative_performance=0.87, relative_energy=0.89,
+                          relative_power=0.79, ideal_energy=0.75)]
+    text = dvfs_table(results)
+    assert "gcc/gals-1" in text and "ideal" in text
+    no_ideal = dvfs_table(results, include_ideal=False)
+    assert "ideal" not in no_ideal

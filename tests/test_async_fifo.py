@@ -1,0 +1,162 @@
+"""Unit tests for the mixed-clock FIFO, synchronizers and pausible clocks (§3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.async_comm.fifo import MixedClockFifo
+from repro.async_comm.pausible import PausibleClockModel
+from repro.async_comm.synchronizer import (Synchronizer,
+                                           synchronization_failure_probability)
+from repro.sim.clock import Clock
+
+
+def make_fifo(capacity=4, producer_period=1.0, consumer_period=1.0,
+              consumer_phase=0.0, consumer_sync=1, producer_sync=1):
+    return MixedClockFifo(
+        "test", capacity,
+        producer_clock=Clock("prod", producer_period),
+        consumer_clock=Clock("cons", consumer_period, phase=consumer_phase),
+        consumer_sync=consumer_sync, producer_sync=producer_sync,
+    )
+
+
+# ----------------------------------------------------------------- synchronizer
+def test_synchronizer_latency_and_observation_time():
+    sync = Synchronizer(Clock("rx", period=2.0, phase=0.0), depth=2)
+    assert sync.latency() == pytest.approx(4.0)
+    # produced at t=0.5 -> captured at the next edge (t=2.0) -> +2 cycles
+    assert sync.observable_at(0.5) == pytest.approx(6.0)
+    # produced exactly on an edge misses it (setup time)
+    assert sync.observable_at(2.0) == pytest.approx(8.0)
+
+
+def test_synchronizer_depth_zero_is_next_edge():
+    sync = Synchronizer(Clock("rx", period=1.0), depth=0)
+    assert sync.observable_at(0.3) == pytest.approx(1.0)
+
+
+def test_synchronizer_rejects_negative_depth():
+    with pytest.raises(ValueError):
+        Synchronizer(Clock("rx", period=1.0), depth=-1)
+
+
+def test_failure_probability_is_tiny_but_nonzero():
+    probability = synchronization_failure_probability(
+        clock_frequency_ghz=1.0, data_rate_ghz=1.0, resolution_time_ns=0.5)
+    assert 0.0 <= probability < 1e-9
+
+
+# ------------------------------------------------------------------------ FIFO
+def test_data_not_visible_until_synchronized():
+    fifo = make_fifo(consumer_sync=1)
+    fifo.push("x", 0.25)
+    # next consumer edge after 0.25 is t=1.0; +1 sync cycle -> visible at 2.0
+    assert not fifo.can_pop(1.0)
+    assert not fifo.can_pop(1.9)
+    assert fifo.can_pop(2.0)
+    assert fifo.pop(2.0) == "x"
+    assert fifo.last_pop_wait == pytest.approx(1.75)
+
+
+def test_fifo_preserves_order():
+    fifo = make_fifo(capacity=8)
+    for index in range(5):
+        fifo.push(index, float(index))
+    values = []
+    time = 10.0
+    while fifo.can_pop(time):
+        values.append(fifo.pop(time))
+    assert values == [0, 1, 2, 3, 4]
+
+
+def test_freed_space_reaches_producer_late():
+    fifo = make_fifo(capacity=2, producer_sync=1)
+    fifo.push("a", 0.0)
+    fifo.push("b", 0.0)
+    assert not fifo.can_push(0.5)
+    fifo.pop(5.0)
+    # the freed slot is synchronized back into the producer clock: the next
+    # producer edge after t=5 is 6.0, plus one producer cycle -> 7.0
+    assert fifo.apparent_occupancy(5.1) == 2
+    assert not fifo.can_push(6.9)
+    assert fifo.can_push(7.0)
+
+
+def test_push_into_apparently_full_fifo_raises():
+    fifo = make_fifo(capacity=1)
+    fifo.push(1, 0.0)
+    with pytest.raises(OverflowError):
+        fifo.push(2, 0.0)
+
+
+def test_pop_before_visibility_raises():
+    fifo = make_fifo()
+    fifo.push(1, 0.0)
+    with pytest.raises(LookupError):
+        fifo.pop(0.5)
+
+
+def test_flush_returns_slots_and_counts():
+    fifo = make_fifo(capacity=8)
+    for index in range(4):
+        fifo.push(index, 0.0)
+    assert fifo.flush(lambda v: v >= 2) == 2
+    assert fifo.items() == [0, 1]
+    assert fifo.flush() == 2
+    assert fifo.occupancy == 0
+
+
+def test_steady_state_latency_reflects_consumer_clock():
+    fast_consumer = make_fifo(consumer_period=0.5)
+    slow_consumer = make_fifo(consumer_period=2.0)
+    assert fast_consumer.steady_state_latency < slow_consumer.steady_state_latency
+
+
+def test_mismatched_clock_periods():
+    """Producer at 1 ns, consumer at 3 ns: items become visible on consumer edges."""
+    fifo = make_fifo(capacity=16, producer_period=1.0, consumer_period=3.0,
+                     consumer_sync=0)
+    for index in range(6):
+        fifo.push(index, float(index))
+    # at t=3 the consumer's first edge after pushes at t=0,1,2 has passed
+    visible = 0
+    while fifo.can_pop(3.0):
+        fifo.pop(3.0)
+        visible += 1
+    assert visible == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20),
+       st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+       st.floats(min_value=0.3, max_value=3.0, allow_nan=False))
+def test_property_fifo_never_loses_or_reorders(values, producer_period, consumer_period):
+    fifo = make_fifo(capacity=len(values), producer_period=producer_period,
+                     consumer_period=consumer_period)
+    for index, value in enumerate(values):
+        fifo.push(value, index * producer_period)
+    deadline = (len(values) + 10) * (producer_period + consumer_period)
+    out = []
+    while fifo.can_pop(deadline):
+        out.append(fifo.pop(deadline))
+    assert out == values
+
+
+# -------------------------------------------------------------- pausible clocks
+def test_pausible_clock_stretches_with_communication_rate():
+    model = PausibleClockModel(nominal_period=1.0, stretch_per_transaction=0.6)
+    assert model.effective_period(0.0) == pytest.approx(1.0)
+    assert model.effective_period(1.0) == pytest.approx(1.6)
+    assert model.slowdown(1.0) == pytest.approx(1.6)
+    assert model.effective_frequency(1.0) == pytest.approx(1.0 / 1.6)
+
+
+def test_pausible_clock_validation():
+    with pytest.raises(ValueError):
+        PausibleClockModel(nominal_period=0.0, stretch_per_transaction=0.1)
+    with pytest.raises(ValueError):
+        PausibleClockModel(nominal_period=1.0, stretch_per_transaction=-1.0)
+    model = PausibleClockModel(nominal_period=1.0, stretch_per_transaction=0.5)
+    with pytest.raises(ValueError):
+        model.effective_period(-0.1)

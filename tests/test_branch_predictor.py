@@ -1,0 +1,120 @@
+"""Unit tests for branch direction predictors and the BTB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.branch_predictor import (BimodalPredictor, BranchTargetBuffer,
+                                          BranchUnit, GSharePredictor,
+                                          make_direction_predictor)
+
+
+def train(predictor, pc, outcomes):
+    for taken in outcomes:
+        predicted = predictor.predict(pc)
+        predictor.update(pc, taken, predicted)
+
+
+def test_bimodal_learns_a_biased_branch():
+    predictor = BimodalPredictor(entries=64)
+    train(predictor, 0x400100, [True] * 10)
+    assert predictor.predict(0x400100) is True
+    train(predictor, 0x400200, [False] * 10)
+    assert predictor.predict(0x400200) is False
+
+
+def test_bimodal_hysteresis_tolerates_single_flip():
+    predictor = BimodalPredictor(entries=64)
+    train(predictor, 0x400100, [True] * 8)
+    train(predictor, 0x400100, [False])   # one anomaly
+    assert predictor.predict(0x400100) is True
+
+
+def test_gshare_learns_alternating_pattern():
+    predictor = GSharePredictor(entries=1024, history_bits=4)
+    pattern = [True, False] * 60
+    train(predictor, 0x400300, pattern)
+    # after training, accuracy on the next pattern repetitions should be high
+    correct = 0
+    for taken in [True, False] * 20:
+        predicted = predictor.predict(0x400300)
+        correct += (predicted == taken)
+        predictor.update(0x400300, taken, predicted)
+    assert correct >= 30
+
+
+def test_predictor_stats_accumulate():
+    predictor = BimodalPredictor(entries=64)
+    train(predictor, 0x1000, [True, True, False])
+    assert predictor.stats.lookups == 3
+    assert predictor.stats.mispredictions + predictor.stats.correct == 3
+    assert 0.0 <= predictor.stats.accuracy <= 1.0
+
+
+def test_predictor_table_size_validation():
+    with pytest.raises(ValueError):
+        BimodalPredictor(entries=1000)  # not a power of two
+    with pytest.raises(ValueError):
+        GSharePredictor(entries=1024, history_bits=0)
+
+
+def test_make_direction_predictor_factory():
+    assert isinstance(make_direction_predictor("bimodal"), BimodalPredictor)
+    assert isinstance(make_direction_predictor("gshare"), GSharePredictor)
+    with pytest.raises(ValueError):
+        make_direction_predictor("perceptron")
+
+
+def test_btb_stores_and_replaces_targets():
+    btb = BranchTargetBuffer(entries=16, associativity=2)
+    btb.update(0x400100, 0x400800)
+    assert btb.lookup(0x400100) == 0x400800
+    btb.update(0x400100, 0x400900)
+    assert btb.lookup(0x400100) == 0x400900
+    assert btb.lookup(0x999999) is None
+    assert btb.hits == 2 and btb.misses == 1
+
+
+def test_btb_capacity_eviction_within_set():
+    btb = BranchTargetBuffer(entries=2, associativity=2)  # one set
+    btb.update(0x100, 1)
+    btb.update(0x200, 2)
+    btb.update(0x300, 3)  # evicts LRU (0x100)
+    assert btb.lookup(0x100) is None
+    assert btb.lookup(0x300) == 3
+
+
+def test_btb_validation():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=10, associativity=4)
+
+
+def test_branch_unit_predict_and_resolve_cycle():
+    unit = BranchUnit(BimodalPredictor(entries=64), BranchTargetBuffer(16, 2))
+    pc, target = 0x400100, 0x400500
+    for _ in range(6):
+        taken, _ = unit.predict(pc)
+        unit.resolve(pc, True, taken, target)
+    taken, predicted_target = unit.predict(pc)
+    assert taken is True
+    assert predicted_target == target
+    assert unit.misprediction_rate < 0.5
+    assert unit.lookups == 7
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.85, max_value=1.0))
+def test_property_bimodal_accuracy_tracks_bias(bias):
+    """On a strongly biased branch, a trained 2-bit counter is nearly optimal."""
+    import random
+    rng = random.Random(42)
+    predictor = BimodalPredictor(entries=64)
+    pc = 0x400400
+    outcomes = [rng.random() < bias for _ in range(400)]
+    correct = 0
+    for taken in outcomes:
+        predicted = predictor.predict(pc)
+        correct += (predicted == taken)
+        predictor.update(pc, taken, predicted)
+    accuracy = correct / len(outcomes)
+    assert accuracy >= bias - 0.15

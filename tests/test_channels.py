@@ -1,0 +1,83 @@
+"""Unit tests for same-domain pipeline queues (SyncQueue)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.channel import SyncQueue
+
+
+def test_push_pop_order_and_stats():
+    queue = SyncQueue("q", capacity=4)
+    queue.push("a", 0.0)
+    queue.push("b", 1.0)
+    assert queue.occupancy == 2
+    assert queue.peek(2.0) == "a"
+    assert queue.pop(2.0) == "a"
+    assert queue.last_pop_wait == pytest.approx(2.0)
+    assert queue.pop(3.0) == "b"
+    assert queue.pop_count == 2
+    assert queue.push_count == 2
+    assert queue.mean_wait == pytest.approx(2.0)
+
+
+def test_capacity_enforced():
+    queue = SyncQueue("q", capacity=2)
+    queue.push(1, 0.0)
+    queue.push(2, 0.0)
+    assert not queue.can_push(0.0)
+    with pytest.raises(OverflowError):
+        queue.push(3, 0.0)
+
+
+def test_pop_empty_raises():
+    queue = SyncQueue("q", capacity=2)
+    assert not queue.can_pop(0.0)
+    with pytest.raises(LookupError):
+        queue.pop(0.0)
+    with pytest.raises(LookupError):
+        queue.peek(0.0)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        SyncQueue("q", capacity=0)
+
+
+def test_flush_all_and_predicate():
+    queue = SyncQueue("q", capacity=8)
+    for value in range(6):
+        queue.push(value, 0.0)
+    dropped = queue.flush(lambda v: v >= 3)
+    assert dropped == 3
+    assert queue.items() == [0, 1, 2]
+    assert queue.flush() == 3
+    assert queue.occupancy == 0
+    assert queue.flush_count == 6
+
+
+def test_occupancy_sampling():
+    queue = SyncQueue("q", capacity=8)
+    queue.push("x", 0.0)
+    queue.sample_occupancy()
+    queue.push("y", 0.0)
+    queue.sample_occupancy()
+    assert queue.mean_occupancy == pytest.approx(1.5)
+
+
+def test_full_stall_recording():
+    queue = SyncQueue("q", capacity=1)
+    queue.push(1, 0.0)
+    queue.record_full_stall()
+    queue.record_full_stall()
+    assert queue.full_stall_count == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(), min_size=0, max_size=30))
+def test_property_fifo_order_preserved(values):
+    queue = SyncQueue("q", capacity=max(1, len(values)))
+    for i, value in enumerate(values):
+        queue.push(value, float(i))
+    popped = [queue.pop(100.0) for _ in range(len(values))]
+    assert popped == values

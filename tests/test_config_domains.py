@@ -1,0 +1,115 @@
+"""Unit tests for processor configuration and clock-domain planning."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, ProcessorConfig
+from repro.core.domains import (GALS_DOMAINS, SYNC_DOMAIN, ClockPlan,
+                                pipeline_stage_table, slowdown_plan, uniform_plan)
+from repro.power.technology import DEFAULT_TECHNOLOGY
+
+
+# --------------------------------------------------------------------- config
+def test_default_config_matches_table3():
+    config = DEFAULT_CONFIG
+    assert config.fetch_width == 4
+    assert config.int_issue_entries == 20
+    assert config.fp_issue_entries == 16
+    assert config.mem_issue_entries == 16
+    assert config.int_registers == 72
+    assert config.fp_registers == 72
+    assert config.memory.dl1_size == 16 * 1024
+    assert config.memory.il1_assoc == 1
+    assert config.memory.l2_size == 256 * 1024
+    assert config.memory.l2_latency == 6
+    assert config.num_int_alus == 4 and config.num_fp_alus == 4
+
+
+def test_config_describe_contains_table3_rows():
+    text = DEFAULT_CONFIG.describe()
+    assert "4 inst/cycle" in text
+    assert "20" in text
+    assert "256KB" in text
+    assert "direct-mapped" in text
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ProcessorConfig(fetch_width=0)
+    with pytest.raises(ValueError):
+        ProcessorConfig(int_registers=16)
+    with pytest.raises(ValueError):
+        ProcessorConfig(fifo_sync_cycles=-1)
+
+
+def test_config_with_changes_is_a_distinct_copy():
+    changed = DEFAULT_CONFIG.with_changes(rob_entries=128)
+    assert changed.rob_entries == 128
+    assert DEFAULT_CONFIG.rob_entries == 64
+
+
+def test_pipeline_stage_table_lists_eight_stages():
+    table = pipeline_stage_table()
+    assert "Fetch from I-cache" in table
+    assert "Regfile write, Commit" in table
+    assert len([line for line in table.splitlines() if line and line[0].isdigit()]) == 8
+
+
+# ------------------------------------------------------------------ clock plans
+def test_uniform_plan_all_domains_nominal():
+    plan = uniform_plan(base_period=1.0)
+    for domain in GALS_DOMAINS:
+        assert plan.period_of(domain) == pytest.approx(1.0)
+        assert plan.voltage_of(domain) == pytest.approx(DEFAULT_TECHNOLOGY.nominal_vdd)
+
+
+def test_slowdown_plan_scales_period_and_voltage():
+    plan = slowdown_plan({"fp": 2.0, "fetch": 1.1})
+    assert plan.period_of("fp") == pytest.approx(2.0)
+    assert plan.period_of("integer") == pytest.approx(1.0)
+    assert plan.voltage_of("fp") < plan.voltage_of("integer")
+    assert plan.voltage_of("fetch") < DEFAULT_TECHNOLOGY.nominal_vdd
+
+
+def test_slowdown_plan_rejects_unknown_domains():
+    with pytest.raises(ValueError):
+        slowdown_plan({"gpu": 2.0})
+
+
+def test_explicit_voltage_overrides_scaling():
+    plan = ClockPlan(slowdowns={"fp": 2.0}, voltages={"fp": 1.4},
+                     scale_voltages=True)
+    assert plan.voltage_of("fp") == pytest.approx(1.4)
+
+
+def test_phases_are_deterministic_per_seed_and_within_period():
+    plan_a = uniform_plan(phase_seed=7)
+    plan_b = uniform_plan(phase_seed=7)
+    plan_c = uniform_plan(phase_seed=8)
+    domains_a = plan_a.build_gals_domains()
+    domains_b = plan_b.build_gals_domains()
+    domains_c = plan_c.build_gals_domains()
+    for name in GALS_DOMAINS:
+        assert domains_a[name].clock.phase == pytest.approx(domains_b[name].clock.phase)
+        assert 0.0 <= domains_a[name].clock.phase < domains_a[name].period
+    assert any(domains_a[n].clock.phase != domains_c[n].clock.phase
+               for n in GALS_DOMAINS)
+
+
+def test_explicit_phase_respected():
+    plan = ClockPlan(phases={"fetch": 0.25})
+    domains = plan.build_gals_domains()
+    assert domains["fetch"].clock.phase == pytest.approx(0.25)
+
+
+def test_sync_domain_build_with_global_slowdown():
+    plan = ClockPlan(slowdowns={SYNC_DOMAIN: 1.25}, scale_voltages=True)
+    core = plan.build_sync_domain()
+    assert core.name == SYNC_DOMAIN
+    assert core.period == pytest.approx(1.25)
+    assert core.voltage < DEFAULT_TECHNOLOGY.nominal_vdd
+
+
+def test_invalid_slowdown_rejected():
+    plan = ClockPlan(slowdowns={"fp": -1.0})
+    with pytest.raises(ValueError):
+        plan.period_of("fp")

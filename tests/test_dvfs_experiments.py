@@ -1,0 +1,115 @@
+"""Tests for DVFS policies and the experiment drivers (paper Section 5.2)."""
+
+import pytest
+
+from repro.core.dvfs import (GCC_GALS_1, GCC_GALS_2, GENERIC_SLOWDOWN, IJPEG_SWEEP,
+                             PERL_FP_BY_3, POLICIES, SlowdownPolicy, get_policy,
+                             recommend_policy)
+from repro.core.experiments import (average_energy_increase,
+                                    average_performance_drop, average_power_saving,
+                                    baseline_comparison, phase_sensitivity,
+                                    run_pair, run_single)
+from repro.core.metrics import ComparisonRow
+from repro.power.technology import DEFAULT_TECHNOLOGY
+from repro.workloads.profiles import get_profile
+
+
+# ------------------------------------------------------------------- policies
+def test_paper_policies_are_registered():
+    assert get_policy("generic") is GENERIC_SLOWDOWN
+    assert get_policy("gals-1") is GCC_GALS_1
+    assert get_policy("gals-2") is GCC_GALS_2
+    assert get_policy("perl-fp3") is PERL_FP_BY_3
+    assert len([p for p in POLICIES if p.startswith("gals-")]) >= 5
+    with pytest.raises(KeyError):
+        get_policy("turbo")
+
+
+def test_figure11_policy_matches_paper_description():
+    slowdowns = GENERIC_SLOWDOWN.slowdowns
+    assert slowdowns["fetch"] == pytest.approx(1.10)
+    assert slowdowns["memory"] == pytest.approx(1.10)
+    assert slowdowns["fp"] == pytest.approx(1.50)
+
+
+def test_figure12_sweep_covers_four_memory_slowdowns():
+    memory_factors = [policy.slowdowns.get("memory", 1.0) for policy in IJPEG_SWEEP]
+    assert memory_factors == pytest.approx([1.0, 1.10, 1.20, 1.50])
+    for policy in IJPEG_SWEEP:
+        assert policy.slowdowns["fetch"] == pytest.approx(1.10)
+        assert policy.slowdowns["fp"] == pytest.approx(1.20)
+
+
+def test_figure13_gals2_slows_fp_by_factor_three():
+    assert GCC_GALS_2.slowdowns["fp"] == pytest.approx(3.0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SlowdownPolicy("bad", "", {"gpu": 2.0})
+    with pytest.raises(ValueError):
+        SlowdownPolicy("bad", "", {"fp": 0.5})
+
+
+def test_policy_plan_and_voltages():
+    plan = GENERIC_SLOWDOWN.plan()
+    assert plan.scale_voltages
+    voltages = GENERIC_SLOWDOWN.voltages()
+    assert voltages["fp"] < voltages["fetch"] < DEFAULT_TECHNOLOGY.nominal_vdd
+
+
+def test_recommend_policy_follows_application_characteristics():
+    perl_policy = recommend_policy(get_profile("perl"))
+    assert perl_policy.slowdowns["fp"] == pytest.approx(3.0)
+    swim_policy = recommend_policy(get_profile("swim"))
+    assert "fp" not in swim_policy.slowdowns or swim_policy.slowdowns["fp"] < 2.0
+    assert "fetch" in swim_policy.slowdowns  # swim has very few branches
+
+
+# ------------------------------------------------------------------ experiments
+def test_run_single_rejects_unknown_processor_kind():
+    with pytest.raises(ValueError):
+        run_single("perl", processor="quantum", num_instructions=100)
+
+
+def test_run_pair_returns_comparison_row(perl_pair):
+    assert isinstance(perl_pair, ComparisonRow)
+    assert perl_pair.benchmark == "perl"
+    assert perl_pair.base_result.processor == "base"
+    assert perl_pair.gals_result.processor == "gals"
+
+
+def test_baseline_comparison_and_averages():
+    rows = baseline_comparison(["adpcm", "epic"], num_instructions=400)
+    assert [row.benchmark for row in rows] == ["adpcm", "epic"]
+    drop = average_performance_drop(rows)
+    saving = average_power_saving(rows)
+    energy = average_energy_increase(rows)
+    assert -0.05 < drop < 0.5
+    assert -0.05 < saving < 0.5
+    assert -0.3 < energy < 0.3
+
+
+def test_selective_slowdown_gcc_case_study(gcc_dvfs_result):
+    """Figure 13 shape: slowing gcc's FP clock costs little performance and
+    saves power once voltages scale."""
+    result = gcc_dvfs_result
+    assert result.policy == "gals-1"
+    assert 0.6 < result.relative_performance < 1.0
+    assert result.relative_power < 1.0
+    assert result.relative_energy < 1.1
+    # the "ideal" reference is a voltage-scaled synchronous machine at the
+    # same performance, so it is always at least as good as doing nothing
+    assert result.ideal_energy <= 1.0
+    assert result.performance_drop == pytest.approx(1 - result.relative_performance)
+    assert result.power_saving == pytest.approx(1 - result.relative_power)
+
+
+def test_phase_sensitivity_reports_small_spread():
+    report = phase_sensitivity("adpcm", phase_seeds=(0, 1, 2),
+                               num_instructions=400)
+    assert set(report) == {"phase-0", "phase-1", "phase-2", "spread"}
+    assert report["spread"] < 0.08
+    for key, value in report.items():
+        if key != "spread":
+            assert 0.5 < value <= 1.05

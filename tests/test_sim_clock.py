@@ -1,0 +1,127 @@
+"""Unit tests for clocks and clock domains."""
+
+import pytest
+
+from repro.sim.clock import Clock, ClockDomain
+from repro.sim.engine import SimulationEngine
+from repro.sim.event import SimulationError
+
+
+class TickCounter:
+    def __init__(self):
+        self.edges = []
+
+    def clock_edge(self, cycle, time):
+        self.edges.append((cycle, time))
+
+
+def test_clock_edge_times_and_cycle_count():
+    clock = Clock("test", period=2.0, phase=0.5)
+    assert clock.edge_time(0) == 0.5
+    assert clock.edge_time(3) == 6.5
+    assert clock.frequency == 0.5
+    assert clock.cycles_elapsed(0.4) == 0
+    assert clock.cycles_elapsed(0.5) == 1
+    assert clock.cycles_elapsed(6.6) == 4
+
+
+def test_clock_phase_wraps_into_period():
+    clock = Clock("test", period=2.0, phase=5.0)
+    assert clock.phase == pytest.approx(1.0)
+
+
+def test_clock_validation():
+    with pytest.raises(SimulationError):
+        Clock("bad", period=0.0)
+    with pytest.raises(SimulationError):
+        Clock("bad", period=1.0, phase=-0.1)
+
+
+def test_clock_scaled_slows_period():
+    clock = Clock("x", period=1.0)
+    slower = clock.scaled(1.5)
+    assert slower.period == pytest.approx(1.5)
+    with pytest.raises(SimulationError):
+        clock.scaled(0.0)
+
+
+def test_domain_ticks_components_every_edge():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0))
+    counter = TickCounter()
+    domain.add_component(counter)
+    domain.bind(engine)
+    engine.run(until=4.5)
+    assert [cycle for cycle, _ in counter.edges] == [0, 1, 2, 3, 4]
+    assert domain.cycle == 5
+
+
+def test_domain_components_tick_in_registration_order():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0))
+    order = []
+
+    class Stage:
+        def __init__(self, name):
+            self.name = name
+
+        def clock_edge(self, cycle, time):
+            order.append(self.name)
+
+    domain.add_component(Stage("commit"))
+    domain.add_component(Stage("fetch"))
+    domain.bind(engine)
+    engine.run(until=0.0)
+    assert order == ["commit", "fetch"]
+
+
+def test_edge_hooks_run_after_components():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0))
+    order = []
+    domain.add_component(type("C", (), {"clock_edge": lambda self, c, t: order.append("component")})())
+    domain.add_edge_hook(lambda cycle, time: order.append("hook"))
+    domain.bind(engine)
+    engine.run(until=0.0)
+    assert order == ["component", "hook"]
+
+
+def test_apply_slowdown_changes_period_and_voltage():
+    domain = ClockDomain(Clock("fp", period=1.0), voltage=1.5)
+    domain.apply_slowdown(2.0, voltage=1.1)
+    assert domain.period == pytest.approx(2.0)
+    assert domain.voltage == pytest.approx(1.1)
+
+
+def test_apply_slowdown_after_bind_is_rejected():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("fp", period=1.0))
+    domain.bind(engine)
+    with pytest.raises(SimulationError):
+        domain.apply_slowdown(2.0)
+
+
+def test_unbind_stops_clock():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0))
+    counter = TickCounter()
+    domain.add_component(counter)
+    domain.bind(engine)
+    engine.run(until=2.0)
+    domain.unbind()
+    engine.run(until=10.0)
+    assert domain.cycle == 3  # edges at 0, 1, 2 only
+
+
+def test_two_domains_with_different_periods():
+    engine = SimulationEngine()
+    fast = ClockDomain(Clock("fast", period=1.0))
+    slow = ClockDomain(Clock("slow", period=3.0))
+    fast_count, slow_count = TickCounter(), TickCounter()
+    fast.add_component(fast_count)
+    slow.add_component(slow_count)
+    fast.bind(engine)
+    slow.bind(engine)
+    engine.run(until=9.0)
+    assert len(fast_count.edges) == 10
+    assert len(slow_count.edges) == 4
