@@ -16,6 +16,9 @@ from repro.core.experiments import selective_slowdown
 from repro.power.technology import TechnologyParameters
 from repro.power.voltage import voltage_for_slowdown
 
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def _gcc_energy_with_idle_fraction(idle_fraction):
     tech = TechnologyParameters(idle_power_fraction=idle_fraction)

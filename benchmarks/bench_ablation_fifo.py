@@ -13,6 +13,9 @@ from repro.async_comm.pausible import PausibleClockModel
 from repro.core.config import ProcessorConfig
 from repro.core.experiments import run_pair
 
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def _relative_performance(fifo_sync, forwarding_sync):
     config = ProcessorConfig(fifo_sync_cycles=fifo_sync,

@@ -11,6 +11,11 @@ from repro.core.experiments import average_performance_drop, run_pair
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig05_relative_performance(benchmark, suite_rows):
     benchmark.pedantic(

@@ -12,6 +12,11 @@ from repro.core.experiments import average_slip_increase, run_pair
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig06_average_slip(benchmark, suite_rows):
     benchmark.pedantic(

@@ -12,6 +12,11 @@ from repro.workloads.profiles import get_profile
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig08_misspeculated_instructions(benchmark, suite_rows):
     benchmark.pedantic(

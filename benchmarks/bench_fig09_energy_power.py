@@ -13,6 +13,11 @@ from repro.core.experiments import (average_energy_increase, average_power_savin
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig09_energy_and_power(benchmark, suite_rows):
     benchmark.pedantic(

@@ -11,6 +11,11 @@ from repro.power.blocks import BREAKDOWN_CATEGORIES
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig10_energy_breakdown(benchmark, suite_rows):
     benchmark.pedantic(

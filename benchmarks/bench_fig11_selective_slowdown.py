@@ -13,6 +13,11 @@ from repro.core.experiments import selective_slowdown
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig11_generic_and_perl_slowdown(benchmark, figure11_results):
     benchmark.pedantic(

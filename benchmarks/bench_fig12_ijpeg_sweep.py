@@ -14,6 +14,11 @@ from repro.core.experiments import selective_slowdown
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig12_ijpeg_memory_sweep(benchmark, figure12_results):
     benchmark.pedantic(

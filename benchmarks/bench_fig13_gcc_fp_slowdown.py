@@ -14,6 +14,11 @@ from repro.core.experiments import selective_slowdown
 
 from conftest import TIMED_INSTRUCTIONS
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_fig13_gcc_fp_slowdown(benchmark, figure13_results):
     benchmark.pedantic(

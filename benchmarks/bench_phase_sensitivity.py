@@ -6,6 +6,11 @@ the (random) relative phases of the domain clocks by roughly 0.5 %.
 
 from repro.core.experiments import phase_sensitivity
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_phase_sensitivity(benchmark):
     report = benchmark.pedantic(

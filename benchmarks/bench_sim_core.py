@@ -1,0 +1,246 @@
+"""Simulation-core microbenchmark: events/sec and instructions/sec.
+
+Measures, on the current machine:
+
+* **engine alone** -- events/sec driving five periodic clocks with trivial
+  callbacks, for the clock-wheel engine, the generic-heap path
+  (``use_wheel=False``) and an embedded copy of the *seed* engine (heapq of
+  ``dataclass(order=True)`` events), with equal-period (rotation fast path)
+  and mixed-period wheels;
+* **full runs** -- committed-instructions/sec and events/sec for a complete
+  ``run_single`` of the GALS and base machines (workload synthesis, cache
+  warming and simulation, exactly what the figure harness pays per run).
+
+Results are appended to ``BENCH_sim_core.json`` next to this file so the
+performance trajectory is tracked from the fast-simulation-core PR onward.
+Speedups are reported against the recorded seed-tree baseline (measured on
+the machine that introduced this benchmark) and against the live embedded
+seed engine, which is load-independent.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_sim_core.py
+"""
+
+import heapq
+import itertools
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Throughput of the seed tree (commit "v0 seed", pre-optimization), measured
+#: with this benchmark's own protocol on the machine that introduced it
+#: (2026-07-28, Linux, CPython 3.11).  Used for the recorded-speedup figures.
+SEED_BASELINE = {
+    "engine_mixed_events_per_sec": 552_787,
+    "gals_full_instr_per_sec": 12_519,
+    "base_full_instr_per_sec": 19_458,
+}
+
+MIXED_CLOCKS = ((1.0, 0.13), (1.0, 0.77), (1.1, 0.40), (1.2, 0.91), (1.5, 0.05))
+UNIFORM_CLOCKS = ((1.0, 0.13), (1.0, 0.77), (1.0, 0.40), (1.0, 0.91), (1.0, 0.05))
+ENGINE_HORIZON_NS = 20_000.0
+FULL_RUN_INSTRUCTIONS = 3000
+REPEATS = 5
+
+
+# --------------------------------------------------------------------------
+# Embedded copy of the seed engine (heapq + ordered-dataclass events), kept
+# verbatim-in-behaviour so the engine-alone comparison measures the scheduler
+# swap and nothing else.
+# --------------------------------------------------------------------------
+_SEED_SEQUENCE = itertools.count()
+
+
+@dataclass(order=True)
+class _SeedEvent:
+    time: float
+    priority: int = 0
+    seq: int = field(default_factory=lambda: next(_SEED_SEQUENCE))
+    callback: object = field(compare=False, default=None)
+    param: object = field(compare=False, default=None)
+    period: object = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+    name: str = field(compare=False, default="")
+
+    @property
+    def is_periodic(self):
+        return self.period is not None and self.period > 0.0
+
+    def fire(self):
+        if self.callback is not None:
+            self.callback(self.param)
+
+    def next_occurrence(self):
+        return _SeedEvent(time=self.time + self.period, priority=self.priority,
+                          callback=self.callback, param=self.param,
+                          period=self.period, name=self.name)
+
+
+class SeedEngine:
+    """The seed repo's event loop: one heap push/pop per clock per cycle."""
+
+    def __init__(self):
+        self._queue = []
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def schedule_periodic(self, start, period, callback, param=None,
+                          priority=0, name=""):
+        event = _SeedEvent(time=start, priority=priority, callback=callback,
+                           param=param, period=period, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def _peek_time(self):
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self):
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fire()
+            self.events_processed += 1
+            if event.is_periodic and not event.cancelled:
+                heapq.heappush(self._queue, event.next_occurrence())
+            return event
+        return None
+
+    def run(self, until=None, stop_condition=None):
+        while self._queue:
+            next_time = self._peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self._now = until
+                break
+            if self.step() is None:
+                break
+            if stop_condition is not None and stop_condition():
+                break
+        return self._now
+
+
+# ------------------------------------------------------------------ measuring
+def _best(callable_, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_engine(engine_factory, clocks):
+    """Events/sec of an engine ticking ``clocks`` with trivial callbacks."""
+    def run_once():
+        engine = engine_factory()
+        counter = [0]
+
+        def tick(_):
+            counter[0] += 1
+
+        for period, phase in clocks:
+            engine.schedule_periodic(phase, period, tick)
+        engine.run(until=ENGINE_HORIZON_NS)
+        return engine.events_processed
+
+    seconds, events = _best(run_once)
+    return events / seconds
+
+
+def bench_full_run(kind):
+    """Instructions/sec and events/sec of one complete run_single."""
+    from repro.core.experiments import _trace_and_workload
+    from repro.core.processor import build_base_processor, build_gals_processor
+
+    build = build_gals_processor if kind == "gals" else build_base_processor
+    state = {}
+
+    def run_once():
+        trace, workload = _trace_and_workload("perl", FULL_RUN_INSTRUCTIONS, 1)
+        machine = build(trace, workload=workload)
+        result = machine.run()
+        state["events"] = machine.engine.events_processed
+        return result
+
+    seconds, result = _best(run_once)
+    assert result.committed_instructions == FULL_RUN_INSTRUCTIONS
+    return {
+        "instr_per_sec": FULL_RUN_INSTRUCTIONS / seconds,
+        "events_per_sec": state["events"] / seconds,
+        "wall_seconds_best": seconds,
+    }
+
+
+def main():
+    from repro.sim.engine import SimulationEngine
+
+    print("engine-alone microbenchmark (events/sec) ...")
+    engine_results = {}
+    for label, clocks in (("mixed", MIXED_CLOCKS), ("uniform", UNIFORM_CLOCKS)):
+        engine_results[label] = {
+            "wheel": bench_engine(lambda: SimulationEngine(use_wheel=True), clocks),
+            "generic_heap": bench_engine(
+                lambda: SimulationEngine(use_wheel=False), clocks),
+            "seed_engine_live": bench_engine(SeedEngine, clocks),
+        }
+        row = engine_results[label]
+        row["wheel_speedup_vs_live_seed"] = row["wheel"] / row["seed_engine_live"]
+        print(f"  {label:8s} wheel {row['wheel']:>12,.0f}  "
+              f"generic {row['generic_heap']:>12,.0f}  "
+              f"seed(live) {row['seed_engine_live']:>12,.0f}  "
+              f"speedup {row['wheel_speedup_vs_live_seed']:.2f}x")
+
+    print("full-run benchmark (perl, %d instructions) ..." % FULL_RUN_INSTRUCTIONS)
+    full = {kind: bench_full_run(kind) for kind in ("gals", "base")}
+    for kind, row in full.items():
+        print(f"  {kind:5s} {row['instr_per_sec']:>10,.0f} instr/s  "
+              f"{row['events_per_sec']:>12,.0f} events/s")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": platform.platform(),
+        "python": platform.python_version(),
+        "engine_events_per_sec": engine_results,
+        "full_run": full,
+        "seed_baseline": SEED_BASELINE,
+        "speedup_vs_seed_baseline": {
+            "engine_mixed": (engine_results["mixed"]["wheel"]
+                             / SEED_BASELINE["engine_mixed_events_per_sec"]),
+            "gals_full_run": (full["gals"]["instr_per_sec"]
+                              / SEED_BASELINE["gals_full_instr_per_sec"]),
+            "base_full_run": (full["base"]["instr_per_sec"]
+                              / SEED_BASELINE["base_full_instr_per_sec"]),
+        },
+    }
+
+    output = Path(__file__).resolve().parent.parent / "BENCH_sim_core.json"
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except ValueError:
+            history = []
+    history.append(record)
+    output.write_text(json.dumps(history, indent=1))
+    print("speedups vs recorded seed baseline:",
+          {key: round(value, 2)
+           for key, value in record["speedup_vs_seed_baseline"].items()})
+    print(f"wrote {output}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,11 @@ un-deskewed global skew approaches 10 % of the cycle time.
 
 from repro.analysis import CLOCK_SKEW_CASES, clock_skew_table, projected_skew_fraction
 
+import pytest
+
+#: figure-reproduction benchmarks are tier-2: heavy, skipped by tier-1
+pytestmark = pytest.mark.slow
+
 
 def test_table1_clock_skew_trends(benchmark):
     table = benchmark(clock_skew_table)

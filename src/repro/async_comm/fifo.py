@@ -49,9 +49,28 @@ class MixedClockFifo(Channel):
         self.consumer_clock = consumer_clock
         self._data_sync = Synchronizer(consumer_clock, depth=consumer_sync)
         self._space_sync = Synchronizer(producer_clock, depth=producer_sync)
+        # Inlined synchronizer parameters: push/pop are the hottest FIFO
+        # operations, so the per-entry visibility times are computed inline
+        # from these precomputed constants instead of through the
+        # Synchronizer objects (same arithmetic, same floats).
+        self._data_phase = consumer_clock.phase
+        self._data_period = consumer_clock.period
+        self._data_latency = consumer_sync * consumer_clock.period
+        self._space_phase = producer_clock.phase
+        self._space_period = producer_clock.period
+        self._space_latency = producer_sync * producer_clock.period
+        # same-cycle synchronizer caches: every push (pop) within one producer
+        # (consumer) cycle maps to the same capturing edge, so remember the
+        # last mapping instead of re-deriving it per item
+        self._last_push_time = -1.0
+        self._last_push_visible = 0.0
+        self._last_pop_time = -1.0
+        self._last_pop_visible = 0.0
         # entries: (item, push_time, visible_to_consumer_at)
         self._entries: Deque[Tuple[Any, float, float]] = deque()
-        # times at which freed slots become visible to the producer
+        # times at which freed slots become visible to the producer; pops
+        # happen at non-decreasing simulation times and the synchronizer
+        # mapping is monotonic, so this deque is always sorted ascending
         self._pending_space: Deque[float] = deque()
 
     # -------------------------------------------------------------- producer
@@ -60,43 +79,125 @@ class MixedClockFifo(Channel):
         """Number of items physically present in the FIFO."""
         return len(self._entries)
 
+    def sample_occupancy(self) -> None:
+        self.occupancy_samples += 1
+        self.occupancy_accum += len(self._entries)
+
     def apparent_occupancy(self, time: float) -> int:
         """Occupancy as seen by the producer (full flag synchronization).
 
         Slots freed by the consumer less than ``producer_sync`` producer cycles
         ago are not yet visible, so the FIFO may appear fuller than it is.
+        Read-only: safe to call with any probe time.
         """
-        hidden_free = sum(1 for t in self._pending_space if t > time)
+        pending = self._pending_space
+        hidden_free = len(pending)
+        for visible_at in pending:      # sorted ascending
+            if visible_at <= time:
+                hidden_free -= 1
+            else:
+                break
         return len(self._entries) + hidden_free
 
     def can_push(self, time: float) -> bool:
-        return self.apparent_occupancy(time) < self.capacity
+        # Destructively expires visible space: callers are the producer
+        # pipeline, which only ever probes at the current (non-decreasing)
+        # simulation time.  ``_pending_space`` is sorted ascending.
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        return len(self._entries) + len(pending) < self.capacity
 
     def push(self, item: Any, time: float) -> None:
-        if not self.can_push(time):
+        # inline can_push: expire visible space, then bound-check
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        if len(self._entries) + len(pending) >= self.capacity:
             raise OverflowError(f"push into apparently-full FIFO {self.name!r}")
-        visible_at = self._data_sync.observable_at(time)
-        self._entries.append((item, time, visible_at))
+        if time == self._last_push_time:
+            visible = self._last_push_visible
+        else:
+            # inline Synchronizer.observable_at(consumer clock)
+            phase = self._data_phase
+            if time < phase:
+                first_edge = phase
+            else:
+                period = self._data_period
+                first_edge = phase + (int((time - phase) / period) + 1) * period
+            visible = first_edge + self._data_latency
+            self._last_push_time = time
+            self._last_push_visible = visible
+        self._entries.append((item, time, visible))
         self.push_count += 1
+        box = self._transfer_box
+        if box is not None:
+            box[0] += 1
 
     # -------------------------------------------------------------- consumer
     def can_pop(self, time: float) -> bool:
-        self._expire_space(time)
-        return bool(self._entries) and self._entries[0][2] <= time
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        entries = self._entries
+        return bool(entries) and entries[0][2] <= time
 
     def peek(self, time: float) -> Any:
         if not self.can_pop(time):
             raise LookupError(f"peek on (apparently) empty FIFO {self.name!r}")
         return self._entries[0][0]
 
-    def pop(self, time: float) -> Any:
-        if not self.can_pop(time):
-            raise LookupError(f"pop on (apparently) empty FIFO {self.name!r}")
-        item, pushed_at, _visible = self._entries.popleft()
-        self.last_pop_wait = max(0.0, time - pushed_at)
-        self.total_wait += self.last_pop_wait
+    def _space_visible_at(self, time: float) -> float:
+        """Producer-side visibility time of a slot freed at ``time``."""
+        if time == self._last_pop_time:
+            return self._last_pop_visible
+        # inline Synchronizer.observable_at(producer clock)
+        phase = self._space_phase
+        if time < phase:
+            first_edge = phase
+        else:
+            period = self._space_period
+            first_edge = phase + (int((time - phase) / period) + 1) * period
+        visible = first_edge + self._space_latency
+        self._last_pop_time = time
+        self._last_pop_visible = visible
+        return visible
+
+    def pop_ready(self, time: float) -> Any:
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        entries = self._entries
+        if not entries or entries[0][2] > time:
+            return None
+        item, pushed_at, _visible = entries.popleft()
+        wait = time - pushed_at
+        if wait < 0.0:
+            wait = 0.0
+        self.last_pop_wait = wait
+        self.total_wait += wait
         self.pop_count += 1
-        self._pending_space.append(self._space_sync.observable_at(time))
+        pending.append(self._space_visible_at(time))
+        box = self._transfer_box
+        if box is not None:
+            box[0] += 1
+        return item
+
+    def pop(self, time: float) -> Any:
+        entries = self._entries
+        if not entries or entries[0][2] > time:
+            raise LookupError(f"pop on (apparently) empty FIFO {self.name!r}")
+        item, pushed_at, _visible = entries.popleft()
+        wait = time - pushed_at
+        if wait < 0.0:
+            wait = 0.0
+        self.last_pop_wait = wait
+        self.total_wait += wait
+        self.pop_count += 1
+        self._pending_space.append(self._space_visible_at(time))
+        box = self._transfer_box
+        if box is not None:
+            box[0] += 1
         return item
 
     def _expire_space(self, time: float) -> None:

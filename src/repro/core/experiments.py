@@ -20,8 +20,11 @@ instead.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..isa.trace import ListTraceSource
 from ..power.voltage import ideal_synchronous_energy
@@ -38,6 +41,55 @@ from .processor import build_base_processor, build_gals_processor
 #: few thousand instructions per run keep the harness fast while preserving
 #: the relative behaviour.
 DEFAULT_INSTRUCTIONS = 3000
+
+#: Environment variable selecting the default worker count of the parallel
+#: experiment runner.  Unset -> one worker per CPU; "1" -> serial.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+# ------------------------------------------------------------ parallel runner
+def default_jobs() -> int:
+    """Worker count for experiment sweeps (REPRO_JOBS, else cpu count)."""
+    value = os.environ.get(JOBS_ENV_VAR)
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {value!r}")
+    return os.cpu_count() or 1
+
+
+def _call_star(job: Tuple[Callable, tuple]) -> Any:
+    """Top-level trampoline so (function, args) tuples pickle cleanly."""
+    function, args = job
+    return function(*args)
+
+
+def _run_jobs(function: Callable, argument_tuples: Sequence[tuple],
+              jobs: Optional[int] = None) -> List[Any]:
+    """Run ``function(*args)`` for each argument tuple, in order.
+
+    Every experiment run is fully independent (a fresh Processor, engine and
+    workload per run), so sweeps fan out over a ``ProcessPoolExecutor``.
+    Results are returned in submission order and are identical to the serial
+    path -- each run's determinism depends only on its own seeds.  Falls back
+    to serial execution when only one worker is useful or when worker
+    processes cannot be spawned (restricted environments).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(jobs, len(argument_tuples))
+    if jobs <= 1:
+        return [function(*args) for args in argument_tuples]
+    payload = [(function, args) for args in argument_tuples]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            return list(executor.map(_call_star, payload))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # Pool infrastructure failure (e.g. sandboxes without fork/sem
+        # support) -- run serially instead.  Exceptions raised by the
+        # experiment itself propagate unchanged.
+        return [function(*args) for args in argument_tuples]
 
 
 @dataclass
@@ -111,11 +163,18 @@ def baseline_comparison(benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
                         num_instructions: int = DEFAULT_INSTRUCTIONS,
                         config: ProcessorConfig = DEFAULT_CONFIG,
                         seed: int = 1,
-                        phase_seed: int = 0) -> List[ComparisonRow]:
-    """Experiment set 1: base vs GALS at equal clocks for a benchmark list."""
-    return [run_pair(benchmark, num_instructions, config, seed=seed,
-                     phase_seed=phase_seed)
-            for benchmark in benchmarks]
+                        phase_seed: int = 0,
+                        jobs: Optional[int] = None) -> List[ComparisonRow]:
+    """Experiment set 1: base vs GALS at equal clocks for a benchmark list.
+
+    Runs fan out over a process pool (``jobs`` workers; default REPRO_JOBS or
+    the CPU count) and the result list matches the serial path exactly.
+    """
+    return _run_jobs(
+        run_pair,
+        [(benchmark, num_instructions, config, None, None, seed, phase_seed)
+         for benchmark in benchmarks],
+        jobs=jobs)
 
 
 def average_performance_drop(rows: Iterable[ComparisonRow]) -> float:
@@ -176,11 +235,18 @@ def slowdown_sweep(benchmark: str,
                    policies: Sequence[SlowdownPolicy],
                    num_instructions: int = DEFAULT_INSTRUCTIONS,
                    config: ProcessorConfig = DEFAULT_CONFIG,
-                   seed: int = 1) -> List[DvfsResult]:
-    """Run a list of slowdown policies on one benchmark (Figure 12 sweep)."""
-    return [selective_slowdown(benchmark, policy, num_instructions, config,
-                               seed=seed)
-            for policy in policies]
+                   seed: int = 1,
+                   jobs: Optional[int] = None) -> List[DvfsResult]:
+    """Run a list of slowdown policies on one benchmark (Figure 12 sweep).
+
+    Each policy's base+GALS pair is independent, so the sweep uses the
+    parallel runner (see :func:`baseline_comparison`).
+    """
+    return _run_jobs(
+        selective_slowdown,
+        [(benchmark, policy, num_instructions, config, seed)
+         for policy in policies],
+        jobs=jobs)
 
 
 # -------------------------------------------------------------- phase studies
@@ -188,19 +254,26 @@ def phase_sensitivity(benchmark: str = "perl",
                       phase_seeds: Sequence[int] = (0, 1, 2, 3, 4),
                       num_instructions: int = DEFAULT_INSTRUCTIONS,
                       config: ProcessorConfig = DEFAULT_CONFIG,
-                      seed: int = 1) -> Dict[str, float]:
+                      seed: int = 1,
+                      jobs: Optional[int] = None) -> Dict[str, float]:
     """Sensitivity of GALS performance to relative clock phases (§5.1).
 
     The paper observes a variation of the order of 0.5 % when all clocks run
     at the same frequency with random relative phases.  Returns the relative
-    performance for each phase seed plus its spread.
+    performance for each phase seed plus its spread.  The per-phase GALS runs
+    are independent and use the parallel runner.
     """
     base = run_single(benchmark, "base", num_instructions, config, None, seed)
-    performances = {}
-    for phase_seed in phase_seeds:
-        gals = run_single(benchmark, "gals", num_instructions, config,
-                          uniform_plan(phase_seed=phase_seed), seed)
-        performances[f"phase-{phase_seed}"] = base.elapsed_ns / gals.elapsed_ns
+    gals_runs = _run_jobs(
+        run_single,
+        [(benchmark, "gals", num_instructions, config,
+          uniform_plan(phase_seed=phase_seed), seed)
+         for phase_seed in phase_seeds],
+        jobs=jobs)
+    performances = {
+        f"phase-{phase_seed}": base.elapsed_ns / gals.elapsed_ns
+        for phase_seed, gals in zip(phase_seeds, gals_runs)
+    }
     values = list(performances.values())
     performances["spread"] = (max(values) - min(values)) / arithmetic_mean(values)
     return performances

@@ -17,8 +17,9 @@ the only differences -- exactly as in the paper -- are
 
 from __future__ import annotations
 
+import gc
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..async_comm.fifo import MixedClockFifo
 from ..isa.trace import ListTraceSource
@@ -51,19 +52,27 @@ GALS_PROCESSOR = "gals"
 
 
 class _FifoActivityProbe:
-    """Per-cycle probe translating FIFO pushes/pops into power-model activity."""
+    """Per-cycle probe translating FIFO pushes/pops into power-model activity.
+
+    The mixed-clock FIFOs increment one shared counter cell on every push and
+    pop, so the probe reads a single integer per cycle instead of re-summing
+    the push/pop statistics of every channel.
+    """
 
     def __init__(self, channels: Iterable[Channel], activity: ActivityCounters) -> None:
-        self._channels = [c for c in channels if c.counts_as_fifo]
+        self._box = [0]
+        for channel in channels:
+            if channel.counts_as_fifo:
+                channel.attach_transfer_counter(self._box)
         self._activity = activity
         self._last_transfer_count = 0
 
     def clock_edge(self, cycle: int, time: float) -> None:
-        transfers = sum(c.push_count + c.pop_count for c in self._channels)
+        transfers = self._box[0]
         delta = transfers - self._last_transfer_count
-        self._last_transfer_count = transfers
         if delta > 0:
-            self._activity.record("fifo", delta)
+            self._last_transfer_count = transfers
+            self._activity._pending["fifo"] += delta
 
 
 class Processor:
@@ -77,6 +86,7 @@ class Processor:
         gals: bool = True,
         workload=None,
         name: Optional[str] = None,
+        engine: Optional[SimulationEngine] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -86,7 +96,15 @@ class Processor:
         self.kind = GALS_PROCESSOR if gals else BASE_PROCESSOR
         self.name = name or f"{self.kind}-{trace.name}"
 
-        self.engine = SimulationEngine()
+        #: injectable for A/B testing scheduler implementations (the
+        #: wheel-vs-generic equivalence test and the perf benchmarks)
+        self.engine = engine if engine is not None else SimulationEngine()
+        #: forwarding latencies are pure functions of the clock plan, which
+        #: is immutable once the domains are bound (apply_slowdown refuses to
+        #: run on a bound domain, and a Processor simulates exactly once), so
+        #: this cache -- and the per-unit copies in CommitUnit/IssueQueue --
+        #: can never go stale within a run
+        self._forwarding_cache: Dict[Tuple[str, str], float] = {}
         self.activity = ActivityCounters()
         self.stats = SimulationStats()
         self.epoch = 0
@@ -341,12 +359,20 @@ class Processor:
         and synchronized, costing ``fifo_sync_cycles`` consumer cycles plus an
         average half-cycle of arrival misalignment.
         """
-        if producer_domain == consumer_domain or not self.gals:
-            return 0.0
-        consumer = self.domains.get(consumer_domain)
-        if consumer is None:
-            return 0.0
-        return self.config.forwarding_sync_cycles * consumer.period
+        cache = self._forwarding_cache
+        key = (producer_domain, consumer_domain)
+        latency = cache.get(key)
+        if latency is None:
+            if producer_domain == consumer_domain or not self.gals:
+                latency = 0.0
+            else:
+                consumer = self.domains.get(consumer_domain)
+                if consumer is None:
+                    latency = 0.0
+                else:
+                    latency = self.config.forwarding_sync_cycles * consumer.period
+            cache[key] = latency
+        return latency
 
     # -------------------------------------------------------------- recovery
     def _recover(self, branch: DynamicInstruction, now: float) -> None:
@@ -384,10 +410,22 @@ class Processor:
         if max_time_ns is None:
             max_time_ns = (total_instructions * 25 + 20_000) * self.plan.base_period
 
-        def finished() -> bool:
-            return self.stats.committed >= total_instructions
-
-        self.engine.run(until=max_time_ns, stop_condition=finished)
+        # Stop exactly at the event during which the last instruction commits
+        # -- equivalent to a per-event stop_condition, but paid once per
+        # commit instead of once per event.
+        self.stats.commit_target = total_instructions
+        self.stats.on_target = self.engine.stop
+        # The simulation allocates short-lived objects at a rate that makes
+        # generational GC sweeps a measurable fraction of the run; disable
+        # collection for the (bounded) run and restore afterwards.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.engine.run(until=max_time_ns)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         elapsed = (self.stats.last_commit_time if self.stats.committed
                    else self.engine.now)
         return self._collect_result(elapsed)
@@ -406,22 +444,31 @@ class Processor:
         line = self.memory.config.line_size
         seen_code = set()
         seen_data = set()
+        add_code = seen_code.add
+        add_data = seen_data.add
+        fetch_access = self.memory.fetch_access
+        load_access = self.memory.load_access
+        branch_unit = self.branch_unit
+        predict = branch_unit.predict
+        resolve = branch_unit.resolve
+        btb_update = branch_unit.btb.update
         for instr in self.trace:
-            code_line = instr.pc // line
+            pc = instr.pc
+            code_line = pc // line
             if code_line not in seen_code:
-                seen_code.add(code_line)
-                self.memory.fetch_access(instr.pc)
-            if instr.mem_address is not None:
-                data_line = instr.mem_address // line
+                add_code(code_line)
+                fetch_access(pc)
+            mem_address = instr.mem_address
+            if mem_address is not None:
+                data_line = mem_address // line
                 if data_line not in seen_data:
-                    seen_data.add(data_line)
-                    self.memory.load_access(instr.mem_address)
+                    add_data(data_line)
+                    load_access(mem_address)
             if instr.is_branch:
-                predicted, _ = self.branch_unit.predict(instr.pc)
-                self.branch_unit.resolve(instr.pc, instr.taken, predicted,
-                                         instr.target_pc)
-            elif instr.is_control and instr.target_pc is not None:
-                self.branch_unit.btb.update(instr.pc, instr.target_pc)
+                predicted, _ = predict(pc)
+                resolve(pc, instr.taken, predicted, instr.target_pc)
+            elif instr.target_pc is not None and instr.is_control:
+                btb_update(pc, instr.target_pc)
         self.memory.reset_stats()
         self.branch_unit.predictor.stats = type(self.branch_unit.predictor.stats)()
 

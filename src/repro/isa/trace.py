@@ -17,7 +17,7 @@ from typing import Iterator, Optional, Tuple
 from .instructions import InstructionClass
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceInstruction:
     """One correct-path dynamic instruction."""
 
@@ -100,10 +100,12 @@ class ListTraceSource(InstructionSource):
         return self._instructions[self._position]
 
     def next(self) -> Optional[TraceInstruction]:
-        instr = self.peek()
-        if instr is not None:
-            self._position += 1
-        return instr
+        position = self._position
+        instructions = self._instructions
+        if position >= len(instructions):
+            return None
+        self._position = position + 1
+        return instructions[position]
 
     def exhausted(self) -> bool:
         return self._position >= len(self._instructions)

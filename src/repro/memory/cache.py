@@ -76,8 +76,9 @@ class _CacheSet:
         self.policy = policy
 
     def lookup(self, tag: int) -> Optional[int]:
-        for way, (stored, valid) in enumerate(zip(self.tags, self.valid)):
-            if valid and stored == tag:
+        valid = self.valid
+        for way, stored in enumerate(self.tags):
+            if stored == tag and valid[way]:
                 return way
         return None
 
@@ -104,13 +105,16 @@ class Cache:
         self.stats = CacheStats()
         self._replacement_name = replacement
         self._sets: Dict[int, _CacheSet] = {}
+        # addressing constants hoisted off the geometry properties
+        self._line_size = self.geometry.line_size
+        self._num_sets = self.geometry.num_sets
+        self._assoc = self.geometry.associativity
 
     # ------------------------------------------------------------ addressing
     def _index_and_tag(self, address: int) -> tuple:
-        line = address // self.geometry.line_size
-        index = line % self.geometry.num_sets
-        tag = line // self.geometry.num_sets
-        return index, tag
+        line = address // self._line_size
+        num_sets = self._num_sets
+        return line % num_sets, line // num_sets
 
     def _set_for(self, index: int) -> _CacheSet:
         cache_set = self._sets.get(index)
@@ -126,18 +130,29 @@ class Cache:
         """Access ``address``; returns total latency in cycles.
 
         On a miss the line is fetched from the next level (whose latency is
-        added) and installed; a dirty victim adds a writeback.
+        added) and installed; a dirty victim adds a writeback.  The hit path
+        (one access per fetch cycle plus every load/store) is fully inlined.
         """
-        self.stats.accesses += 1
-        index, tag = self._index_and_tag(address)
-        cache_set = self._set_for(index)
-        way = cache_set.lookup(tag)
-        if way is not None:
-            self.stats.hits += 1
-            cache_set.policy.on_access(way)
-            if is_write:
-                cache_set.dirty[way] = True
-            return self.hit_latency
+        stats = self.stats
+        stats.accesses += 1
+        line = address // self._line_size
+        num_sets = self._num_sets
+        index = line % num_sets
+        tag = line // num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._set_for(index)
+        tags = cache_set.tags
+        valid = cache_set.valid
+        for way in range(self._assoc):
+            if tags[way] == tag and valid[way]:
+                stats.hits += 1
+                if self._assoc > 1:
+                    # single-way sets have no replacement state to update
+                    cache_set.policy.on_access(way)
+                if is_write:
+                    cache_set.dirty[way] = True
+                return self.hit_latency
 
         # miss
         self.stats.misses += 1

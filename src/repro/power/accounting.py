@@ -62,11 +62,18 @@ class PowerAccountant:
         self.activity = activity
         self.tech = tech
         self._blocks_by_domain: Dict[str, List[BlockEnergyModel]] = {}
+        #: per-domain list of [name, model, memo] cells, parallel to
+        #: ``_blocks_by_domain`` -- memo caches cycle_energy by access count
+        self._cells_by_domain: Dict[str, List[list]] = {}
         self._domains: Dict[str, ClockDomain] = {}
         self._block_domain: Dict[str, str] = {}
         self.energy_by_block: Dict[str, float] = {}
-        self.cycles_by_domain: Dict[str, int] = {}
         self._last_edge_time: float = 0.0
+
+    @property
+    def cycles_by_domain(self) -> Dict[str, int]:
+        """Edges charged per domain (the domains' own cycle counters)."""
+        return {name: domain.cycle for name, domain in self._domains.items()}
 
     # ------------------------------------------------------------ registration
     def register_block(self, model: BlockEnergyModel, domain: ClockDomain) -> None:
@@ -74,28 +81,71 @@ class PowerAccountant:
         if model.name in self._block_domain:
             raise ValueError(f"block {model.name!r} registered twice")
         self._blocks_by_domain.setdefault(domain.name, []).append(model)
+        self._cells_by_domain.setdefault(domain.name, []).append(
+            [model.name, model, {}, model.gated])
         self._block_domain[model.name] = domain.name
         self.energy_by_block[model.name] = 0.0
         if domain.name not in self._domains:
             self._domains[domain.name] = domain
-            self.cycles_by_domain[domain.name] = 0
             domain.add_edge_hook(self._make_edge_hook(domain))
 
     def _make_edge_hook(self, domain: ClockDomain):
-        def hook(cycle: int, time: float) -> None:
-            self._on_edge(domain, time)
-        return hook
+        """Build the per-edge accounting closure for one clock domain.
 
-    # ------------------------------------------------------------- accounting
-    def _on_edge(self, domain: ClockDomain, time: float) -> None:
-        self.cycles_by_domain[domain.name] = self.cycles_by_domain.get(domain.name, 0) + 1
-        self._last_edge_time = max(self._last_edge_time, time)
-        vdd = domain.voltage
-        for model in self._blocks_by_domain.get(domain.name, ()):
-            accesses = self.activity.drain(model.name)
-            self.energy_by_block[model.name] = (
-                self.energy_by_block.get(model.name, 0.0)
-                + model.cycle_energy(accesses, vdd, self.tech))
+        ``cycle_energy`` is a pure function of the access count for a fixed
+        block, supply voltage and technology, and per-cycle access counts are
+        tiny integers, so each block keeps a memo of exact cycle energies by
+        access count (invalidated if the domain voltage ever changes).  The
+        closure charges a whole edge with one dict lookup per block instead of
+        re-deriving capacitance scaling every cycle.
+        """
+        domain_name = domain.name
+        cells = self._cells_by_domain.setdefault(domain_name, [])
+        pending = self.activity._pending
+        totals = self.activity._totals
+        energy = self.energy_by_block
+        tech = self.tech
+        # Rebuilt whenever the voltage or the block set changes:
+        # state = [vdd, cell_count, gated_cells, ungated_pairs] with
+        # gated_cells: (name, model, memo); ungated_pairs: (name, cycle_e)
+        state = [None, 0, (), ()]
+
+        def rebuild(vdd: float) -> None:
+            gated_cells = []
+            ungated_pairs = []
+            for name, model, memo, gated in cells:
+                memo.clear()
+                if gated:
+                    gated_cells.append((name, model, memo))
+                else:
+                    # always-on blocks (clock grids): cycle energy ignores
+                    # the access count and nothing records activity for them
+                    ungated_pairs.append((name, model.cycle_energy(0, vdd, tech)))
+            state[0] = vdd
+            state[1] = len(cells)
+            state[2] = gated_cells
+            state[3] = ungated_pairs
+
+        def hook(cycle: int, time: float) -> None:
+            if time > self._last_edge_time:
+                self._last_edge_time = time
+            vdd = domain.voltage
+            if vdd != state[0] or len(cells) != state[1]:
+                rebuild(vdd)
+            for name, model, memo in state[2]:
+                accesses = pending[name]   # defaultdict: seeds missing with 0
+                if accesses:
+                    pending[name] = 0
+                    totals[name] += accesses
+                cycle_e = memo.get(accesses)
+                if cycle_e is None:
+                    cycle_e = model.cycle_energy(accesses, vdd, tech)
+                    memo[accesses] = cycle_e
+                energy[name] += cycle_e
+            for name, cycle_e in state[3]:
+                energy[name] += cycle_e
+
+        return hook
 
     # ----------------------------------------------------------------- results
     def total_energy(self) -> float:

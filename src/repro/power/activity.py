@@ -14,7 +14,12 @@ from typing import Dict
 
 
 class ActivityCounters:
-    """Shared access counters, split into per-cycle (pending) and cumulative."""
+    """Shared access counters, split into per-cycle (pending) and cumulative.
+
+    ``record`` is called several times per pipeline stage per cycle, so it
+    performs a single dictionary update: pending counts are folded into the
+    cumulative totals when they are drained (or read), not on every record.
+    """
 
     def __init__(self) -> None:
         self._pending: Dict[str, int] = defaultdict(int)
@@ -22,18 +27,18 @@ class ActivityCounters:
 
     def record(self, block: str, count: int = 1) -> None:
         """Record ``count`` accesses to ``block`` in the current cycle."""
-        if count < 0:
+        if count <= 0:
+            if count == 0:
+                return
             raise ValueError("access count must be non-negative")
-        if count == 0:
-            return
         self._pending[block] += count
-        self._totals[block] += count
 
     def drain(self, block: str) -> int:
         """Return and clear the pending (current-cycle) count for ``block``."""
         count = self._pending.get(block, 0)
         if count:
             self._pending[block] = 0
+            self._totals[block] += count
         return count
 
     def pending(self, block: str) -> int:
@@ -41,12 +46,16 @@ class ActivityCounters:
         return self._pending.get(block, 0)
 
     def total(self, block: str) -> int:
-        """Cumulative access count for ``block``."""
-        return self._totals.get(block, 0)
+        """Cumulative access count for ``block`` (drained + still pending)."""
+        return self._totals.get(block, 0) + self._pending.get(block, 0)
 
     def totals(self) -> Dict[str, int]:
-        """Copy of all cumulative counts."""
-        return dict(self._totals)
+        """Copy of all cumulative counts (drained + still pending)."""
+        merged = dict(self._totals)
+        for block, count in self._pending.items():
+            if count:
+                merged[block] = merged.get(block, 0) + count
+        return merged
 
     def reset(self) -> None:
         self._pending.clear()

@@ -35,6 +35,10 @@ class Channel:
             raise ValueError(f"channel {name!r}: capacity must be positive")
         self.name = name
         self.capacity = capacity
+        #: optional shared one-element transfer counter ([pushes + pops]),
+        #: incremented inline by channels that support it so per-cycle power
+        #: probes read one cell instead of re-summing every channel
+        self._transfer_box: Optional[list] = None
         # statistics
         self.push_count = 0
         self.pop_count = 0
@@ -69,6 +73,10 @@ class Channel:
         """Note that a producer wanted to push but the channel appeared full."""
         self.full_stall_count += 1
 
+    def attach_transfer_counter(self, box: list) -> None:
+        """Share a one-element list that push/pop increment (power probes)."""
+        self._transfer_box = box
+
     # ------------------------------------------------------------- interface
     @property
     def occupancy(self) -> int:  # pragma: no cover - overridden
@@ -82,6 +90,13 @@ class Channel:
 
     def can_pop(self, time: float) -> bool:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def pop_ready(self, time: float) -> Any:
+        """Pop and return the next consumable item, or None when nothing is
+        visible yet (fused can_pop + pop for the per-cycle drain loops)."""
+        if self.can_pop(time):
+            return self.pop(time)
+        return None
 
     def peek(self, time: float) -> Any:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -119,9 +134,10 @@ class SyncQueue(Channel):
         return len(self._entries) < self.capacity
 
     def push(self, item: Any, time: float) -> None:
-        if not self.can_push(time):
+        entries = self._entries
+        if len(entries) >= self.capacity:
             raise OverflowError(f"push into full channel {self.name!r}")
-        self._entries.append((item, time))
+        entries.append((item, time))
         self.push_count += 1
 
     def can_pop(self, time: float) -> bool:
@@ -136,8 +152,28 @@ class SyncQueue(Channel):
         if not self._entries:
             raise LookupError(f"pop on empty channel {self.name!r}")
         item, pushed_at = self._entries.popleft()
-        self.last_pop_wait = max(0.0, time - pushed_at)
-        self.total_wait += self.last_pop_wait
+        wait = time - pushed_at
+        if wait < 0.0:
+            wait = 0.0
+        self.last_pop_wait = wait
+        self.total_wait += wait
+        self.pop_count += 1
+        return item
+
+    def sample_occupancy(self) -> None:
+        self.occupancy_samples += 1
+        self.occupancy_accum += len(self._entries)
+
+    def pop_ready(self, time: float) -> Any:
+        entries = self._entries
+        if not entries:
+            return None
+        item, pushed_at = entries.popleft()
+        wait = time - pushed_at
+        if wait < 0.0:
+            wait = 0.0
+        self.last_pop_wait = wait
+        self.total_wait += wait
         self.pop_count += 1
         return item
 

@@ -103,6 +103,9 @@ class ClockDomain:
         self.cycle = 0
         self._components: List[ClockedComponent] = []
         self._edge_hooks: List[Callable[[int, float], None]] = []
+        #: flat call list ticked per edge: every component's bound
+        #: ``clock_edge`` followed by every edge hook, in registration order
+        self._edge_callbacks: List[Callable[[int, float], None]] = []
         self._engine: Optional[SimulationEngine] = None
 
     # ------------------------------------------------------------ composition
@@ -121,6 +124,7 @@ class ClockDomain:
     def add_component(self, component: ClockedComponent) -> None:
         """Register a component to be ticked on every rising edge."""
         self._components.append(component)
+        self._rebuild_edge_callbacks()
 
     def add_edge_hook(self, hook: Callable[[int, float], None]) -> None:
         """Register a callback ``hook(cycle, time)`` run after components tick.
@@ -128,15 +132,33 @@ class ClockDomain:
         Used by the power accountant to close out per-cycle energy.
         """
         self._edge_hooks.append(hook)
+        self._rebuild_edge_callbacks()
+
+    def _rebuild_edge_callbacks(self) -> None:
+        # mutated in place: the bound edge closure captures the list object
+        self._edge_callbacks[:] = (
+            [component.clock_edge for component in self._components]
+            + list(self._edge_hooks))
 
     # --------------------------------------------------------------- clocking
     def bind(self, engine: SimulationEngine) -> None:
         """Attach this domain to an engine by scheduling its periodic edge event."""
         self._engine = engine
+        callbacks = self._edge_callbacks
+
+        def on_edge(_param: object, domain=self, engine=engine,
+                    callbacks=callbacks) -> None:
+            # specialised _on_edge: engine and callback list pre-bound
+            time = engine._now
+            cycle = domain.cycle
+            for callback in callbacks:
+                callback(cycle, time)
+            domain.cycle = cycle + 1
+
         engine.schedule_periodic(
             start=self.clock.phase,
             period=self.clock.period,
-            callback=self._on_edge,
+            callback=on_edge,
             priority=self.priority,
             name=f"clock:{self.clock.name}",
         )
@@ -148,12 +170,12 @@ class ClockDomain:
             self._engine = None
 
     def _on_edge(self, _param: object) -> None:
-        time = self._engine.now if self._engine is not None else 0.0
-        for component in self._components:
-            component.clock_edge(self.cycle, time)
-        for hook in self._edge_hooks:
-            hook(self.cycle, time)
-        self.cycle += 1
+        engine = self._engine
+        time = engine._now if engine is not None else 0.0
+        cycle = self.cycle
+        for callback in self._edge_callbacks:
+            callback(cycle, time)
+        self.cycle = cycle + 1
 
     # ------------------------------------------------------------------ DVFS
     def apply_slowdown(self, slowdown: float, voltage: Optional[float] = None) -> None:

@@ -13,6 +13,23 @@ Typical use::
     engine.schedule_periodic(start=1.0, period=3.0, callback=clock2_logic)
     engine.schedule_periodic(start=0.0, period=2.5, callback=clock3_logic)
     engine.run(until=100.0)
+
+Fast path
+---------
+
+A GALS run consists almost entirely of a handful of periodic clock-edge
+events; one-shot events are rare.  The engine therefore keeps the periodic
+events on a *clock wheel* -- a small list of chain records, one per clock,
+each holding the chain's next edge time -- and merges the general-purpose
+heap (one-shots, aperiodic events) into it only when the heap is non-empty.
+Advancing a clock is then one C-level ``min()`` over the wheel plus a float
+add, instead of a heap pop, an ``Event`` allocation and a heap push per edge.
+
+Edge times are produced by the same repeated ``time += period`` float
+addition the generic heap path uses, so the two paths are bit-identical:
+identical seeds produce identical event orders, timestamps, and therefore
+identical ``SimulationResult`` statistics (``use_wheel=False`` forces the
+generic path; a regression test asserts the equivalence).
 """
 
 from __future__ import annotations
@@ -20,7 +37,13 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, List, Optional
 
-from .event import Event, SimulationError
+from .event import (CHAIN_CALLBACK, CHAIN_CANCELLED, CHAIN_HANDLE, CHAIN_NAME,
+                    CHAIN_PARAM, CHAIN_PERIOD, CHAIN_PRIORITY, CHAIN_SEQ,
+                    CHAIN_TIME, Event, SimulationError, _SEQUENCE)
+
+#: Compact the heap once at least this many cancelled events are rotting in it
+#: (and they make up the majority of the queue).
+_COMPACT_THRESHOLD = 64
 
 
 class SimulationEngine:
@@ -28,14 +51,28 @@ class SimulationEngine:
 
     Time is a float in nanoseconds by convention throughout the library,
     although the engine itself is unit-agnostic.
+
+    ``use_wheel=False`` disables the clock-wheel fast path and schedules
+    periodic events through the generic heap (the seed engine's behaviour);
+    both paths are deterministic and produce identical simulations.
     """
 
-    def __init__(self) -> None:
-        self._queue: List[Event] = []
+    def __init__(self, use_wheel: bool = True) -> None:
+        #: generic heap of (time, priority, seq, event) tuples
+        self._queue: List[tuple] = []
+        #: clock wheel: one chain record per periodic event (see event.py)
+        self._wheel: List[list] = []
+        self._use_wheel = use_wheel
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running: bool = False
         self._stop_requested: bool = False
+        self._cancelled_pending: int = 0
+        self._current_chain: Optional[list] = None
+        #: bumped on every wheel membership change; lets the run loop detect
+        #: mid-run schedule/cancel of periodic chains even when the wheel
+        #: length is unchanged
+        self._wheel_version: int = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -50,8 +87,10 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting in the queue (including cancelled)."""
-        return len(self._queue)
+        """Number of live events waiting to fire (cancelled events excluded)."""
+        live_chains = sum(1 for chain in self._wheel
+                          if not chain[CHAIN_CANCELLED])
+        return len(self._queue) - self._cancelled_pending + live_chains
 
     # ------------------------------------------------------------- scheduling
     def schedule(
@@ -63,13 +102,17 @@ class SimulationEngine:
         name: str = "",
     ) -> Event:
         """Schedule a one-shot event at absolute time ``time``."""
+        if callback is None:
+            raise SimulationError(
+                f"cannot schedule event {name!r} without a callback")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
         event = Event(time=time, priority=priority, callback=callback,
                       param=param, name=name)
-        heapq.heappush(self._queue, event)
+        event._cancel_hook = self._note_cancelled
+        heapq.heappush(self._queue, (time, priority, event.seq, event))
         return event
 
     def schedule_after(
@@ -98,11 +141,13 @@ class SimulationEngine:
 
         The first occurrence happens at absolute time ``start``; afterwards the
         event re-schedules itself every ``period`` time units until cancelled.
-        The returned handle refers to the *first* occurrence; cancelling it
-        before it fires stops the whole chain.  To stop an already-running
-        periodic chain use :meth:`cancel_chain` with the event name, or have
-        the callback raise :class:`StopIteration`.
+        The returned handle refers to the chain's next occurrence; cancelling
+        it stops the whole chain.  To stop an already-running periodic chain
+        use :meth:`cancel_chain` with the event name.
         """
+        if callback is None:
+            raise SimulationError(
+                f"cannot schedule periodic event {name!r} without a callback")
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         if start < self._now:
@@ -111,37 +156,148 @@ class SimulationEngine:
             )
         event = Event(time=start, priority=priority, callback=callback,
                       param=param, period=period, name=name)
-        heapq.heappush(self._queue, event)
+        if self._use_wheel:
+            chain = [start, priority, event.seq, callback, param, period,
+                     name, event, False]
+            event._chain = chain
+            self._wheel.append(chain)
+            self._wheel_version += 1
+        else:
+            event._cancel_hook = self._note_cancelled
+            heapq.heappush(self._queue, (start, priority, event.seq, event))
         return event
 
     def cancel_chain(self, name: str) -> int:
         """Cancel every pending event whose name matches ``name``.
 
         Returns the number of events cancelled.  Used to stop clock domains.
+        The chain occurrence currently firing is not pending and therefore not
+        cancelled (matching the generic path, where the firing event has
+        already been popped off the queue).
         """
         count = 0
-        for event in self._queue:
+        current = self._current_chain
+        for chain in self._wheel:
+            if (chain[CHAIN_NAME] == name and not chain[CHAIN_CANCELLED]
+                    and chain is not current):
+                chain[CHAIN_HANDLE].cancel()
+                count += 1
+        self._prune_wheel()
+        for _, _, _, event in self._queue:
             if event.name == name and not event.cancelled:
                 event.cancel()
                 count += 1
         return count
 
+    # ----------------------------------------------- cancelled-event plumbing
+    def _note_cancelled(self, _event: Event) -> None:
+        """Cancel hook for heap events: track rot, compact past a threshold."""
+        self._cancelled_pending += 1
+        if (self._cancelled_pending >= _COMPACT_THRESHOLD
+                and self._cancelled_pending * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap instead of letting them rot.
+
+        In place: ``run()``/``step()`` hold direct references to the list.
+        """
+        self._queue[:] = [entry for entry in self._queue
+                          if not entry[3].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+
+    def _prune_wheel(self) -> None:
+        """Remove cancelled chains (except the one currently firing)."""
+        current = self._current_chain
+        kept = [chain for chain in self._wheel
+                if not chain[CHAIN_CANCELLED] or chain is current]
+        if len(kept) != len(self._wheel):
+            self._wheel[:] = kept
+            self._wheel_version += 1
+
+    def _discard_chain(self, chain: list) -> None:
+        """Remove one chain from the wheel by identity (it may be gone
+        already if a callback pruned it via cancel_chain)."""
+        wheel = self._wheel
+        for index in range(len(wheel)):
+            if wheel[index] is chain:
+                del wheel[index]
+                self._wheel_version += 1
+                return
+
     # ------------------------------------------------------------------- run
     def step(self) -> Optional[Event]:
         """Execute the single next non-cancelled event.  Returns it, or None."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
-                raise SimulationError("event queue corrupted: time went backwards")
-            self._now = event.time
-            event.fire()
-            self._events_processed += 1
-            if event.is_periodic and not event.cancelled:
-                heapq.heappush(self._queue, event.next_occurrence())
-            return event
-        return None
+        queue = self._queue
+        wheel = self._wheel
+        while True:
+            chain = None
+            if wheel:
+                chain = min(wheel)
+                if chain[CHAIN_CANCELLED]:
+                    self._discard_chain(chain)
+                    continue
+            head = None
+            while queue:
+                head = queue[0]
+                if head[3].cancelled:
+                    heapq.heappop(queue)
+                    self._cancelled_pending -= 1
+                    head = None
+                    continue
+                break
+            if chain is None and head is None:
+                return None
+            if chain is not None and (
+                    head is None
+                    or (chain[0], chain[1], chain[2]) < (head[0], head[1], head[2])):
+                return self._fire_chain(chain)
+            heapq.heappop(queue)
+            return self._fire_heap_event(head[3])
+
+    def _fire_chain(self, chain: list) -> Event:
+        time = chain[CHAIN_TIME]
+        if time < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = time
+        self._current_chain = chain
+        chain[CHAIN_CALLBACK](chain[CHAIN_PARAM])
+        self._current_chain = None
+        self._events_processed += 1
+        handle = chain[CHAIN_HANDLE]
+        handle.time = time
+        if chain[CHAIN_CANCELLED]:
+            self._discard_chain(chain)
+        else:
+            # Fresh (seq, time) for the next occurrence, allocated after the
+            # callback -- exactly when the generic path allocates the
+            # rescheduled event -- so tie-breaking matches bit for bit.
+            chain[CHAIN_SEQ] = next(_SEQUENCE)
+            chain[CHAIN_TIME] = time + chain[CHAIN_PERIOD]
+            handle.seq = chain[CHAIN_SEQ]
+        return handle
+
+    def _fire_heap_event(self, event: Event) -> Event:
+        if event.time < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        # The event left the heap: a cancel() from here on must not count
+        # toward the heap's cancelled-rot bookkeeping.
+        event._cancel_hook = None
+        self._now = event.time
+        event.callback(event.param)
+        self._events_processed += 1
+        if event.period is not None and event.period > 0.0 and not event.cancelled:
+            # Re-arm the *same* event object (fresh time and seq, allocated
+            # after the callback exactly like the wheel path does), so the
+            # handle returned by schedule_periodic stays live: cancelling it
+            # stops the chain on both scheduler paths.
+            event.time = event.time + event.period
+            event.seq = next(_SEQUENCE)
+            event._cancel_hook = self._note_cancelled
+            heapq.heappush(self._queue,
+                           (event.time, event.priority, event.seq, event))
+        return event
 
     def run(
         self,
@@ -167,21 +323,105 @@ class SimulationEngine:
         """
         self._running = True
         self._stop_requested = False
-        processed_this_call = 0
+        processed = 0
+        queue = self._queue
+        wheel = self._wheel
+        next_seq = _SEQUENCE.__next__
+        events_done = self._events_processed
+        # Hoisted sentinels: "no limit" becomes +inf so the per-event checks
+        # are single float comparisons with no None tests.
+        horizon = float("inf") if until is None else until
+        event_limit = float("inf") if max_events is None else max_events
         try:
-            while self._queue and not self._stop_requested:
-                next_time = self._peek_time()
-                if until is not None and next_time is not None and next_time > until:
-                    self._now = until
-                    break
-                if self.step() is None:
-                    break
-                processed_this_call += 1
-                if stop_condition is not None and stop_condition():
-                    break
-                if max_events is not None and processed_this_call >= max_events:
-                    break
+            while not self._stop_requested:
+                if not queue and wheel:
+                    # ---- clock-wheel fast path: periodic events only ----
+                    # Equal-period wheels (the uniform GALS plan and the
+                    # synchronous machine) fire in a fixed rotation: float
+                    # rounding is monotonic, so per-chain `time += period`
+                    # never reorders chains, and exact-tie breaking by seq
+                    # agrees with the rotation because the chain that fired
+                    # first also drew its fresh seq first.  One hyperperiod
+                    # is simply one pass over the sorted chains, so the
+                    # merged edge schedule needs no priority queue at all.
+                    # The rotation is only valid while the next-edge times
+                    # span less than one period (guaranteed to persist once
+                    # true); chains started more than a period apart, and
+                    # unequal periods, fall back to a C-level min() over the
+                    # handful of chains (accumulated float edge times make a
+                    # precomputed rational-ratio pattern unsafe to trust
+                    # without re-verifying the order, which would cost the
+                    # same min() again).
+                    rotation = None
+                    period = wheel[0][5]
+                    priority = wheel[0][1]
+                    for chain in wheel:
+                        if chain[5] != period or chain[1] != priority:
+                            break
+                    else:
+                        rotation = sorted(wheel)
+                        if rotation[-1][0] - rotation[0][0] >= period:
+                            rotation = None
+                    index = 0
+                    wheel_size = len(wheel)
+                    wheel_version = self._wheel_version
+                    while not self._stop_requested:
+                        if rotation is not None:
+                            chain = rotation[index]
+                            index += 1
+                            if index == wheel_size:
+                                index = 0
+                        else:
+                            chain = min(wheel)
+                        if chain[8]:            # CHAIN_CANCELLED
+                            self._discard_chain(chain)
+                            break
+                        time = chain[0]         # CHAIN_TIME
+                        if time > horizon:
+                            self._now = until
+                            return self._now
+                        self._now = time
+                        self._current_chain = chain
+                        # callbacks observe the pre-event count, exactly as
+                        # on the generic path (step() increments after fire)
+                        self._events_processed = events_done
+                        chain[3](chain[4])      # CHAIN_CALLBACK(CHAIN_PARAM)
+                        self._current_chain = None
+                        events_done += 1
+                        if chain[8]:
+                            self._discard_chain(chain)
+                            break
+                        chain[2] = next_seq()       # CHAIN_SEQ
+                        chain[0] = time + chain[5]  # CHAIN_TIME += CHAIN_PERIOD
+                        processed += 1
+                        if stop_condition is not None:
+                            self._events_processed = events_done
+                            if stop_condition():
+                                return self._now
+                        if processed >= event_limit:
+                            return self._now
+                        if queue or self._wheel_version != wheel_version:
+                            break   # one-shots scheduled / chains changed
+                    self._events_processed = events_done
+                else:
+                    # ---- general path: one-shots pending, or wheel empty ----
+                    next_time = self._peek_time()
+                    if next_time is None:
+                        break
+                    if next_time > horizon:
+                        self._now = until
+                        break
+                    if self.step() is None:
+                        break
+                    events_done = self._events_processed
+                    processed += 1
+                    if stop_condition is not None and stop_condition():
+                        break
+                    if processed >= event_limit:
+                        break
         finally:
+            if events_done > self._events_processed:
+                self._events_processed = events_done
             self._running = False
         return self._now
 
@@ -190,24 +430,53 @@ class SimulationEngine:
         self._stop_requested = True
 
     def _peek_time(self) -> Optional[float]:
-        """Time of the next non-cancelled event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
-            return None
-        return self._queue[0].time
+        """Time of the next non-cancelled event, or None if none is pending."""
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+            self._cancelled_pending -= 1
+        best: Optional[float] = queue[0][0] if queue else None
+        for chain in self._wheel:
+            if not chain[CHAIN_CANCELLED]:
+                time = chain[CHAIN_TIME]
+                if best is None or time < best:
+                    best = time
+        return best
 
     # ------------------------------------------------------------------ misc
     def drain(self) -> Iterable[Event]:
         """Remove and yield all remaining events without executing them."""
+        remaining: List[Event] = []
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, _, event = heapq.heappop(self._queue)
+            event._cancel_hook = None   # no longer queued: detach bookkeeping
             if not event.cancelled:
-                yield event
+                remaining.append(event)
+        self._cancelled_pending = 0
+        for chain in self._wheel:
+            handle = chain[CHAIN_HANDLE]
+            handle._chain = None
+            if not chain[CHAIN_CANCELLED]:
+                handle.time = chain[CHAIN_TIME]
+                handle.seq = chain[CHAIN_SEQ]
+                remaining.append(handle)
+        if self._wheel:
+            self._wheel.clear()
+            self._wheel_version += 1
+        remaining.sort(key=lambda e: (e.time, e.priority, e.seq))
+        yield from remaining
 
     def reset(self) -> None:
         """Clear the queue and reset time to zero."""
+        for _, _, _, event in self._queue:
+            event._cancel_hook = None
+        for chain in self._wheel:
+            chain[CHAIN_HANDLE]._chain = None
         self._queue.clear()
+        self._wheel.clear()
+        self._wheel_version += 1
         self._now = 0.0
         self._events_processed = 0
         self._stop_requested = False
+        self._cancelled_pending = 0
+        self._current_chain = None

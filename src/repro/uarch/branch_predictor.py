@@ -102,20 +102,23 @@ class GSharePredictor(DirectionPredictor):
         self.history_bits = history_bits
         self._history = 0
         self._table: Dict[int, int] = {}
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = entries - 1
 
     def _index(self, pc: int) -> int:
-        history = self._history & ((1 << self.history_bits) - 1)
-        return ((pc >> 2) ^ history) & (self.entries - 1)
+        history = self._history & self._history_mask
+        return ((pc >> 2) ^ history) & self._index_mask
 
     def predict(self, pc: int) -> bool:
-        counter = self._table.get(self._index(pc), 2)
+        history = self._history & self._history_mask
+        counter = self._table.get(((pc >> 2) ^ history) & self._index_mask, 2)
         return counter >= 2
 
     def _train(self, pc: int, taken: bool) -> None:
         index = self._index(pc)
         counter = self._table.get(index, 2)
         self._table[index] = _saturate_up(counter) if taken else _saturate_down(counter)
-        self._history = ((self._history << 1) | int(taken)) & ((1 << self.history_bits) - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
 
 class BranchTargetBuffer:

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..core.metrics import _CLASS_VALUES
 from ..memory.hierarchy import MemoryHierarchy
 from .instruction import DynamicInstruction
 from .issue_queue import ForwardingLatency
+from .regfile import ALWAYS_READY as _ALWAYS_READY
 from .regfile import PhysicalRegisterFile
 from .rename import RegisterAliasTable
 from .rob import ReorderBuffer
@@ -47,6 +49,10 @@ class CommitUnit:
         self.domain_name = domain_name
         self.forwarding_latency = forwarding_latency
         self.activity = activity
+        #: direct handle on the per-cycle counters (see DecodeRenameUnit)
+        self._pending = activity._pending
+        #: exec-domain -> forwarding latency into the commit domain
+        self._fwd_cache: dict = {}
         self.stats = stats
         self.commit_width = commit_width
         # statistics local to the stage
@@ -55,55 +61,108 @@ class CommitUnit:
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
-        committed_this_cycle = 0
-        while committed_this_cycle < self.commit_width:
-            head = self.rob.head()
-            if head is None:
-                break
-            if not self._can_commit(head, time):
-                if committed_this_cycle == 0:
-                    self.commit_stall_cycles += 1
-                break
-            self._commit_one(head, time)
-            committed_this_cycle += 1
+        # Retirement is the per-instruction hot loop of the commit domain:
+        # the can-commit visibility check, retirement bookkeeping
+        # (rob.retire_head / regfile.free) and stats.record_commit are all
+        # inlined below rather than paid as per-instruction calls.
+        rob = self.rob
+        entries = rob._entries
+        if entries:
+            committed_this_cycle = 0
+            stores = 0
+            width = self.commit_width
+            domain_name = self.domain_name
+            fwd_cache = self._fwd_cache
+            pending = self._pending
+            stats = self.stats
+            regfile = self.regfile
+            registers = regfile._registers
+            while committed_this_cycle < width and entries:
+                instr = entries[0]
+                if instr.completed:
+                    visible_at = instr.complete_time
+                    exec_domain = instr.exec_domain
+                    if exec_domain and exec_domain != domain_name:
+                        extra = fwd_cache.get(exec_domain)
+                        if extra is None:
+                            extra = self.forwarding_latency(exec_domain,
+                                                            domain_name)
+                            fwd_cache[exec_domain] = extra
+                        visible_at += extra
+                    else:
+                        extra = 0.0
+                    can_commit = visible_at <= time
+                else:
+                    can_commit = False
+                if not can_commit:
+                    if committed_this_cycle == 0:
+                        self.commit_stall_cycles += 1
+                    break
+                entries.popleft()
+                rob.retirements += 1
+                instr.commit_time = time
+                # Completion had to cross back into the commit domain; that
+                # wait is FIFO residency from the instruction's point of view.
+                if extra > 0:
+                    instr.fifo_time += extra
+                prev_phys = instr.prev_phys_dest
+                if prev_phys is not None:
+                    # inline regfile.free (the reference implementation)
+                    reg = registers[prev_phys]
+                    if not reg.allocated:
+                        raise ValueError(
+                            f"double free of physical register {prev_phys}")
+                    reg.allocated = False
+                    reg.ready_time = _ALWAYS_READY
+                    reg.producer_domain = ""
+                    if reg.is_fp:
+                        regfile._fp_in_use -= 1
+                        regfile._free_fp.append(prev_phys)
+                    else:
+                        regfile._int_in_use -= 1
+                        regfile._free_int.append(prev_phys)
+                if instr.is_branch and instr.rename_checkpoint is not None:
+                    self.rat.release_checkpoint(instr.rename_checkpoint)
+                if instr.is_store and instr.trace.mem_address is not None:
+                    self.memory.store_access(instr.trace.mem_address)
+                    stores += 1
+                self.committed += 1
+                if stats is not None:
+                    # inline stats.record_commit (the reference impl)
+                    committed = stats.committed + 1
+                    stats.committed = committed
+                    key = _CLASS_VALUES[instr.opclass]
+                    by_class = stats.committed_by_class
+                    by_class[key] = by_class.get(key, 0) + 1
+                    fetch_time = instr.fetch_time
+                    if fetch_time >= 0:
+                        stats.slip_sum += time - fetch_time
+                    stats.fifo_time_sum += instr.fifo_time
+                    if instr.is_branch:
+                        stats.branches_committed += 1
+                    stats.last_commit_time = time
+                    if (committed == stats.commit_target
+                            and stats.on_target is not None):
+                        stats.on_target()
+                committed_this_cycle += 1
+            if committed_this_cycle:
+                if stores:
+                    pending["dcache"] += stores
+                pending["regfile_write"] += committed_this_cycle
         self._sample(time)
 
-    def _can_commit(self, instr: DynamicInstruction, now: float) -> bool:
-        if not instr.completed:
-            return False
-        visible_at = instr.complete_time
-        if instr.exec_domain and instr.exec_domain != self.domain_name:
-            visible_at += self.forwarding_latency(instr.exec_domain, self.domain_name)
-        return visible_at <= now
-
-    def _commit_one(self, instr: DynamicInstruction, now: float) -> None:
-        self.rob.retire_head()
-        instr.commit_time = now
-        # Completion had to cross back into the commit domain; that wait is
-        # FIFO residency from the instruction's point of view.
-        if instr.exec_domain and instr.exec_domain != self.domain_name:
-            instr.record_fifo_wait(
-                self.forwarding_latency(instr.exec_domain, self.domain_name))
-        if instr.prev_phys_dest is not None:
-            self.regfile.free(instr.prev_phys_dest)
-        if instr.is_branch and instr.rename_checkpoint is not None:
-            self.rat.release_checkpoint(instr.rename_checkpoint)
-        if instr.is_store and instr.trace.mem_address is not None:
-            self.memory.store_access(instr.trace.mem_address)
-            self.activity.record("dcache", 1)
-        self.activity.record("regfile_write", 1)
-        self.committed += 1
-        if self.stats is not None:
-            self.stats.record_commit(instr, now)
-
     def _sample(self, now: float) -> None:
-        self.rob.sample_occupancy()
-        if self.stats is not None:
-            self.stats.sample_occupancy(
-                rob=self.rob.occupancy,
-                int_regs_in_use=self.regfile.int_in_use,
-                fp_regs_in_use=self.regfile.fp_in_use,
-            )
+        rob = self.rob
+        rob.occupancy_samples += 1
+        occupancy = len(rob._entries)
+        rob.occupancy_accum += occupancy
+        stats = self.stats
+        if stats is not None:
+            regfile = self.regfile
+            stats.occupancy_samples += 1
+            stats.rob_occupancy_sum += occupancy
+            stats.int_regs_in_use_sum += regfile._int_in_use
+            stats.fp_regs_in_use_sum += regfile._fp_in_use
 
     # ------------------------------------------------------------------ state
     def pending_work(self) -> int:

@@ -25,13 +25,17 @@ from .regfile import PhysicalRegisterFile
 from .rob import ReorderBuffer
 
 
+#: opclass -> execution cluster, fully materialised at import so the
+#: dispatch hot loop is a single dict lookup
+_CLUSTER_CACHE: Dict[InstructionClass, str] = {
+    opclass: ("mem" if opclass.is_memory else "fp" if opclass.is_fp else "int")
+    for opclass in InstructionClass
+}
+
+
 def cluster_for(opclass: InstructionClass) -> str:
     """Which execution cluster ('int', 'fp', 'mem') runs this class."""
-    if opclass.is_memory:
-        return "mem"
-    if opclass.is_fp:
-        return "fp"
-    return "int"
+    return _CLUSTER_CACHE[opclass]
 
 
 class DecodeRenameUnit:
@@ -63,6 +67,10 @@ class DecodeRenameUnit:
         self.clock_period = clock_period
         self.current_epoch = current_epoch
         self.activity = activity
+        #: direct handle on the per-cycle activity counters: decode/dispatch
+        #: record a couple of accesses per instruction, so they increment the
+        #: counter dict inline instead of going through ``activity.record``
+        self._pending = activity._pending
         self.decode_width = decode_width
         self.dispatch_width = dispatch_width
         self.decode_stages = decode_stages
@@ -80,65 +88,101 @@ class DecodeRenameUnit:
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
-        self._dispatch(time)
-        self._decode(time)
-        self.input_channel.sample_occupancy()
+        # Each helper no-ops on an empty pipeline / input, so idle edges cost
+        # two attribute checks plus the occupancy sample.
+        if self._pipeline:
+            self._dispatch(time)
+        channel = self.input_channel
+        if channel._entries:
+            self._decode(time)
+        channel.occupancy_samples += 1
+        channel.occupancy_accum += len(channel._entries)
 
     # ----------------------------------------------------------------- decode
     def _decode(self, now: float) -> None:
         taken = 0
-        while (taken < self.decode_width
-               and len(self._pipeline) < self.pipeline_capacity
-               and self.input_channel.can_pop(now)):
-            instr: DynamicInstruction = self.input_channel.pop(now)
-            if self.input_channel.counts_as_fifo:
-                instr.record_fifo_wait(self.input_channel.last_pop_wait)
-            if instr.squashed or instr.epoch < self.current_epoch():
+        channel = self.input_channel
+        pop_ready = channel.pop_ready
+        pipeline = self._pipeline
+        capacity = self.pipeline_capacity
+        is_fifo = channel.counts_as_fifo
+        width = self.decode_width
+        pending = self._pending
+        # epoch and clock period cannot change while decode drains its input
+        # (recoveries happen on execution-domain edges), so hoist them
+        epoch = self.current_epoch()
+        pipe_delay = self.decode_stages * self.clock_period()
+        while taken < width and len(pipeline) < capacity:
+            instr: DynamicInstruction = pop_ready(now)
+            if instr is None:
+                break
+            if is_fifo:
+                wait = channel.last_pop_wait
+                if wait > 0:
+                    instr.fifo_time += wait
+            if instr.squashed or instr.epoch < epoch:
                 self.stale_dropped += 1
                 continue
             instr.decode_time = now
-            ready_at = now + self.decode_stages * self.clock_period()
-            self._pipeline.append((ready_at, instr))
+            pipeline.append((now + pipe_delay, instr))
             self.decoded += 1
-            self.activity.record("decode", 1)
             taken += 1
+        if taken:
+            pending["decode"] += taken
 
     # --------------------------------------------------------------- dispatch
     def _dispatch(self, now: float) -> None:
         dispatched = 0
         current_epoch = self.current_epoch()
-        while dispatched < self.dispatch_width and self._pipeline:
-            ready_at, instr = self._pipeline[0]
+        pipeline = self._pipeline
+        rob = self.rob
+        rob_entries = rob._entries
+        rob_capacity = rob.capacity
+        rat = self.rat
+        rename = rat.rename
+        issue_channels = self.issue_channels
+        cluster_domains = self.cluster_domains
+        width = self.dispatch_width
+        pending = self._pending
+        regfile_reads = 0
+        while dispatched < width and pipeline:
+            ready_at, instr = pipeline[0]
             if ready_at > now:
                 break
             if instr.squashed or instr.epoch < current_epoch:
-                self._pipeline.popleft()
+                pipeline.popleft()
                 self.stale_dropped += 1
                 continue
-            cluster = cluster_for(instr.opclass)
-            channel = self.issue_channels[cluster]
-            if self.rob.is_full:
+            cluster = _CLUSTER_CACHE[instr.opclass]
+            channel = issue_channels[cluster]
+            if len(rob_entries) >= rob_capacity:
                 self.rob_stalls += 1
                 break
             if not channel.can_push(now):
                 channel.record_full_stall()
                 self.channel_stalls += 1
                 break
-            if not self.rat.rename(instr):
+            if not rename(instr):
                 self.rename_stalls += 1
                 break
             if instr.is_branch:
-                instr.rename_checkpoint = self.rat.take_checkpoint(instr.seq)
-            self.rob.allocate(instr)
+                instr.rename_checkpoint = rat.take_checkpoint(instr.seq)
+            # inline rob.allocate (fullness was checked above)
+            rob_entries.append(instr)
+            instr.rob_index = rob.allocations
+            rob.allocations += 1
             instr.rename_time = now
             instr.dispatch_time = now
-            instr.exec_domain = self.cluster_domains[cluster]
+            instr.exec_domain = cluster_domains[cluster]
             channel.push(instr, now)
-            self._pipeline.popleft()
+            pipeline.popleft()
             dispatched += 1
             self.dispatched += 1
-            self.activity.record("rename", 1)
-            self.activity.record("regfile_read", max(1, len(instr.phys_sources)))
+            num_reads = len(instr.phys_sources)
+            regfile_reads += num_reads if num_reads > 1 else 1
+        if dispatched:
+            pending["rename"] += dispatched
+            pending["regfile_read"] += regfile_reads
 
     # ----------------------------------------------------------------- squash
     def squash_younger_than(self, branch_seq: int) -> int:

@@ -50,13 +50,18 @@ class FunctionalUnitPool:
 
     def available(self, now: float) -> int:
         """Number of units free at ``now``."""
-        return sum(1 for t in self._busy_until if t <= now)
+        free = 0
+        for busy_until in self._busy_until:
+            if busy_until <= now:
+                free += 1
+        return free
 
     def try_claim(self, now: float, busy_for: float) -> bool:
         """Claim a free unit for ``busy_for`` ns; False if none is free."""
-        for index, busy_until in enumerate(self._busy_until):
-            if busy_until <= now:
-                self._busy_until[index] = now + busy_for
+        busy = self._busy_until
+        for index in range(len(busy)):
+            if busy[index] <= now:
+                busy[index] = now + busy_for
                 self.operations += 1
                 return True
         self.structural_stalls += 1
@@ -99,15 +104,25 @@ class ExecutionUnit:
         self.functional_units = functional_units
         self.issue_width = issue_width
         self.activity = activity
+        #: direct handle on the per-cycle counters (see DecodeRenameUnit)
+        self._pending = activity._pending
         self.alu_block = alu_block
         self.queue_block = queue_block
         self.branch_unit = branch_unit
         self.recovery_callback = recovery_callback
         self.memory = memory
         self.latencies = latencies or dict(DEFAULT_LATENCIES)
-        #: operations in execution: list of (completion_time, instruction)
+        #: fully resolved per-class latency table (overrides + defaults)
+        self._latency_map: Dict[InstructionClass, int] = {
+            opclass: latency_of(opclass, self.latencies)
+            for opclass in InstructionClass
+        }
+        #: operations in execution; each carries its completion time in
+        #: ``instr.fu_done`` (set at issue)
         self._in_flight: List[DynamicInstruction] = []
-        self._completion_times: Dict[int, float] = {}
+        #: earliest pending completion; lets the per-edge completion scan bail
+        #: out with one float compare on the (common) nothing-finished cycles
+        self._next_completion: float = float("inf")
         # statistics
         self.completed_ops = 0
         self.issued_ops = 0
@@ -115,34 +130,55 @@ class ExecutionUnit:
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
-        self._complete_finished(time)
-        self._drain_input(time)
-        self._issue_ready(time)
-        self.issue_queue.sample_occupancy()
-        self.input_channel.sample_occupancy()
+        # Guards keep idle edges (no completions due, empty channel, empty
+        # window) down to a few comparisons; each helper no-ops in exactly
+        # the guarded situation, so skipping the call changes nothing.
+        if time >= self._next_completion:
+            self._complete_finished(time)
+        channel = self.input_channel
+        if channel._entries:
+            self._drain_input(time)
+        issue_queue = self.issue_queue
+        if issue_queue._entries:
+            self._issue_ready(time)
+        issue_queue.occupancy_samples += 1
+        issue_queue.occupancy_accum += len(issue_queue._entries)
+        channel.occupancy_samples += 1
+        channel.occupancy_accum += len(channel._entries)
 
     # ------------------------------------------------------------ completion
     def _complete_finished(self, now: float) -> None:
-        finished = [instr for instr in self._in_flight
-                    if self._completion_times.get(instr.seq, float("inf")) <= now]
+        if now < self._next_completion:
+            return
+        in_flight = self._in_flight
+        finished = [instr for instr in in_flight if instr.fu_done <= now]
         if not finished:
+            self._refresh_next_completion()
             return
         # Remove the finished operations from the in-flight set *before*
         # processing them: branch resolution below may trigger misprediction
         # recovery, which squashes younger work in this very unit.
         for instr in finished:
-            self._in_flight.remove(instr)
-            self._completion_times.pop(instr.seq, None)
+            in_flight.remove(instr)
+        pending = self._pending
+        results = 0
+        regfile = self.regfile
+        registers = regfile._registers
+        domain_name = self.domain_name
         for instr in sorted(finished, key=lambda i: i.seq):
             if instr.squashed:
                 continue
             instr.completed = True
             instr.complete_time = now
             self.completed_ops += 1
-            if instr.phys_dest is not None:
-                self.regfile.mark_ready(instr.phys_dest, now, self.domain_name)
-                self.activity.record("regfile_write", 1)
-                self.activity.record("resultbus", 1)
+            phys_dest = instr.phys_dest
+            if phys_dest is not None:
+                # inline regfile.mark_ready
+                reg = registers[phys_dest]
+                reg.ready_time = now
+                reg.producer_domain = domain_name
+                regfile.writes += 1
+                results += 1
             if instr.is_branch and self.branch_unit is not None:
                 self.branch_unit.resolve(instr.pc, instr.trace.taken,
                                          instr.predicted_taken
@@ -151,44 +187,105 @@ class ExecutionUnit:
                                          instr.trace.target_pc)
                 if instr.mispredicted and self.recovery_callback is not None:
                     self.recovery_callback(instr, now)
+        if results:
+            pending["regfile_write"] += results
+            pending["resultbus"] += results
+        self._refresh_next_completion()
+
+    def _refresh_next_completion(self) -> None:
+        next_completion = float("inf")
+        for instr in self._in_flight:
+            fu_done = instr.fu_done
+            if fu_done < next_completion:
+                next_completion = fu_done
+        self._next_completion = next_completion
 
     # ----------------------------------------------------------------- input
     def _drain_input(self, now: float) -> None:
         channel = self.input_channel
-        while channel.can_pop(now) and not self.issue_queue.is_full:
-            instr: DynamicInstruction = channel.pop(now)
-            if channel.counts_as_fifo:
-                instr.record_fifo_wait(channel.last_pop_wait)
+        pop_ready = channel.pop_ready
+        is_fifo = channel.counts_as_fifo
+        queue = self.issue_queue
+        dispatch = queue.dispatch
+        entries = queue._entries
+        capacity = queue.capacity
+        pending = self._pending
+        queue_block = self.queue_block
+        drained = 0
+        while len(entries) < capacity:
+            instr: DynamicInstruction = pop_ready(now)
+            if instr is None:
+                break
+            if is_fifo:
+                wait = channel.last_pop_wait
+                if wait > 0:
+                    instr.fifo_time += wait
             if instr.squashed:
                 self.dropped_squashed += 1
                 continue
-            self.issue_queue.dispatch(instr)
-            self.activity.record(self.queue_block, 1)
+            dispatch(instr)
+            drained += 1
+        if drained:
+            pending[queue_block] += drained
 
     # ----------------------------------------------------------------- issue
     def _issue_ready(self, now: float) -> None:
-        limit = min(self.issue_width, self.functional_units.available(now))
+        issue_queue = self.issue_queue
+        if not issue_queue._entries:
+            return
+        # Queue-level wakeup gate: skip the whole wakeup/select scan when the
+        # last complete scan proved nothing becomes visible before gate_time
+        # and no result has completed since (regfile.writes unchanged).
+        if (issue_queue.gate_stamp == self.regfile.writes
+                and now < issue_queue.gate_time):
+            return
+        functional_units = self.functional_units
+        limit = 0
+        for busy_until in functional_units._busy_until:
+            if busy_until <= now:
+                limit += 1
         if limit <= 0:
             return
-        ready = self.issue_queue.ready_instructions(
+        if limit > self.issue_width:
+            limit = self.issue_width
+        ready = issue_queue.ready_instructions(
             now, self.regfile, self.forwarding_latency, limit)
         period = self.clock_period()
+        latency_map = self._latency_map
+        pending = self._pending
+        alu_block = self.alu_block
+        queue_block = self.queue_block
+        in_flight = self._in_flight
+        issued = 0
+        loads = 0
         for instr in ready:
-            latency_cycles = latency_of(instr.opclass, self.latencies)
+            opclass = instr.opclass
+            latency_cycles = latency_map[opclass]
             if instr.is_load and self.memory is not None:
                 latency_cycles += self.memory.load_access(instr.trace.mem_address or 0)
-                self.activity.record("dcache", 1)
-            busy_cycles = latency_cycles if instr.opclass in _UNPIPELINED else 1
-            if not self.functional_units.try_claim(now, busy_cycles * period):
+                loads += 1
+            busy_cycles = latency_cycles if opclass in _UNPIPELINED else 1
+            if not functional_units.try_claim(now, busy_cycles * period):
+                # Ready work is left behind: the gate must not skip it.
+                issue_queue.gate_time = -1.0
                 break
-            self.issue_queue.remove(instr)
+            # inline issue_queue.remove
+            issue_queue._entries.remove(instr)
+            issue_queue.issues += 1
             instr.issued = True
             instr.issue_time = now
-            self._completion_times[instr.seq] = now + latency_cycles * period
-            self._in_flight.append(instr)
+            completion_time = now + latency_cycles * period
+            instr.fu_done = completion_time
+            if completion_time < self._next_completion:
+                self._next_completion = completion_time
+            in_flight.append(instr)
             self.issued_ops += 1
-            self.activity.record(self.alu_block, 1)
-            self.activity.record(self.queue_block, 1)
+            issued += 1
+        if loads:
+            pending["dcache"] += loads
+        if issued:
+            pending[alu_block] += issued
+            pending[queue_block] += issued
 
     # ----------------------------------------------------------------- squash
     def squash_younger_than(self, branch_seq: int) -> int:
@@ -197,7 +294,6 @@ class ExecutionUnit:
         squashed_flight = [i for i in self._in_flight if i.seq > branch_seq]
         for instr in squashed_flight:
             instr.squashed = True
-            self._completion_times.pop(instr.seq, None)
         self._in_flight = [i for i in self._in_flight if i.seq <= branch_seq]
         dropped_channel = self.input_channel.flush(
             lambda i: getattr(i, "seq", -1) > branch_seq)

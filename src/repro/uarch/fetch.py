@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 from ..isa.instructions import InstructionClass
 from ..isa.program import INSTRUCTION_SIZE
-from ..isa.trace import InstructionSource, TraceInstruction
+from ..isa.trace import InstructionSource, ListTraceSource, TraceInstruction
 from ..memory.hierarchy import MemoryHierarchy
 from ..sim.channel import Channel
 from .branch_predictor import BranchUnit
@@ -65,12 +65,19 @@ class FetchUnit:
         wrong_path_generator: Optional[Callable[[int, int], TraceInstruction]] = None,
     ) -> None:
         self.source = source
+        #: direct view of a list-backed source (the common case): peeking and
+        #: consuming happen once per fetched instruction, so the method-call
+        #: round trips through InstructionSource are inlined when possible
+        self._source_list = (source._instructions
+                             if isinstance(source, ListTraceSource) else None)
         self.output_channel = output_channel
         self.redirect_channel = redirect_channel
         self.branch_unit = branch_unit
         self.memory = memory
         self.clock_period = clock_period
         self.activity = activity
+        #: direct handle on the per-cycle counters (see DecodeRenameUnit)
+        self._pending = activity._pending
         self.fetch_width = fetch_width
         self.wrong_path_generator = wrong_path_generator or _default_wrong_path
 
@@ -89,8 +96,11 @@ class FetchUnit:
 
     # ---------------------------------------------------------------- helpers
     def _check_redirect(self, now: float) -> None:
-        while self.redirect_channel.can_pop(now):
-            message: RedirectMessage = self.redirect_channel.pop(now)
+        pop_ready = self.redirect_channel.pop_ready
+        while True:
+            message: RedirectMessage = pop_ready(now)
+            if message is None:
+                break
             self.redirects_received += 1
             if message.epoch > self.epoch:
                 self.epoch = message.epoch
@@ -106,34 +116,48 @@ class FetchUnit:
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
-        self._check_redirect(time)
-        self.output_channel.sample_occupancy()
+        if self.redirect_channel._entries:
+            self._check_redirect(time)
+        output_channel = self.output_channel
+        output_channel.occupancy_samples += 1
+        output_channel.occupancy_accum += len(output_channel._entries)
         if time < self._busy_until:
             self.icache_stall_cycles += 1
             return
-        if not self.wrong_path_mode and self.source.exhausted():
+        wrong_path = self.wrong_path_mode
+        if wrong_path:
+            first_pc = self._wrong_path_pc
+        else:
+            source_list = self._source_list
+            if source_list is not None:
+                position = self.source._position
+                if position >= len(source_list):
+                    return
+                first_pc = source_list[position].pc
+            else:
+                peeked = self.source.peek()
+                if peeked is None:
+                    return
+                first_pc = peeked.pc
+
+        latency = self.memory.fetch_access(first_pc)
+        self._pending["icache"] += 1
+        if latency > self.memory.config.il1_latency:
+            # Miss: the front end stalls until the line arrives.
+            self._busy_until = time + latency * self.clock_period()
+            self.icache_stall_cycles += 1
             return
 
         fetched_this_cycle = 0
-        first_pc = self._next_pc_hint()
-        if first_pc is not None:
-            latency = self.memory.fetch_access(first_pc)
-            self.activity.record("icache", 1)
-            if latency > self.memory.config.il1_latency:
-                # Miss: the front end stalls until the line arrives.
-                self._busy_until = time + latency * self.clock_period()
-                self.icache_stall_cycles += 1
-                return
-
         while fetched_this_cycle < self.fetch_width:
-            if not self.output_channel.can_push(time):
-                self.output_channel.record_full_stall()
+            if not output_channel.can_push(time):
+                output_channel.record_full_stall()
                 self.fetch_stall_cycles += 1
                 break
             instr = self._fetch_one(time)
             if instr is None:
                 break
-            self.output_channel.push(instr, time)
+            output_channel.push(instr, time)
             fetched_this_cycle += 1
             # A predicted-taken control instruction ends the fetch group.
             if instr.is_control and (instr.predicted_taken or instr.trace.opclass
@@ -162,23 +186,32 @@ class FetchUnit:
             self.fetched_wrong_path += 1
             return instr
 
-        trace = self.source.next()
-        if trace is None:
-            return None
+        source_list = self._source_list
+        if source_list is not None:
+            source = self.source
+            position = source._position
+            if position >= len(source_list):
+                return None
+            source._position = position + 1
+            trace = source_list[position]
+        else:
+            trace = self.source.next()
+            if trace is None:
+                return None
         instr = DynamicInstruction(trace, epoch=self.epoch, wrong_path=False)
         instr.fetch_time = time
         self.fetched_total += 1
 
         if trace.is_branch:
             predicted_taken, _predicted_target = self.branch_unit.predict(trace.pc)
-            self.activity.record("bpred", 1)
+            self._pending["bpred"] += 1
             instr.predicted_taken = predicted_taken
             if predicted_taken != trace.taken:
                 instr.mispredicted = True
                 self._enter_wrong_path(trace.pc)
-        elif trace.is_control:
+        elif instr.is_control:
             # Unconditional jumps are assumed correctly predicted (BTB hit).
-            self.activity.record("bpred", 1)
+            self._pending["bpred"] += 1
             instr.predicted_taken = True
         return instr
 

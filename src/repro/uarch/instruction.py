@@ -24,13 +24,15 @@ class DynamicInstruction:
 
     __slots__ = (
         "trace", "seq", "epoch", "wrong_path",
+        "opclass", "pc", "is_branch", "is_control", "is_load", "is_store",
         "phys_dest", "phys_sources", "prev_phys_dest", "rename_checkpoint",
         "rob_index", "exec_domain",
         "predicted_taken", "mispredicted",
         "fetch_time", "decode_time", "rename_time", "dispatch_time",
         "issue_time", "complete_time", "commit_time",
-        "fifo_time", "extra_latency",
+        "fifo_time", "fu_done",
         "squashed", "completed", "issued",
+        "wakeup_after", "wakeup_stamp",
     )
 
     def __init__(self, trace: TraceInstruction, epoch: int,
@@ -40,6 +42,18 @@ class DynamicInstruction:
         self.seq = seq if seq is not None else next(_SEQ)
         self.epoch = epoch
         self.wrong_path = wrong_path
+
+        # Flattened trace facts: these are read on nearly every pipeline
+        # stage of every cycle, so resolve the property chains (trace
+        # property -> enum property) exactly once per dynamic instruction.
+        opclass = trace.opclass
+        self.opclass = opclass
+        self.pc = trace.pc
+        self.is_branch = trace.is_branch
+        self.is_control = (opclass is InstructionClass.BRANCH
+                           or opclass is InstructionClass.JUMP)
+        self.is_load = opclass is InstructionClass.LOAD
+        self.is_store = opclass is InstructionClass.STORE
 
         self.phys_dest: Optional[int] = None
         self.phys_sources: Tuple[int, ...] = ()
@@ -51,32 +65,28 @@ class DynamicInstruction:
         self.predicted_taken: Optional[bool] = None
         self.mispredicted: bool = False
 
+        # Only the timestamps read before the pipeline necessarily wrote them
+        # are initialised here; decode/rename/dispatch/issue times and the
+        # functional-unit completion time (``fu_done``) are assigned by their
+        # stages before anything reads them.
         self.fetch_time: float = -1.0
-        self.decode_time: float = -1.0
-        self.rename_time: float = -1.0
-        self.dispatch_time: float = -1.0
-        self.issue_time: float = -1.0
         self.complete_time: float = -1.0
         self.commit_time: float = -1.0
 
         #: accumulated residency (ns) in mixed-clock FIFOs
         self.fifo_time: float = 0.0
-        #: extra execution latency in cycles (cache misses)
-        self.extra_latency: int = 0
 
         self.squashed: bool = False
         self.completed: bool = False
         self.issued: bool = False
 
+        #: wakeup cache (issue queue): earliest time the operands can all be
+        #: visible, or +inf while a producer has not completed yet
+        self.wakeup_after: float = -1.0
+        #: regfile write-counter stamp at the last failed +inf wakeup check
+        self.wakeup_stamp: int = -1
+
     # --------------------------------------------------------------- queries
-    @property
-    def opclass(self) -> InstructionClass:
-        return self.trace.opclass
-
-    @property
-    def pc(self) -> int:
-        return self.trace.pc
-
     @property
     def dest(self) -> Optional[int]:
         return self.trace.dest
@@ -84,22 +94,6 @@ class DynamicInstruction:
     @property
     def sources(self) -> Tuple[int, ...]:
         return self.trace.sources
-
-    @property
-    def is_branch(self) -> bool:
-        return self.trace.is_branch
-
-    @property
-    def is_control(self) -> bool:
-        return self.trace.is_control
-
-    @property
-    def is_load(self) -> bool:
-        return self.trace.is_load
-
-    @property
-    def is_store(self) -> bool:
-        return self.trace.is_store
 
     @property
     def is_fp(self) -> bool:

@@ -21,6 +21,8 @@ from .regfile import PhysicalRegisterFile
 #: forwarding_latency(producer_domain, consumer_domain) -> extra ns
 ForwardingLatency = Callable[[str, str], float]
 
+_INF = float("inf")
+
 
 class IssueQueue:
     """One instruction window feeding one set of functional units."""
@@ -32,6 +34,21 @@ class IssueQueue:
         self.capacity = capacity
         self.domain_name = domain_name
         self._entries: List[DynamicInstruction] = []
+        # Entries arrive in program (seq) order from the in-order front end,
+        # so the list is kept age-sorted without re-sorting every wakeup; the
+        # flag flips if an out-of-order dispatch is ever observed.
+        self._needs_sort = False
+        # Queue-level wakeup gate: after a complete scan that issued every
+        # ready entry, nothing can issue before ``gate_time`` unless a new
+        # result completes (``regfile.writes`` moves past ``gate_stamp``) or
+        # the queue contents change.  ``gate_time`` < 0 means invalid.
+        self.gate_time = -1.0
+        self.gate_stamp = -1
+        # producer-domain -> forwarding latency into this queue's domain.
+        # Clock periods are immutable once domains are bound (see
+        # Processor._forwarding_cache), so the callback result is cached to
+        # skip the call on the wakeup hot path.
+        self._fwd_cache: dict = {}
         # statistics
         self.dispatches = 0
         self.issues = 0
@@ -65,11 +82,15 @@ class IssueQueue:
     # ------------------------------------------------------------ operations
     def dispatch(self, instr: DynamicInstruction) -> None:
         """Insert a renamed instruction into the window."""
-        if self.is_full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             self.full_stalls += 1
             raise OverflowError(f"issue queue {self.name!r} is full")
-        self._entries.append(instr)
+        if entries and instr.seq < entries[-1].seq:
+            self._needs_sort = True
+        entries.append(instr)
         self.dispatches += 1
+        self.gate_time = -1.0
 
     def ready_instructions(
         self,
@@ -86,17 +107,79 @@ class IssueQueue:
         """
         if limit <= 0:
             return []
+        if self._needs_sort:
+            self._entries.sort(key=lambda i: i.seq)
+            self._needs_sort = False
         ready: List[DynamicInstruction] = []
-        for instr in sorted(self._entries, key=lambda i: i.seq):
-            self.wakeup_searches += 1
-            operands_ready = all(
-                regfile.is_ready(phys, now, self.domain_name, forwarding_latency)
-                for phys in instr.phys_sources
-            )
-            if operands_ready:
+        searched = 0
+        domain_name = self.domain_name
+        registers = regfile._registers
+        fwd_cache = self._fwd_cache
+        # Result visibility is monotonic: once a register value is visible in
+        # this domain it stays visible, and a register waiting on an
+        # incomplete producer cannot become visible before some
+        # ``mark_ready`` bumps ``regfile.writes``.  Each entry therefore
+        # caches the time its operands become visible (``wakeup_after``) --
+        # or, while a producer is still in flight, the write-counter value it
+        # last checked against (``wakeup_stamp``) -- and the wakeup search
+        # skips it with one comparison instead of re-probing every operand
+        # every cycle.
+        write_stamp = regfile.writes
+        scan_complete = True
+        min_future = _INF
+        for instr in self._entries:
+            searched += 1
+            wakeup_after = instr.wakeup_after
+            if wakeup_after > now:
+                if wakeup_after < _INF:
+                    if wakeup_after < min_future:
+                        min_future = wakeup_after
+                    continue              # visibility time known, still ahead
+                if instr.wakeup_stamp == write_stamp:
+                    continue              # still blocked: no new completions
+            elif wakeup_after >= 0.0:
+                # known ready: operands were visible at an earlier check
                 ready.append(instr)
                 if len(ready) >= limit:
+                    scan_complete = False
                     break
+                continue
+            # blocked entry with fresh completions, or never-checked entry
+            # (wakeup_after < 0): probe every operand and refresh the cache
+            visible_at = 0.0
+            for phys in instr.phys_sources:
+                reg = registers[phys]
+                source_visible = reg.ready_time
+                if source_visible == _INF:
+                    visible_at = _INF
+                    break
+                producer_domain = reg.producer_domain
+                if producer_domain and producer_domain != domain_name:
+                    extra = fwd_cache.get(producer_domain)
+                    if extra is None:
+                        extra = forwarding_latency(producer_domain,
+                                                   domain_name)
+                        fwd_cache[producer_domain] = extra
+                    source_visible += extra
+                if source_visible > visible_at:
+                    visible_at = source_visible
+            instr.wakeup_after = visible_at
+            if visible_at > now:
+                if visible_at == _INF:
+                    instr.wakeup_stamp = write_stamp
+                elif visible_at < min_future:
+                    min_future = visible_at
+                continue
+            ready.append(instr)
+            if len(ready) >= limit:
+                scan_complete = False     # tail not examined this cycle
+                break
+        self.wakeup_searches += searched
+        if scan_complete:
+            self.gate_time = min_future
+            self.gate_stamp = write_stamp
+        else:
+            self.gate_time = -1.0
         return ready
 
     def remove(self, instr: DynamicInstruction) -> None:
@@ -111,4 +194,5 @@ class IssueQueue:
             self._entries = [i for i in self._entries if i.seq <= branch_seq]
             for instr in squashed:
                 instr.squashed = True
+            self.gate_time = -1.0
         return squashed

@@ -19,8 +19,10 @@ from ..isa.registers import is_fp_reg
 #: A value produced "at the beginning of time" (architectural state).
 ALWAYS_READY = float("-inf")
 
+_NEVER_READY = float("inf")
 
-@dataclass
+
+@dataclass(slots=True)
 class PhysicalRegister:
     """Allocation and readiness state of one physical register."""
 
@@ -54,15 +56,29 @@ class PhysicalRegisterFile:
         # architectural state and start out allocated and ready.
         self._free_int: List[int] = []
         self._free_fp: List[int] = []
+        # incremental allocated-register counts (occupancy is sampled every
+        # commit cycle, so counting per sample would be O(registers) each time)
+        self._int_in_use = 0
+        self._fp_in_use = 0
         for reg in self._registers:
             in_initial_map = ((not reg.is_fp and reg.index < num_arch_int) or
                               (reg.is_fp and reg.index - num_int < num_arch_fp))
             if in_initial_map:
                 reg.allocated = True
+                if reg.is_fp:
+                    self._fp_in_use += 1
+                else:
+                    self._int_in_use += 1
             else:
                 (self._free_fp if reg.is_fp else self._free_int).append(reg.index)
         # statistics
+        #: reads counts explicit is_ready() probes only; the issue queue's
+        #: inlined wakeup scan does not pass through it (see
+        #: IssueQueue.ready_instructions -- wakeup traffic is tracked by
+        #: IssueQueue.wakeup_searches instead)
         self.reads = 0
+        #: writes counts produced results (mark_ready and the execution
+        #: unit's inlined equivalent); it doubles as the wakeup-cache stamp
         self.writes = 0
         self.allocation_failures = 0
 
@@ -87,6 +103,10 @@ class PhysicalRegisterFile:
         reg.allocated = True
         reg.ready_time = float("inf")
         reg.producer_domain = ""
+        if for_fp:
+            self._fp_in_use += 1
+        else:
+            self._int_in_use += 1
         return index
 
     def allocate_for_arch(self, arch_reg: int) -> Optional[int]:
@@ -101,7 +121,12 @@ class PhysicalRegisterFile:
         reg.allocated = False
         reg.ready_time = ALWAYS_READY
         reg.producer_domain = ""
-        (self._free_fp if reg.is_fp else self._free_int).append(index)
+        if reg.is_fp:
+            self._fp_in_use -= 1
+            self._free_fp.append(index)
+        else:
+            self._int_in_use -= 1
+            self._free_int.append(index)
 
     # -------------------------------------------------------------- readiness
     def mark_pending(self, index: int) -> None:
@@ -138,14 +163,15 @@ class PhysicalRegisterFile:
         """
         reg = self._registers[index]
         self.reads += 1
-        if reg.ready_time == ALWAYS_READY:
+        ready_time = reg.ready_time
+        if ready_time == ALWAYS_READY:
             return True
-        if reg.ready_time == float("inf"):
+        if ready_time == _NEVER_READY:
             return False
-        extra = 0.0
-        if reg.producer_domain and reg.producer_domain != consumer_domain:
-            extra = forwarding_latency(reg.producer_domain, consumer_domain)
-        return reg.ready_time + extra <= now
+        producer_domain = reg.producer_domain
+        if producer_domain and producer_domain != consumer_domain:
+            ready_time += forwarding_latency(producer_domain, consumer_domain)
+        return ready_time <= now
 
     def visible_ready_time(
         self,
@@ -155,23 +181,24 @@ class PhysicalRegisterFile:
     ) -> float:
         """Absolute time the value becomes usable in ``consumer_domain``."""
         reg = self._registers[index]
-        if reg.ready_time in (ALWAYS_READY, float("inf")):
-            return reg.ready_time
-        extra = 0.0
-        if reg.producer_domain and reg.producer_domain != consumer_domain:
-            extra = forwarding_latency(reg.producer_domain, consumer_domain)
-        return reg.ready_time + extra
+        ready_time = reg.ready_time
+        if ready_time == ALWAYS_READY or ready_time == _NEVER_READY:
+            return ready_time
+        producer_domain = reg.producer_domain
+        if producer_domain and producer_domain != consumer_domain:
+            ready_time += forwarding_latency(producer_domain, consumer_domain)
+        return ready_time
 
     # ------------------------------------------------------------ statistics
     @property
     def int_in_use(self) -> int:
         """Allocated integer physical registers (paper: 'register allocation
         table occupancy' went from 15 to 24 for ijpeg)."""
-        return sum(1 for r in self._registers if not r.is_fp and r.allocated)
+        return self._int_in_use
 
     @property
     def fp_in_use(self) -> int:
-        return sum(1 for r in self._registers if r.is_fp and r.allocated)
+        return self._fp_in_use
 
     @property
     def free_int_count(self) -> int:

@@ -16,6 +16,9 @@ from ..isa.registers import ZERO_REG, is_fp_reg
 from .instruction import DynamicInstruction
 from .regfile import PhysicalRegisterFile
 
+#: ready_time of an allocated-but-unproduced register (see regfile)
+_PENDING = float("inf")
+
 
 @dataclass
 class RenameCheckpoint:
@@ -58,21 +61,57 @@ class RegisterAliasTable:
         """Rename ``instr`` in place.
 
         Returns False (leaving no side effects) when no physical register is
-        available, in which case the caller must stall dispatch.
+        available, in which case the caller must stall dispatch.  Runs once
+        per dispatched instruction, so the allocation fast path of
+        :class:`~repro.uarch.regfile.PhysicalRegisterFile` is inlined
+        (``allocate`` stays the reference implementation).
         """
-        # Source operands read the current map.
-        phys_sources = tuple(self.lookup(src) for src in instr.sources
-                             if src != ZERO_REG)
+        # Source operands read the current map (direct access: the map always
+        # covers the architectural registers, see initial_mapping()).
+        # Specialised for the 0/1/2-source shapes of the ISA -- this runs
+        # once per dispatched instruction.
+        current_map = self._map
+        trace = instr.trace
+        sources = trace.sources
+        num_sources = len(sources)
+        if num_sources == 2:
+            s0, s1 = sources
+            if s0 == ZERO_REG:
+                phys_sources = (() if s1 == ZERO_REG
+                                else (current_map[s1],))
+            elif s1 == ZERO_REG:
+                phys_sources = (current_map[s0],)
+            else:
+                phys_sources = (current_map[s0], current_map[s1])
+        elif num_sources == 1:
+            s0 = sources[0]
+            phys_sources = () if s0 == ZERO_REG else (current_map[s0],)
+        elif num_sources == 0:
+            phys_sources = ()
+        else:
+            phys_sources = tuple(current_map[src] for src in sources
+                                 if src != ZERO_REG)
         new_phys: Optional[int] = None
         prev_phys: Optional[int] = None
-        dest = instr.dest
+        dest = trace.dest
         if dest is not None and dest != ZERO_REG:
-            new_phys = self.regfile.allocate_for_arch(dest)
-            if new_phys is None:
+            regfile = self.regfile
+            for_fp = is_fp_reg(dest)
+            free_list = regfile._free_fp if for_fp else regfile._free_int
+            if not free_list:
+                regfile.allocation_failures += 1
                 return False
-            prev_phys = self._map[dest]
-            self._map[dest] = new_phys
-            self.regfile.mark_pending(new_phys)
+            new_phys = free_list.pop()
+            reg = regfile._registers[new_phys]
+            reg.allocated = True
+            reg.ready_time = _PENDING
+            reg.producer_domain = ""
+            if for_fp:
+                regfile._fp_in_use += 1
+            else:
+                regfile._int_in_use += 1
+            prev_phys = current_map[dest]
+            current_map[dest] = new_phys
         instr.phys_sources = phys_sources
         instr.phys_dest = new_phys
         instr.prev_phys_dest = prev_phys

@@ -46,7 +46,7 @@ _INT_REG_POOL = [int_reg(i) for i in range(1, 28)]
 _FP_REG_POOL = [fp_reg(i) for i in range(0, 28)]
 
 
-@dataclass
+@dataclass(slots=True)
 class _StaticSlot:
     """One static non-control instruction slot inside a basic block."""
 
@@ -59,7 +59,7 @@ class _StaticSlot:
     stride: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _StaticBranch:
     """The control-flow terminator of a basic block."""
 
@@ -70,7 +70,7 @@ class _StaticBranch:
     fallthrough_block: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _StaticBlock:
     """A synthetic basic block."""
 

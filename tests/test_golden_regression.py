@@ -1,0 +1,50 @@
+"""Bit-exact golden results pinned at the pre-optimization (seed) simulator.
+
+The fast-simulation-core rework promised *bit-identical* SimulationResult
+statistics for identical seeds.  The values below were captured from the seed
+tree (heapq engine, non-memoized power accounting) before any optimization
+landed; the optimized simulator must keep reproducing them exactly.  If a
+future change intentionally alters the model, update these constants in the
+same commit and say so.
+"""
+
+from repro.core.experiments import run_single
+
+GOLDEN = {
+    ("base", "perl", 300): {
+        "committed_instructions": 300,
+        "elapsed_ns": 112.0,
+        "ipc": 2.6785714285714284,
+        "mean_slip_ns": 12.726666666666667,
+        "total_energy_nj": 2313.0213617022305,
+        "recoveries": 0,
+        "fetched_instructions": 300,
+        "domain_cycles": {"core": 113},
+    },
+    ("gals", "perl", 300): {
+        "committed_instructions": 300,
+        "elapsed_ns": 146.7579544029403,
+        "ipc": 2.044182212953968,
+        "mean_slip_ns": 24.146865884748625,
+        "total_energy_nj": 2427.5733704643303,
+        "recoveries": 0,
+        "fetched_instructions": 300,
+        "domain_cycles": {"decode": 147, "fetch": 146, "fp": 147,
+                          "integer": 147, "memory": 147},
+    },
+}
+
+
+def test_golden_results_bit_identical_to_seed():
+    for (kind, benchmark, instructions), expected in GOLDEN.items():
+        result = run_single(benchmark, kind, num_instructions=instructions,
+                            seed=1)
+        assert result.committed_instructions == expected["committed_instructions"]
+        # exact float equality on purpose: the contract is bit-identity
+        assert result.elapsed_ns == expected["elapsed_ns"]
+        assert result.ipc == expected["ipc"]
+        assert result.mean_slip_ns == expected["mean_slip_ns"]
+        assert result.total_energy_nj == expected["total_energy_nj"]
+        assert result.recoveries == expected["recoveries"]
+        assert result.fetched_instructions == expected["fetched_instructions"]
+        assert result.domain_cycles == expected["domain_cycles"]

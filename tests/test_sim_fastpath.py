@@ -1,0 +1,214 @@
+"""Tests for the clock-wheel fast path of the simulation engine.
+
+The engine keeps periodic events on a clock wheel and one-shots on a heap;
+``use_wheel=False`` forces everything through the generic heap (the seed
+engine's behaviour).  These tests pin the contract between the two paths:
+identical event order, identical timestamps, and correct handling of
+cancellation, compaction and mixed periodic/one-shot schedules.
+"""
+
+import pytest
+
+from repro.sim.engine import _COMPACT_THRESHOLD, SimulationEngine
+from repro.sim.event import Event, SimulationError
+
+
+def _record_script(engine):
+    """Run a representative mixed schedule and return the observed log."""
+    log = []
+
+    def tick(name):
+        return lambda _: log.append((name, round(engine.now, 9)))
+
+    engine.schedule_periodic(0.13, 1.0, tick("a"))
+    engine.schedule_periodic(0.77, 1.0, tick("b"))
+    engine.schedule_periodic(0.40, 1.1, tick("c"))
+    engine.schedule_periodic(0.91, 1.5, tick("d"))
+
+    def one_shot(_):
+        log.append(("one", round(engine.now, 9)))
+        # schedule another one-shot from inside a callback
+        engine.schedule(engine.now + 0.35, lambda _: log.append(("two", round(engine.now, 9))))
+
+    engine.schedule(5.05, one_shot)
+    engine.schedule(8.0, lambda _: engine.cancel_chain("no-such-chain"),
+                    name="noop")
+    engine.run(until=25.0)
+    return log
+
+
+def test_wheel_and_generic_paths_fire_identically():
+    wheel_log = _record_script(SimulationEngine(use_wheel=True))
+    generic_log = _record_script(SimulationEngine(use_wheel=False))
+    assert wheel_log == generic_log
+    assert len(wheel_log) > 60
+
+
+def test_wheel_equal_period_rotation_matches_generic():
+    """Five equal-period clocks (the GALS uniform plan shape)."""
+    def script(engine):
+        log = []
+        for index, phase in enumerate((0.13, 0.77, 0.40, 0.91, 0.05)):
+            engine.schedule_periodic(
+                phase, 1.0, lambda _, i=index: log.append((i, engine.now)))
+        engine.run(until=50.0)
+        return log
+
+    assert script(SimulationEngine(True)) == script(SimulationEngine(False))
+
+
+def test_one_shot_interleaves_with_wheel():
+    engine = SimulationEngine()
+    log = []
+    engine.schedule_periodic(0.5, 1.0, lambda _: log.append(("clk", engine.now)))
+    engine.schedule(2.25, lambda _: log.append(("shot", engine.now)))
+    engine.run(until=4.0)
+    assert log == [("clk", 0.5), ("clk", 1.5), ("shot", 2.25),
+                   ("clk", 2.5), ("clk", 3.5)]
+
+
+def test_schedule_requires_callback():
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule(1.0, None)
+    with pytest.raises(SimulationError):
+        engine.schedule_periodic(0.0, 1.0, None)
+
+
+def test_fire_without_callback_raises():
+    event = Event(time=1.0)
+    with pytest.raises(SimulationError):
+        event.fire()
+
+
+def test_pending_events_excludes_cancelled():
+    engine = SimulationEngine()
+    events = [engine.schedule(float(t + 1), lambda _: None) for t in range(10)]
+    chain = engine.schedule_periodic(100.0, 1.0, lambda _: None)
+    assert engine.pending_events == 11
+    for event in events[:4]:
+        event.cancel()
+    assert engine.pending_events == 7
+    chain.cancel()
+    assert engine.pending_events == 6
+
+
+def test_cancelled_heap_events_are_compacted():
+    engine = SimulationEngine()
+    events = [engine.schedule(float(t + 1), lambda _: None)
+              for t in range(2 * _COMPACT_THRESHOLD)]
+    queue_before = len(engine._queue)
+    for event in events[: _COMPACT_THRESHOLD + 5]:
+        event.cancel()
+    # the compaction threshold was crossed: cancelled events were dropped
+    assert len(engine._queue) < queue_before - _COMPACT_THRESHOLD
+    assert engine.pending_events == _COMPACT_THRESHOLD - 5
+    engine.run()
+    assert engine.events_processed == _COMPACT_THRESHOLD - 5
+
+
+def test_cancel_chain_from_wheel_and_heap():
+    engine = SimulationEngine()
+    count = []
+    engine.schedule_periodic(0.0, 1.0, lambda _: count.append(1), name="clock:x")
+    engine.schedule(5.5, lambda _: engine.cancel_chain("clock:x"))
+    engine.run(until=20.0)
+    assert len(count) == 6  # t = 0..5, as with the generic path
+
+
+def test_cancelling_periodic_handle_stops_chain():
+    engine = SimulationEngine()
+    count = []
+    handle = engine.schedule_periodic(0.0, 1.0, lambda _: count.append(1))
+
+    def stopper(_):
+        handle.cancel()
+
+    engine.schedule(3.5, stopper)
+    engine.run(until=10.0)
+    assert len(count) == 4  # t = 0, 1, 2, 3
+
+
+def test_drain_returns_wheel_and_heap_events_in_order():
+    engine = SimulationEngine()
+    engine.schedule_periodic(0.5, 1.0, lambda _: None, name="p")
+    engine.schedule(0.25, lambda _: None, name="s")
+    drained = list(engine.drain())
+    assert [e.name for e in drained] == ["s", "p"]
+    assert engine.pending_events == 0
+
+
+def test_wide_phase_spread_keeps_event_order():
+    """Equal periods but starts more than one period apart: the rotation
+    fast path must not apply (it would fire events out of time order)."""
+    def script(engine):
+        log = []
+        engine.schedule_periodic(0.0, 1.0, lambda _: log.append(("a", engine.now)))
+        engine.schedule_periodic(5.0, 1.0, lambda _: log.append(("b", engine.now)))
+        engine.run(until=7.0)
+        return log
+
+    wheel_log = script(SimulationEngine(True))
+    assert wheel_log == script(SimulationEngine(False))
+    times = [t for _, t in wheel_log]
+    assert times == sorted(times)
+    assert ("a", 4.0) in wheel_log and ("b", 7.0) in wheel_log
+
+
+def test_cancel_plus_reschedule_from_callback():
+    """cancel_chain + schedule_periodic inside a callback leaves the wheel
+    size unchanged; the engine must still notice the membership change."""
+    def script(engine):
+        log = []
+
+        def swap(_):
+            if not any(name == "swap" for name, _ in log):
+                engine.cancel_chain("victim")
+                engine.schedule_periodic(engine.now + 0.25, 1.0,
+                                         lambda _: log.append(("new", engine.now)))
+                log.append(("swap", engine.now))
+
+        engine.schedule_periodic(0.0, 1.0, lambda _: log.append(("keep", engine.now)))
+        engine.schedule_periodic(0.5, 1.0, lambda _: log.append(("victim", engine.now)),
+                                 name="victim")
+        engine.schedule_periodic(0.75, 1.0, swap)
+        engine.run(until=6.0)
+        return log
+
+    assert script(SimulationEngine(True)) == script(SimulationEngine(False))
+
+
+def test_handle_cancel_after_first_fire_stops_chain_on_both_paths():
+    def script(engine):
+        count = []
+        handle = engine.schedule_periodic(0.0, 1.0, lambda _: count.append(1))
+        engine.run(until=3.5)       # fires t = 0..3
+        handle.cancel()
+        engine.run(until=10.0)
+        return len(count)
+
+    assert script(SimulationEngine(True)) == script(SimulationEngine(False)) == 4
+
+
+def test_cancel_after_one_shot_fired_keeps_pending_count_accurate():
+    engine = SimulationEngine()
+    fired = engine.schedule(1.0, lambda _: None)
+    engine.schedule(5.0, lambda _: None)
+    engine.run(until=2.0)
+    fired.cancel()                 # already fired: must not skew bookkeeping
+    assert engine.pending_events == 1
+
+
+def test_periodic_scheduled_mid_run_joins_wheel():
+    engine = SimulationEngine()
+    log = []
+
+    def spawn(_):
+        engine.schedule_periodic(engine.now + 0.25, 1.0,
+                                 lambda _: log.append(("late", engine.now)))
+
+    engine.schedule_periodic(0.0, 1.0, lambda _: log.append(("base", engine.now)))
+    engine.schedule(2.1, spawn)
+    engine.run(until=5.0)
+    assert ("late", 2.35) in log
+    assert log.count(("late", 4.35)) == 1
