@@ -19,6 +19,7 @@ Usage::
 
 from repro.analysis import clock_skew_table, projected_skew_fraction, skew_trend
 from repro.async_comm import MixedClockFifo, PausibleClockModel
+from repro.core import TOPOLOGIES
 from repro.sim.clock import Clock
 
 
@@ -63,6 +64,16 @@ def main() -> None:
     print("Conclusion: in a pipeline that communicates almost every cycle, the")
     print("FIFO's bounded per-crossing latency is the viable mechanism, which")
     print("is what the GALS processor model uses.")
+    print()
+
+    print("=== Registered clock-domain topologies (the resulting design space) ===")
+    print("Each partitioning trades FIFO crossings against clocking freedom;")
+    print("run any of them with `python -m repro run <name>`:")
+    print()
+    for topology in TOPOLOGIES.values():
+        crossings = len(topology.edges())
+        print(f"  {topology.name:<11} {topology.num_domains} domain(s), "
+              f"{crossings} mixed-clock crossing(s)")
 
 
 if __name__ == "__main__":

@@ -3,22 +3,28 @@
 
 For a chosen benchmark this example:
 
-1. runs the paper's named DVFS policies (generic, ijpeg sweep, gcc cases),
+1. runs the paper's named DVFS policies (generic, perl/gcc cases) as
+   declarative scenarios,
 2. derives an *application-driven* policy from the benchmark's profile using
    :func:`repro.core.recommend_policy` (the paper's "study the application's
-   characteristics" guidance), and
+   characteristics" guidance), registers it, and runs it the same way, and
 3. compares everything against the voltage-scaled synchronous "ideal".
 
 Usage::
 
     python examples/dvfs_exploration.py [benchmark] [instructions]
+
+The registered policies are visible from the command line::
+
+    python -m repro list policies
+    python -m repro run gals5 --workload gcc --policy generic
 """
 
 import sys
 
 from repro.analysis import dvfs_table
-from repro.core import (GCC_GALS_1, GENERIC_SLOWDOWN, PERL_FP_BY_3,
-                        recommend_policy, selective_slowdown)
+from repro.core import (POLICIES, get_policy, recommend_policy,
+                        register_policy, selective_slowdown)
 from repro.workloads import get_profile
 
 
@@ -33,10 +39,16 @@ def main() -> None:
           f"memory: {profile.load_fraction + profile.store_fraction:.1%}")
     print()
 
-    policies = [GENERIC_SLOWDOWN, PERL_FP_BY_3, GCC_GALS_1,
-                recommend_policy(profile)]
+    # Derive an application-driven policy and add it to the registry so it is
+    # addressable by name, exactly like the paper's built-in policies.
+    recommended = recommend_policy(profile)
+    if recommended.name not in POLICIES:
+        register_policy(recommended)
+
+    policy_names = ["generic", "perl-fp3", "gals-1", recommended.name]
     results = []
-    for policy in policies:
+    for name in policy_names:
+        policy = get_policy(name)
         print(f"running policy '{policy.name}': {policy.description}")
         voltages = policy.voltages()
         for domain, vdd in sorted(voltages.items()):

@@ -2,20 +2,26 @@
 """Run a real (assembled and functionally executed) kernel on both machines.
 
 The profile-driven synthetic workloads reproduce the paper's figures, but the
-library also runs genuine programs: this example assembles a kernel written in
-the small RISC ISA, executes it functionally to obtain its dynamic trace, and
-feeds that trace to the synchronous and GALS timing models.
+library also runs genuine programs: kernels written in the small RISC ISA are
+registered in the workload registry as ``kernel:<name>``, so a declarative
+scenario can run them on any topology.  This example assembles one kernel,
+shows its listing, and feeds its dynamic trace to the synchronous and GALS
+timing models through the scenario path.
 
 Usage::
 
     python examples/kernel_on_gals.py [kernel] [size]
 
 Kernels: vector_sum, dot_product, saxpy, matmul, fibonacci, string_search.
+The same runs are available from the command line::
+
+    python -m repro run dotprod-gals5 --kernel-size 96
 """
 
 import sys
+from dataclasses import replace
 
-from repro import build_base_processor, build_gals_processor, compare
+from repro import Scenario, compare, run_scenario
 from repro.workloads import get_kernel
 
 
@@ -34,8 +40,12 @@ def main() -> None:
     trace = kernel.trace(size)
     print(f"dynamic trace: {len(trace)} instructions")
 
-    base = build_base_processor(kernel.trace(size)).run()
-    gals = build_gals_processor(kernel.trace(size)).run()
+    scenario = Scenario(name=f"{name}-example", topology="base",
+                        workload=f"kernel:{name}", kernel_size=size,
+                        num_instructions=len(trace),
+                        description="kernel example run")
+    base = run_scenario(scenario).result
+    gals = run_scenario(replace(scenario, topology="gals5")).result
     row = compare(base, gals)
 
     print()
@@ -47,8 +57,7 @@ def main() -> None:
     print(f"GALS relative energy:      {row.relative_energy:.3f}")
     print(f"GALS relative power:       {row.relative_power:.3f}")
     print()
-    print("per-cluster issue counts (base run):")
-    print(f"  note: kernels with FP work exercise the fp cluster; integer "
+    print(f"note: kernels with FP work exercise the fp cluster; integer "
           f"kernels leave it idle at 10% power, which is what the "
           f"application-driven DVFS policies exploit.")
 

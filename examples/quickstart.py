@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
 """Quickstart: compare the synchronous and GALS processors on one benchmark.
 
-Runs the perl-like workload on both machines with all clocks at the same
-frequency (the paper's first experiment set) and prints the headline metrics:
-relative performance, energy, power, slip and mis-speculation.
+Runs the same workload through two declarative scenarios -- the one-domain
+'base' topology and the paper's five-domain 'gals5' topology -- with all
+clocks at the same frequency (the paper's first experiment set) and prints
+the headline metrics: relative performance, energy, power, slip and
+mis-speculation.
 
 Usage::
 
     python examples/quickstart.py [benchmark] [instructions]
+
+The same runs are available from the command line::
+
+    python -m repro run base --workload perl
+    python -m repro run gals5 --workload perl
 """
 
 import sys
 
-from repro import run_pair
+from repro import compare, run_scenario
 from repro.analysis import bar_chart
 
 
@@ -20,11 +27,14 @@ def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "perl"
     instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
 
-    print(f"Running base and GALS processors on '{benchmark}' "
+    print(f"Running the 'base' and 'gals5' scenarios on '{benchmark}' "
           f"({instructions} instructions)...")
-    row = run_pair(benchmark, num_instructions=instructions)
+    base = run_scenario("base", workload=benchmark,
+                        num_instructions=instructions).result
+    gals = run_scenario("gals5", workload=benchmark,
+                        num_instructions=instructions).result
+    row = compare(base, gals)
 
-    base, gals = row.base_result, row.gals_result
     print()
     print(base.summary())
     print()

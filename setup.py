@@ -1,3 +1,19 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gals",
+    version="2.0.0",
+    description=(
+        "Reproduction of 'Power and Performance Evaluation of Globally "
+        "Asynchronous Locally Synchronous Processors' "
+        "(Iyer & Marculescu, ISCA 2002)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

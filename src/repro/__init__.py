@@ -14,22 +14,31 @@ The library provides:
 
 Quickstart::
 
-    from repro import run_pair
+    from repro import run_pair, run_scenario
     row = run_pair("perl", num_instructions=2000)
     print(f"GALS relative performance: {row.relative_performance:.3f}")
     print(f"GALS relative power:       {row.relative_power:.3f}")
+
+    # or, declaratively, through the scenario subsystem / `python -m repro`:
+    print(run_scenario("frontback2", num_instructions=2000).summary())
 """
 
 from .core import (ClockPlan, ComparisonRow, DEFAULT_CONFIG, DvfsResult,
-                   Processor, ProcessorConfig, SimulationResult, SlowdownPolicy,
-                   baseline_comparison, build_base_processor,
-                   build_gals_processor, compare, phase_sensitivity, run_pair,
-                   run_single, selective_slowdown, slowdown_plan, slowdown_sweep,
-                   uniform_plan)
-from .workloads import (DEFAULT_BENCHMARKS, PROFILES, get_kernel, get_profile,
-                        kernel_trace, make_trace, make_workload)
+                   Processor, ProcessorConfig, Scenario, ScenarioResult,
+                   SimulationResult, SlowdownPolicy, Topology,
+                   available_policies, available_scenarios,
+                   available_topologies, baseline_comparison,
+                   build_base_processor, build_gals_processor,
+                   build_processor, compare, get_policy, get_scenario,
+                   get_topology, phase_sensitivity, register_scenario,
+                   register_topology, run_pair, run_scenario, run_single,
+                   selective_slowdown, slowdown_plan, slowdown_sweep,
+                   sweep_scenarios, uniform_plan)
+from .workloads import (DEFAULT_BENCHMARKS, PROFILES, available_workloads,
+                        build_workload, get_kernel, get_profile, kernel_trace,
+                        make_trace, make_workload)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ClockPlan",
@@ -40,23 +49,39 @@ __all__ = [
     "PROFILES",
     "Processor",
     "ProcessorConfig",
+    "Scenario",
+    "ScenarioResult",
     "SimulationResult",
     "SlowdownPolicy",
+    "Topology",
     "__version__",
+    "available_policies",
+    "available_scenarios",
+    "available_topologies",
+    "available_workloads",
     "baseline_comparison",
     "build_base_processor",
     "build_gals_processor",
+    "build_processor",
+    "build_workload",
     "compare",
     "get_kernel",
+    "get_policy",
     "get_profile",
+    "get_scenario",
+    "get_topology",
     "kernel_trace",
     "make_trace",
     "make_workload",
     "phase_sensitivity",
+    "register_scenario",
+    "register_topology",
     "run_pair",
+    "run_scenario",
     "run_single",
     "selective_slowdown",
     "slowdown_plan",
     "slowdown_sweep",
+    "sweep_scenarios",
     "uniform_plan",
 ]

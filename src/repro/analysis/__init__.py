@@ -4,7 +4,8 @@ from .clock_skew import (CLOCK_SKEW_CASES, ClockSkewCase, clock_skew_table,
                          projected_skew_fraction, skew_trend)
 from .report import (ascii_bar, bar_chart, breakdown_table, dvfs_table,
                      energy_power_table, misspeculation_table,
-                     performance_table, slip_breakdown_table, slip_table)
+                     performance_table, scenario_table, slip_breakdown_table,
+                     slip_table)
 
 __all__ = [
     "CLOCK_SKEW_CASES",
@@ -18,6 +19,7 @@ __all__ = [
     "misspeculation_table",
     "performance_table",
     "projected_skew_fraction",
+    "scenario_table",
     "skew_trend",
     "slip_breakdown_table",
     "slip_table",

@@ -101,6 +101,22 @@ def breakdown_table(base: EnergyBreakdown, gals: EnergyBreakdown) -> str:
     return "\n".join(lines)
 
 
+# ------------------------------------------------------------------- scenarios
+def scenario_table(results: Sequence) -> str:
+    """Comparison table for a batch of ScenarioResult objects (CLI sweeps)."""
+    header = (f"{'scenario':<20} {'topology':<11} {'workload':<18} "
+              f"{'IPC':>6} {'elapsed ns':>11} {'energy nJ':>10} {'power W':>8}")
+    lines = [header]
+    for item in results:
+        result = item.result
+        lines.append(
+            f"{item.scenario.name:<20} {item.scenario.topology:<11} "
+            f"{item.scenario.workload:<18} {result.ipc:>6.2f} "
+            f"{result.elapsed_ns:>11.1f} {result.total_energy_nj:>10.1f} "
+            f"{result.average_power_w:>8.2f}")
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------- Figures 11-13
 def dvfs_table(results: Sequence[DvfsResult], include_ideal: bool = True) -> str:
     """Figures 11-13: normalised performance / energy / (ideal) / power."""

@@ -183,6 +183,42 @@ class MixedClockFifo(Channel):
             box[0] += 1
         return item
 
+    def pop_bulk(self, time: float, limit: int) -> List[Tuple[Any, float]]:
+        # one pending-space expiry and one synchronizer mapping for the whole
+        # batch: every slot freed at ``time`` becomes producer-visible at the
+        # same future edge, and nothing appended here can expire at ``time``
+        # (the mapped edge is strictly later), exactly as repeated pop_ready
+        # calls would behave.
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        entries = self._entries
+        if not entries or entries[0][2] > time:
+            return []
+        space_visible = self._space_visible_at(time)
+        box = self._transfer_box
+        popped: List[Tuple[Any, float]] = []
+        append = popped.append
+        popleft = entries.popleft
+        pend = pending.append
+        wait = self.last_pop_wait
+        count = 0
+        while count < limit and entries and entries[0][2] <= time:
+            item, pushed_at, _visible = popleft()
+            wait = time - pushed_at
+            if wait < 0.0:
+                wait = 0.0
+            self.total_wait += wait
+            pend(space_visible)
+            append((item, wait))
+            count += 1
+        if count:
+            self.last_pop_wait = wait
+            self.pop_count += count
+            if box is not None:
+                box[0] += count
+        return popped
+
     def pop(self, time: float) -> Any:
         entries = self._entries
         if not entries or entries[0][2] > time:

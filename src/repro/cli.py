@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+The CLI exposes the declarative Scenario subsystem:
+
+* ``repro list [what]``      -- registered topologies, policies, workloads,
+  scenarios (default: everything);
+* ``repro topology NAME``    -- describe one clock-domain topology;
+* ``repro show SCENARIO``    -- print a registered scenario as JSON;
+* ``repro run SCENARIO``     -- run one scenario (with overrides) and print
+  its summary, optionally dumping the full result as JSON;
+* ``repro sweep SCENARIO..`` -- run many scenarios in parallel over the
+  ``REPRO_JOBS`` process pool and print a comparison table;
+* ``repro report ...``       -- render the paper's figure tables
+  (:mod:`repro.analysis.report`) from fresh runs.
+
+Every run funnels through :func:`repro.core.scenario.run_scenario`, so CLI
+results are bit-identical to library results for the same scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from .analysis.report import (dvfs_table, energy_power_table,
+                              misspeculation_table, performance_table,
+                              scenario_table, slip_breakdown_table,
+                              slip_table)
+from .core.domains import TOPOLOGIES, get_topology
+from .core.dvfs import POLICIES, get_policy
+from .core.experiments import (DEFAULT_INSTRUCTIONS, baseline_comparison,
+                               slowdown_sweep)
+from .core.scenario import (SCENARIOS, Scenario, get_scenario, run_scenario,
+                            sweep_scenarios)
+from .workloads.profiles import DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS
+from .workloads.registry import WORKLOADS
+
+
+# ------------------------------------------------------------------- helpers
+def _parse_value(text: str) -> Any:
+    """Parse an override value: JSON first, bare string as fallback."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_assignments(pairs: Sequence[str], flag: str) -> Dict[str, Any]:
+    """Parse repeated KEY=VALUE flags into a dict."""
+    parsed: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: {flag} expects KEY=VALUE, got {pair!r}")
+        parsed[key] = _parse_value(value)
+    return parsed
+
+
+def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
+    """Resolve the named scenario and apply CLI overrides."""
+    scenario = get_scenario(args.scenario)
+    changes: Dict[str, Any] = {}
+    if args.topology is not None:
+        changes["topology"] = args.topology
+    if args.workload is not None:
+        changes["workload"] = args.workload
+    if args.policy is not None:
+        changes["policy"] = None if args.policy == "none" else args.policy
+    if args.instructions is not None:
+        changes["num_instructions"] = args.instructions
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    if args.phase_seed is not None:
+        changes["phase_seed"] = args.phase_seed
+    if args.kernel_size is not None:
+        changes["kernel_size"] = args.kernel_size
+    if args.base_period is not None:
+        changes["base_period"] = args.base_period
+    if args.no_scale_voltages:
+        changes["scale_voltages"] = False
+    if args.slowdown:
+        changes["slowdowns"] = {**_parse_assignments(args.slowdown, "--slowdown")}
+    if args.config:
+        changes["config"] = {**_parse_assignments(args.config, "--config")}
+    return replace(scenario, **changes) if changes else scenario
+
+
+def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", help="override the scenario's topology")
+    parser.add_argument("--workload", help="override the scenario's workload")
+    parser.add_argument("--policy",
+                        help="override the DVFS policy ('none' clears it)")
+    parser.add_argument("--instructions", type=int, metavar="N",
+                        help="trace length override")
+    parser.add_argument("--seed", type=int, help="workload seed override")
+    parser.add_argument("--phase-seed", type=int, dest="phase_seed",
+                        help="clock-phase seed override")
+    parser.add_argument("--kernel-size", type=int, dest="kernel_size",
+                        help="problem size for kernel workloads")
+    parser.add_argument("--base-period", type=float, dest="base_period",
+                        help="nominal clock period in ns")
+    parser.add_argument("--no-scale-voltages", action="store_true",
+                        help="disable Equation-1 voltage scaling")
+    parser.add_argument("--slowdown", action="append", default=[],
+                        metavar="DOMAIN=FACTOR",
+                        help="explicit per-domain slowdown (repeatable)")
+    parser.add_argument("--config", action="append", default=[],
+                        metavar="FIELD=VALUE",
+                        help="ProcessorConfig field override (repeatable)")
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_list(args: argparse.Namespace) -> int:
+    what = args.what
+    sections = []
+    if what in ("topologies", "all"):
+        rows = [f"  {name:<12} {topo.num_domains} domain(s): "
+                f"{topo.description}" for name, topo in TOPOLOGIES.items()]
+        sections.append("topologies:\n" + "\n".join(rows))
+    if what in ("policies", "all"):
+        rows = [f"  {name:<12} {policy.description}"
+                for name, policy in POLICIES.items()]
+        sections.append("DVFS policies:\n" + "\n".join(rows))
+    if what in ("workloads", "all"):
+        rows = [f"  {name:<22} [{entry.kind}] {entry.description}"
+                for name, entry in WORKLOADS.items()]
+        sections.append("workloads:\n" + "\n".join(rows))
+    if what in ("scenarios", "all"):
+        rows = []
+        for name, scenario in SCENARIOS.items():
+            policy = scenario.policy or "-"
+            rows.append(f"  {name:<20} topology={scenario.topology:<11} "
+                        f"workload={scenario.workload:<18} policy={policy:<10} "
+                        f"{scenario.description}")
+        sections.append("scenarios:\n" + "\n".join(rows))
+    print("\n\n".join(sections))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    print(get_topology(args.name).describe())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(get_scenario(args.scenario).to_json())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_with_overrides(args)
+    if not args.quiet:
+        print(f"running scenario {scenario.name!r}: topology="
+              f"{scenario.topology}, workload={scenario.workload}, "
+              f"policy={scenario.policy or '-'}, "
+              f"{scenario.num_instructions} instructions")
+    outcome = run_scenario(scenario)
+    if not args.quiet:
+        print()
+        print(outcome.result.summary())
+        print(f"  domain cycles: {outcome.result.domain_cycles}")
+        print(f"  domain voltages: "
+              f"{ {k: round(v, 3) for k, v in outcome.result.domain_voltages.items()} }")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(outcome.to_json())
+        if not args.quiet:
+            print(f"  result written to {args.json}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    names = list(args.scenarios)
+    if args.all:
+        names = [name for name in SCENARIOS if name not in names] + names
+    if not names:
+        raise SystemExit("error: no scenarios given (name some or use --all)")
+    overrides: Dict[str, Any] = {}
+    if args.instructions is not None:
+        overrides["num_instructions"] = args.instructions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    scenarios = [get_scenario(name) for name in names]
+    if overrides:
+        scenarios = [replace(scenario, **overrides) for scenario in scenarios]
+    if not args.quiet:
+        print(f"sweeping {len(scenarios)} scenario(s) "
+              f"({scenarios[0].num_instructions} instructions each)...")
+    results = sweep_scenarios(scenarios, jobs=args.jobs)
+    print(scenario_table(results))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([item.to_dict() for item in results], handle, indent=2,
+                      sort_keys=True)
+        if not args.quiet:
+            print(f"results written to {args.json}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    instructions = args.instructions
+    if args.family == "baseline":
+        benchmarks = args.benchmarks or list(DEFAULT_BENCHMARKS)
+        rows = baseline_comparison(benchmarks, num_instructions=instructions,
+                                   jobs=args.jobs)
+        print("=== Figure 5: relative performance ===")
+        print(performance_table(rows))
+        print()
+        print("=== Figure 6: instruction slip ===")
+        print(slip_table(rows))
+        print()
+        print("=== Figure 7: slip breakdown ===")
+        print(slip_breakdown_table(rows))
+        print()
+        print("=== Figure 8: mis-speculation ===")
+        print(misspeculation_table(rows))
+        print()
+        print("=== Figure 9: energy and power ===")
+        print(energy_power_table(rows))
+    else:  # dvfs
+        benchmark = args.benchmark
+        if args.policies:
+            policies = [get_policy(name) for name in args.policies]
+        else:
+            policies = list(POLICIES.values())
+        results = slowdown_sweep(benchmark, policies,
+                                 num_instructions=instructions,
+                                 jobs=args.jobs)
+        print(f"=== Figures 11-13: DVFS case study ({benchmark}) ===")
+        print(dvfs_table(results))
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GALS processor reproduction (Iyer & Marculescu, "
+                    "ISCA 2002): scenario runner and figure harness.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="list registered topologies/policies/workloads/scenarios")
+    list_parser.add_argument(
+        "what", nargs="?", default="all",
+        choices=("all", "topologies", "policies", "workloads", "scenarios"))
+    list_parser.set_defaults(handler=_cmd_list)
+
+    topo_parser = sub.add_parser("topology",
+                                 help="describe one clock-domain topology")
+    topo_parser.add_argument("name")
+    topo_parser.set_defaults(handler=_cmd_topology)
+
+    show_parser = sub.add_parser("show",
+                                 help="print a registered scenario as JSON")
+    show_parser.add_argument("scenario")
+    show_parser.set_defaults(handler=_cmd_show)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("scenario", help="registered scenario name")
+    _add_override_arguments(run_parser)
+    run_parser.add_argument("--json", metavar="PATH",
+                            help="write the full ScenarioResult as JSON")
+    run_parser.add_argument("--quiet", action="store_true")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run several scenarios over the process pool")
+    sweep_parser.add_argument("scenarios", nargs="*",
+                              help="registered scenario names")
+    sweep_parser.add_argument("--all", action="store_true",
+                              help="sweep every registered scenario")
+    sweep_parser.add_argument("--jobs", type=int,
+                              help="worker processes (default: REPRO_JOBS "
+                                   "or the CPU count)")
+    sweep_parser.add_argument("--instructions", type=int, metavar="N")
+    sweep_parser.add_argument("--seed", type=int)
+    sweep_parser.add_argument("--json", metavar="PATH",
+                              help="write all results as a JSON array")
+    sweep_parser.add_argument("--quiet", action="store_true")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report", help="render the paper's figure tables from fresh runs")
+    report_sub = report_parser.add_subparsers(dest="family", required=True)
+    baseline_parser = report_sub.add_parser(
+        "baseline", help="Figures 5-9: base vs GALS at equal clocks")
+    baseline_parser.add_argument("--benchmarks", nargs="+")
+    baseline_parser.add_argument("--instructions", type=int,
+                                 default=DEFAULT_INSTRUCTIONS)
+    baseline_parser.add_argument("--jobs", type=int)
+    baseline_parser.set_defaults(handler=_cmd_report)
+    dvfs_parser = report_sub.add_parser(
+        "dvfs", help="Figures 11-13: multiple-clock/voltage case studies")
+    dvfs_parser.add_argument("--benchmark",
+                             default=DVFS_CASE_STUDY_BENCHMARKS[0])
+    dvfs_parser.add_argument("--policies", nargs="+")
+    dvfs_parser.add_argument("--instructions", type=int,
+                             default=DEFAULT_INSTRUCTIONS)
+    dvfs_parser.add_argument("--jobs", type=int)
+    dvfs_parser.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except KeyError as exc:
+        # registry lookups raise KeyError with a helpful message
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError, OSError) as exc:
+        # TypeError covers non-numeric override values (--slowdown fetch=abc)
+        # and misspelled --config fields reaching dataclasses.replace
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -64,9 +64,11 @@ class ProcessorConfig:
     fifo_capacity: int = 24
     #: extra consumer-clock cycles (beyond the next consumer edge) before data
     #: pushed into a mixed-clock FIFO is observable on the other side.  The
-    #: Chelcea/Nowick design is latency-optimised, so the default is 0: data
-    #: becomes visible at the first consumer edge after the push (a 0.5-1.0
-    #: cycle penalty); raise it to model a conservative dual-flop interface.
+    #: default of 1 models one synchronization stage after the capturing
+    #: consumer edge (a 1.5-2.0 cycle total penalty); set it to 0 for the
+    #: latency-optimised Chelcea/Nowick interface, where data becomes visible
+    #: at the first consumer edge after the push, or raise it to model a
+    #: conservative multi-flop synchronizer.
     fifo_sync_cycles: int = 1
     #: synchronizer depth for the branch-redirect signal into the fetch
     #: domain; control signals crossing domains use a full synchronizer, so

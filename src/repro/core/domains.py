@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..power.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from ..power.voltage import voltage_for_slowdown
@@ -36,6 +36,25 @@ GALS_DOMAINS: Tuple[str, ...] = (DOMAIN_FETCH, DOMAIN_DECODE, DOMAIN_INTEGER,
 
 #: Single-domain name used by the synchronous baseline.
 SYNC_DOMAIN = "core"
+
+#: The five locally synchronous *blocks* of the machine (Figure 3b).  A
+#: topology assigns each block to a clock domain; the paper's GALS machine
+#: gives every block its own domain, the synchronous baseline puts all five
+#: into one.  Block names intentionally equal the paper's domain names so the
+#: canonical 5-domain topology is the identity assignment.
+BLOCKS: Tuple[str, ...] = GALS_DOMAINS
+
+#: Structural inter-block links of the pipeline: (channel name, producer
+#: block, consumer block).  A topology turns each link into either a plain
+#: pipeline queue (both endpoints in the same domain) or a mixed-clock FIFO
+#: (endpoints in different domains).
+BLOCK_LINKS: Tuple[Tuple[str, str, str], ...] = (
+    ("fetch->decode", DOMAIN_FETCH, DOMAIN_DECODE),
+    ("dispatch->int", DOMAIN_DECODE, DOMAIN_INTEGER),
+    ("dispatch->fp", DOMAIN_DECODE, DOMAIN_FP),
+    ("dispatch->mem", DOMAIN_DECODE, DOMAIN_MEMORY),
+    ("redirect", DOMAIN_INTEGER, DOMAIN_FETCH),
+)
 
 #: Table 2: pipeline stage -> clock domains involved.
 PIPELINE_STAGES: Tuple[Tuple[int, str, Tuple[str, ...]], ...] = (
@@ -58,6 +77,210 @@ def pipeline_stage_table() -> str:
     for number, operation, domains in PIPELINE_STAGES:
         lines.append(f"{number:<6} {operation:<34} {', '.join(domains)}")
     return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ topology
+@dataclass(frozen=True)
+class Topology:
+    """A clock-domain partitioning of the five locally synchronous blocks.
+
+    The assignment maps every block in :data:`BLOCKS` to the name of the
+    clock domain that clocks it.  The synchronous baseline is the degenerate
+    one-domain topology; the paper's GALS machine is the identity assignment
+    (every block its own domain); anything in between is a valid partitioning
+    of the design space.
+    """
+
+    name: str
+    description: str
+    #: block name -> clock-domain name (must cover every block exactly once)
+    assignment: Mapping[str, str]
+    #: draw a random phase per domain from the plan's phase seed (the paper's
+    #: GALS experiments randomise phases); the synchronous baseline pins
+    #: every phase to zero instead
+    random_phases: bool = True
+    #: label stored in ``SimulationResult.processor`` (defaults to ``name``);
+    #: lets the canonical topologies keep the historical 'base'/'gals' labels
+    kind: str = ""
+
+    def __post_init__(self) -> None:
+        missing = set(BLOCKS) - set(self.assignment)
+        extra = set(self.assignment) - set(BLOCKS)
+        if missing:
+            raise ValueError(f"topology {self.name!r}: unassigned blocks "
+                             f"{sorted(missing)}")
+        if extra:
+            raise ValueError(f"topology {self.name!r}: unknown blocks "
+                             f"{sorted(extra)}")
+        for block, domain in self.assignment.items():
+            if not domain or not isinstance(domain, str):
+                raise ValueError(f"topology {self.name!r}: block {block!r} "
+                                 f"mapped to invalid domain {domain!r}")
+        if not self.kind:
+            object.__setattr__(self, "kind", self.name)
+
+    # -------------------------------------------------------------- structure
+    @property
+    def domain_names(self) -> Tuple[str, ...]:
+        """Domain names in first-appearance order over the canonical blocks.
+
+        This order is load-bearing: it fixes both the per-domain random phase
+        draws and the engine bind order, so the canonical topologies replay
+        the seed tree's exact sequence.
+        """
+        seen: List[str] = []
+        for block in BLOCKS:
+            domain = self.assignment[block]
+            if domain not in seen:
+                seen.append(domain)
+        return tuple(seen)
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.domain_names)
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True when every block shares one clock (no mixed-clock FIFOs)."""
+        return self.num_domains == 1
+
+    def domain_of(self, block: str) -> str:
+        """Clock domain name assigned to one block."""
+        try:
+            return self.assignment[block]
+        except KeyError as exc:
+            raise KeyError(f"topology {self.name!r} has no block {block!r}"
+                           ) from exc
+
+    def blocks_in(self, domain: str) -> Tuple[str, ...]:
+        """Blocks clocked by one domain, in canonical block order."""
+        return tuple(block for block in BLOCKS
+                     if self.assignment[block] == domain)
+
+    def crosses(self, producer_block: str, consumer_block: str) -> bool:
+        """Whether a link between two blocks crosses a domain boundary."""
+        return (self.assignment[producer_block]
+                != self.assignment[consumer_block])
+
+    def edges(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Cross-domain links: (channel name, producer domain, consumer domain).
+
+        Derived from the machine's structural :data:`BLOCK_LINKS`; these are
+        exactly the places the builder instantiates mixed-clock FIFOs and
+        synchronizers.
+        """
+        return tuple(
+            (name, self.assignment[producer], self.assignment[consumer])
+            for name, producer, consumer in BLOCK_LINKS
+            if self.assignment[producer] != self.assignment[consumer])
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [f"{self.name}: {self.description}",
+                 f"  {self.num_domains} clock domain(s)"]
+        for domain in self.domain_names:
+            lines.append(f"    {domain:<10} {{{', '.join(self.blocks_in(domain))}}}")
+        crossings = self.edges()
+        if crossings:
+            lines.append("  mixed-clock FIFOs: "
+                         + ", ".join(f"{p}->{c} ({n})" for n, p, c in crossings))
+        else:
+            lines.append("  mixed-clock FIFOs: none (fully synchronous)")
+        return "\n".join(lines)
+
+
+# -------------------------------------------------------- topology registry
+TOPOLOGIES: Dict[str, Topology] = {}
+_TOPOLOGY_ALIASES: Dict[str, str] = {}
+
+
+def register_topology(topology: Topology,
+                      aliases: Iterable[str] = ()) -> Topology:
+    """Register a topology (and optional aliases) for lookup by name."""
+    aliases = tuple(aliases)
+    # validate everything before mutating, so a failed call leaves the
+    # registry untouched and can be retried
+    if topology.name in TOPOLOGIES or topology.name in _TOPOLOGY_ALIASES:
+        raise ValueError(f"topology {topology.name!r} already registered")
+    for alias in aliases:
+        if alias in TOPOLOGIES or alias in _TOPOLOGY_ALIASES:
+            raise ValueError(f"topology alias {alias!r} already registered")
+    TOPOLOGIES[topology.name] = topology
+    for alias in aliases:
+        _TOPOLOGY_ALIASES[alias] = topology.name
+    return topology
+
+
+def get_topology(name: str) -> Topology:
+    """Look up a registered topology by name or alias."""
+    key = _TOPOLOGY_ALIASES.get(name, name)
+    try:
+        return TOPOLOGIES[key]
+    except KeyError as exc:
+        raise KeyError(f"unknown topology {name!r}; known: "
+                       f"{', '.join(sorted(TOPOLOGIES))}") from exc
+
+
+def available_topologies() -> Tuple[str, ...]:
+    """Registered topology names (aliases excluded), in registration order."""
+    return tuple(TOPOLOGIES)
+
+
+#: The fully synchronous baseline (Figure 3a): one global clock domain.
+BASE_TOPOLOGY = register_topology(Topology(
+    name="base",
+    description="fully synchronous baseline: one global clock domain "
+                "(Figure 3a)",
+    assignment={block: SYNC_DOMAIN for block in BLOCKS},
+    random_phases=False,
+    kind="base",
+), aliases=("sync",))
+
+#: The paper's five-domain GALS machine (Figure 3b).
+GALS5_TOPOLOGY = register_topology(Topology(
+    name="gals5",
+    description="the paper's 5-domain GALS partitioning: fetch / decode / "
+                "integer / fp / memory (Figure 3b)",
+    assignment={block: block for block in BLOCKS},
+    kind="gals",
+), aliases=("gals",))
+
+#: Coarser, non-paper partitionings opening the design space.
+FRONTBACK2_TOPOLOGY = register_topology(Topology(
+    name="frontback2",
+    description="2-domain front/back split: {fetch, decode} vs "
+                "{integer, fp, memory}",
+    assignment={DOMAIN_FETCH: "front", DOMAIN_DECODE: "front",
+                DOMAIN_INTEGER: "back", DOMAIN_FP: "back",
+                DOMAIN_MEMORY: "back"},
+))
+
+FEM3_TOPOLOGY = register_topology(Topology(
+    name="fem3",
+    description="3-domain fetch/exec/memory split: {fetch} / "
+                "{decode, integer, fp} / {memory}",
+    assignment={DOMAIN_FETCH: "fetch", DOMAIN_DECODE: "exec",
+                DOMAIN_INTEGER: "exec", DOMAIN_FP: "exec",
+                DOMAIN_MEMORY: "memory"},
+))
+
+ALU4_TOPOLOGY = register_topology(Topology(
+    name="alu4",
+    description="4-domain per-cluster variant merging the integer and FP "
+                "clusters into one ALU domain",
+    assignment={DOMAIN_FETCH: "fetch", DOMAIN_DECODE: "decode",
+                DOMAIN_INTEGER: "alu", DOMAIN_FP: "alu",
+                DOMAIN_MEMORY: "memory"},
+))
+
+MEMSPLIT2_TOPOLOGY = register_topology(Topology(
+    name="memsplit2",
+    description="2-domain memory split: the memory subsystem (memory issue "
+                "queue, D-cache, L2) on its own clock",
+    assignment={DOMAIN_FETCH: "cpu", DOMAIN_DECODE: "cpu",
+                DOMAIN_INTEGER: "cpu", DOMAIN_FP: "cpu",
+                DOMAIN_MEMORY: "mem"},
+))
 
 
 @dataclass
@@ -100,13 +323,24 @@ class ClockPlan:
         return rng.uniform(0.0, self.period_of(domain))
 
     # ------------------------------------------------------------- factories
-    def build_gals_domains(self) -> Dict[str, ClockDomain]:
-        """Create the five independent clock domains of the GALS machine."""
+    def build_domains(self, topology: Topology) -> Dict[str, ClockDomain]:
+        """Create the clock domains of one topology, in canonical order.
+
+        Domains are created (and random phases drawn) in the topology's
+        ``domain_names`` order; the canonical ``gals5`` topology therefore
+        consumes the phase RNG exactly as the paper's hand-wired 5-domain
+        build did, and the one-domain ``base`` topology gets the pinned
+        zero-phase global clock of the synchronous machine.
+        """
         rng = random.Random(self.phase_seed)
         domains: Dict[str, ClockDomain] = {}
-        for name in GALS_DOMAINS:
-            clock = Clock(name=name, period=self.period_of(name),
-                          phase=self.phase_of(name, rng))
+        for name in topology.domain_names:
+            period = self.period_of(name)
+            if topology.random_phases or name in self.phases:
+                phase = self.phase_of(name, rng)
+            else:
+                phase = 0.0
+            clock = Clock(name=name, period=period, phase=phase)
             domains[name] = ClockDomain(
                 clock,
                 voltage=self.voltage_of(name),
@@ -114,21 +348,17 @@ class ClockPlan:
             )
         return domains
 
+    def build_gals_domains(self) -> Dict[str, ClockDomain]:
+        """Create the five independent clock domains of the GALS machine."""
+        return self.build_domains(GALS5_TOPOLOGY)
+
     def build_sync_domain(self) -> ClockDomain:
         """Create the single global clock domain of the base machine.
 
         A global slowdown may be requested via ``slowdowns['core']`` (used for
         the "ideal" voltage-scaled synchronous reference of Figures 12-13).
         """
-        slowdown = self.slowdowns.get(SYNC_DOMAIN, 1.0)
-        clock = Clock(name=SYNC_DOMAIN, period=self.base_period * slowdown,
-                      phase=self.phases.get(SYNC_DOMAIN, 0.0))
-        voltage = self.voltages.get(SYNC_DOMAIN)
-        if voltage is None:
-            voltage = (voltage_for_slowdown(slowdown, self.technology)
-                       if self.scale_voltages else self.technology.nominal_vdd)
-        return ClockDomain(clock, voltage=voltage,
-                           nominal_voltage=self.technology.nominal_vdd)
+        return self.build_domains(BASE_TOPOLOGY)[SYNC_DOMAIN]
 
 
 def uniform_plan(base_period: float = 1.0, phase_seed: int = 0) -> ClockPlan:
@@ -140,9 +370,18 @@ def slowdown_plan(slowdowns: Mapping[str, float],
                   base_period: float = 1.0,
                   scale_voltages: bool = True,
                   phase_seed: int = 0,
-                  technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> ClockPlan:
-    """Per-domain slowdowns with (by default) Equation-1 voltage scaling."""
-    unknown = set(slowdowns) - set(GALS_DOMAINS) - {SYNC_DOMAIN}
+                  technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+                  allowed_domains: Optional[Iterable[str]] = None) -> ClockPlan:
+    """Per-domain slowdowns with (by default) Equation-1 voltage scaling.
+
+    ``allowed_domains`` names the clock domains the plan may address; it
+    defaults to the paper's five GALS domains plus the synchronous core, and
+    callers targeting a non-canonical topology pass that topology's domain
+    names instead.
+    """
+    if allowed_domains is None:
+        allowed_domains = (*GALS_DOMAINS, SYNC_DOMAIN)
+    unknown = set(slowdowns) - set(allowed_domains)
     if unknown:
         raise ValueError(f"unknown clock domains in slowdown plan: {sorted(unknown)}")
     return ClockPlan(base_period=base_period, slowdowns=dict(slowdowns),

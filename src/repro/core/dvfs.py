@@ -20,7 +20,7 @@ from typing import Dict, Mapping, Optional, Tuple
 from ..power.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from ..power.voltage import voltage_for_slowdown
 from .domains import (DOMAIN_FETCH, DOMAIN_FP, DOMAIN_MEMORY, GALS_DOMAINS,
-                      ClockPlan, slowdown_plan)
+                      ClockPlan, Topology, slowdown_plan)
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,35 @@ class SlowdownPolicy:
         return slowdown_plan(dict(self.slowdowns), base_period=base_period,
                              scale_voltages=scale_voltages, phase_seed=phase_seed,
                              technology=technology)
+
+    def project_onto(self, topology: Topology) -> Dict[str, float]:
+        """Per-domain slowdowns implied by this per-block policy.
+
+        Policies are expressed over the paper's five logical blocks.  On a
+        coarser topology, a clock domain containing several blocks runs at
+        the *largest* slowdown requested for any of its blocks: slowing a
+        merged domain less than a member block requires would violate that
+        block's timing assumption, while slowing the co-resident blocks more
+        is exactly the cost of merging domains.
+        """
+        domain_slowdowns: Dict[str, float] = {}
+        for block, slowdown in self.slowdowns.items():
+            domain = topology.domain_of(block)
+            if slowdown > domain_slowdowns.get(domain, 1.0):
+                domain_slowdowns[domain] = slowdown
+        return domain_slowdowns
+
+    def plan_for(self, topology: Topology, base_period: float = 1.0,
+                 scale_voltages: bool = True, phase_seed: int = 0,
+                 technology: TechnologyParameters = DEFAULT_TECHNOLOGY
+                 ) -> ClockPlan:
+        """Project the policy onto one topology (see :meth:`project_onto`)
+        and turn it into a concrete clock/voltage plan."""
+        return slowdown_plan(self.project_onto(topology),
+                             base_period=base_period,
+                             scale_voltages=scale_voltages,
+                             phase_seed=phase_seed, technology=technology,
+                             allowed_domains=topology.domain_names)
 
     def voltages(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY
                  ) -> Dict[str, float]:
@@ -93,12 +122,25 @@ GCC_GALS_2 = SlowdownPolicy(
     slowdowns={DOMAIN_FETCH: 1.10, DOMAIN_FP: 3.0},
 )
 
-#: All named policies, for lookup by the benchmark harness.
+#: All named policies, for lookup by the benchmark harness and scenarios.
 POLICIES: Dict[str, SlowdownPolicy] = {
     policy.name: policy
     for policy in (GENERIC_SLOWDOWN, PERL_FP_BY_3, *IJPEG_SWEEP,
                    GCC_GALS_1, GCC_GALS_2)
 }
+
+
+def register_policy(policy: SlowdownPolicy) -> SlowdownPolicy:
+    """Add a named slowdown policy to the registry."""
+    if policy.name in POLICIES:
+        raise ValueError(f"DVFS policy {policy.name!r} already registered")
+    POLICIES[policy.name] = policy
+    return policy
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(POLICIES)
 
 
 def get_policy(name: str) -> SlowdownPolicy:

@@ -16,80 +16,29 @@ All drivers are deterministic given their seeds and work from the synthetic
 profile-driven workloads by default; any
 :class:`~repro.isa.trace.ListTraceSource` (e.g. a kernel trace) can be passed
 instead.
+
+Every driver funnels through the single scenario execution path
+(:func:`repro.core.scenario.execute_run`), so an experiment run and the
+equivalent declarative :class:`~repro.core.scenario.Scenario` produce
+bit-identical results.  The parallel runner (``jobs=`` / ``REPRO_JOBS``)
+lives in :mod:`repro.core.scenario`; its names are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..isa.trace import ListTraceSource
 from ..power.voltage import ideal_synchronous_energy
-from ..workloads.profiles import DEFAULT_BENCHMARKS, get_profile
-from ..workloads.synthetic import SyntheticWorkload, make_workload
+from ..workloads.profiles import DEFAULT_BENCHMARKS
+from ..workloads.registry import build_workload
 from .config import DEFAULT_CONFIG, ProcessorConfig
-from .domains import ClockPlan, uniform_plan
+from .domains import ClockPlan, get_topology, uniform_plan
 from .dvfs import SlowdownPolicy
 from .metrics import (ComparisonRow, SimulationResult, arithmetic_mean, compare)
-from .processor import build_base_processor, build_gals_processor
-
-#: Default trace length for the reproduction harness.  The paper simulates
-#: full SPEC runs; the synthetic workloads reach steady state quickly, so a
-#: few thousand instructions per run keep the harness fast while preserving
-#: the relative behaviour.
-DEFAULT_INSTRUCTIONS = 3000
-
-#: Environment variable selecting the default worker count of the parallel
-#: experiment runner.  Unset -> one worker per CPU; "1" -> serial.
-JOBS_ENV_VAR = "REPRO_JOBS"
-
-
-# ------------------------------------------------------------ parallel runner
-def default_jobs() -> int:
-    """Worker count for experiment sweeps (REPRO_JOBS, else cpu count)."""
-    value = os.environ.get(JOBS_ENV_VAR)
-    if value:
-        try:
-            return max(1, int(value))
-        except ValueError:
-            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {value!r}")
-    return os.cpu_count() or 1
-
-
-def _call_star(job: Tuple[Callable, tuple]) -> Any:
-    """Top-level trampoline so (function, args) tuples pickle cleanly."""
-    function, args = job
-    return function(*args)
-
-
-def _run_jobs(function: Callable, argument_tuples: Sequence[tuple],
-              jobs: Optional[int] = None) -> List[Any]:
-    """Run ``function(*args)`` for each argument tuple, in order.
-
-    Every experiment run is fully independent (a fresh Processor, engine and
-    workload per run), so sweeps fan out over a ``ProcessPoolExecutor``.
-    Results are returned in submission order and are identical to the serial
-    path -- each run's determinism depends only on its own seeds.  Falls back
-    to serial execution when only one worker is useful or when worker
-    processes cannot be spawned (restricted environments).
-    """
-    if jobs is None:
-        jobs = default_jobs()
-    jobs = min(jobs, len(argument_tuples))
-    if jobs <= 1:
-        return [function(*args) for args in argument_tuples]
-    payload = [(function, args) for args in argument_tuples]
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            return list(executor.map(_call_star, payload))
-    except (OSError, PermissionError, BrokenProcessPool):
-        # Pool infrastructure failure (e.g. sandboxes without fork/sem
-        # support) -- run serially instead.  Exceptions raised by the
-        # experiment itself propagate unchanged.
-        return [function(*args) for args in argument_tuples]
+from .scenario import (DEFAULT_INSTRUCTIONS, JOBS_ENV_VAR, _call_star,
+                       _run_jobs, default_jobs, execute_run)
 
 
 @dataclass
@@ -118,30 +67,26 @@ class DvfsResult:
         return 1.0 - self.relative_power
 
 
-# --------------------------------------------------------------------- helpers
-def _trace_and_workload(benchmark: str, num_instructions: int, seed: int
-                        ) -> Tuple[ListTraceSource, SyntheticWorkload]:
-    workload = make_workload(benchmark, seed=seed)
-    return workload.trace(num_instructions), workload
-
-
 def run_single(benchmark: str,
                processor: str = "base",
                num_instructions: int = DEFAULT_INSTRUCTIONS,
                config: ProcessorConfig = DEFAULT_CONFIG,
                plan: Optional[ClockPlan] = None,
                seed: int = 1) -> SimulationResult:
-    """Run one benchmark on one machine ('base' or 'gals')."""
-    trace, workload = _trace_and_workload(benchmark, num_instructions, seed)
-    if processor == "base":
-        machine = build_base_processor(trace, config=config, plan=plan,
-                                       workload=workload)
-    elif processor == "gals":
-        machine = build_gals_processor(trace, config=config, plan=plan,
-                                       workload=workload)
-    else:
-        raise ValueError(f"unknown processor kind {processor!r}")
-    return machine.run()
+    """Run one benchmark on one machine (any registered topology name).
+
+    'base' and 'gals' remain the canonical kinds; every other registered
+    topology ('frontback2', 'fem3', ...) is accepted the same way, and any
+    registered workload name (including 'kernel:<name>') may be passed as
+    the benchmark.
+    """
+    trace, workload = build_workload(benchmark, num_instructions, seed=seed)
+    try:
+        topology = get_topology(processor)
+    except KeyError as exc:
+        raise ValueError(f"unknown processor kind {processor!r}") from exc
+    return execute_run(trace, topology, config=config, plan=plan,
+                       workload=workload)
 
 
 def run_pair(benchmark: str,

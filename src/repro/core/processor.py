@@ -1,25 +1,29 @@
-"""Assembly of the synchronous (base) and GALS processor models.
+"""Assembly of processor models from declarative clock-domain topologies.
 
-Both machines are built from the same microarchitecture components
+Every machine is built from the same microarchitecture components
 (:mod:`repro.uarch`), the same memory hierarchy and the same power models;
-the only differences -- exactly as in the paper -- are
+what differs between machines -- exactly as in the paper -- is
 
-* the clocking: one global clock domain for the base machine vs. five
-  independent clock domains for the GALS machine (Figure 3), and
+* the clocking: how the five locally synchronous blocks are partitioned into
+  clock domains (a :class:`~repro.core.domains.Topology`), and
 * the inter-stage communication: plain pipeline queues inside a clock domain
   vs. mixed-clock FIFOs (with synchronization latency) between domains, plus
   the synchronization delay of results, completions and branch redirects that
   cross domains.
 
-:class:`Processor` is the common assembly; :func:`build_base_processor` and
-:func:`build_gals_processor` are the two concrete factories.
+:class:`Processor` assembles one machine from composable per-block builders
+driven by the topology: the synchronous baseline is the degenerate one-domain
+topology, the paper's GALS machine is the registered five-domain topology,
+and every other registered partitioning builds the same way.
+:func:`build_processor` is the generic factory; :func:`build_base_processor`
+and :func:`build_gals_processor` remain as the two paper-configured shortcuts.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import gc
-import random
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..async_comm.fifo import MixedClockFifo
 from ..isa.trace import ListTraceSource
@@ -42,8 +46,9 @@ from ..uarch.regfile import PhysicalRegisterFile
 from ..uarch.rename import RegisterAliasTable
 from ..uarch.rob import ReorderBuffer
 from .config import DEFAULT_CONFIG, ProcessorConfig
-from .domains import (DOMAIN_DECODE, DOMAIN_FETCH, DOMAIN_FP, DOMAIN_INTEGER,
-                      DOMAIN_MEMORY, GALS_DOMAINS, SYNC_DOMAIN, ClockPlan,
+from .domains import (BLOCK_LINKS, BLOCKS, DOMAIN_DECODE, DOMAIN_FETCH,
+                      DOMAIN_FP, DOMAIN_INTEGER, DOMAIN_MEMORY, GALS_DOMAINS,
+                      SYNC_DOMAIN, ClockPlan, Topology, get_topology,
                       uniform_plan)
 from .metrics import SimulationResult, SimulationStats
 
@@ -87,13 +92,20 @@ class Processor:
         workload=None,
         name: Optional[str] = None,
         engine: Optional[SimulationEngine] = None,
+        topology: Optional[Union[Topology, str]] = None,
     ) -> None:
+        if topology is None:
+            topology = get_topology(GALS_PROCESSOR if gals else BASE_PROCESSOR)
+        elif isinstance(topology, str):
+            topology = get_topology(topology)
         self.trace = trace
         self.config = config
         self.plan = plan or uniform_plan()
-        self.gals = gals
+        self.topology = topology
+        #: legacy flag: True whenever any block pair is asynchronous
+        self.gals = not topology.is_synchronous
         self.workload = workload
-        self.kind = GALS_PROCESSOR if gals else BASE_PROCESSOR
+        self.kind = topology.kind
         self.name = name or f"{self.kind}-{trace.name}"
 
         #: injectable for A/B testing scheduler implementations (the
@@ -115,27 +127,42 @@ class Processor:
 
     # ----------------------------------------------------------------- build
     def _build(self) -> None:
+        """Assemble the machine from composable per-block builders.
+
+        Every step is driven by ``self.topology``; nothing below branches on
+        which particular machine is being built.
+        """
+        self._build_domains()
+        self._build_shared_structures()
+        self._build_channels()
+        self._build_fetch_block()
+        self._build_decode_block()
+        self._build_execute_blocks()
+        self._register_components()
+        self._build_power()
+        for domain in self.domains.values():
+            domain.bind(self.engine)
+
+    def _build_domains(self) -> None:
+        """Instantiate the topology's clock domains and the block->domain map."""
+        self.domains: Dict[str, ClockDomain] = self.plan.build_domains(
+            self.topology)
+        #: logical block name -> the ClockDomain clocking it
+        self._block_domains: Dict[str, ClockDomain] = {
+            block: self.domains[self.topology.domain_of(block)]
+            for block in BLOCKS
+        }
+        #: execution cluster -> clock-domain *name* (decode stamps this on
+        #: dispatched instructions so wakeup/commit can price the crossing)
+        self._cluster_domains = {
+            "int": self.topology.domain_of(DOMAIN_INTEGER),
+            "fp": self.topology.domain_of(DOMAIN_FP),
+            "mem": self.topology.domain_of(DOMAIN_MEMORY),
+        }
+
+    def _build_shared_structures(self) -> None:
+        """Structures shared by all blocks: memory, registers, ROB, branches."""
         config = self.config
-        plan = self.plan
-
-        # Clock domains -----------------------------------------------------
-        if self.gals:
-            self.domains: Dict[str, ClockDomain] = plan.build_gals_domains()
-            self._cluster_domains = {"int": DOMAIN_INTEGER, "fp": DOMAIN_FP,
-                                     "mem": DOMAIN_MEMORY}
-            fetch_domain = self.domains[DOMAIN_FETCH]
-            decode_domain = self.domains[DOMAIN_DECODE]
-            int_domain = self.domains[DOMAIN_INTEGER]
-            fp_domain = self.domains[DOMAIN_FP]
-            mem_domain = self.domains[DOMAIN_MEMORY]
-        else:
-            core = plan.build_sync_domain()
-            self.domains = {SYNC_DOMAIN: core}
-            self._cluster_domains = {"int": SYNC_DOMAIN, "fp": SYNC_DOMAIN,
-                                     "mem": SYNC_DOMAIN}
-            fetch_domain = decode_domain = int_domain = fp_domain = mem_domain = core
-
-        # Shared structures ---------------------------------------------------
         self.memory = MemoryHierarchy(config.memory)
         self.regfile = PhysicalRegisterFile(config.int_registers, config.fp_registers)
         self.rat = RegisterAliasTable(self.regfile)
@@ -146,25 +173,48 @@ class Processor:
         btb = BranchTargetBuffer(config.btb_entries, config.btb_associativity)
         self.branch_unit = BranchUnit(predictor, btb)
 
-        # Channels -----------------------------------------------------------
-        self.fetch_channel = self._make_channel(
-            "fetch->decode", config.fetch_queue_entries, fetch_domain, decode_domain)
+    def _channel_spec(self, link_name: str) -> Tuple[int, Optional[int]]:
+        """(capacity, sync_cycles override) for one structural link."""
+        config = self.config
+        if link_name == "fetch->decode":
+            return config.fetch_queue_entries, None
+        if link_name.startswith("dispatch->"):
+            return config.dispatch_queue_entries, None
+        if link_name == "redirect":
+            return 4, config.redirect_sync_cycles
+        raise KeyError(f"no channel spec for link {link_name!r}")
+
+    def _build_channels(self) -> None:
+        """Instantiate every structural link as a queue or mixed-clock FIFO.
+
+        The links are the machine-structural :data:`BLOCK_LINKS`; whether a
+        link becomes a plain pipeline queue or a mixed-clock FIFO follows
+        from the topology's assignment of its endpoint blocks.
+        """
+        block_domains = self._block_domains
+        channels: Dict[str, Channel] = {}
+        for link_name, producer_block, consumer_block in BLOCK_LINKS:
+            capacity, sync_cycles = self._channel_spec(link_name)
+            channels[link_name] = self._make_channel(
+                link_name, capacity,
+                block_domains[producer_block], block_domains[consumer_block],
+                sync_cycles=sync_cycles)
+        self.channels = channels
+        self.fetch_channel = channels["fetch->decode"]
+        self.redirect_channel = channels["redirect"]
         self.dispatch_channels: Dict[str, Channel] = {
-            "int": self._make_channel("dispatch->int", config.dispatch_queue_entries,
-                                      decode_domain, int_domain),
-            "fp": self._make_channel("dispatch->fp", config.dispatch_queue_entries,
-                                     decode_domain, fp_domain),
-            "mem": self._make_channel("dispatch->mem", config.dispatch_queue_entries,
-                                      decode_domain, mem_domain),
+            "int": channels["dispatch->int"],
+            "fp": channels["dispatch->fp"],
+            "mem": channels["dispatch->mem"],
         }
-        self.redirect_channel = self._make_channel(
-            "redirect", 4, int_domain, fetch_domain,
-            sync_cycles=self.config.redirect_sync_cycles)
         self.all_channels: List[Channel] = [self.fetch_channel,
                                             self.redirect_channel,
                                             *self.dispatch_channels.values()]
 
-        # Pipeline stages ------------------------------------------------------
+    def _build_fetch_block(self) -> None:
+        """Block 1: L1 I-cache access and branch prediction."""
+        config = self.config
+        fetch_domain = self._block_domains[DOMAIN_FETCH]
         self.fetch_unit = FetchUnit(
             source=self.trace,
             output_channel=self.fetch_channel,
@@ -177,6 +227,11 @@ class Processor:
             wrong_path_generator=(self.workload.wrong_path_instruction
                                   if self.workload is not None else None),
         )
+
+    def _build_decode_block(self) -> None:
+        """Block 2: decode, rename, register files, dispatch and commit."""
+        config = self.config
+        decode_domain = self._block_domains[DOMAIN_DECODE]
         self.decode_unit = DecodeRenameUnit(
             input_channel=self.fetch_channel,
             issue_channels=self.dispatch_channels,
@@ -202,6 +257,14 @@ class Processor:
             stats=self.stats,
             commit_width=config.commit_width,
         )
+
+    def _build_execute_blocks(self) -> None:
+        """Blocks 3-5: the integer, FP and memory execution clusters."""
+        config = self.config
+        block_domains = self._block_domains
+        int_domain = block_domains[DOMAIN_INTEGER]
+        fp_domain = block_domains[DOMAIN_FP]
+        mem_domain = block_domains[DOMAIN_MEMORY]
         self.exec_units: Dict[str, ExecutionUnit] = {
             "int": ExecutionUnit(
                 name="integer-cluster",
@@ -253,32 +316,31 @@ class Processor:
             ),
         }
 
-        # Component registration (reverse pipeline order inside each domain) --
-        if self.gals:
-            decode_domain.add_component(self.commit_unit)
-            decode_domain.add_component(self.decode_unit)
-            decode_domain.add_component(
+    def _register_components(self) -> None:
+        """Register each unit with its domain, in reverse pipeline order.
+
+        Within any one domain, downstream stages must consume before upstream
+        stages produce (the standard cycle-accurate simulation idiom), so
+        units are registered in the canonical reverse pipeline order; the
+        per-domain registration order follows from the topology's assignment.
+        """
+        block_domains = self._block_domains
+        reverse_pipeline = (
+            (self.commit_unit, DOMAIN_DECODE),
+            (self.exec_units["int"], DOMAIN_INTEGER),
+            (self.exec_units["fp"], DOMAIN_FP),
+            (self.exec_units["mem"], DOMAIN_MEMORY),
+            (self.decode_unit, DOMAIN_DECODE),
+            (self.fetch_unit, DOMAIN_FETCH),
+        )
+        for unit, block in reverse_pipeline:
+            block_domains[block].add_component(unit)
+        # The FIFO power probe ticks with the commit/decode domain, after
+        # every unit of that domain; a fully synchronous machine has no
+        # mixed-clock FIFOs and therefore no probe.
+        if any(channel.counts_as_fifo for channel in self.all_channels):
+            block_domains[DOMAIN_DECODE].add_component(
                 _FifoActivityProbe(self.all_channels, self.activity))
-            int_domain.add_component(self.exec_units["int"])
-            fp_domain.add_component(self.exec_units["fp"])
-            mem_domain.add_component(self.exec_units["mem"])
-            fetch_domain.add_component(self.fetch_unit)
-        else:
-            core = fetch_domain
-            core.add_component(self.commit_unit)
-            core.add_component(self.exec_units["int"])
-            core.add_component(self.exec_units["fp"])
-            core.add_component(self.exec_units["mem"])
-            core.add_component(self.decode_unit)
-            core.add_component(self.fetch_unit)
-
-        # Power accounting ----------------------------------------------------
-        self._build_power(fetch_domain, decode_domain, int_domain, fp_domain,
-                          mem_domain)
-
-        # Bind clocks to the engine --------------------------------------------
-        for domain in self.domains.values():
-            domain.bind(self.engine)
 
     def _make_channel(self, name: str, capacity: int,
                       producer: ClockDomain, consumer: ClockDomain,
@@ -303,9 +365,21 @@ class Processor:
             producer_sync=sync_cycles,
         )
 
-    def _build_power(self, fetch_domain, decode_domain, int_domain, fp_domain,
-                     mem_domain) -> None:
+    #: power-model block name -> logical block whose clock domain charges it
+    _POWER_PLACEMENT: Tuple[Tuple[str, str], ...] = (
+        ("icache", DOMAIN_FETCH), ("bpred", DOMAIN_FETCH),
+        ("decode", DOMAIN_DECODE), ("rename", DOMAIN_DECODE),
+        ("regfile_read", DOMAIN_DECODE), ("regfile_write", DOMAIN_DECODE),
+        ("resultbus", DOMAIN_DECODE),
+        ("iq_int", DOMAIN_INTEGER), ("alu_int", DOMAIN_INTEGER),
+        ("iq_fp", DOMAIN_FP), ("alu_fp", DOMAIN_FP),
+        ("iq_mem", DOMAIN_MEMORY), ("dcache", DOMAIN_MEMORY),
+        ("l2", DOMAIN_MEMORY),
+    )
+
+    def _build_power(self) -> None:
         config = self.config
+        block_domains = self._block_domains
         self.power = PowerAccountant(self.activity, config.technology)
         models = default_block_models(
             int_issue_entries=config.int_issue_entries,
@@ -323,30 +397,32 @@ class Processor:
             num_fp_alus=config.num_fp_alus,
             machine_width=config.machine_width,
         )
-        placement = {
-            "icache": fetch_domain, "bpred": fetch_domain,
-            "decode": decode_domain, "rename": decode_domain,
-            "regfile_read": decode_domain, "regfile_write": decode_domain,
-            "resultbus": decode_domain,
-            "iq_int": int_domain, "alu_int": int_domain,
-            "iq_fp": fp_domain, "alu_fp": fp_domain,
-            "iq_mem": mem_domain, "dcache": mem_domain, "l2": mem_domain,
-        }
-        for name, domain in placement.items():
-            self.power.register_block(models[name], domain)
+        for name, block in self._POWER_PLACEMENT:
+            self.power.register_block(models[name], block_domains[block])
         if self.gals:
-            self.power.register_block(models["fifo"], decode_domain)
+            # Any machine with mixed-clock FIFOs pays their energy in the
+            # commit/decode domain (where the probe ticks).  The stock model
+            # is sized for the full 5-FIFO gals5 complex; a topology with
+            # fewer crossings carries proportionally fewer FIFO ports, so its
+            # idle cost and utilisation normalisation shrink with it.
+            fifo_model = models["fifo"]
+            num_crossings = len(self.topology.edges())
+            if num_crossings < len(BLOCK_LINKS):
+                fifo_model = dataclasses.replace(
+                    fifo_model,
+                    ports=max(1, round(fifo_model.ports * num_crossings
+                                       / len(BLOCK_LINKS))))
+            self.power.register_block(fifo_model,
+                                      block_domains[DOMAIN_DECODE])
         else:
-            # The base machine pays for the chip-wide global clock grid.
-            self.power.register_block(global_clock_block(), fetch_domain)
-        # Both machines have the five local (major-clock) distribution grids.
-        grid_domains = {
-            DOMAIN_FETCH: fetch_domain, DOMAIN_DECODE: decode_domain,
-            DOMAIN_INTEGER: int_domain, DOMAIN_FP: fp_domain,
-            DOMAIN_MEMORY: mem_domain,
-        }
-        for logical_name, domain in grid_domains.items():
-            self.power.register_block(local_clock_block(logical_name), domain)
+            # The synchronous machine pays for the chip-wide global clock grid.
+            self.power.register_block(global_clock_block(),
+                                      block_domains[DOMAIN_FETCH])
+        # Every machine has the five local (major-clock) distribution grids,
+        # each charged in whatever domain clocks its block.
+        for block in GALS_DOMAINS:
+            self.power.register_block(local_clock_block(block),
+                                      block_domains[block])
 
     # ----------------------------------------------------------- cross-domain
     def forwarding_latency(self, producer_domain: str, consumer_domain: str) -> float:
@@ -363,7 +439,7 @@ class Processor:
         key = (producer_domain, consumer_domain)
         latency = cache.get(key)
         if latency is None:
-            if producer_domain == consumer_domain or not self.gals:
+            if producer_domain == consumer_domain:
                 latency = 0.0
             else:
                 consumer = self.domains.get(consumer_domain)
@@ -511,6 +587,17 @@ class Processor:
 
 
 # ------------------------------------------------------------------ factories
+def build_processor(trace: ListTraceSource,
+                    topology: Union[Topology, str] = GALS_PROCESSOR,
+                    config: ProcessorConfig = DEFAULT_CONFIG,
+                    plan: Optional[ClockPlan] = None,
+                    workload=None,
+                    engine: Optional[SimulationEngine] = None) -> Processor:
+    """Assemble a processor for any registered (or ad-hoc) topology."""
+    return Processor(trace, config=config, plan=plan, workload=workload,
+                     engine=engine, topology=topology)
+
+
 def build_base_processor(trace: ListTraceSource,
                          config: ProcessorConfig = DEFAULT_CONFIG,
                          plan: Optional[ClockPlan] = None,

@@ -1,0 +1,369 @@
+"""Declarative scenarios: topology + config + clocking + workload + seeds.
+
+A :class:`Scenario` is a complete, JSON-serializable description of one
+simulation run: which clock-domain :class:`~repro.core.domains.Topology` to
+build, which :class:`~repro.core.config.ProcessorConfig` fields to override,
+how to clock the domains (a registered DVFS policy and/or explicit per-domain
+slowdowns), which registered workload to run, and every seed involved.  All
+cross-references are *names* resolved through the topology, policy and
+workload registries, so scenarios round-trip through JSON and pickle cleanly
+across process-pool workers.
+
+:func:`run_scenario` is the single execution path: every experiment driver in
+:mod:`repro.core.experiments` and the ``python -m repro`` CLI funnel through
+:func:`execute_run` underneath it, so a scenario run is bit-identical to the
+equivalent hand-assembled run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field, replace
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from ..isa.trace import ListTraceSource
+from ..power.accounting import EnergyBreakdown
+from ..power.technology import TechnologyParameters
+from ..workloads.registry import build_workload
+from .config import DEFAULT_CONFIG, ProcessorConfig
+from .domains import ClockPlan, Topology, get_topology
+from .dvfs import get_policy
+from .metrics import SimulationResult
+from .processor import Processor
+
+#: Default trace length for the reproduction harness.  The paper simulates
+#: full SPEC runs; the synthetic workloads reach steady state quickly, so a
+#: few thousand instructions per run keep the harness fast while preserving
+#: the relative behaviour.
+DEFAULT_INSTRUCTIONS = 3000
+
+#: Environment variable selecting the default worker count of the parallel
+#: experiment runner.  Unset -> one worker per CPU; "1" -> serial.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+# ------------------------------------------------------------ parallel runner
+def default_jobs() -> int:
+    """Worker count for experiment sweeps (REPRO_JOBS, else cpu count)."""
+    value = os.environ.get(JOBS_ENV_VAR)
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {value!r}")
+    return os.cpu_count() or 1
+
+
+def _call_star(job: Tuple[Callable, tuple]) -> Any:
+    """Top-level trampoline so (function, args) tuples pickle cleanly."""
+    function, args = job
+    return function(*args)
+
+
+def _run_jobs(function: Callable, argument_tuples: Sequence[tuple],
+              jobs: Optional[int] = None) -> List[Any]:
+    """Run ``function(*args)`` for each argument tuple, in order.
+
+    Every experiment run is fully independent (a fresh Processor, engine and
+    workload per run), so sweeps fan out over a ``ProcessPoolExecutor``.
+    Results are returned in submission order and are identical to the serial
+    path -- each run's determinism depends only on its own seeds.  Falls back
+    to serial execution when only one worker is useful or when worker
+    processes cannot be spawned (restricted environments).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = min(jobs, len(argument_tuples))
+    if jobs <= 1:
+        return [function(*args) for args in argument_tuples]
+    payload = [(function, args) for args in argument_tuples]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            return list(executor.map(_call_star, payload))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # Pool infrastructure failure (e.g. sandboxes without fork/sem
+        # support) -- run serially instead.  Exceptions raised by the
+        # experiment itself propagate unchanged.
+        return [function(*args) for args in argument_tuples]
+
+
+# ------------------------------------------------------------- single run path
+def execute_run(trace: ListTraceSource,
+                topology: Union[Topology, str],
+                config: ProcessorConfig = DEFAULT_CONFIG,
+                plan: Optional[ClockPlan] = None,
+                workload=None) -> SimulationResult:
+    """Build one processor for ``topology`` and run one trace through it.
+
+    This is the single funnel every driver uses -- scenario runs, the paper's
+    experiment drivers and the CLI all meet here, which is what keeps their
+    results mutually bit-identical.
+    """
+    machine = Processor(trace, config=config, plan=plan, workload=workload,
+                        topology=topology)
+    return machine.run()
+
+
+# ------------------------------------------------------------------- scenario
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative description of one simulation run."""
+
+    name: str
+    #: registered topology name (see ``repro.core.domains.TOPOLOGIES``)
+    topology: str = "gals5"
+    #: registered workload name ("perl", ..., or "kernel:<name>")
+    workload: str = "perl"
+    #: registered DVFS policy name, or None for uniform clocks
+    policy: Optional[str] = None
+    num_instructions: int = DEFAULT_INSTRUCTIONS
+    #: problem size for kernel workloads (ignored for synthetic ones)
+    kernel_size: int = 64
+    #: workload generation seed
+    seed: int = 1
+    #: seed for the domains' random relative clock phases
+    phase_seed: int = 0
+    base_period: float = 1.0
+    #: apply Equation-1 voltage scaling to slowed domains
+    scale_voltages: bool = True
+    #: explicit per-*domain* slowdowns, merged over (and overriding) the
+    #: policy's per-block slowdowns
+    slowdowns: Dict[str, float] = field(default_factory=dict)
+    #: explicit per-domain starting phases in ns (domains not listed draw
+    #: random phases on multi-domain topologies)
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: ProcessorConfig field overrides (scalar fields only)
+    config: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.num_instructions <= 0:
+            raise ValueError(f"scenario {self.name!r}: num_instructions "
+                             "must be positive")
+        if self.base_period <= 0:
+            raise ValueError(f"scenario {self.name!r}: base_period must be "
+                             "positive")
+
+    # -------------------------------------------------------- materialization
+    def build_topology(self) -> Topology:
+        return get_topology(self.topology)
+
+    def build_config(self) -> ProcessorConfig:
+        """ProcessorConfig with this scenario's overrides applied."""
+        if not self.config:
+            return DEFAULT_CONFIG
+        return DEFAULT_CONFIG.with_changes(**self.config)
+
+    def build_plan(self, topology: Optional[Topology] = None,
+                   technology: Optional[TechnologyParameters] = None
+                   ) -> ClockPlan:
+        """Concrete clock/voltage plan for this scenario on its topology."""
+        if topology is None:
+            topology = self.build_topology()
+        if technology is None:
+            technology = self.build_config().technology
+        slowdowns: Dict[str, float] = {}
+        if self.policy is not None:
+            # Project the policy's per-block slowdowns onto the topology's
+            # domains (a merged domain runs at its slowest member's clock).
+            slowdowns.update(get_policy(self.policy).project_onto(topology))
+        for domain, slowdown in self.slowdowns.items():
+            slowdowns[domain] = slowdown
+        unknown = (set(slowdowns) | set(self.phases)) - set(topology.domain_names)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r}: slowdowns/phases name domains "
+                f"{sorted(unknown)} absent from topology {topology.name!r}")
+        return ClockPlan(
+            base_period=self.base_period,
+            slowdowns=slowdowns,
+            phases=dict(self.phases),
+            scale_voltages=bool(slowdowns) and self.scale_voltages,
+            phase_seed=self.phase_seed,
+            technology=technology,
+        )
+
+    def build_trace(self):
+        """(trace, workload-or-None) for this scenario's workload."""
+        return build_workload(self.workload, self.num_instructions,
+                              seed=self.seed, kernel_size=self.kernel_size)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+
+# ------------------------------------------------------------ scenario result
+def _result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    return asdict(result)
+
+
+def _result_from_dict(data: Mapping[str, Any]) -> SimulationResult:
+    payload = dict(data)
+    energy = payload.get("energy")
+    if energy is not None and not isinstance(energy, EnergyBreakdown):
+        payload["energy"] = EnergyBreakdown(**energy)
+    return SimulationResult(**payload)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run: the scenario plus its simulation result."""
+
+    scenario: Scenario
+    result: SimulationResult
+
+    def summary(self) -> str:
+        return (f"scenario {self.scenario.name!r} "
+                f"(topology {self.scenario.topology}, workload "
+                f"{self.scenario.workload})\n" + self.result.summary())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"scenario": self.scenario.to_dict(),
+                "result": _result_to_dict(self.result)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        return cls(scenario=Scenario.from_dict(data["scenario"]),
+                   result=_result_from_dict(data["result"]))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------- scenario registry
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register a named scenario for lookup (and the CLI)."""
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown scenario {name!r}; known: "
+                       f"{', '.join(sorted(SCENARIOS))}") from exc
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Registered scenario names, in registration order."""
+    return tuple(SCENARIOS)
+
+
+# One runnable scenario per registered topology (the perl workload, uniform
+# clocks -- the paper's experiment-set-1 conditions) ...
+register_scenario(Scenario(
+    name="base", topology="base", workload="perl",
+    description="fully synchronous baseline on the perl workload"))
+register_scenario(Scenario(
+    name="gals5", topology="gals5", workload="perl",
+    description="the paper's 5-domain GALS machine on the perl workload"))
+register_scenario(Scenario(
+    name="frontback2", topology="frontback2", workload="perl",
+    description="2-domain front/back split on the perl workload"))
+register_scenario(Scenario(
+    name="fem3", topology="fem3", workload="perl",
+    description="3-domain fetch/exec/memory split on the perl workload"))
+register_scenario(Scenario(
+    name="alu4", topology="alu4", workload="perl",
+    description="4-domain merged-ALU variant on the perl workload"))
+register_scenario(Scenario(
+    name="memsplit2", topology="memsplit2", workload="perl",
+    description="2-domain memory split on the perl workload"))
+
+# ... plus the paper's DVFS case studies as scenarios ...
+register_scenario(Scenario(
+    name="gals5-perl-fp3", topology="gals5", workload="perl",
+    policy="perl-fp3",
+    description="Section 5.2: perl with the FP clock slowed by 3x, "
+                "voltage-scaled"))
+register_scenario(Scenario(
+    name="gals5-gcc-generic", topology="gals5", workload="gcc",
+    policy="generic",
+    description="Figure 11: gcc under the generic slowdown policy"))
+
+# ... and a real-program (kernel) scenario.
+register_scenario(Scenario(
+    name="dotprod-gals5", topology="gals5", workload="kernel:dot_product",
+    kernel_size=96,
+    description="assembled dot-product kernel on the 5-domain GALS machine"))
+
+
+# ------------------------------------------------------------------ execution
+def run_scenario(scenario: Union[Scenario, str], **overrides) -> ScenarioResult:
+    """Run one scenario (by object or registered name) end to end.
+
+    Keyword overrides are applied with :func:`dataclasses.replace`, e.g.
+    ``run_scenario("gals5", num_instructions=500)``.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if overrides:
+        scenario = replace(scenario, **overrides)
+    topology = scenario.build_topology()
+    config = scenario.build_config()
+    plan = scenario.build_plan(topology, config.technology)
+    trace, workload = scenario.build_trace()
+    result = execute_run(trace, topology, config=config, plan=plan,
+                         workload=workload)
+    return ScenarioResult(scenario=scenario, result=result)
+
+
+def sweep_scenarios(scenarios: Sequence[Union[Scenario, str]],
+                    jobs: Optional[int] = None,
+                    **overrides) -> List[ScenarioResult]:
+    """Run many scenarios, fanned out over the experiment process pool.
+
+    Results come back in submission order and match the serial path exactly
+    (every scenario is self-contained and seed-deterministic).
+    """
+    resolved = []
+    for scenario in scenarios:
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        if overrides:
+            scenario = replace(scenario, **overrides)
+        resolved.append(scenario)
+    try:
+        return _run_jobs(run_scenario, [(scenario,) for scenario in resolved],
+                         jobs=jobs)
+    except KeyError:
+        # A scenario references a registry entry added at runtime (e.g. a
+        # recommend_policy() registration): workers under the spawn /
+        # forkserver start methods re-import the package with fresh
+        # registries and cannot resolve it.  The parent's registries can,
+        # so fall back to running serially here; a name unknown to the
+        # parent as well re-raises with the registry's helpful message.
+        return [run_scenario(scenario) for scenario in resolved]

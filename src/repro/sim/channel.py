@@ -98,6 +98,26 @@ class Channel:
             return self.pop(time)
         return None
 
+    def pop_bulk(self, time: float, limit: int) -> List[Tuple[Any, float]]:
+        """Drain up to ``limit`` visible items in one call.
+
+        Returns ``(item, wait)`` pairs in pop order, where ``wait`` is each
+        item's residency time (what ``last_pop_wait`` would have reported).
+        Statistics are updated exactly as ``limit`` successive
+        :meth:`pop_ready` calls would have updated them; subclasses override
+        this with a fused loop so the per-cycle bulk consumers (decode/commit
+        domain intake, the execution clusters' writeback-side drains) pay the
+        bookkeeping once per batch instead of once per item.
+        """
+        popped: List[Tuple[Any, float]] = []
+        while limit > 0:
+            item = self.pop_ready(time)
+            if item is None:
+                break
+            popped.append((item, self.last_pop_wait))
+            limit -= 1
+        return popped
+
     def peek(self, time: float) -> Any:  # pragma: no cover - overridden
         raise NotImplementedError
 
@@ -176,6 +196,28 @@ class SyncQueue(Channel):
         self.total_wait += wait
         self.pop_count += 1
         return item
+
+    def pop_bulk(self, time: float, limit: int) -> List[Tuple[Any, float]]:
+        entries = self._entries
+        if not entries:
+            return []
+        if limit > len(entries):
+            limit = len(entries)
+        popped: List[Tuple[Any, float]] = []
+        append = popped.append
+        popleft = entries.popleft
+        wait = self.last_pop_wait
+        for _ in range(limit):
+            item, pushed_at = popleft()
+            wait = time - pushed_at
+            if wait < 0.0:
+                wait = 0.0
+            # accumulate per item (same float-summation order as pop_ready)
+            self.total_wait += wait
+            append((item, wait))
+        self.last_pop_wait = wait
+        self.pop_count += limit
+        return popped
 
     def flush(self, predicate: Optional[Callable[[Any], bool]] = None) -> int:
         """Drop entries matching ``predicate`` (all entries when it is None)."""

@@ -100,9 +100,13 @@ class DecodeRenameUnit:
 
     # ----------------------------------------------------------------- decode
     def _decode(self, now: float) -> None:
+        # Commit-domain intake: drain the fetch channel in bulk.  Each batch
+        # is bounded by both the decode width and the pipe's free slots;
+        # stale (squashed / old-epoch) items consume neither, so the loop
+        # re-probes until a bound is hit or nothing more is visible.
         taken = 0
         channel = self.input_channel
-        pop_ready = channel.pop_ready
+        pop_bulk = channel.pop_bulk
         pipeline = self._pipeline
         capacity = self.pipeline_capacity
         is_fifo = channel.counts_as_fifo
@@ -112,21 +116,27 @@ class DecodeRenameUnit:
         # (recoveries happen on execution-domain edges), so hoist them
         epoch = self.current_epoch()
         pipe_delay = self.decode_stages * self.clock_period()
-        while taken < width and len(pipeline) < capacity:
-            instr: DynamicInstruction = pop_ready(now)
-            if instr is None:
+        append = pipeline.append
+        while True:
+            limit = width - taken
+            space = capacity - len(pipeline)
+            if space < limit:
+                limit = space
+            if limit <= 0:
                 break
-            if is_fifo:
-                wait = channel.last_pop_wait
-                if wait > 0:
+            batch = pop_bulk(now, limit)
+            if not batch:
+                break
+            for instr, wait in batch:
+                if is_fifo and wait > 0:
                     instr.fifo_time += wait
-            if instr.squashed or instr.epoch < epoch:
-                self.stale_dropped += 1
-                continue
-            instr.decode_time = now
-            pipeline.append((now + pipe_delay, instr))
-            self.decoded += 1
-            taken += 1
+                if instr.squashed or instr.epoch < epoch:
+                    self.stale_dropped += 1
+                    continue
+                instr.decode_time = now
+                append((now + pipe_delay, instr))
+                self.decoded += 1
+                taken += 1
         if taken:
             pending["decode"] += taken
 

@@ -202,8 +202,12 @@ class ExecutionUnit:
 
     # ----------------------------------------------------------------- input
     def _drain_input(self, now: float) -> None:
+        # Writeback-side intake: drain the dispatch channel in bulk.  Each
+        # batch is bounded by the issue queue's free space; squashed items do
+        # not occupy a queue slot, so the loop re-probes until the queue is
+        # full or the channel has nothing more visible.
         channel = self.input_channel
-        pop_ready = channel.pop_ready
+        pop_bulk = channel.pop_bulk
         is_fifo = channel.counts_as_fifo
         queue = self.issue_queue
         dispatch = queue.dispatch
@@ -212,19 +216,21 @@ class ExecutionUnit:
         pending = self._pending
         queue_block = self.queue_block
         drained = 0
-        while len(entries) < capacity:
-            instr: DynamicInstruction = pop_ready(now)
-            if instr is None:
+        while True:
+            space = capacity - len(entries)
+            if space <= 0:
                 break
-            if is_fifo:
-                wait = channel.last_pop_wait
-                if wait > 0:
+            batch = pop_bulk(now, space)
+            if not batch:
+                break
+            for instr, wait in batch:
+                if is_fifo and wait > 0:
                     instr.fifo_time += wait
-            if instr.squashed:
-                self.dropped_squashed += 1
-                continue
-            dispatch(instr)
-            drained += 1
+                if instr.squashed:
+                    self.dropped_squashed += 1
+                    continue
+                dispatch(instr)
+                drained += 1
         if drained:
             pending[queue_block] += drained
 

@@ -4,11 +4,15 @@
 * :mod:`repro.workloads.synthetic` -- deterministic synthetic trace generation.
 * :mod:`repro.workloads.kernels` -- hand-written assembly kernels executed
   functionally to produce real traces.
+* :mod:`repro.workloads.registry` -- the name -> trace-factory registry the
+  declarative Scenario subsystem and the CLI resolve workloads through.
 """
 
 from .kernels import KERNELS, Kernel, get_kernel, kernel_trace
 from .profiles import (DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS, PROFILES,
                        BenchmarkProfile, get_profile, profiles_in_suite)
+from .registry import (WORKLOADS, WorkloadEntry, available_workloads,
+                       build_workload, get_workload_entry)
 from .synthetic import SyntheticWorkload, make_trace, make_workload
 
 __all__ = [
@@ -19,8 +23,13 @@ __all__ = [
     "Kernel",
     "PROFILES",
     "SyntheticWorkload",
+    "WORKLOADS",
+    "WorkloadEntry",
+    "available_workloads",
+    "build_workload",
     "get_kernel",
     "get_profile",
+    "get_workload_entry",
     "kernel_trace",
     "make_trace",
     "make_workload",

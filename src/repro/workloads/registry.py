@@ -1,0 +1,103 @@
+"""Workload registry: named trace factories for the Scenario subsystem.
+
+Two families of workloads exist and both are addressable by name:
+
+* synthetic profile-driven workloads (:mod:`repro.workloads.synthetic`),
+  registered under their benchmark profile name ("perl", "gcc", ...), and
+* hand-written kernels (:mod:`repro.workloads.kernels`), assembled and
+  functionally executed to a real dynamic trace, registered as
+  ``kernel:<name>`` ("kernel:dot_product", ...).
+
+The registry is what makes scenarios declarative: a scenario stores only the
+workload *name* plus its sizing parameters, and :func:`build_workload` turns
+that into a concrete trace (plus, for synthetic workloads, the workload
+object whose wrong-path generator the fetch unit uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..isa.trace import ListTraceSource
+from .kernels import KERNELS
+from .profiles import PROFILES
+from .synthetic import SyntheticWorkload, make_workload
+
+WORKLOAD_SYNTHETIC = "synthetic"
+WORKLOAD_KERNEL = "kernel"
+
+#: Prefix marking kernel workload names in the registry.
+KERNEL_PREFIX = "kernel:"
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One named workload: how to build its trace."""
+
+    name: str
+    kind: str            # WORKLOAD_SYNTHETIC or WORKLOAD_KERNEL
+    description: str
+    #: (num_instructions, seed, kernel_size) -> (trace, workload object or None)
+    factory: Callable[[int, int, int],
+                      Tuple[ListTraceSource, Optional[SyntheticWorkload]]]
+
+
+def _synthetic_factory(name: str):
+    def build(num_instructions: int, seed: int, kernel_size: int
+              ) -> Tuple[ListTraceSource, Optional[SyntheticWorkload]]:
+        workload = make_workload(name, seed=seed)
+        return workload.trace(num_instructions), workload
+    return build
+
+
+def _kernel_factory(name: str):
+    def build(num_instructions: int, seed: int, kernel_size: int
+              ) -> Tuple[ListTraceSource, Optional[SyntheticWorkload]]:
+        # Kernels are deterministic programs: the seed does not apply, the
+        # problem size does, and num_instructions caps the dynamic trace.
+        # The kernel runs to completion under its own (generous) functional
+        # limit and the trace is truncated afterwards -- a cap shorter than
+        # the program's natural length must shorten the run, not abort it.
+        trace = KERNELS[name].trace(kernel_size)
+        if len(trace) > num_instructions:
+            trace = ListTraceSource(list(trace)[:num_instructions],
+                                    name=trace.name)
+        return trace, None
+    return build
+
+
+WORKLOADS: Dict[str, WorkloadEntry] = {}
+
+for _name, _profile in PROFILES.items():
+    WORKLOADS[_name] = WorkloadEntry(
+        name=_name, kind=WORKLOAD_SYNTHETIC,
+        description=_profile.description,
+        factory=_synthetic_factory(_name))
+
+for _name, _kernel in KERNELS.items():
+    WORKLOADS[KERNEL_PREFIX + _name] = WorkloadEntry(
+        name=KERNEL_PREFIX + _name, kind=WORKLOAD_KERNEL,
+        description=_kernel.description,
+        factory=_kernel_factory(_name))
+
+
+def get_workload_entry(name: str) -> WorkloadEntry:
+    """Look up a registered workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown workload {name!r}; known: "
+                       f"{', '.join(sorted(WORKLOADS))}") from exc
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Registered workload names, synthetic profiles first."""
+    return tuple(WORKLOADS)
+
+
+def build_workload(name: str, num_instructions: int, seed: int = 1,
+                   kernel_size: int = 64
+                   ) -> Tuple[ListTraceSource, Optional[SyntheticWorkload]]:
+    """Materialize a registered workload into (trace, workload-or-None)."""
+    return get_workload_entry(name).factory(num_instructions, seed, kernel_size)

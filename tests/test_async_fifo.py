@@ -143,6 +143,55 @@ def test_property_fifo_never_loses_or_reorders(values, producer_period, consumer
     assert out == values
 
 
+# ------------------------------------------------------------------- pop_bulk
+def test_fifo_pop_bulk_respects_visibility():
+    fifo = make_fifo(capacity=8)
+    for i in range(4):
+        fifo.push(i, float(i))          # pushed at t=0..3
+    # nothing is visible before the first synchronized consumer edge
+    assert fifo.pop_bulk(0.5, 4) == []
+    # at t=10 everything is visible; drain in two bounded batches
+    first = fifo.pop_bulk(10.0, 2)
+    assert [item for item, _ in first] == [0, 1]
+    second = fifo.pop_bulk(10.0, 10)
+    assert [item for item, _ in second] == [2, 3]
+    assert fifo.pop_count == 4
+    assert fifo.occupancy == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20),
+       st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+       st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+       st.integers(min_value=1, max_value=6),
+       st.floats(min_value=0.0, max_value=40.0, allow_nan=False))
+def test_property_fifo_pop_bulk_equals_repeated_pop_ready(
+        values, producer_period, consumer_period, limit, drain_time):
+    """Bulk drain must match a pop_ready loop: items, waits and stats."""
+    bulk = make_fifo(capacity=len(values), producer_period=producer_period,
+                     consumer_period=consumer_period)
+    loop = make_fifo(capacity=len(values), producer_period=producer_period,
+                     consumer_period=consumer_period)
+    for index, value in enumerate(values):
+        bulk.push(value, index * producer_period)
+        loop.push(value, index * producer_period)
+    batch = bulk.pop_bulk(drain_time, limit)
+    expected = []
+    for _ in range(limit):
+        item = loop.pop_ready(drain_time)
+        if item is None:
+            break
+        expected.append((item, loop.last_pop_wait))
+    assert batch == expected
+    assert bulk.pop_count == loop.pop_count
+    assert bulk.total_wait == loop.total_wait
+    assert bulk.occupancy == loop.occupancy
+    # the producer-side view (synchronized freed space) must agree too
+    probe = drain_time + 10.0 * producer_period
+    assert bulk.apparent_occupancy(probe) == loop.apparent_occupancy(probe)
+    assert bulk.can_push(drain_time) == loop.can_push(drain_time)
+
+
 # -------------------------------------------------------------- pausible clocks
 def test_pausible_clock_stretches_with_communication_rate():
     model = PausibleClockModel(nominal_period=1.0, stretch_per_transaction=0.6)

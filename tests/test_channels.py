@@ -81,3 +81,49 @@ def test_property_fifo_order_preserved(values):
         queue.push(value, float(i))
     popped = [queue.pop(100.0) for _ in range(len(values))]
     assert popped == values
+
+
+# ------------------------------------------------------------------- pop_bulk
+def test_pop_bulk_drains_in_order_with_waits():
+    queue = SyncQueue("q", capacity=8)
+    for i in range(5):
+        queue.push(i, float(i))
+    batch = queue.pop_bulk(10.0, 3)
+    assert [item for item, _ in batch] == [0, 1, 2]
+    assert [wait for _, wait in batch] == pytest.approx([10.0, 9.0, 8.0])
+    assert queue.pop_count == 3
+    assert queue.last_pop_wait == pytest.approx(8.0)
+    assert queue.occupancy == 2
+
+
+def test_pop_bulk_empty_and_limit_handling():
+    queue = SyncQueue("q", capacity=4)
+    assert queue.pop_bulk(0.0, 4) == []
+    queue.push("x", 0.0)
+    batch = queue.pop_bulk(1.0, 10)   # limit larger than occupancy
+    assert [item for item, _ in batch] == ["x"]
+    assert queue.occupancy == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(), min_size=0, max_size=30),
+       st.integers(min_value=1, max_value=8))
+def test_property_pop_bulk_equals_repeated_pop_ready(values, limit):
+    """pop_bulk must match a pop_ready loop item-for-item and stat-for-stat."""
+    bulk = SyncQueue("bulk", capacity=max(1, len(values)))
+    loop = SyncQueue("loop", capacity=max(1, len(values)))
+    for i, value in enumerate(values):
+        bulk.push(value, float(i))
+        loop.push(value, float(i))
+    batch = bulk.pop_bulk(50.0, limit)
+    expected = []
+    for _ in range(limit):
+        item = loop.pop_ready(50.0)
+        if item is None:
+            break
+        expected.append((item, loop.last_pop_wait))
+    assert batch == expected
+    assert bulk.pop_count == loop.pop_count
+    assert bulk.total_wait == loop.total_wait
+    assert bulk.last_pop_wait == loop.last_pop_wait or not expected
+    assert bulk.items() == loop.items()

@@ -1,0 +1,138 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.scenario import ScenarioResult, run_scenario
+
+SMALL = 200
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ----------------------------------------------------------------------- list
+def test_list_everything(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    assert "topologies:" in out
+    assert "DVFS policies:" in out
+    assert "workloads:" in out
+    assert "scenarios:" in out
+    assert "gals5" in out and "frontback2" in out
+    assert "kernel:dot_product" in out
+
+
+def test_list_single_section(capsys):
+    code, out, _ = run_cli(capsys, "list", "topologies")
+    assert code == 0
+    assert "gals5" in out
+    assert "DVFS policies:" not in out
+
+
+def test_topology_describe(capsys):
+    code, out, _ = run_cli(capsys, "topology", "fem3")
+    assert code == 0
+    assert "3 clock domain(s)" in out
+    assert "mixed-clock FIFOs" in out
+
+
+def test_show_scenario_is_valid_json(capsys):
+    code, out, _ = run_cli(capsys, "show", "gals5-perl-fp3")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["topology"] == "gals5"
+    assert payload["policy"] == "perl-fp3"
+
+
+# ------------------------------------------------------------------------ run
+def test_run_scenario_prints_summary(capsys):
+    code, out, _ = run_cli(capsys, "run", "frontback2",
+                           "--instructions", str(SMALL))
+    assert code == 0
+    assert "frontback2" in out
+    assert "instructions in" in out
+
+
+def test_run_with_overrides_and_json_dump(tmp_path, capsys):
+    dump = tmp_path / "result.json"
+    code, out, _ = run_cli(
+        capsys, "run", "gals5", "--workload", "gcc",
+        "--instructions", str(SMALL), "--slowdown", "fp=2.0",
+        "--config", "rob_entries=48", "--json", str(dump), "--quiet")
+    assert code == 0
+    reloaded = ScenarioResult.from_json(dump.read_text())
+    assert reloaded.scenario.workload == "gcc"
+    assert reloaded.scenario.slowdowns == {"fp": 2.0}
+    assert reloaded.scenario.config == {"rob_entries": 48}
+    # CLI result is bit-identical to the library running the same scenario
+    direct = run_scenario(reloaded.scenario)
+    assert direct.result == reloaded.result
+
+
+def test_run_unknown_scenario_fails_cleanly(capsys):
+    code, _, err = run_cli(capsys, "run", "no-such-scenario")
+    assert code == 2
+    assert "unknown scenario" in err
+
+
+def test_run_bad_override_fails_cleanly():
+    with pytest.raises(SystemExit, match="KEY=VALUE"):
+        main(["run", "gals5", "--slowdown", "nonsense"])
+
+
+def test_run_non_numeric_override_value_fails_cleanly(capsys):
+    """A bad value must produce a clean error exit, not a raw traceback."""
+    code, _, err = run_cli(capsys, "run", "gals5", "--slowdown", "fetch=abc")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_run_unknown_config_field_fails_cleanly(capsys):
+    code, _, err = run_cli(capsys, "run", "gals5", "--config", "rob_size=64")
+    assert code == 2
+    assert "error:" in err
+
+
+# ---------------------------------------------------------------------- sweep
+def test_sweep_prints_table_and_writes_json(tmp_path, capsys):
+    dump = tmp_path / "sweep.json"
+    code, out, _ = run_cli(
+        capsys, "sweep", "base", "gals5", "--jobs", "1",
+        "--instructions", str(SMALL), "--json", str(dump))
+    assert code == 0
+    assert "scenario" in out and "IPC" in out
+    rows = json.loads(dump.read_text())
+    assert [row["scenario"]["name"] for row in rows] == ["base", "gals5"]
+    assert all(row["result"]["committed_instructions"] == SMALL
+               for row in rows)
+
+
+def test_sweep_without_scenarios_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep"])
+
+
+# --------------------------------------------------------------------- report
+def test_report_baseline_renders_tables(capsys):
+    code, out, _ = run_cli(
+        capsys, "report", "baseline", "--benchmarks", "perl",
+        "--instructions", str(SMALL), "--jobs", "1")
+    assert code == 0
+    assert "Figure 5" in out
+    assert "relative performance" in out
+    assert "perl" in out
+
+
+def test_report_dvfs_renders_table(capsys):
+    code, out, _ = run_cli(
+        capsys, "report", "dvfs", "--benchmark", "perl",
+        "--policies", "perl-fp3", "--instructions", str(SMALL),
+        "--jobs", "1")
+    assert code == 0
+    assert "perl/perl-fp3" in out

@@ -113,3 +113,22 @@ def test_phase_sensitivity_reports_small_spread():
     for key, value in report.items():
         if key != "spread":
             assert 0.5 < value <= 1.05
+
+
+def test_policy_projection_onto_topologies():
+    """Per-block policies project onto any topology's domains (max wins)."""
+    from repro.core.domains import get_topology
+    from repro.core.dvfs import GENERIC_SLOWDOWN
+
+    # gals5 is the identity: the projection equals the policy itself
+    gals5 = get_topology("gals5")
+    assert GENERIC_SLOWDOWN.project_onto(gals5) == dict(
+        GENERIC_SLOWDOWN.slowdowns)
+    # frontback2 merges fetch into 'front' and fp/memory into 'back';
+    # the back domain takes the largest member slowdown (fp's 1.5)
+    front_back = get_topology("frontback2")
+    assert GENERIC_SLOWDOWN.project_onto(front_back) == {
+        "front": 1.10, "back": 1.50}
+    plan = GENERIC_SLOWDOWN.plan_for(front_back, scale_voltages=True)
+    assert plan.slowdowns == {"front": 1.10, "back": 1.50}
+    assert plan.voltage_of("back") < plan.voltage_of("front")

@@ -1,0 +1,65 @@
+"""Smoke tests running every script in examples/ with capped problem sizes.
+
+Each example is executed as a real subprocess (the way a user runs it) so the
+examples cannot silently rot as the library evolves.  Instruction counts and
+kernel sizes are capped to keep the whole module fast.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: script name -> small-but-representative argv
+EXAMPLE_ARGS = {
+    "quickstart.py": ["perl", "250"],
+    "dvfs_exploration.py": ["gcc", "200"],
+    "kernel_on_gals.py": ["dot_product", "16"],
+    "clock_distribution_study.py": [],
+}
+
+
+def run_example(script: str, args) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    env["REPRO_JOBS"] = "1"   # keep smoke runs serial and cheap
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=120, env=env,
+        cwd=str(REPO_ROOT))
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to EXAMPLE_ARGS (or get skipped)."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLE_ARGS), (
+        "examples/ and EXAMPLE_ARGS disagree; add the new script with "
+        "capped arguments")
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_ARGS))
+def test_example_runs_cleanly(script):
+    completed = run_example(script, EXAMPLE_ARGS[script])
+    assert completed.returncode == 0, (
+        f"{script} failed\nstdout:\n{completed.stdout}\n"
+        f"stderr:\n{completed.stderr}")
+    assert completed.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_reports_headline_metrics():
+    completed = run_example("quickstart.py", ["perl", "250"])
+    assert completed.returncode == 0
+    assert "performance drop" in completed.stdout
+    assert "power saving" in completed.stdout
+
+
+def test_kernel_example_reports_comparison():
+    completed = run_example("kernel_on_gals.py", ["vector_sum", "12"])
+    assert completed.returncode == 0
+    assert "GALS relative performance" in completed.stdout

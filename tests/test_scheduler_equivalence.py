@@ -8,7 +8,8 @@ produces results equal to the serial path.
 
 import pytest
 
-from repro.core.experiments import _trace_and_workload, baseline_comparison
+from repro.core.experiments import baseline_comparison
+from repro.workloads.registry import build_workload
 from repro.core.processor import Processor
 from repro.sim.engine import SimulationEngine
 
@@ -16,7 +17,7 @@ EQUIV_INSTRUCTIONS = 500
 
 
 def _run(gals: bool, use_wheel: bool):
-    trace, workload = _trace_and_workload("perl", EQUIV_INSTRUCTIONS, seed=1)
+    trace, workload = build_workload("perl", EQUIV_INSTRUCTIONS, seed=1)
     machine = Processor(trace, gals=gals, workload=workload,
                         engine=SimulationEngine(use_wheel=use_wheel))
     return machine.run()

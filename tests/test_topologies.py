@@ -1,0 +1,168 @@
+"""Tests for the Topology abstraction, its registry and the generic builder."""
+
+import pytest
+
+from repro.core.domains import (BLOCK_LINKS, BLOCKS, DOMAIN_DECODE,
+                                DOMAIN_FETCH, DOMAIN_FP, DOMAIN_INTEGER,
+                                DOMAIN_MEMORY, GALS_DOMAINS, SYNC_DOMAIN,
+                                Topology, available_topologies, get_topology,
+                                register_topology, uniform_plan)
+from repro.core.experiments import run_single
+from repro.core.processor import build_processor
+from repro.workloads import make_workload
+
+SMALL = 250
+
+
+# ------------------------------------------------------------------ structure
+def test_canonical_topologies_registered():
+    names = available_topologies()
+    assert "base" in names and "gals5" in names
+    # at least three non-paper topologies, as the design-space opener promises
+    extras = [n for n in names if n not in ("base", "gals5")]
+    assert len(extras) >= 3
+
+
+def test_aliases_resolve():
+    assert get_topology("gals") is get_topology("gals5")
+    assert get_topology("sync") is get_topology("base")
+
+
+def test_base_topology_is_degenerate_single_domain():
+    base = get_topology("base")
+    assert base.is_synchronous
+    assert base.domain_names == (SYNC_DOMAIN,)
+    assert base.edges() == ()
+    assert base.blocks_in(SYNC_DOMAIN) == BLOCKS
+
+
+def test_gals5_topology_is_identity_partition():
+    gals = get_topology("gals5")
+    assert gals.domain_names == GALS_DOMAINS
+    assert not gals.is_synchronous
+    # every structural link crosses a domain boundary in the 5-domain machine
+    assert len(gals.edges()) == len(BLOCK_LINKS)
+    for block in BLOCKS:
+        assert gals.domain_of(block) == block
+
+
+def test_partition_edges_follow_assignment():
+    topo = get_topology("frontback2")
+    edge_names = {name for name, _, _ in topo.edges()}
+    # fetch->decode stays inside the front domain; dispatch and redirect cross
+    assert "fetch->decode" not in edge_names
+    assert {"dispatch->int", "dispatch->fp", "dispatch->mem",
+            "redirect"} == edge_names
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        Topology("bad", "missing blocks", {DOMAIN_FETCH: "a"})
+    with pytest.raises(ValueError):
+        Topology("bad", "unknown block",
+                 {**{b: "a" for b in BLOCKS}, "rogue": "a"})
+    with pytest.raises(ValueError):
+        Topology("bad", "empty domain name", {b: "" for b in BLOCKS})
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_topology(Topology("gals5", "dup",
+                                   {b: b for b in BLOCKS}))
+    with pytest.raises(KeyError):
+        get_topology("never-registered")
+
+
+def test_register_with_conflicting_alias_leaves_registry_untouched():
+    """A rejected registration must not leave a half-registered topology."""
+    fresh = Topology("atomic-check", "alias conflict fixture",
+                     {b: "one" for b in BLOCKS})
+    with pytest.raises(ValueError):
+        register_topology(fresh, aliases=("gals",))   # 'gals' is taken
+    with pytest.raises(KeyError):
+        get_topology("atomic-check")
+    # and the corrected retry succeeds
+    register_topology(fresh, aliases=("atomic-check-alias",))
+    assert get_topology("atomic-check-alias") is fresh
+
+
+# ------------------------------------------------------------------ execution
+@pytest.mark.parametrize("name", ["frontback2", "fem3", "alu4", "memsplit2"])
+def test_new_topologies_run_to_completion(name):
+    result = run_single("perl", name, num_instructions=SMALL, seed=1)
+    topo = get_topology(name)
+    assert result.committed_instructions == SMALL
+    assert result.processor == topo.kind
+    assert set(result.domain_cycles) == set(topo.domain_names)
+    assert result.ipc > 0
+    assert result.total_energy_nj > 0
+
+
+def test_coarser_partitions_lose_less_performance_than_gals5():
+    """Fewer domain crossings on the critical path -> smaller slowdown."""
+    base = run_single("perl", "base", num_instructions=SMALL, seed=1)
+    gals5 = run_single("perl", "gals5", num_instructions=SMALL, seed=1)
+    front = run_single("perl", "frontback2", num_instructions=SMALL, seed=1)
+    assert base.elapsed_ns <= front.elapsed_ns <= gals5.elapsed_ns
+
+
+def test_adhoc_single_domain_topology_matches_base_bit_for_bit():
+    """Any all-in-one assignment degenerates to the synchronous machine."""
+    adhoc = Topology("adhoc-sync", "unregistered single-domain topology",
+                     {block: SYNC_DOMAIN for block in BLOCKS},
+                     random_phases=False, kind="base")
+    workload = make_workload("perl", seed=1)
+    machine = build_processor(workload.trace(SMALL), topology=adhoc,
+                              workload=workload)
+    result = machine.run()
+    reference = run_single("perl", "base", num_instructions=SMALL, seed=1)
+    assert result.elapsed_ns == reference.elapsed_ns
+    assert result.ipc == reference.ipc
+    assert result.total_energy_nj == reference.total_energy_nj
+
+
+def test_unknown_processor_kind_still_raises_value_error():
+    with pytest.raises(ValueError):
+        run_single("perl", "warp-drive", num_instructions=10)
+
+
+def test_synchronous_topology_has_no_fifo_machinery():
+    workload = make_workload("perl", seed=1)
+    machine = build_processor(workload.trace(10), topology="base",
+                              workload=workload)
+    assert not any(ch.counts_as_fifo for ch in machine.all_channels)
+    assert machine.kind == "base"
+    assert not machine.gals
+
+
+def test_multi_domain_topology_builds_fifos_on_edges_only():
+    workload = make_workload("perl", seed=1)
+    machine = build_processor(workload.trace(10), topology="fem3",
+                              workload=workload)
+    topo = get_topology("fem3")
+    edge_names = {name for name, _, _ in topo.edges()}
+    for link_name, channel in machine.channels.items():
+        assert channel.counts_as_fifo == (link_name in edge_names)
+
+
+def _fifo_power_ports(machine):
+    for blocks in machine.power._blocks_by_domain.values():
+        for model in blocks:
+            if model.name == "fifo":
+                return model.ports
+    return None
+
+
+def test_fifo_power_model_scales_with_crossing_count():
+    """A topology with fewer mixed-clock FIFOs pays for fewer FIFO ports."""
+    workload = make_workload("perl", seed=1)
+    ports = {}
+    for name in ("gals5", "memsplit2", "frontback2"):
+        machine = build_processor(workload.trace(10), topology=name,
+                                  workload=workload)
+        ports[name] = _fifo_power_ports(machine)
+    # gals5 keeps the stock full-complex model (all 5 links are FIFOs)
+    full = ports["gals5"]
+    assert full is not None
+    assert ports["memsplit2"] == max(1, round(full * 1 / len(BLOCK_LINKS)))
+    assert ports["frontback2"] == max(1, round(full * 4 / len(BLOCK_LINKS)))
