@@ -160,14 +160,14 @@ def bench_engine(engine_factory, clocks):
 
 def bench_full_run(kind):
     """Instructions/sec and events/sec of one complete run_single."""
-    from repro.core.experiments import _trace_and_workload
     from repro.core.processor import build_base_processor, build_gals_processor
+    from repro.workloads.registry import build_workload
 
     build = build_gals_processor if kind == "gals" else build_base_processor
     state = {}
 
     def run_once():
-        trace, workload = _trace_and_workload("perl", FULL_RUN_INSTRUCTIONS, 1)
+        trace, workload = build_workload("perl", FULL_RUN_INSTRUCTIONS, seed=1)
         machine = build(trace, workload=workload)
         result = machine.run()
         state["events"] = machine.engine.events_processed

@@ -1,0 +1,120 @@
+"""CI perf-regression gate over BENCH_sim_core.json.
+
+Compares the newest benchmark record (the one ``bench_sim_core.py`` just
+appended) against the previous one -- the last entry committed to the
+repository -- and fails when any tracked throughput metric regressed by more
+than the threshold (default 25 %, generous enough to absorb CI-runner noise
+while still catching a real hot-path regression).
+
+Tracked metrics: full-run instructions/sec (gals and base machines) and
+engine-alone events/sec (clock-wheel scheduler, mixed and uniform periods).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_core.py        # append record
+    python benchmarks/check_bench_regression.py [--threshold 0.25]
+
+Exit status 1 on regression, 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_sim_core.json"
+
+
+def _engine(record, label, key):
+    return float(record["engine_events_per_sec"][label][key])
+
+
+def _instr(record, kind):
+    return float(record["full_run"][kind]["instr_per_sec"])
+
+
+#: Metrics gated when baseline and current ran on the same machine+python:
+#: raw throughput, directly comparable.
+ABSOLUTE_METRICS = (
+    ("gals instr/s", lambda r: _instr(r, "gals")),
+    ("base instr/s", lambda r: _instr(r, "base")),
+    ("engine mixed ev/s", lambda r: _engine(r, "mixed", "wheel")),
+    ("engine uniform ev/s", lambda r: _engine(r, "uniform", "wheel")),
+)
+
+#: Metrics gated across different machines (e.g. a CI runner vs the record
+#: committed from a dev box): each value is normalised by the *same run's*
+#: live embedded-seed-engine throughput, which scales with the host's
+#: single-core Python speed -- so the ratio tracks code changes, not
+#: hardware.
+RELATIVE_METRICS = (
+    ("gals instr per seed-ev",
+     lambda r: _instr(r, "gals") / _engine(r, "mixed", "seed_engine_live")),
+    ("base instr per seed-ev",
+     lambda r: _instr(r, "base") / _engine(r, "mixed", "seed_engine_live")),
+    ("mixed wheel/seed speedup",
+     lambda r: (_engine(r, "mixed", "wheel")
+                / _engine(r, "mixed", "seed_engine_live"))),
+    ("uniform wheel/seed speedup",
+     lambda r: (_engine(r, "uniform", "wheel")
+                / _engine(r, "uniform", "seed_engine_live"))),
+)
+
+
+def check(history, threshold):
+    """Return (lines, regressed) comparing the last record to its baseline."""
+    if len(history) < 2:
+        return ["fewer than two benchmark records; nothing to compare"], False
+    baseline, current = history[-2], history[-1]
+    same_host = (baseline.get("machine") == current.get("machine")
+                 and baseline.get("python") == current.get("python"))
+    metrics = ABSOLUTE_METRICS if same_host else RELATIVE_METRICS
+    mode = ("same host: raw throughput" if same_host
+            else "different host/python: seed-normalised ratios")
+    lines = [f"baseline: {baseline.get('timestamp', '?')}  "
+             f"current: {current.get('timestamp', '?')}  "
+             f"(threshold: -{threshold:.0%}; {mode})"]
+    regressed = False
+    for label, extract in metrics:
+        try:
+            was, now = extract(baseline), extract(current)
+        except (KeyError, TypeError, ValueError, ZeroDivisionError):
+            lines.append(f"  {label:<26} missing from a record; skipped")
+            continue
+        change = now / was - 1.0 if was else 0.0
+        bad = change < -threshold
+        regressed |= bad
+        verdict = "REGRESSION" if bad else "ok"
+        lines.append(f"  {label:<26} {was:>12,.2f} -> {now:>12,.2f}  "
+                     f"{change:+7.1%}  {verdict}")
+    return lines, regressed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated fractional slowdown "
+                             "(default: 0.25)")
+    parser.add_argument("--bench-file", type=Path, default=BENCH_FILE)
+    args = parser.parse_args(argv)
+
+    try:
+        history = json.loads(args.bench_file.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.bench_file}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(history, list):
+        history = [history]
+
+    lines, regressed = check(history, args.threshold)
+    print("\n".join(lines))
+    if regressed:
+        print(f"\nperformance regressed by more than {args.threshold:.0%} "
+              "vs the last recorded run", file=sys.stderr)
+        return 1
+    print("\nno regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,16 +29,19 @@ from .core import (ClockPlan, ComparisonRow, DEFAULT_CONFIG, DvfsResult,
                    available_policies, available_scenarios,
                    available_topologies, baseline_comparison,
                    build_base_processor, build_gals_processor,
-                   build_processor, compare, get_policy, get_scenario,
-                   get_topology, phase_sensitivity, register_scenario,
-                   register_topology, run_pair, run_scenario, run_single,
-                   selective_slowdown, slowdown_plan, slowdown_sweep,
-                   sweep_scenarios, uniform_plan)
+                   build_processor, compare, design_space_scenarios,
+                   get_policy, get_scenario, get_topology, phase_sensitivity,
+                   register_scenario, register_topology, run_design_space,
+                   run_pair, run_scenario, run_single, selective_slowdown,
+                   slowdown_plan, slowdown_sweep, sweep_scenarios,
+                   uniform_plan)
+from .results import (ResultsStore, code_fingerprint, resume_sweep,
+                      run_cached)
 from .workloads import (DEFAULT_BENCHMARKS, PROFILES, available_workloads,
                         build_workload, get_kernel, get_profile, kernel_trace,
                         make_trace, make_workload)
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "ClockPlan",
@@ -49,6 +52,7 @@ __all__ = [
     "PROFILES",
     "Processor",
     "ProcessorConfig",
+    "ResultsStore",
     "Scenario",
     "ScenarioResult",
     "SimulationResult",
@@ -64,7 +68,9 @@ __all__ = [
     "build_gals_processor",
     "build_processor",
     "build_workload",
+    "code_fingerprint",
     "compare",
+    "design_space_scenarios",
     "get_kernel",
     "get_policy",
     "get_profile",
@@ -76,6 +82,9 @@ __all__ = [
     "phase_sensitivity",
     "register_scenario",
     "register_topology",
+    "resume_sweep",
+    "run_cached",
+    "run_design_space",
     "run_pair",
     "run_scenario",
     "run_single",

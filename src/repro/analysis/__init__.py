@@ -2,7 +2,8 @@
 
 from .clock_skew import (CLOCK_SKEW_CASES, ClockSkewCase, clock_skew_table,
                          projected_skew_fraction, skew_trend)
-from .report import (ascii_bar, bar_chart, breakdown_table, dvfs_table,
+from .report import (ascii_bar, bar_chart, breakdown_table,
+                     design_space_records, design_space_table, dvfs_table,
                      energy_power_table, misspeculation_table,
                      performance_table, scenario_table, slip_breakdown_table,
                      slip_table)
@@ -14,6 +15,8 @@ __all__ = [
     "bar_chart",
     "breakdown_table",
     "clock_skew_table",
+    "design_space_records",
+    "design_space_table",
     "dvfs_table",
     "energy_power_table",
     "misspeculation_table",

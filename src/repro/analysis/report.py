@@ -7,7 +7,7 @@ the benchmark harness can print directly comparable output.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.experiments import DvfsResult
 from ..core.metrics import ComparisonRow
@@ -114,6 +114,79 @@ def scenario_table(results: Sequence) -> str:
             f"{item.scenario.workload:<18} {result.ipc:>6.2f} "
             f"{result.elapsed_ns:>11.1f} {result.total_energy_nj:>10.1f} "
             f"{result.average_power_w:>8.2f}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------- design-space compare
+def design_space_records(results: Sequence) -> List[Dict[str, Any]]:
+    """Flat metric records for a topology × workload × policy result set.
+
+    Each record carries the absolute figures of merit (IPC, elapsed time,
+    energy, power, energy-delay and energy-delay² products) plus the same
+    quantities normalised to the fully synchronous ``base`` topology of the
+    same workload × policy cell (or, if the set has no ``base`` row for that
+    cell, to its first row).  This is the payload ``repro report compare
+    --json`` writes for CI artifacts.
+    """
+    records = []
+    for item in results:
+        scenario, result = item.scenario, item.result
+        elapsed = result.elapsed_ns
+        energy = result.total_energy_nj
+        records.append({
+            "scenario": scenario.name,
+            "topology": scenario.topology,
+            "workload": scenario.workload,
+            "policy": scenario.policy,
+            "instructions": result.committed_instructions,
+            "ipc": result.ipc,
+            "elapsed_ns": elapsed,
+            "energy_nj": energy,
+            "power_w": result.average_power_w,
+            "edp_nj_ns": energy * elapsed,
+            "ed2p_nj_ns2": energy * elapsed * elapsed,
+        })
+    # normalise within each workload × policy cell against its base topology
+    references: Dict[tuple, Dict[str, Any]] = {}
+    for record in records:
+        cell = (record["workload"], record["policy"])
+        if cell not in references or record["topology"] == "base":
+            references[cell] = record
+    for record in records:
+        reference = references[(record["workload"], record["policy"])]
+        record["rel_performance"] = (
+            reference["elapsed_ns"] / record["elapsed_ns"]
+            if record["elapsed_ns"] else 0.0)
+        for field_name, rel_name in (("energy_nj", "rel_energy"),
+                                     ("edp_nj_ns", "rel_edp"),
+                                     ("ed2p_nj_ns2", "rel_ed2p")):
+            record[rel_name] = (record[field_name] / reference[field_name]
+                                if reference[field_name] else 0.0)
+    return records
+
+
+def design_space_table(results: Sequence) -> str:
+    """Cross-topology design-space table (``repro report compare``).
+
+    Relative columns are normalised per workload × policy cell against the
+    ``base`` topology (see :func:`design_space_records`); ED and ED² are the
+    energy-delay products, the lower the better.
+    """
+    records = design_space_records(results)
+    header = (f"{'topology':<11} {'workload':<18} {'policy':<10} "
+              f"{'IPC':>6} {'energy nJ':>10} {'power W':>8} "
+              f"{'ED':>9} {'ED2':>9} "
+              f"{'rel perf':>9} {'rel E':>7} {'rel ED':>7} {'rel ED2':>8}")
+    lines = [header]
+    for record in records:
+        lines.append(
+            f"{record['topology']:<11} {record['workload']:<18} "
+            f"{record['policy'] or '-':<10} "
+            f"{record['ipc']:>6.2f} {record['energy_nj']:>10.1f} "
+            f"{record['power_w']:>8.2f} "
+            f"{record['edp_nj_ns']:>9.3g} {record['ed2p_nj_ns2']:>9.3g} "
+            f"{record['rel_performance']:>9.3f} {record['rel_energy']:>7.3f} "
+            f"{record['rel_edp']:>7.3f} {record['rel_ed2p']:>8.3f}")
     return "\n".join(lines)
 
 

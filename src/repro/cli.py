@@ -9,12 +9,18 @@ The CLI exposes the declarative Scenario subsystem:
 * ``repro run SCENARIO``     -- run one scenario (with overrides) and print
   its summary, optionally dumping the full result as JSON;
 * ``repro sweep SCENARIO..`` -- run many scenarios in parallel over the
-  ``REPRO_JOBS`` process pool and print a comparison table;
+  ``REPRO_JOBS`` process pool, print per-scenario cached/computed status and
+  a comparison table;
+* ``repro cache ls|gc|clear`` -- inspect and maintain the persistent results
+  store (:mod:`repro.results`, rooted at ``REPRO_CACHE_DIR``);
 * ``repro report ...``       -- render the paper's figure tables
-  (:mod:`repro.analysis.report`) from fresh runs.
+  (:mod:`repro.analysis.report`) from fresh runs, and ``repro report
+  compare`` -- cross-topology design-space tables from cached results.
 
 Every run funnels through :func:`repro.core.scenario.run_scenario`, so CLI
-results are bit-identical to library results for the same scenario.
+results are bit-identical to library results for the same scenario --
+including results served from the cache (``--cache``), which are stored and
+reloaded bit-exactly.
 """
 
 from __future__ import annotations
@@ -22,19 +28,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
-from .analysis.report import (dvfs_table, energy_power_table,
+from .analysis.report import (design_space_records, design_space_table,
+                              dvfs_table, energy_power_table,
                               misspeculation_table, performance_table,
                               scenario_table, slip_breakdown_table,
                               slip_table)
 from .core.domains import TOPOLOGIES, get_topology
 from .core.dvfs import POLICIES, get_policy
 from .core.experiments import (DEFAULT_INSTRUCTIONS, baseline_comparison,
-                               slowdown_sweep)
-from .core.scenario import (SCENARIOS, Scenario, get_scenario, run_scenario,
-                            sweep_scenarios)
+                               design_space_scenarios, slowdown_sweep)
+from .core.scenario import (SCENARIOS, Scenario, get_scenario,
+                            resolve_scenarios)
+from .results import (ResultsStore, code_fingerprint, hit_rate, resume_sweep,
+                      run_cached)
 from .workloads.profiles import DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS
 from .workloads.registry import WORKLOADS
 
@@ -86,6 +96,37 @@ def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
     if args.config:
         changes["config"] = {**_parse_assignments(args.config, "--config")}
     return replace(scenario, **changes) if changes else scenario
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser,
+                         default: bool) -> None:
+    state = "on" if default else "off"
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--cache", action="store_true", dest="cache",
+                       default=None,
+                       help="serve/store results via the persistent results "
+                            f"store (default: {state})")
+    group.add_argument("--no-cache", action="store_false", dest="cache",
+                       help="force fresh runs, bypassing the results store")
+    parser.add_argument("--cache-dir", metavar="PATH", dest="cache_dir",
+                        help="results-store root (default: REPRO_CACHE_DIR "
+                             "or ~/.cache/repro)")
+
+
+def _store_from_args(args: argparse.Namespace,
+                     default: bool) -> Optional[ResultsStore]:
+    """The results store selected by --cache/--no-cache/--cache-dir.
+
+    An explicit ``--cache-dir`` implies ``--cache`` unless ``--no-cache``
+    overrides it.
+    """
+    if args.cache is not None:
+        enabled = args.cache
+    else:
+        enabled = default or args.cache_dir is not None
+    if not enabled:
+        return None
+    return ResultsStore(root=args.cache_dir)
 
 
 def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
@@ -157,8 +198,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{scenario.topology}, workload={scenario.workload}, "
               f"policy={scenario.policy or '-'}, "
               f"{scenario.num_instructions} instructions")
-    outcome = run_scenario(scenario)
+    store = _store_from_args(args, default=False)
+    run = run_cached(scenario, store=store)
+    outcome = run.outcome
     if not args.quiet:
+        if run.cached:
+            print(f"  served from cache (key {run.key[:12]}, saved "
+                  f"{run.seconds:.2f}s)")
+        elif store is not None:
+            print(f"  computed in {run.seconds:.2f}s and cached "
+                  f"(key {run.key[:12]})")
         print()
         print(outcome.result.summary())
         print(f"  domain cycles: {outcome.result.domain_cycles}")
@@ -183,13 +232,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         overrides["num_instructions"] = args.instructions
     if args.seed is not None:
         overrides["seed"] = args.seed
-    scenarios = [get_scenario(name) for name in names]
-    if overrides:
-        scenarios = [replace(scenario, **overrides) for scenario in scenarios]
+    scenarios = resolve_scenarios(names, overrides)
     if not args.quiet:
         print(f"sweeping {len(scenarios)} scenario(s) "
               f"({scenarios[0].num_instructions} instructions each)...")
-    results = sweep_scenarios(scenarios, jobs=args.jobs)
+    store = _store_from_args(args, default=False)
+    wall_start = time.perf_counter()
+    runs = resume_sweep(scenarios, store=store, jobs=args.jobs)
+    wall = time.perf_counter() - wall_start
+    results = [run.outcome for run in runs]
+    if not args.quiet:
+        for run in runs:
+            if run.cached:
+                timing = f"(saved {run.seconds:.2f}s)" if run.seconds else ""
+            else:
+                timing = f"{run.seconds:.2f}s"
+            print(f"  {run.outcome.scenario.name:<20} {run.status:<9} "
+                  f"{timing}")
+        hits = sum(run.cached for run in runs)
+        summary = f"swept {len(runs)} scenario(s) in {wall:.2f}s"
+        if store is not None:
+            summary += (f"; cache: {hits}/{len(runs)} hits "
+                        f"({hit_rate(runs):.0%})")
+        print(summary)
+        print()
     print(scenario_table(results))
     if args.json:
         with open(args.json, "w") as handle:
@@ -200,7 +266,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- results store
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultsStore(root=args.cache_dir)
+    if args.action == "ls":
+        entries = store.entries()
+        print(f"results store: {store.root}")
+        print(f"code fingerprint: {store.fingerprint}")
+        if not entries:
+            print("(empty)")
+            return 0
+        print(f"{'key':<14} {'scenario':<22} {'topology':<11} "
+              f"{'workload':<18} {'created':<19} {'wall s':>7}  state")
+        total = 0
+        for entry in entries:
+            total += entry.size_bytes
+            state = "stale" if entry.stale else "ok"
+            print(f"{entry.key[:12]:<14} {entry.scenario_name:<22} "
+                  f"{entry.topology:<11} {entry.workload:<18} "
+                  f"{entry.created:<19} {entry.wall_seconds:>7.2f}  {state}")
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+              f"{total / 1024:.1f} KiB")
+    elif args.action == "gc":
+        stats = store.gc()
+        print(f"removed {stats.removed} stale entr"
+              f"{'y' if stats.removed == 1 else 'ies'} "
+              f"({stats.bytes_freed / 1024:.1f} KiB), kept {stats.kept}")
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.family == "compare":
+        return _cmd_report_compare(args)
     instructions = args.instructions
     if args.family == "baseline":
         benchmarks = args.benchmarks or list(DEFAULT_BENCHMARKS)
@@ -234,6 +335,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_compare(args: argparse.Namespace) -> int:
+    """Cross-topology design-space table from cached ScenarioResults."""
+    policies = [None if name == "none" else name
+                for name in (args.policies or ["none"])]
+    grid = design_space_scenarios(
+        topologies=args.topologies, workloads=args.workloads,
+        policies=policies, num_instructions=args.instructions,
+        seed=args.seed)
+    store = _store_from_args(args, default=True)
+    runs = resume_sweep(grid, store=store, jobs=args.jobs)
+    results = [run.outcome for run in runs]
+    hits = sum(run.cached for run in runs)
+    print(f"=== design-space compare: {len(results)} configuration(s), "
+          f"{hits} from cache ===")
+    print(design_space_table(results))
+    if args.json:
+        payload = {
+            "fingerprint": code_fingerprint(),
+            "instructions": args.instructions,
+            "seed": args.seed,
+            "records": design_space_records(results),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"records written to {args.json}")
+    return 0
+
+
 # --------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -262,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one scenario")
     run_parser.add_argument("scenario", help="registered scenario name")
     _add_override_arguments(run_parser)
+    _add_cache_arguments(run_parser, default=False)
     run_parser.add_argument("--json", metavar="PATH",
                             help="write the full ScenarioResult as JSON")
     run_parser.add_argument("--quiet", action="store_true")
@@ -278,10 +408,22 @@ def build_parser() -> argparse.ArgumentParser:
                                    "or the CPU count)")
     sweep_parser.add_argument("--instructions", type=int, metavar="N")
     sweep_parser.add_argument("--seed", type=int)
+    _add_cache_arguments(sweep_parser, default=False)
     sweep_parser.add_argument("--json", metavar="PATH",
                               help="write all results as a JSON array")
     sweep_parser.add_argument("--quiet", action="store_true")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect/maintain the persistent results store")
+    cache_parser.add_argument("action", choices=("ls", "gc", "clear"),
+                              help="ls: list entries; gc: drop entries from "
+                                   "other code fingerprints; clear: drop "
+                                   "everything")
+    cache_parser.add_argument("--cache-dir", metavar="PATH", dest="cache_dir",
+                              help="results-store root (default: "
+                                   "REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     report_parser = sub.add_parser(
         "report", help="render the paper's figure tables from fresh runs")
@@ -302,6 +444,25 @@ def build_parser() -> argparse.ArgumentParser:
                              default=DEFAULT_INSTRUCTIONS)
     dvfs_parser.add_argument("--jobs", type=int)
     dvfs_parser.set_defaults(handler=_cmd_report)
+    compare_parser = report_sub.add_parser(
+        "compare", help="cross-topology design-space tables (IPC, energy, "
+                        "ED, ED2) rendered from cached results")
+    compare_parser.add_argument("--topologies", nargs="+",
+                                help="topologies to compare (default: all "
+                                     "registered)")
+    compare_parser.add_argument("--workloads", nargs="+", default=["perl"])
+    compare_parser.add_argument("--policies", nargs="+",
+                                help="DVFS policies ('none' = uniform "
+                                     "clocks; default: none)")
+    compare_parser.add_argument("--instructions", type=int,
+                                default=DEFAULT_INSTRUCTIONS)
+    compare_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.add_argument("--jobs", type=int)
+    _add_cache_arguments(compare_parser, default=True)
+    compare_parser.add_argument("--json", metavar="PATH",
+                                help="write the metric records as JSON "
+                                     "(CI artifact format)")
+    compare_parser.set_defaults(handler=_cmd_report)
 
     return parser
 

@@ -34,11 +34,13 @@ from ..power.voltage import ideal_synchronous_energy
 from ..workloads.profiles import DEFAULT_BENCHMARKS
 from ..workloads.registry import build_workload
 from .config import DEFAULT_CONFIG, ProcessorConfig
-from .domains import ClockPlan, get_topology, uniform_plan
+from .domains import (ClockPlan, available_topologies, get_topology,
+                      uniform_plan)
 from .dvfs import SlowdownPolicy
 from .metrics import (ComparisonRow, SimulationResult, arithmetic_mean, compare)
-from .scenario import (DEFAULT_INSTRUCTIONS, JOBS_ENV_VAR, _call_star,
-                       _run_jobs, default_jobs, execute_run)
+from .scenario import (DEFAULT_INSTRUCTIONS, JOBS_ENV_VAR, Scenario,
+                       ScenarioResult, _call_star, _run_jobs, default_jobs,
+                       execute_run, sweep_scenarios)
 
 
 @dataclass
@@ -192,6 +194,55 @@ def slowdown_sweep(benchmark: str,
         [(benchmark, policy, num_instructions, config, seed)
          for policy in policies],
         jobs=jobs)
+
+
+# ---------------------------------------------------- design-space exploration
+def design_space_scenarios(topologies: Optional[Sequence[str]] = None,
+                           workloads: Sequence[str] = ("perl",),
+                           policies: Sequence[Optional[str]] = (None,),
+                           num_instructions: int = DEFAULT_INSTRUCTIONS,
+                           seed: int = 1,
+                           **scenario_fields) -> List[Scenario]:
+    """The full topology × workload × policy grid as runnable scenarios.
+
+    Each cell is named ``topology/workload/policy`` (``uniform`` for no
+    policy) so grid cells are stable across invocations -- and, because the
+    results-store key ignores scenario names entirely, a cell that matches an
+    already cached run (from a plain ``repro run``/``sweep``) is a cache hit
+    even under its grid name.
+    """
+    if topologies is None:
+        topologies = available_topologies()
+    grid = []
+    for topology in topologies:
+        for workload in workloads:
+            for policy in policies:
+                grid.append(Scenario(
+                    name=f"{topology}/{workload}/{policy or 'uniform'}",
+                    topology=topology, workload=workload, policy=policy,
+                    num_instructions=num_instructions, seed=seed,
+                    description="design-space grid cell",
+                    **scenario_fields))
+    return grid
+
+
+def run_design_space(topologies: Optional[Sequence[str]] = None,
+                     workloads: Sequence[str] = ("perl",),
+                     policies: Sequence[Optional[str]] = (None,),
+                     num_instructions: int = DEFAULT_INSTRUCTIONS,
+                     seed: int = 1,
+                     jobs: Optional[int] = None,
+                     cache=True,
+                     **scenario_fields) -> List[ScenarioResult]:
+    """Run (or load from the results store) the whole design-space grid.
+
+    Feeds ``repro report compare``: with the default ``cache=True`` the grid
+    is resumable and a repeated invocation renders purely from cached
+    :class:`ScenarioResult` records.
+    """
+    grid = design_space_scenarios(topologies, workloads, policies,
+                                  num_instructions, seed, **scenario_fields)
+    return sweep_scenarios(grid, jobs=jobs, cache=cache)
 
 
 # -------------------------------------------------------------- phase studies

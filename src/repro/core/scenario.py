@@ -322,16 +322,37 @@ register_scenario(Scenario(
 
 
 # ------------------------------------------------------------------ execution
-def run_scenario(scenario: Union[Scenario, str], **overrides) -> ScenarioResult:
+def resolve_scenarios(scenarios: Sequence[Union[Scenario, str]],
+                      overrides: Mapping[str, Any]) -> List[Scenario]:
+    """Materialise names into registered scenarios and apply overrides."""
+    resolved = []
+    for scenario in scenarios:
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        if overrides:
+            scenario = replace(scenario, **overrides)
+        resolved.append(scenario)
+    return resolved
+
+
+def run_scenario(scenario: Union[Scenario, str],
+                 cache: Any = None, **overrides) -> ScenarioResult:
     """Run one scenario (by object or registered name) end to end.
 
     Keyword overrides are applied with :func:`dataclasses.replace`, e.g.
     ``run_scenario("gals5", num_instructions=500)``.
+
+    ``cache`` memoizes the run in the persistent results store
+    (:mod:`repro.results`): pass ``True`` for the default store
+    (``REPRO_CACHE_DIR``, else ``~/.cache/repro``), a path for a specific
+    store root, or a :class:`~repro.results.ResultsStore`.  A cached result
+    is bit-identical to a fresh one; the key covers every
+    simulation-relevant scenario field plus the code fingerprint.
     """
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
-    if overrides:
-        scenario = replace(scenario, **overrides)
+    if cache is not None and cache is not False:
+        from ..results import run_cached
+        return run_cached(scenario, store=cache, **overrides).outcome
+    (scenario,) = resolve_scenarios([scenario], overrides)
     topology = scenario.build_topology()
     config = scenario.build_config()
     plan = scenario.build_plan(topology, config.technology)
@@ -343,19 +364,24 @@ def run_scenario(scenario: Union[Scenario, str], **overrides) -> ScenarioResult:
 
 def sweep_scenarios(scenarios: Sequence[Union[Scenario, str]],
                     jobs: Optional[int] = None,
+                    cache: Any = None,
                     **overrides) -> List[ScenarioResult]:
     """Run many scenarios, fanned out over the experiment process pool.
 
     Results come back in submission order and match the serial path exactly
     (every scenario is self-contained and seed-deterministic).
+
+    With ``cache`` set (see :func:`run_scenario`), the sweep is *resumable*:
+    scenarios already in the results store load from disk, only the missing
+    ones fan out over the pool, and each freshly computed result is stored
+    immediately -- a repeated sweep is served entirely from cache.
     """
-    resolved = []
-    for scenario in scenarios:
-        if isinstance(scenario, str):
-            scenario = get_scenario(scenario)
-        if overrides:
-            scenario = replace(scenario, **overrides)
-        resolved.append(scenario)
+    if cache is not None and cache is not False:
+        from ..results import resume_sweep
+        return [run.outcome
+                for run in resume_sweep(scenarios, store=cache, jobs=jobs,
+                                        **overrides)]
+    resolved = resolve_scenarios(scenarios, overrides)
     try:
         return _run_jobs(run_scenario, [(scenario,) for scenario in resolved],
                          jobs=jobs)

@@ -1,0 +1,38 @@
+"""Persistent, content-addressed store of scenario results.
+
+The package memoizes the single scenario run path on disk: results are keyed
+by a canonical hash of the scenario JSON plus a fingerprint of the
+simulation-relevant source tree, so identical runs are served from cache
+bit-identically and any code or override change invalidates cleanly.  See
+:mod:`repro.results.store` for the store, :mod:`repro.results.fingerprint`
+for the invalidation scheme and :mod:`repro.results.runner` for resumable
+cache-aware sweeps.
+"""
+
+from .fingerprint import (SIMULATION_PACKAGES, code_fingerprint,
+                          fingerprint_details, source_tree_digest)
+from .runner import (SweepRun, hit_rate, resume_sweep, run_cached,
+                     timed_run_scenario)
+from .store import (CACHE_DIR_ENV_VAR, CacheEntry, GcStats, ResultsStore,
+                    cache_key, canonical_scenario_dict, default_cache_dir,
+                    resolve_store)
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CacheEntry",
+    "GcStats",
+    "ResultsStore",
+    "SIMULATION_PACKAGES",
+    "SweepRun",
+    "cache_key",
+    "canonical_scenario_dict",
+    "code_fingerprint",
+    "default_cache_dir",
+    "fingerprint_details",
+    "hit_rate",
+    "resolve_store",
+    "resume_sweep",
+    "run_cached",
+    "source_tree_digest",
+    "timed_run_scenario",
+]

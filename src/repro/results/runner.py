@@ -1,0 +1,146 @@
+"""Cache-aware scenario execution: memoized runs and resumable sweeps.
+
+:func:`resume_sweep` is the sweep engine behind ``repro sweep --cache`` and
+``repro report compare``: scenarios already in the store load from disk, only
+the missing ones fan out over the experiment process pool, and every freshly
+computed result is stored immediately -- so an interrupted sweep resumes
+where it stopped, and a repeated sweep is served entirely from cache.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.scenario import (Scenario, ScenarioResult, default_jobs,
+                             resolve_scenarios, run_scenario)
+from .store import ResultsStore, resolve_store
+
+
+@dataclass
+class SweepRun:
+    """One sweep slot: the result plus where it came from.
+
+    ``seconds`` is the simulation wall time for computed slots and the time
+    the original (stored) computation took for cached ones -- so a hit's
+    entry shows what the cache saved, not the microseconds the load took.
+    """
+
+    outcome: ScenarioResult
+    cached: bool
+    key: str
+    seconds: float
+
+    @property
+    def status(self) -> str:
+        return "cached" if self.cached else "computed"
+
+
+def timed_run_scenario(scenario: Scenario) -> Tuple[ScenarioResult, float]:
+    """Top-level (picklable) run returning (outcome, wall seconds)."""
+    start = time.perf_counter()
+    outcome = run_scenario(scenario)
+    return outcome, time.perf_counter() - start
+
+
+def run_cached(scenario: Union[Scenario, str],
+               store: Union[bool, str, ResultsStore, None] = True,
+               **overrides) -> SweepRun:
+    """Run one scenario through the store (compute-and-store on a miss)."""
+    (scenario,) = resolve_scenarios([scenario], overrides)
+    resolved_store = resolve_store(store)
+    if resolved_store is not None:
+        hit = resolved_store.get_with_seconds(scenario)
+        if hit is not None:
+            return SweepRun(outcome=hit[0], cached=True,
+                            key=resolved_store.key_for(scenario),
+                            seconds=hit[1])
+    outcome, seconds = timed_run_scenario(scenario)
+    key = ""
+    if resolved_store is not None:
+        key = resolved_store.put(outcome, wall_seconds=seconds)
+    return SweepRun(outcome=outcome, cached=False, key=key, seconds=seconds)
+
+
+def resume_sweep(scenarios: Sequence[Union[Scenario, str]],
+                 store: Union[bool, str, ResultsStore, None] = True,
+                 jobs: Optional[int] = None,
+                 **overrides) -> List[SweepRun]:
+    """Sweep many scenarios, loading hits from the store, computing misses.
+
+    Results come back in submission order either way, and computed slots are
+    bit-identical to a plain uncached :func:`sweep_scenarios` (both funnel
+    through :func:`run_scenario`).  With ``store=None`` every slot is
+    computed -- the per-scenario timing/status bookkeeping still applies,
+    which is what the CLI prints for uncached sweeps.
+    """
+    resolved = resolve_scenarios(scenarios, overrides)
+    resolved_store = resolve_store(store)
+
+    slots: List[Optional[SweepRun]] = [None] * len(resolved)
+    missing: List[Tuple[int, Scenario]] = []
+    for index, scenario in enumerate(resolved):
+        if resolved_store is not None:
+            hit = resolved_store.get_with_seconds(scenario)
+            if hit is not None:
+                slots[index] = SweepRun(
+                    outcome=hit[0], cached=True,
+                    key=resolved_store.key_for(scenario),
+                    seconds=hit[1])
+                continue
+        missing.append((index, scenario))
+
+    if missing:
+        _compute_and_store(missing, slots, resolved_store, jobs)
+
+    return [slot for slot in slots if slot is not None]
+
+
+def _compute_and_store(missing: Sequence[Tuple[int, Scenario]],
+                       slots: List[Optional[SweepRun]],
+                       store: Optional[ResultsStore],
+                       jobs: Optional[int]) -> None:
+    """Compute the missing slots, persisting each result *as it completes*.
+
+    Storing per-completion (not after the whole pool drains) is what makes
+    an interrupted sweep resumable: killing the process loses at most the
+    runs still in flight, and the re-run picks up every finished one from
+    the store.
+    """
+    def record(index: int, outcome: ScenarioResult, seconds: float) -> None:
+        key = ""
+        if store is not None:
+            key = store.put(outcome, wall_seconds=seconds)
+        slots[index] = SweepRun(outcome=outcome, cached=False, key=key,
+                                seconds=seconds)
+
+    workers = jobs if jobs is not None else default_jobs()
+    workers = min(max(1, workers), len(missing))
+    if workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = {executor.submit(timed_run_scenario, scenario): index
+                           for index, scenario in missing}
+                for future in as_completed(futures):
+                    outcome, seconds = future.result()
+                    record(futures[future], outcome, seconds)
+        except (OSError, PermissionError, BrokenProcessPool, KeyError):
+            # Pool infrastructure failure (sandboxes without fork/sem
+            # support), or a KeyError from a spawn/forkserver worker whose
+            # re-imported registries lack a name registered at runtime: the
+            # parent can still run these, so fall through to the serial
+            # loop for whatever is not recorded yet (see sweep_scenarios).
+            pass
+    for index, scenario in missing:
+        if slots[index] is None:
+            record(index, *timed_run_scenario(scenario))
+
+
+def hit_rate(runs: Sequence[SweepRun]) -> float:
+    """Fraction of sweep slots served from the store."""
+    if not runs:
+        return 0.0
+    return sum(run.cached for run in runs) / len(runs)

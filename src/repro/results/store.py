@@ -1,0 +1,285 @@
+"""Content-addressed, on-disk store of scenario results.
+
+The store memoizes :func:`~repro.core.scenario.run_scenario`: an entry is a
+full :class:`~repro.core.scenario.ScenarioResult` serialized as JSON, filed
+under a key that is the SHA-256 of
+
+* the scenario's **canonical JSON** -- every field that influences the
+  simulation (topology, workload, policy, seeds, overrides, ...); ``name``
+  and ``description`` are pure documentation and excluded, so renaming a
+  scenario never forces a recompute -- and
+* the **code fingerprint** (:func:`~repro.results.fingerprint.code_fingerprint`),
+  so any edit to the simulator invalidates every entry at once.
+
+Identical scenarios are therefore served bit-identically from disk, and a
+changed override, seed, topology or source file misses cleanly.  Entries are
+written atomically (temp file + ``os.replace``), so concurrent writers -- for
+example several sweep processes sharing ``REPRO_CACHE_DIR`` -- can only race
+to produce the same bytes.
+
+The store root comes from the ``REPRO_CACHE_DIR`` environment variable and
+defaults to ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..core.domains import get_topology
+from ..core.dvfs import get_policy
+from ..core.scenario import (Scenario, ScenarioResult, _result_from_dict,
+                             _result_to_dict)
+from .fingerprint import code_fingerprint
+
+#: Environment variable overriding the default store location.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Bump when the on-disk entry layout changes; part of every cache key, so a
+#: format change invalidates old stores instead of misreading them.
+STORE_FORMAT = 1
+
+#: Scenario fields that do not influence the simulation.
+_METADATA_FIELDS = ("name", "description")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+# ----------------------------------------------------------------- cache keys
+def canonical_scenario_dict(scenario: Scenario) -> Dict[str, Any]:
+    """The scenario's simulation-relevant fields (metadata stripped).
+
+    Topology and policy names are additionally resolved through their
+    registries and the *definitions* (block assignment, per-block slowdowns)
+    embedded in the payload: re-registering a changed topology or policy
+    under the same name therefore changes the key instead of being served a
+    stale result.  (Workloads registered at runtime remain identified by
+    name only -- the built-in generators are covered by the code
+    fingerprint.)
+    """
+    payload = scenario.to_dict()
+    for fieldname in _METADATA_FIELDS:
+        payload.pop(fieldname, None)
+    try:
+        topology = get_topology(scenario.topology)
+        payload["topology_definition"] = {
+            "assignment": dict(sorted(topology.assignment.items())),
+            "random_phases": topology.random_phases,
+            "kind": topology.kind,
+        }
+    except KeyError:
+        pass  # unknown name: the run would fail anyway; keep the name key
+    if scenario.policy is not None:
+        try:
+            payload["policy_definition"] = dict(
+                sorted(get_policy(scenario.policy).slowdowns.items()))
+        except KeyError:
+            pass
+    return payload
+
+
+def cache_key(scenario: Scenario, fingerprint: Optional[str] = None) -> str:
+    """SHA-256 content address of one (scenario, simulator) pair."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    payload = json.dumps(
+        {"format": STORE_FORMAT, "code": fingerprint,
+         "scenario": canonical_scenario_dict(scenario)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -------------------------------------------------------------------- entries
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one stored result (what ``repro cache ls`` prints)."""
+
+    key: str
+    path: Path
+    scenario_name: str
+    topology: str
+    workload: str
+    policy: Optional[str]
+    fingerprint: str
+    created: str
+    wall_seconds: float
+    size_bytes: int
+
+    @property
+    def stale(self) -> bool:
+        """True when the entry was produced by a different simulator."""
+        return self.fingerprint != code_fingerprint()
+
+
+@dataclass
+class GcStats:
+    """Outcome of a ``gc`` pass."""
+
+    removed: int = 0
+    kept: int = 0
+    bytes_freed: int = 0
+
+
+# ---------------------------------------------------------------------- store
+class ResultsStore:
+    """Content-addressed store memoizing scenario runs on disk."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+        #: probe counters for this store instance (reported by the CLI)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- locations
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    def entry_path(self, key: str) -> Path:
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    def key_for(self, scenario: Scenario) -> str:
+        return cache_key(scenario, self.fingerprint)
+
+    # ----------------------------------------------------------------- probes
+    def get(self, scenario: Scenario) -> Optional[ScenarioResult]:
+        """Load the cached result for ``scenario``, or None on a miss.
+
+        A hit returns a :class:`ScenarioResult` carrying the *requested*
+        scenario (names are not part of the key) and the stored simulation
+        result, which round-trips bit-identically through JSON.
+        """
+        loaded = self.get_with_seconds(scenario)
+        return loaded[0] if loaded is not None else None
+
+    def get_with_seconds(self, scenario: Scenario
+                         ) -> Optional[Tuple[ScenarioResult, float]]:
+        """Like :meth:`get`, plus the original compute wall time recorded
+        when the entry was stored (what a hit saves)."""
+        path = self.entry_path(self.key_for(scenario))
+        try:
+            payload = json.loads(path.read_text())
+            result = _result_from_dict(payload["result"])
+            seconds = float(payload.get("wall_seconds", 0.0))
+        except (OSError, ValueError, KeyError, TypeError):
+            # absent, corrupt or foreign file: a plain miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ScenarioResult(scenario=scenario, result=result), seconds
+
+    def contains(self, scenario: Scenario) -> bool:
+        return self.entry_path(self.key_for(scenario)).exists()
+
+    def put(self, outcome: ScenarioResult,
+            wall_seconds: float = 0.0) -> str:
+        """Store one result; returns its key.  Writes are atomic."""
+        scenario = outcome.scenario
+        key = self.key_for(scenario)
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "wall_seconds": wall_seconds,
+            "scenario": scenario.to_dict(),
+            "result": _result_to_dict(outcome.result),
+        }
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        # not sort_keys: JSON objects keep insertion order, so dict-valued
+        # result fields (domain_cycles, ...) reload in their original order
+        # and a cached run is indistinguishable from a fresh one
+        temporary.write_text(json.dumps(payload, indent=1))
+        os.replace(temporary, path)
+        return key
+
+    # -------------------------------------------------------------- inventory
+    def _entry_files(self) -> Iterator[Path]:
+        if not self.results_dir.is_dir():
+            return iter(())
+        return self.results_dir.glob("*/*.json")
+
+    def entries(self) -> List[CacheEntry]:
+        """Metadata of every stored entry, newest first."""
+        found = []
+        for path in self._entry_files():
+            try:
+                payload = json.loads(path.read_text())
+                scenario = payload["scenario"]
+                found.append(CacheEntry(
+                    key=payload["key"],
+                    path=path,
+                    scenario_name=scenario.get("name", "?"),
+                    topology=scenario.get("topology", "?"),
+                    workload=scenario.get("workload", "?"),
+                    policy=scenario.get("policy"),
+                    fingerprint=payload.get("fingerprint", "?"),
+                    created=payload.get("created", "?"),
+                    wall_seconds=float(payload.get("wall_seconds", 0.0)),
+                    size_bytes=path.stat().st_size,
+                ))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        found.sort(key=lambda entry: entry.created, reverse=True)
+        return found
+
+    # ------------------------------------------------------------ maintenance
+    def gc(self) -> GcStats:
+        """Drop entries from other simulator versions (and unreadable files)."""
+        stats = GcStats()
+        for path in list(self._entry_files()):
+            try:
+                fingerprint = json.loads(path.read_text()).get("fingerprint")
+            except (OSError, ValueError):
+                fingerprint = None
+            if fingerprint == self.fingerprint:
+                stats.kept += 1
+                continue
+            stats.bytes_freed += path.stat().st_size
+            path.unlink()
+            stats.removed += 1
+        return stats
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultsStore(root={str(self.root)!r}, "
+                f"fingerprint={self.fingerprint!r})")
+
+
+def resolve_store(cache: Union[bool, str, Path, ResultsStore, None]
+                  ) -> Optional[ResultsStore]:
+    """Normalise a ``cache=`` argument into a store (or None when disabled).
+
+    ``True`` means the default store, a string/path names a store root, an
+    existing :class:`ResultsStore` passes through, ``None``/``False`` disable
+    caching.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultsStore()
+    if isinstance(cache, ResultsStore):
+        return cache
+    return ResultsStore(root=cache)

@@ -93,3 +93,61 @@ def test_dvfs_table_renders_ideal_column():
     assert "gcc/gals-1" in text and "ideal" in text
     no_ideal = dvfs_table(results, include_ideal=False)
     assert "ideal" not in no_ideal
+
+
+# -------------------------------------------------- design-space compare table
+def _design_space_cell(topology, elapsed_ns, energy_nj, workload="perl",
+                       policy=None):
+    """Minimal ScenarioResult-shaped object for the design-space renderers."""
+    from types import SimpleNamespace
+    scenario = SimpleNamespace(name=f"{topology}/{workload}/{policy or 'uniform'}",
+                               topology=topology, workload=workload,
+                               policy=policy)
+    result = SimpleNamespace(committed_instructions=1000, ipc=2.0,
+                             elapsed_ns=elapsed_ns,
+                             total_energy_nj=energy_nj,
+                             average_power_w=energy_nj / elapsed_ns)
+    return SimpleNamespace(scenario=scenario, result=result)
+
+
+def test_design_space_records_normalise_against_base_topology():
+    from repro.analysis import design_space_records
+    cells = [_design_space_cell("gals5", elapsed_ns=200.0, energy_nj=110.0),
+             _design_space_cell("base", elapsed_ns=100.0, energy_nj=100.0)]
+    records = design_space_records(cells)
+    by_topology = {record["topology"]: record for record in records}
+    base, gals = by_topology["base"], by_topology["gals5"]
+    # base is the reference even though it is not the first row
+    assert base["rel_performance"] == base["rel_energy"] == 1.0
+    assert gals["rel_performance"] == pytest.approx(0.5)
+    assert gals["rel_energy"] == pytest.approx(1.1)
+    # ED = E*D, ED2 = E*D^2; relative values follow
+    assert gals["edp_nj_ns"] == pytest.approx(110.0 * 200.0)
+    assert gals["rel_edp"] == pytest.approx((110 * 200) / (100 * 100))
+    assert gals["rel_ed2p"] == pytest.approx((110 * 200 ** 2) / (100 * 100 ** 2))
+
+
+def test_design_space_records_group_per_workload_and_policy():
+    from repro.analysis import design_space_records
+    cells = [_design_space_cell("base", 100.0, 100.0, workload="perl"),
+             _design_space_cell("gals5", 200.0, 110.0, workload="perl"),
+             _design_space_cell("gals5", 400.0, 120.0, workload="gcc")]
+    records = design_space_records(cells)
+    # the gcc cell has no base row: it is its own reference
+    gcc = [r for r in records if r["workload"] == "gcc"][0]
+    assert gcc["rel_performance"] == 1.0 and gcc["rel_edp"] == 1.0
+    perl_gals = [r for r in records
+                 if r["workload"] == "perl" and r["topology"] == "gals5"][0]
+    assert perl_gals["rel_performance"] == pytest.approx(0.5)
+
+
+def test_design_space_table_renders_all_cells():
+    from repro.analysis import design_space_table
+    cells = [_design_space_cell("base", 100.0, 100.0),
+             _design_space_cell("gals5", 200.0, 110.0),
+             _design_space_cell("fem3", 150.0, 105.0, policy="generic")]
+    text = design_space_table(cells)
+    assert "rel ED2" in text and "topology" in text
+    for topology in ("base", "gals5", "fem3"):
+        assert topology in text
+    assert "generic" in text

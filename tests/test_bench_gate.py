@@ -1,0 +1,82 @@
+"""Tests for the CI perf-regression gate (benchmarks/check_bench_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).resolve().parent.parent
+           / "benchmarks" / "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def make_record(machine="box-a", python="3.12.0", scale=1.0, gals_scale=1.0):
+    """A synthetic benchmark record; ``scale`` models host speed."""
+    seed_live = 600_000.0 * scale
+    return {
+        "timestamp": "2026-07-28T00:00:00",
+        "machine": machine,
+        "python": python,
+        "engine_events_per_sec": {
+            "mixed": {"wheel": 2_000_000.0 * scale,
+                      "seed_engine_live": seed_live},
+            "uniform": {"wheel": 3_600_000.0 * scale,
+                        "seed_engine_live": seed_live},
+        },
+        "full_run": {
+            "gals": {"instr_per_sec": 29_000.0 * scale * gals_scale},
+            "base": {"instr_per_sec": 43_000.0 * scale},
+        },
+    }
+
+
+def test_single_record_passes_trivially():
+    lines, regressed = gate.check([make_record()], 0.25)
+    assert not regressed
+    assert "nothing to compare" in lines[0]
+
+
+def test_same_host_uses_raw_throughput():
+    lines, regressed = gate.check(
+        [make_record(), make_record(gals_scale=0.5)], 0.25)
+    assert regressed
+    assert "same host" in lines[0]
+    assert any("REGRESSION" in line and "gals" in line for line in lines)
+
+
+def test_same_host_within_threshold_passes():
+    lines, regressed = gate.check(
+        [make_record(), make_record(gals_scale=0.9)], 0.25)
+    assert not regressed
+
+
+def test_different_host_normalises_out_machine_speed():
+    # a CI runner half as fast across the board is NOT a regression
+    lines, regressed = gate.check(
+        [make_record(machine="dev-box"),
+         make_record(machine="ci-runner", scale=0.5)], 0.25)
+    assert not regressed
+    assert "different host" in lines[0]
+
+
+def test_different_host_still_catches_real_regression():
+    # slower host AND a genuine 2x gals-path slowdown relative to it
+    lines, regressed = gate.check(
+        [make_record(machine="dev-box"),
+         make_record(machine="ci-runner", scale=0.5, gals_scale=0.5)], 0.25)
+    assert regressed
+    assert any("REGRESSION" in line and "gals" in line for line in lines)
+
+
+def test_main_exit_codes(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps([make_record(), make_record()]))
+    assert gate.main(["--bench-file", str(path)]) == 0
+    path.write_text(json.dumps([make_record(),
+                                make_record(gals_scale=0.5)]))
+    assert gate.main(["--bench-file", str(path), "--threshold", "0.25"]) == 1
+    assert gate.main(["--bench-file", str(tmp_path / "missing.json")]) == 2

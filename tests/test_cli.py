@@ -136,3 +136,97 @@ def test_report_dvfs_renders_table(capsys):
         "--jobs", "1")
     assert code == 0
     assert "perl/perl-fp3" in out
+
+
+# ---------------------------------------------------------------- results cache
+def test_run_with_cache_reports_hit_on_second_run(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    code, out, _ = run_cli(capsys, "run", "fem3", "--instructions", str(SMALL),
+                           "--cache", "--cache-dir", cache)
+    assert code == 0
+    assert "computed in" in out and "cached" in out
+    code, out, _ = run_cli(capsys, "run", "fem3", "--instructions", str(SMALL),
+                           "--cache", "--cache-dir", cache)
+    assert code == 0
+    assert "served from cache" in out
+    # cached and fresh CLI runs print identical summaries
+    _, fresh_out, _ = run_cli(capsys, "run", "fem3",
+                              "--instructions", str(SMALL))
+    assert out.split("served from cache")[1].splitlines()[1:] \
+        == fresh_out.splitlines()[1:]
+
+
+def test_sweep_prints_status_and_hit_rate(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    code, out, _ = run_cli(capsys, "sweep", "base", "gals5", "--jobs", "1",
+                           "--instructions", str(SMALL),
+                           "--cache", "--cache-dir", cache)
+    assert code == 0
+    assert "computed" in out
+    assert "cache: 0/2 hits (0%)" in out
+    code, out, _ = run_cli(capsys, "sweep", "base", "gals5", "--jobs", "1",
+                           "--instructions", str(SMALL),
+                           "--cache", "--cache-dir", cache)
+    assert code == 0
+    assert "cache: 2/2 hits (100%)" in out
+    assert out.count("cached") >= 2
+
+
+def test_sweep_without_cache_still_prints_per_scenario_status(capsys):
+    code, out, _ = run_cli(capsys, "sweep", "base", "--jobs", "1",
+                           "--instructions", str(SMALL))
+    assert code == 0
+    assert "computed" in out
+    assert "swept 1 scenario(s)" in out
+    assert "hits" not in out  # no store involved, no hit-rate line
+
+
+def test_cache_ls_gc_clear(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    code, out, _ = run_cli(capsys, "cache", "ls", "--cache-dir", cache)
+    assert code == 0 and "(empty)" in out
+    run_cli(capsys, "run", "base", "--instructions", str(SMALL),
+            "--cache", "--cache-dir", cache, "--quiet")
+    code, out, _ = run_cli(capsys, "cache", "ls", "--cache-dir", cache)
+    assert code == 0
+    assert "base" in out and "1 entry" in out and "ok" in out
+    code, out, _ = run_cli(capsys, "cache", "gc", "--cache-dir", cache)
+    assert code == 0 and "kept 1" in out
+    code, out, _ = run_cli(capsys, "cache", "clear", "--cache-dir", cache)
+    assert code == 0 and "removed 1 entry" in out
+    code, out, _ = run_cli(capsys, "cache", "ls", "--cache-dir", cache)
+    assert "(empty)" in out
+
+
+def test_report_compare_renders_and_writes_json(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    dump = tmp_path / "compare.json"
+    code, out, _ = run_cli(
+        capsys, "report", "compare", "--topologies", "base", "gals5",
+        "--instructions", str(SMALL), "--jobs", "1",
+        "--cache-dir", cache, "--json", str(dump))
+    assert code == 0
+    assert "design-space compare" in out
+    assert "rel ED2" in out
+    payload = json.loads(dump.read_text())
+    assert payload["instructions"] == SMALL
+    assert {record["topology"] for record in payload["records"]} \
+        == {"base", "gals5"}
+    base_row = [r for r in payload["records"] if r["topology"] == "base"][0]
+    assert base_row["rel_performance"] == 1.0
+    # second invocation is served from the cache
+    code, out, _ = run_cli(
+        capsys, "report", "compare", "--topologies", "base", "gals5",
+        "--instructions", str(SMALL), "--jobs", "1", "--cache-dir", cache)
+    assert code == 0
+    assert "2 from cache" in out
+
+
+def test_report_compare_no_cache_bypasses_store(tmp_path, capsys):
+    code, out, _ = run_cli(
+        capsys, "report", "compare", "--topologies", "base",
+        "--instructions", str(SMALL), "--jobs", "1", "--no-cache",
+        "--cache-dir", str(tmp_path / "cache"))
+    assert code == 0
+    assert "0 from cache" in out
+    assert not (tmp_path / "cache").exists()

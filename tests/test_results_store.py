@@ -1,0 +1,261 @@
+"""Tests for the persistent results store (:mod:`repro.results`).
+
+Covers the cache-key semantics the store's correctness rests on (hits only
+for identical simulation inputs under an identical simulator), bit-identity
+of cached vs freshly computed results, resumable sweeps, and store
+maintenance (ls/gc/clear).
+"""
+
+import json
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core.scenario import get_scenario, run_scenario, sweep_scenarios
+from repro.results import (ResultsStore, cache_key, canonical_scenario_dict,
+                           code_fingerprint, resolve_store, resume_sweep,
+                           run_cached, source_tree_digest)
+from repro.results.store import CACHE_DIR_ENV_VAR, default_cache_dir
+
+SMALL = 200
+
+#: Six registered scenarios for the resumable-sweep acceptance test.
+SWEEP_SCENARIOS = ["base", "gals5", "frontback2", "fem3", "alu4", "memsplit2"]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(root=tmp_path / "cache")
+
+
+@pytest.fixture
+def scenario():
+    return replace(get_scenario("gals5"), num_instructions=SMALL)
+
+
+# ------------------------------------------------------------------ fingerprint
+def test_code_fingerprint_is_versioned_and_stable():
+    from repro import __version__
+    fingerprint = code_fingerprint()
+    assert fingerprint.startswith(f"{__version__}:")
+    assert fingerprint == code_fingerprint()
+
+
+def test_source_tree_digest_tracks_simulation_sources(tmp_path):
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "a.py").write_text("x = 1\n")
+    before = source_tree_digest(tmp_path)
+    assert before == source_tree_digest(tmp_path)
+    (tmp_path / "core" / "a.py").write_text("x = 2\n")
+    assert source_tree_digest(tmp_path) != before
+    # files outside the simulation packages do not participate
+    (tmp_path / "analysis").mkdir()
+    (tmp_path / "analysis" / "b.py").write_text("y = 1\n")
+    (tmp_path / "core" / "a.py").write_text("x = 1\n")
+    assert source_tree_digest(tmp_path) == before
+
+
+# ------------------------------------------------------------- key semantics
+def test_key_hits_on_identical_scenario(scenario):
+    assert cache_key(scenario) == cache_key(replace(scenario))
+
+
+def test_key_ignores_pure_metadata(scenario):
+    renamed = replace(scenario, name="other-name", description="different")
+    assert cache_key(renamed) == cache_key(scenario)
+    assert "name" not in canonical_scenario_dict(scenario)
+    assert "description" not in canonical_scenario_dict(scenario)
+
+
+@pytest.mark.parametrize("change", [
+    {"config": {"rob_entries": 48}},
+    {"seed": 2},
+    {"phase_seed": 7},
+    {"topology": "base"},
+    {"workload": "gcc"},
+    {"policy": "generic"},
+    {"num_instructions": SMALL + 1},
+    {"slowdowns": {"fp": 2.0}},
+    {"base_period": 2.0},
+    {"scale_voltages": False},
+])
+def test_key_misses_on_simulation_relevant_change(scenario, change):
+    assert cache_key(replace(scenario, **change)) != cache_key(scenario)
+
+
+def test_key_misses_on_code_fingerprint_change(scenario):
+    assert (cache_key(scenario, "2.0.0:aaaaaaaaaaaaaaaa")
+            != cache_key(scenario, "2.0.0:bbbbbbbbbbbbbbbb"))
+
+
+def test_store_misses_across_fingerprints(tmp_path, scenario):
+    old = ResultsStore(root=tmp_path, fingerprint="old:0000000000000000")
+    new = ResultsStore(root=tmp_path, fingerprint="new:1111111111111111")
+    old.put(run_scenario(scenario))
+    assert old.get(scenario) is not None
+    assert new.get(scenario) is None  # same store root, new simulator
+    assert new.misses == 1
+
+
+# ------------------------------------------------------------- bit-identity
+def test_cached_result_is_bit_identical_to_fresh(store, scenario):
+    fresh = run_scenario(scenario, cache=store)     # miss: compute + put
+    cached = run_scenario(scenario, cache=store)    # hit: load from disk
+    direct = run_scenario(scenario)                 # no cache involved
+    assert store.hits == 1 and store.misses == 1
+    assert cached.result == fresh.result == direct.result
+    assert cached.to_json() == direct.to_json()
+    assert cached.scenario == scenario
+
+
+def test_cached_result_survives_json_reload_exactly(store):
+    # a policy run exercises voltage/energy floats and per-domain dicts
+    scenario = replace(get_scenario("gals5-perl-fp3"), num_instructions=SMALL)
+    fresh = run_cached(scenario, store=store)
+    assert not fresh.cached
+    warm = run_cached(scenario, store=store)
+    assert warm.cached
+    assert warm.outcome.result == fresh.outcome.result
+    assert (warm.outcome.result.energy.by_block
+            == fresh.outcome.result.energy.by_block)
+
+
+# ---------------------------------------------------------- resumable sweeps
+def test_interrupted_sweep_resumes_only_missing(store):
+    names = SWEEP_SCENARIOS[:4]
+    # "interrupted" sweep: only the first two scenarios completed
+    resume_sweep(names[:2], store=store, jobs=1, num_instructions=SMALL)
+    store.hits = store.misses = 0
+    runs = resume_sweep(names, store=store, jobs=1, num_instructions=SMALL)
+    assert [run.outcome.scenario.name for run in runs] == names
+    assert [run.cached for run in runs] == [True, True, False, False]
+    assert store.hits == 2 and store.misses == 2
+
+
+def test_repeated_sweep_is_fully_cached_and_faster(store):
+    """Acceptance: a warm 6-scenario sweep is all hits, >=5x faster, and
+    bit-identical to the uncached pool path."""
+    start = time.perf_counter()
+    cold = sweep_scenarios(SWEEP_SCENARIOS, jobs=1, cache=store,
+                           num_instructions=SMALL)
+    cold_seconds = time.perf_counter() - start
+
+    store.hits = store.misses = 0
+    start = time.perf_counter()
+    warm = sweep_scenarios(SWEEP_SCENARIOS, jobs=1, cache=store,
+                           num_instructions=SMALL)
+    warm_seconds = time.perf_counter() - start
+
+    assert store.hits == len(SWEEP_SCENARIOS) and store.misses == 0
+    uncached = sweep_scenarios(SWEEP_SCENARIOS, jobs=1,
+                               num_instructions=SMALL)
+    assert ([item.result for item in warm]
+            == [item.result for item in cold]
+            == [item.result for item in uncached])
+    assert warm_seconds < cold_seconds / 5, (
+        f"warm sweep took {warm_seconds:.3f}s vs cold {cold_seconds:.3f}s")
+
+
+def test_sweep_statuses_and_hit_rate(store):
+    from repro.results import hit_rate
+    resume_sweep(["base"], store=store, jobs=1, num_instructions=SMALL)
+    runs = resume_sweep(["base", "gals5"], store=store, jobs=1,
+                        num_instructions=SMALL)
+    assert [run.status for run in runs] == ["cached", "computed"]
+    assert hit_rate(runs) == 0.5
+    assert all(run.key for run in runs)
+
+
+# ------------------------------------------------------------- maintenance
+def test_entries_gc_clear(tmp_path, scenario):
+    store = ResultsStore(root=tmp_path)
+    stale = ResultsStore(root=tmp_path, fingerprint="stale:123456789abcdef0")
+    store.put(run_scenario(scenario))
+    stale.put(run_scenario(replace(scenario, seed=3)))
+
+    entries = store.entries()
+    assert len(entries) == 2
+    assert {entry.stale for entry in entries} == {True, False}
+    assert {entry.scenario_name for entry in entries} == {"gals5"}
+
+    stats = store.gc()
+    assert stats.removed == 1 and stats.kept == 1 and stats.bytes_freed > 0
+    assert store.get(scenario) is not None
+
+    assert store.clear() == 1
+    assert store.entries() == []
+
+
+def test_corrupt_entry_is_a_miss_and_recomputed(store, scenario):
+    run_scenario(scenario, cache=store)
+    path = store.entry_path(store.key_for(scenario))
+    path.write_text("{not json")
+    outcome = run_scenario(scenario, cache=store)   # recomputes, rewrites
+    assert outcome.result == run_scenario(scenario).result
+    assert json.loads(path.read_text())["key"] == store.key_for(scenario)
+
+
+def test_default_cache_dir_honours_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    assert ResultsStore().root == tmp_path / "elsewhere"
+    monkeypatch.delenv(CACHE_DIR_ENV_VAR)
+    assert default_cache_dir().name == "repro"
+
+
+def test_resolve_store_forms(tmp_path):
+    assert resolve_store(None) is None
+    assert resolve_store(False) is None
+    store = ResultsStore(root=tmp_path)
+    assert resolve_store(store) is store
+    assert resolve_store(tmp_path).root == tmp_path
+    assert resolve_store(str(tmp_path)).root == tmp_path
+
+
+def test_atomic_put_leaves_no_temp_files(store, scenario):
+    store.put(run_scenario(scenario))
+    leftovers = [p for p in store.results_dir.rglob("*")
+                 if p.is_file() and p.suffix != ".json"]
+    assert leftovers == []
+
+
+# --------------------------------------------- registry-definition sensitivity
+def test_key_tracks_reregistered_topology_definition(monkeypatch):
+    from repro.core.domains import BLOCKS, TOPOLOGIES, Topology
+    one_domain = Topology(name="custom", description="v1",
+                          assignment={block: "main" for block in BLOCKS})
+    monkeypatch.setitem(TOPOLOGIES, "custom", one_domain)
+    scenario = replace(get_scenario("base"), topology="custom",
+                       num_instructions=SMALL)
+    key_v1 = cache_key(scenario)
+    changed = Topology(name="custom", description="v2",
+                       assignment={block: block for block in BLOCKS})
+    monkeypatch.setitem(TOPOLOGIES, "custom", changed)
+    assert cache_key(scenario) != key_v1
+
+
+def test_key_tracks_reregistered_policy_definition(monkeypatch):
+    from repro.core.dvfs import POLICIES, SlowdownPolicy
+    monkeypatch.setitem(POLICIES, "custom-policy",
+                        SlowdownPolicy("custom-policy", "v1", {"fp": 2.0}))
+    scenario = replace(get_scenario("gals5"), policy="custom-policy",
+                       num_instructions=SMALL)
+    key_v1 = cache_key(scenario)
+    monkeypatch.setitem(POLICIES, "custom-policy",
+                        SlowdownPolicy("custom-policy", "v2", {"fp": 3.0}))
+    assert cache_key(scenario) != key_v1
+
+
+def test_interrupted_sweep_persists_completed_runs(store):
+    """Results are stored as they complete: a sweep aborted mid-way keeps
+    every finished scenario (the actual resumability contract)."""
+    good = replace(get_scenario("base"), num_instructions=SMALL)
+    bad = replace(get_scenario("gals5"), workload="no-such-workload",
+                  num_instructions=SMALL)
+    with pytest.raises(KeyError):
+        resume_sweep([good, bad], store=store, jobs=1)
+    # the completed run survived the abort and is a hit on the retry
+    assert store.get(good) is not None
+    runs = resume_sweep([good], store=store, jobs=1)
+    assert runs[0].cached
