@@ -23,32 +23,35 @@ Quickstart::
     print(run_scenario("frontback2", num_instructions=2000).summary())
 """
 
-from .core import (ClockPlan, ComparisonRow, DEFAULT_CONFIG, DvfsResult,
-                   Processor, ProcessorConfig, Scenario, ScenarioResult,
-                   SimulationResult, SlowdownPolicy, Topology,
-                   available_policies, available_scenarios,
-                   available_topologies, baseline_comparison,
-                   build_base_processor, build_gals_processor,
-                   build_processor, compare, design_space_scenarios,
-                   get_policy, get_scenario, get_topology, phase_sensitivity,
-                   register_scenario, register_topology, run_design_space,
-                   run_pair, run_scenario, run_single, selective_slowdown,
-                   slowdown_plan, slowdown_sweep, sweep_scenarios,
-                   uniform_plan)
+from .core import (ClockPlan, ComparisonRow, DEFAULT_CONFIG, DvfsController,
+                   DvfsResult, EpochTelemetry, Processor, ProcessorConfig,
+                   Scenario, ScenarioResult, SimulationResult, SlowdownPolicy,
+                   Topology, available_controllers, available_policies,
+                   available_scenarios, available_topologies,
+                   baseline_comparison, build_base_processor,
+                   build_gals_processor, build_processor, compare,
+                   design_space_scenarios, get_policy, get_scenario,
+                   get_topology, make_controller, phase_sensitivity,
+                   register_controller, register_scenario, register_topology,
+                   run_design_space, run_pair, run_scenario, run_single,
+                   selective_slowdown, slowdown_plan, slowdown_sweep,
+                   sweep_scenarios, uniform_plan)
 from .results import (ResultsStore, code_fingerprint, resume_sweep,
                       run_cached)
 from .workloads import (DEFAULT_BENCHMARKS, PROFILES, available_workloads,
                         build_workload, get_kernel, get_profile, kernel_trace,
                         make_trace, make_workload)
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "ClockPlan",
     "ComparisonRow",
     "DEFAULT_BENCHMARKS",
     "DEFAULT_CONFIG",
+    "DvfsController",
     "DvfsResult",
+    "EpochTelemetry",
     "PROFILES",
     "Processor",
     "ProcessorConfig",
@@ -59,6 +62,7 @@ __all__ = [
     "SlowdownPolicy",
     "Topology",
     "__version__",
+    "available_controllers",
     "available_policies",
     "available_scenarios",
     "available_topologies",
@@ -78,8 +82,10 @@ __all__ = [
     "get_topology",
     "kernel_trace",
     "make_trace",
+    "make_controller",
     "make_workload",
     "phase_sensitivity",
+    "register_controller",
     "register_scenario",
     "register_topology",
     "resume_sweep",

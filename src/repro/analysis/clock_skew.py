@@ -29,6 +29,7 @@ class ClockSkewCase:
 
     @property
     def frequency_mhz(self) -> float:
+        """Clock frequency in MHz implied by the cycle time."""
         return 1000.0 / self.cycle_time_ns
 
     @property

@@ -138,6 +138,7 @@ def design_space_records(results: Sequence) -> List[Dict[str, Any]]:
             "topology": scenario.topology,
             "workload": scenario.workload,
             "policy": scenario.policy,
+            "controller": getattr(scenario, "controller", None),
             "instructions": result.committed_instructions,
             "ipc": result.ipc,
             "elapsed_ns": elapsed,
@@ -146,11 +147,14 @@ def design_space_records(results: Sequence) -> List[Dict[str, Any]]:
             "edp_nj_ns": energy * elapsed,
             "ed2p_nj_ns2": energy * elapsed * elapsed,
         })
-    # normalise within each workload × policy cell against its base topology
+    # normalise within each workload × policy cell against its base topology;
+    # adaptive (controller-driven) rows never serve as the reference, so a
+    # controller's rel_* columns always read against the static baseline
     references: Dict[tuple, Dict[str, Any]] = {}
     for record in records:
         cell = (record["workload"], record["policy"])
-        if cell not in references or record["topology"] == "base":
+        if cell not in references or (record["topology"] == "base"
+                                      and record["controller"] is None):
             references[cell] = record
     for record in records:
         reference = references[(record["workload"], record["policy"])]
@@ -174,6 +178,7 @@ def design_space_table(results: Sequence) -> str:
     """
     records = design_space_records(results)
     header = (f"{'topology':<11} {'workload':<18} {'policy':<10} "
+              f"{'controller':<10} "
               f"{'IPC':>6} {'energy nJ':>10} {'power W':>8} "
               f"{'ED':>9} {'ED2':>9} "
               f"{'rel perf':>9} {'rel E':>7} {'rel ED':>7} {'rel ED2':>8}")
@@ -182,11 +187,67 @@ def design_space_table(results: Sequence) -> str:
         lines.append(
             f"{record['topology']:<11} {record['workload']:<18} "
             f"{record['policy'] or '-':<10} "
+            f"{record['controller'] or '-':<10} "
             f"{record['ipc']:>6.2f} {record['energy_nj']:>10.1f} "
             f"{record['power_w']:>8.2f} "
             f"{record['edp_nj_ns']:>9.3g} {record['ed2p_nj_ns2']:>9.3g} "
             f"{record['rel_performance']:>9.3f} {record['rel_energy']:>7.3f} "
             f"{record['rel_edp']:>7.3f} {record['rel_ed2p']:>8.3f}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------- controller traces
+def dvfs_trace_records(item) -> List[Dict[str, Any]]:
+    """Flat per-epoch records for one controller-driven ScenarioResult.
+
+    Each record carries the epoch boundary time, the epoch's IPC and energy,
+    and the per-domain frequency (GHz, derived from the scenario's base
+    period and the slowdowns in force after the epoch's control decision) --
+    the time series adaptive-vs-static comparisons plot.
+    """
+    trace = item.result.dvfs_trace or []
+    base_period = item.scenario.base_period
+    records = []
+    for entry in trace:
+        records.append({
+            "epoch": entry["epoch"],
+            "time_ns": entry["time_ns"],
+            "committed": entry["committed"],
+            "ipc": entry["ipc"],
+            "energy_nj": entry["energy_nj"],
+            "energy_delta_nj": entry["energy_delta_nj"],
+            "retimed": entry["retimed"],
+            "frequency_ghz": {
+                domain: 1.0 / (base_period * slowdown)
+                for domain, slowdown in entry["slowdowns"].items()},
+            "slowdowns": dict(entry["slowdowns"]),
+            "voltages": dict(entry["voltages"]),
+            "queue_occupancy": dict(entry.get("queue_occupancy", {})),
+        })
+    return records
+
+
+def dvfs_trace_table(item) -> str:
+    """Per-epoch frequency/IPC/energy trace of one controller-driven run.
+
+    One row per control epoch; the frequency columns (GHz) show each clock
+    domain's rate in force *after* that epoch's control decision, with a
+    ``*`` marking epochs where the controller actually retimed a domain.
+    """
+    records = dvfs_trace_records(item)
+    if not records:
+        return "(no DVFS trace: run had no online controller)"
+    domains = list(records[0]["frequency_ghz"])
+    header = f"{'epoch':>5} {'t ns':>8} {'IPC':>6} {'dE nJ':>8}  " + " ".join(
+        f"{domain:>8}" for domain in domains)
+    lines = [header]
+    for record in records:
+        freqs = " ".join(f"{record['frequency_ghz'][domain]:>8.3f}"
+                         for domain in domains)
+        mark = "*" if record["retimed"] else " "
+        lines.append(f"{record['epoch']:>5} {record['time_ns']:>8.1f} "
+                     f"{record['ipc']:>6.2f} {record['energy_delta_nj']:>8.1f} "
+                     f"{mark} {freqs}")
     return "\n".join(lines)
 
 

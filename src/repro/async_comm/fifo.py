@@ -47,6 +47,8 @@ class MixedClockFifo(Channel):
         super().__init__(name, capacity)
         self.producer_clock = producer_clock
         self.consumer_clock = consumer_clock
+        self.consumer_sync = consumer_sync
+        self.producer_sync = producer_sync
         self._data_sync = Synchronizer(consumer_clock, depth=consumer_sync)
         self._space_sync = Synchronizer(producer_clock, depth=producer_sync)
         # Inlined synchronizer parameters: push/pop are the hottest FIFO
@@ -73,6 +75,45 @@ class MixedClockFifo(Channel):
         # mapping is monotonic, so this deque is always sorted ascending
         self._pending_space: Deque[float] = deque()
 
+    def retime(self) -> None:
+        """Refresh the inlined clock constants after a clock retime.
+
+        Mid-run DVFS mutates the producer/consumer :class:`Clock` objects in
+        place (see :meth:`~repro.sim.clock.ClockDomain.retime`); this re-reads
+        their phase/period into the inlined fast-path constants and drops the
+        same-cycle mapping caches.  Queued *entries* keep their previously
+        computed consumer-visibility times: a data synchronization in flight
+        when the clock changed completes then, and the consumer acts on it at
+        its next edge under the new clock (FIFO order makes a late head block
+        later entries regardless).  Pending *space* flags are additionally
+        capped at one full synchronization after the retimed producer clock's
+        anchor edge: a retimed clock's phase is its anchor, so every slot
+        freed after the retime becomes visible at ``anchor + latency`` or
+        later, and the cap is what keeps ``_pending_space`` sorted ascending
+        (the invariant ``can_push``/``push`` rely on) when a producer domain
+        speeds back up.  Pure slow-downs never hit the cap.
+        """
+        consumer = self.consumer_clock
+        self._data_phase = consumer.phase
+        self._data_period = consumer.period
+        self._data_latency = self.consumer_sync * consumer.period
+        producer = self.producer_clock
+        producer_changed = (producer.phase != self._space_phase
+                            or producer.period != self._space_period)
+        self._space_phase = producer.phase
+        self._space_period = producer.period
+        self._space_latency = self.producer_sync * producer.period
+        if producer_changed and self._pending_space:
+            # clock.phase is the new schedule's anchor (>= now); clamping a
+            # non-decreasing sequence with min() keeps it non-decreasing, and
+            # every future freed slot maps to >= this cap
+            cap = self._space_phase + self._space_latency
+            if self._pending_space[-1] > cap:
+                self._pending_space = deque(
+                    min(visible, cap) for visible in self._pending_space)
+        self._last_push_time = -1.0
+        self._last_pop_time = -1.0
+
     # -------------------------------------------------------------- producer
     @property
     def occupancy(self) -> int:
@@ -80,6 +121,7 @@ class MixedClockFifo(Channel):
         return len(self._entries)
 
     def sample_occupancy(self) -> None:
+        """Record the current occupancy (one sample per consumer cycle)."""
         self.occupancy_samples += 1
         self.occupancy_accum += len(self._entries)
 
@@ -103,6 +145,7 @@ class MixedClockFifo(Channel):
         # Destructively expires visible space: callers are the producer
         # pipeline, which only ever probes at the current (non-decreasing)
         # simulation time.  ``_pending_space`` is sorted ascending.
+        """Producer-side full test at ``time`` (full-flag synchronization applies)."""
         pending = self._pending_space
         while pending and pending[0] <= time:
             pending.popleft()
@@ -110,6 +153,7 @@ class MixedClockFifo(Channel):
 
     def push(self, item: Any, time: float) -> None:
         # inline can_push: expire visible space, then bound-check
+        """Insert an item; it becomes consumer-visible only after the empty flag synchronizes into the consumer domain."""
         pending = self._pending_space
         while pending and pending[0] <= time:
             pending.popleft()
@@ -136,6 +180,7 @@ class MixedClockFifo(Channel):
 
     # -------------------------------------------------------------- consumer
     def can_pop(self, time: float) -> bool:
+        """Consumer-side empty test: is the head entry synchronized and visible?"""
         pending = self._pending_space
         while pending and pending[0] <= time:
             pending.popleft()
@@ -143,6 +188,7 @@ class MixedClockFifo(Channel):
         return bool(entries) and entries[0][2] <= time
 
     def peek(self, time: float) -> Any:
+        """Head item without popping (raises while nothing is visible)."""
         if not self.can_pop(time):
             raise LookupError(f"peek on (apparently) empty FIFO {self.name!r}")
         return self._entries[0][0]
@@ -164,6 +210,7 @@ class MixedClockFifo(Channel):
         return visible
 
     def pop_ready(self, time: float) -> Any:
+        """Fused can_pop + pop: the head item, or None when nothing is visible."""
         pending = self._pending_space
         while pending and pending[0] <= time:
             pending.popleft()
@@ -189,6 +236,7 @@ class MixedClockFifo(Channel):
         # same future edge, and nothing appended here can expire at ``time``
         # (the mapped edge is strictly later), exactly as repeated pop_ready
         # calls would behave.
+        """Drain up to ``limit`` visible items with batched synchronizer and statistics bookkeeping."""
         pending = self._pending_space
         while pending and pending[0] <= time:
             pending.popleft()
@@ -220,6 +268,7 @@ class MixedClockFifo(Channel):
         return popped
 
     def pop(self, time: float) -> Any:
+        """Remove the head item; the freed slot reaches the producer after full-flag synchronization."""
         entries = self._entries
         if not entries or entries[0][2] > time:
             raise LookupError(f"pop on (apparently) empty FIFO {self.name!r}")
@@ -258,6 +307,7 @@ class MixedClockFifo(Channel):
         return dropped
 
     def items(self) -> List[Any]:
+        """The queued items, oldest first (inspection and flush predicates)."""
         return [item for item, _, _ in self._entries]
 
     @property

@@ -33,10 +33,11 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.report import (design_space_records, design_space_table,
-                              dvfs_table, energy_power_table,
-                              misspeculation_table, performance_table,
-                              scenario_table, slip_breakdown_table,
-                              slip_table)
+                              dvfs_table, dvfs_trace_table,
+                              energy_power_table, misspeculation_table,
+                              performance_table, scenario_table,
+                              slip_breakdown_table, slip_table)
+from .core.controllers import CONTROLLERS
 from .core.domains import TOPOLOGIES, get_topology
 from .core.dvfs import POLICIES, get_policy
 from .core.experiments import (DEFAULT_INSTRUCTIONS, baseline_comparison,
@@ -95,6 +96,21 @@ def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
         changes["slowdowns"] = {**_parse_assignments(args.slowdown, "--slowdown")}
     if args.config:
         changes["config"] = {**_parse_assignments(args.config, "--config")}
+    if args.controller is not None:
+        if args.controller == "none":
+            changes["controller"] = None
+            changes["controller_args"] = {}
+        else:
+            changes["controller"] = args.controller
+            if args.controller != scenario.controller:
+                # switching controller type: the scenario's stored args are
+                # for the old controller's constructor and would be rejected
+                changes["controller_args"] = {}
+    if args.controller_arg:
+        changes["controller_args"] = {
+            **_parse_assignments(args.controller_arg, "--controller-arg")}
+    if args.controller_epoch is not None:
+        changes["controller_epoch"] = args.controller_epoch
     return replace(scenario, **changes) if changes else scenario
 
 
@@ -151,6 +167,16 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", action="append", default=[],
                         metavar="FIELD=VALUE",
                         help="ProcessorConfig field override (repeatable)")
+    parser.add_argument("--controller",
+                        help="online DVFS controller: static, interval, "
+                             "occupancy, pid, ... ('none' clears it)")
+    parser.add_argument("--controller-arg", action="append", default=[],
+                        dest="controller_arg", metavar="KEY=VALUE",
+                        help="controller constructor argument (repeatable; "
+                             "values parse as JSON)")
+    parser.add_argument("--controller-epoch", type=float,
+                        dest="controller_epoch", metavar="NS",
+                        help="control epoch in ns (default 50)")
 
 
 # ------------------------------------------------------------------ commands
@@ -165,6 +191,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         rows = [f"  {name:<12} {policy.description}"
                 for name, policy in POLICIES.items()]
         sections.append("DVFS policies:\n" + "\n".join(rows))
+    if what in ("controllers", "all"):
+        rows = [f"  {name:<12} {factory.description}"
+                for name, factory in CONTROLLERS.items()]
+        sections.append("DVFS controllers (online, per control epoch):\n"
+                        + "\n".join(rows))
     if what in ("workloads", "all"):
         rows = [f"  {name:<22} [{entry.kind}] {entry.description}"
                 for name, entry in WORKLOADS.items()]
@@ -194,9 +225,12 @@ def _cmd_show(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario_with_overrides(args)
     if not args.quiet:
+        controller = (f", controller={scenario.controller} "
+                      f"(epoch {scenario.controller_epoch:g} ns)"
+                      if scenario.controller else "")
         print(f"running scenario {scenario.name!r}: topology="
               f"{scenario.topology}, workload={scenario.workload}, "
-              f"policy={scenario.policy or '-'}, "
+              f"policy={scenario.policy or '-'}{controller}, "
               f"{scenario.num_instructions} instructions")
     store = _store_from_args(args, default=False)
     run = run_cached(scenario, store=store)
@@ -213,6 +247,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"  domain cycles: {outcome.result.domain_cycles}")
         print(f"  domain voltages: "
               f"{ {k: round(v, 3) for k, v in outcome.result.domain_voltages.items()} }")
+        if outcome.result.dvfs_trace:
+            print()
+            print("per-epoch DVFS trace (domain frequencies in GHz; "
+                  "* = retimed):")
+            print(dvfs_trace_table(outcome))
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(outcome.to_json())
@@ -339,10 +378,12 @@ def _cmd_report_compare(args: argparse.Namespace) -> int:
     """Cross-topology design-space table from cached ScenarioResults."""
     policies = [None if name == "none" else name
                 for name in (args.policies or ["none"])]
+    controllers = [None if name == "none" else name
+                   for name in (args.controllers or ["none"])]
     grid = design_space_scenarios(
         topologies=args.topologies, workloads=args.workloads,
-        policies=policies, num_instructions=args.instructions,
-        seed=args.seed)
+        policies=policies, controllers=controllers,
+        num_instructions=args.instructions, seed=args.seed)
     store = _store_from_args(args, default=True)
     runs = resume_sweep(grid, store=store, jobs=args.jobs)
     results = [run.outcome for run in runs]
@@ -365,6 +406,7 @@ def _cmd_report_compare(args: argparse.Namespace) -> int:
 
 # --------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (single source of truth for the generated CLI reference in the docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GALS processor reproduction (Iyer & Marculescu, "
@@ -375,7 +417,8 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list registered topologies/policies/workloads/scenarios")
     list_parser.add_argument(
         "what", nargs="?", default="all",
-        choices=("all", "topologies", "policies", "workloads", "scenarios"))
+        choices=("all", "topologies", "policies", "controllers", "workloads",
+                 "scenarios"))
     list_parser.set_defaults(handler=_cmd_list)
 
     topo_parser = sub.add_parser("topology",
@@ -454,6 +497,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--policies", nargs="+",
                                 help="DVFS policies ('none' = uniform "
                                      "clocks; default: none)")
+    compare_parser.add_argument("--controllers", nargs="+",
+                                help="online DVFS controllers ('none' = "
+                                     "static clocking; default: none)")
     compare_parser.add_argument("--instructions", type=int,
                                 default=DEFAULT_INSTRUCTIONS)
     compare_parser.add_argument("--seed", type=int, default=1)
@@ -468,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)

@@ -1,0 +1,351 @@
+"""Online (mid-run) DVFS controllers: telemetry in, slowdown vectors out.
+
+The paper's Section 5.2 experiments pick *static*, application-dependent
+per-domain slowdowns offline.  The GALS argument really pays off when the
+machine can re-bind domain clocks *during* a run in response to observed
+behaviour; this module defines that control loop's policy side.
+
+A :class:`DvfsController` observes an :class:`EpochTelemetry` snapshot once
+per control epoch and either returns a new per-**block** slowdown vector or
+``None`` for "no change".  Controllers reason in the paper's five logical
+blocks (fetch/decode/integer/fp/memory); the driver inside
+:class:`~repro.core.processor.Processor` projects the vector onto the run's
+topology exactly like :meth:`~repro.core.dvfs.SlowdownPolicy.project_onto`
+does (a merged domain runs at its slowest member's clock) and retimes only
+the domains whose period actually changes.
+
+Registered controllers:
+
+* ``static``    -- the identity controller: keeps the scenario's
+  :class:`~repro.core.dvfs.SlowdownPolicy`/explicit slowdowns untouched, so a
+  ``controller="static"`` run is bit-identical to the plain policy path;
+* ``interval``  -- a piecewise schedule of slowdown vectors over time;
+* ``occupancy`` -- queue-occupancy thresholds (the paper's fetch-queue and
+  FP-queue arguments turned into an online rule);
+* ``pid``       -- IPC-setpoint feedback scaling a set of blocks together.
+
+Controllers are stateful (ramps, PID integrals), so every run must use a
+fresh instance: :func:`make_controller` builds one from a registered name
+plus JSON-safe constructor arguments, which is how
+:class:`~repro.core.scenario.Scenario` references them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from .domains import (DOMAIN_FETCH, DOMAIN_FP, DOMAIN_INTEGER, DOMAIN_MEMORY,
+                      GALS_DOMAINS)
+
+#: Engine priority of the control-epoch event.  Clock edges run at priority 0;
+#: the controller must observe a consistent end-of-epoch state, so it fires
+#: after every edge that shares its timestamp.
+CONTROLLER_PRIORITY = 100
+
+#: Telemetry queue name -> the logical block whose clock feeds/drains it.
+QUEUE_BLOCKS: Dict[str, str] = {
+    "fetch_q": DOMAIN_FETCH,
+    "iq_int": DOMAIN_INTEGER,
+    "iq_fp": DOMAIN_FP,
+    "iq_mem": DOMAIN_MEMORY,
+}
+
+
+@dataclass(frozen=True)
+class EpochTelemetry:
+    """What a controller sees at the end of one control epoch."""
+
+    #: 0-based control-epoch index
+    epoch: int
+    #: absolute simulation time of the epoch boundary, in ns
+    time_ns: float
+    #: epoch duration in ns
+    epoch_ns: float
+    #: cumulative committed instructions
+    committed: int
+    #: instructions committed during this epoch
+    committed_delta: int
+    #: epoch IPC in nominal (base-period) reference cycles
+    ipc: float
+    #: cumulative energy in nJ
+    energy_nj: float
+    #: energy spent during this epoch in nJ
+    energy_delta_nj: float
+    #: mean occupancy per queue over the epoch (keys of :data:`QUEUE_BLOCKS`)
+    queue_occupancy: Mapping[str, float] = field(default_factory=dict)
+    #: current per-block slowdowns (1.0 = nominal)
+    slowdowns: Mapping[str, float] = field(default_factory=dict)
+
+
+class DvfsController:
+    """Base class: observe one epoch, optionally emit a new slowdown vector.
+
+    Subclasses override :meth:`observe`; the returned mapping is the complete
+    desired per-block slowdown vector (blocks omitted run at 1.0).  Returning
+    ``None`` leaves the clocks untouched, which is what keeps the no-op
+    ``static`` controller bit-identical to the plain policy path.
+    """
+
+    #: registry key (subclasses set it)
+    name: str = "?"
+    #: one-line summary for ``repro list controllers``
+    description: str = ""
+
+    def reset(self) -> None:
+        """Forget accumulated state; called once before a run starts."""
+
+    def observe(self, telemetry: EpochTelemetry
+                ) -> Optional[Mapping[str, float]]:
+        """Digest one epoch of telemetry; return a new per-block slowdown
+        vector, or ``None`` for no change."""
+        raise NotImplementedError
+
+
+class StaticController(DvfsController):
+    """The identity controller: never changes the scenario's clock plan.
+
+    It wraps whatever :class:`~repro.core.dvfs.SlowdownPolicy` (or explicit
+    slowdowns) the scenario applied at build time and leaves every epoch's
+    clocks untouched, so its results are bit-identical to a run without any
+    controller -- the regression tests pin exactly that.
+    """
+
+    name = "static"
+    description = ("keep the scenario's static policy/slowdowns unchanged "
+                   "(bit-identical to the plain policy path)")
+
+    def observe(self, telemetry: EpochTelemetry) -> None:
+        """Always None: the static operating point never changes."""
+        return None
+
+
+class IntervalController(DvfsController):
+    """A piecewise-constant slowdown schedule over simulation time.
+
+    ``schedule`` is a list of ``[start_ns, {block: slowdown}]`` segments; the
+    segment with the largest ``start_ns`` at or before the epoch boundary is
+    in force.  Times before the first segment run the scenario's own plan.
+    """
+
+    name = "interval"
+    description = "piecewise schedule: [[start_ns, {block: slowdown}], ...]"
+
+    def __init__(self, schedule: Sequence[Sequence[Any]] = ()) -> None:
+        segments: List[Tuple[float, Dict[str, float]]] = []
+        for entry in schedule:
+            start, slowdowns = entry
+            unknown = set(slowdowns) - set(GALS_DOMAINS)
+            if unknown:
+                raise ValueError(f"interval schedule names unknown blocks "
+                                 f"{sorted(unknown)}")
+            if any(float(s) < 1.0 for s in slowdowns.values()):
+                raise ValueError("interval schedule: slowdowns must be >= 1.0")
+            segments.append((float(start),
+                             {block: float(s) for block, s in slowdowns.items()}))
+        self._schedule = sorted(segments, key=lambda segment: segment[0])
+        self._active: Optional[int] = None
+
+    def reset(self) -> None:
+        """Forget which schedule segment is currently active."""
+        self._active = None
+
+    def observe(self, telemetry: EpochTelemetry
+                ) -> Optional[Mapping[str, float]]:
+        """Switch to the segment in force at the epoch boundary, if it changed."""
+        current: Optional[int] = None
+        for index, (start, _) in enumerate(self._schedule):
+            if start <= telemetry.time_ns:
+                current = index
+            else:
+                break
+        if current is None or current == self._active:
+            return None
+        self._active = current
+        return dict(self._schedule[current][1])
+
+
+class OccupancyController(DvfsController):
+    """Queue-occupancy threshold controller (the paper's arguments, online).
+
+    The paper motivates per-domain slowdown with two observations: an FP (or
+    memory/integer) issue queue that stays empty means its cluster's clock is
+    wasted, and a fetch queue that stays full means fetch is running ahead of
+    decode.  This controller turns both into a per-epoch rule:
+
+    * execution-cluster queues (``iq_int``/``iq_fp``/``iq_mem``): mean epoch
+      occupancy at or below ``low`` ramps the block's slowdown up by ``step``
+      (to at most ``max_slowdown``); occupancy at or above ``high`` snaps it
+      back to 1.0 (a demand spike must not be served at a slow clock);
+    * the fetch queue: mean occupancy at or above ``fetch_high`` entries slows
+      the fetch block by ``step`` (to at most ``max_fetch_slowdown``);
+      occupancy at or below ``fetch_low`` restores full speed.
+    """
+
+    name = "occupancy"
+    description = ("queue-occupancy thresholds: ramp idle clusters down, "
+                   "snap busy ones back to nominal")
+
+    def __init__(self, low: float = 0.5, high: float = 4.0,
+                 step: float = 0.5, max_slowdown: float = 3.0,
+                 fetch_low: float = 2.0, fetch_high: float = 6.0,
+                 max_fetch_slowdown: float = 1.5) -> None:
+        if step <= 0:
+            raise ValueError("occupancy controller: step must be positive")
+        if max_slowdown < 1.0 or max_fetch_slowdown < 1.0:
+            raise ValueError("occupancy controller: max slowdowns must be >= 1")
+        self.low = low
+        self.high = high
+        self.step = step
+        self.max_slowdown = max_slowdown
+        self.fetch_low = fetch_low
+        self.fetch_high = fetch_high
+        self.max_fetch_slowdown = max_fetch_slowdown
+
+    def observe(self, telemetry: EpochTelemetry
+                ) -> Optional[Mapping[str, float]]:
+        """Apply the occupancy thresholds to every tracked queue."""
+        slowdowns = {block: telemetry.slowdowns.get(block, 1.0)
+                     for block in GALS_DOMAINS}
+        changed = False
+        for queue, occupancy in telemetry.queue_occupancy.items():
+            block = QUEUE_BLOCKS.get(queue)
+            if block is None:
+                continue
+            current = slowdowns[block]
+            if block == DOMAIN_FETCH:
+                if occupancy >= self.fetch_high:
+                    target = min(current + self.step, self.max_fetch_slowdown)
+                elif occupancy <= self.fetch_low:
+                    target = 1.0
+                else:
+                    target = current
+            else:
+                if occupancy <= self.low:
+                    target = min(current + self.step, self.max_slowdown)
+                elif occupancy >= self.high:
+                    target = 1.0
+                else:
+                    target = current
+            if target != current:
+                slowdowns[block] = target
+                changed = True
+        return slowdowns if changed else None
+
+
+class PidController(DvfsController):
+    """IPC-setpoint feedback: scale a set of blocks to hold a target IPC.
+
+    One scalar slowdown is applied uniformly to ``blocks``.  When epoch IPC
+    exceeds ``setpoint`` there is performance slack, so the slowdown grows
+    (saving energy); when IPC falls below the setpoint the slowdown shrinks.
+    The output is quantized to ``step`` so the clocks are not retimed on
+    control-loop noise.
+    """
+
+    name = "pid"
+    description = ("IPC-setpoint PID feedback scaling a block set "
+                   "(default: fp + memory)")
+
+    def __init__(self, setpoint: float = 2.0, kp: float = 0.5,
+                 ki: float = 0.0, kd: float = 0.0,
+                 blocks: Sequence[str] = (DOMAIN_FP, DOMAIN_MEMORY),
+                 max_slowdown: float = 3.0, step: float = 0.25) -> None:
+        if setpoint <= 0:
+            raise ValueError("pid controller: setpoint must be positive")
+        if step <= 0:
+            raise ValueError("pid controller: step must be positive")
+        unknown = set(blocks) - set(GALS_DOMAINS)
+        if unknown:
+            raise ValueError(f"pid controller: unknown blocks {sorted(unknown)}")
+        self.setpoint = setpoint
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.blocks = tuple(blocks)
+        self.max_slowdown = max_slowdown
+        self.step = step
+        self._integral = 0.0
+        self._last_error: Optional[float] = None
+        self._slowdown = 1.0
+
+    def reset(self) -> None:
+        """Clear the integral/derivative state and return to nominal speed."""
+        self._integral = 0.0
+        self._last_error = None
+        self._slowdown = 1.0
+
+    def observe(self, telemetry: EpochTelemetry
+                ) -> Optional[Mapping[str, float]]:
+        # error > 0: IPC above setpoint -> slack -> slow down further
+        """One PID step on the epoch's IPC error, quantized to the step grid."""
+        error = telemetry.ipc - self.setpoint
+        self._integral += error
+        derivative = (0.0 if self._last_error is None
+                      else error - self._last_error)
+        self._last_error = error
+        raw = (self._slowdown + self.kp * error + self.ki * self._integral
+               + self.kd * derivative)
+        clamped = max(1.0, min(raw, self.max_slowdown))
+        # quantize so sub-step noise does not retime the clocks every epoch
+        quantized = 1.0 + round((clamped - 1.0) / self.step) * self.step
+        quantized = max(1.0, min(quantized, self.max_slowdown))
+        if quantized == self._slowdown:
+            return None
+        self._slowdown = quantized
+        vector = {block: telemetry.slowdowns.get(block, 1.0)
+                  for block in GALS_DOMAINS}
+        for block in self.blocks:
+            vector[block] = quantized
+        return vector
+
+
+# ----------------------------------------------------------------- registry
+CONTROLLERS: Dict[str, Type[DvfsController]] = {}
+
+
+def register_controller(factory: Type[DvfsController]
+                        ) -> Type[DvfsController]:
+    """Add a controller type to the registry (keyed by its ``name``)."""
+    if factory.name in CONTROLLERS:
+        raise ValueError(f"DVFS controller {factory.name!r} already registered")
+    CONTROLLERS[factory.name] = factory
+    return factory
+
+
+def get_controller_type(name: str) -> Type[DvfsController]:
+    """Look up a registered controller type by name."""
+    try:
+        return CONTROLLERS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown DVFS controller {name!r}; known: "
+                       f"{', '.join(sorted(CONTROLLERS))}") from exc
+
+
+def available_controllers() -> Tuple[str, ...]:
+    """Registered controller names, in registration order."""
+    return tuple(CONTROLLERS)
+
+
+def make_controller(name: str,
+                    args: Optional[Mapping[str, Any]] = None) -> DvfsController:
+    """Build a fresh controller instance from its registered name + kwargs.
+
+    Controllers carry run state (ramps, integrals), so scenarios store only
+    ``(name, args)`` and construct a new instance per run -- which also keeps
+    scenarios JSON-round-trippable and process-pool safe.
+    """
+    factory = get_controller_type(name)
+    try:
+        controller = factory(**dict(args or {}))
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid arguments for DVFS controller {name!r}: {exc}") from exc
+    controller.reset()
+    return controller
+
+
+register_controller(StaticController)
+register_controller(IntervalController)
+register_controller(OccupancyController)
+register_controller(PidController)

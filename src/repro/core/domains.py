@@ -137,6 +137,7 @@ class Topology:
 
     @property
     def num_domains(self) -> int:
+        """Number of distinct clock domains in the assignment."""
         return len(self.domain_names)
 
     @property
@@ -302,15 +303,18 @@ class ClockPlan:
     technology: TechnologyParameters = DEFAULT_TECHNOLOGY
 
     def slowdown_of(self, domain: str) -> float:
+        """Slowdown factor of one domain (1.0 when unlisted)."""
         slowdown = self.slowdowns.get(domain, 1.0)
         if slowdown <= 0:
             raise ValueError(f"slowdown for domain {domain!r} must be positive")
         return slowdown
 
     def period_of(self, domain: str) -> float:
+        """Concrete clock period of one domain, in ns."""
         return self.base_period * self.slowdown_of(domain)
 
     def voltage_of(self, domain: str) -> float:
+        """Supply voltage of one domain: explicit, Equation-1 scaled, or nominal."""
         if domain in self.voltages:
             return self.voltages[domain]
         if self.scale_voltages:
@@ -318,6 +322,7 @@ class ClockPlan:
         return self.technology.nominal_vdd
 
     def phase_of(self, domain: str, rng: random.Random) -> float:
+        """Starting phase of one domain: pinned if listed, else drawn from ``rng``."""
         if domain in self.phases:
             return self.phases[domain] % self.period_of(domain)
         return rng.uniform(0.0, self.period_of(domain))

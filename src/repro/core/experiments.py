@@ -58,14 +58,17 @@ class DvfsResult:
 
     @property
     def performance_drop(self) -> float:
+        """Fractional slowdown vs the synchronous base (0.1 = 10 % slower)."""
         return 1.0 - self.relative_performance
 
     @property
     def energy_saving(self) -> float:
+        """Fractional energy saved vs the synchronous base."""
         return 1.0 - self.relative_energy
 
     @property
     def power_saving(self) -> float:
+        """Fractional power saved vs the synchronous base."""
         return 1.0 - self.relative_power
 
 
@@ -130,14 +133,17 @@ def average_performance_drop(rows: Iterable[ComparisonRow]) -> float:
 
 
 def average_power_saving(rows: Iterable[ComparisonRow]) -> float:
+    """Arithmetic-mean GALS power saving over a set of comparison rows."""
     return arithmetic_mean(row.power_saving for row in rows)
 
 
 def average_energy_increase(rows: Iterable[ComparisonRow]) -> float:
+    """Arithmetic-mean GALS energy increase over a set of comparison rows."""
     return arithmetic_mean(row.energy_increase for row in rows)
 
 
 def average_slip_increase(rows: Iterable[ComparisonRow]) -> float:
+    """Arithmetic-mean slip increase (ratio - 1) over a set of comparison rows."""
     return arithmetic_mean(row.slip_ratio - 1.0 for row in rows)
 
 
@@ -200,16 +206,20 @@ def slowdown_sweep(benchmark: str,
 def design_space_scenarios(topologies: Optional[Sequence[str]] = None,
                            workloads: Sequence[str] = ("perl",),
                            policies: Sequence[Optional[str]] = (None,),
+                           controllers: Sequence[Optional[str]] = (None,),
                            num_instructions: int = DEFAULT_INSTRUCTIONS,
                            seed: int = 1,
                            **scenario_fields) -> List[Scenario]:
-    """The full topology × workload × policy grid as runnable scenarios.
+    """The topology × workload × policy × controller grid as scenarios.
 
-    Each cell is named ``topology/workload/policy`` (``uniform`` for no
-    policy) so grid cells are stable across invocations -- and, because the
+    Each cell is named ``topology/workload/policy[/controller]`` (``uniform``
+    for no policy; the controller segment only appears for adaptive cells) so
+    grid cells are stable across invocations -- and, because the
     results-store key ignores scenario names entirely, a cell that matches an
     already cached run (from a plain ``repro run``/``sweep``) is a cache hit
-    even under its grid name.
+    even under its grid name.  ``controllers`` entries are registered online
+    DVFS controller names (:mod:`repro.core.controllers`); ``None`` keeps the
+    static path.
     """
     if topologies is None:
         topologies = available_topologies()
@@ -217,18 +227,24 @@ def design_space_scenarios(topologies: Optional[Sequence[str]] = None,
     for topology in topologies:
         for workload in workloads:
             for policy in policies:
-                grid.append(Scenario(
-                    name=f"{topology}/{workload}/{policy or 'uniform'}",
-                    topology=topology, workload=workload, policy=policy,
-                    num_instructions=num_instructions, seed=seed,
-                    description="design-space grid cell",
-                    **scenario_fields))
+                for controller in controllers:
+                    name = f"{topology}/{workload}/{policy or 'uniform'}"
+                    if controller is not None:
+                        name += f"/{controller}"
+                    grid.append(Scenario(
+                        name=name,
+                        topology=topology, workload=workload, policy=policy,
+                        controller=controller,
+                        num_instructions=num_instructions, seed=seed,
+                        description="design-space grid cell",
+                        **scenario_fields))
     return grid
 
 
 def run_design_space(topologies: Optional[Sequence[str]] = None,
                      workloads: Sequence[str] = ("perl",),
                      policies: Sequence[Optional[str]] = (None,),
+                     controllers: Sequence[Optional[str]] = (None,),
                      num_instructions: int = DEFAULT_INSTRUCTIONS,
                      seed: int = 1,
                      jobs: Optional[int] = None,
@@ -240,7 +256,7 @@ def run_design_space(topologies: Optional[Sequence[str]] = None,
     is resumable and a repeated invocation renders purely from cached
     :class:`ScenarioResult` records.
     """
-    grid = design_space_scenarios(topologies, workloads, policies,
+    grid = design_space_scenarios(topologies, workloads, policies, controllers,
                                   num_instructions, seed, **scenario_fields)
     return sweep_scenarios(grid, jobs=jobs, cache=cache)
 

@@ -63,6 +63,7 @@ class SimulationStats:
 
     def sample_occupancy(self, rob: int, int_regs_in_use: int,
                          fp_regs_in_use: int) -> None:
+        """Record one commit-domain-cycle occupancy sample (ROB + register files)."""
         self.occupancy_samples += 1
         self.rob_occupancy_sum += rob
         self.int_regs_in_use_sum += int_regs_in_use
@@ -71,26 +72,31 @@ class SimulationStats:
     # -------------------------------------------------------------- averages
     @property
     def mean_slip(self) -> float:
+        """Average fetch-to-commit slip (ns) over committed instructions."""
         return self.slip_sum / self.committed if self.committed else 0.0
 
     @property
     def mean_fifo_time(self) -> float:
+        """Average per-instruction residency (ns) in mixed-clock FIFOs."""
         return self.fifo_time_sum / self.committed if self.committed else 0.0
 
     @property
     def mean_rob_occupancy(self) -> float:
+        """Average ROB occupancy over the sampled cycles."""
         if self.occupancy_samples == 0:
             return 0.0
         return self.rob_occupancy_sum / self.occupancy_samples
 
     @property
     def mean_int_regs_in_use(self) -> float:
+        """Average number of live integer physical registers."""
         if self.occupancy_samples == 0:
             return 0.0
         return self.int_regs_in_use_sum / self.occupancy_samples
 
     @property
     def mean_fp_regs_in_use(self) -> float:
+        """Average number of live FP physical registers."""
         if self.occupancy_samples == 0:
             return 0.0
         return self.fp_regs_in_use_sum / self.occupancy_samples
@@ -123,14 +129,21 @@ class SimulationResult:
     domain_voltages: Dict[str, float] = field(default_factory=dict)
     energy: Optional[EnergyBreakdown] = None
     recoveries: int = 0
+    #: per-control-epoch telemetry/decision trace recorded when an online
+    #: DVFS controller drives the run (None without a controller); each entry
+    #: holds the epoch boundary time, epoch IPC and energy, and the
+    #: per-domain slowdowns/voltages in force after the decision
+    dvfs_trace: Optional[list] = None
 
     # ----------------------------------------------------------- derived
     @property
     def total_energy_nj(self) -> float:
+        """Total energy of the run in nJ (0.0 when power was not accounted)."""
         return self.energy.total_energy_nj if self.energy else 0.0
 
     @property
     def average_power_w(self) -> float:
+        """Average power of the run in watts."""
         return self.energy.average_power_w if self.energy else 0.0
 
     @property
@@ -179,10 +192,12 @@ class ComparisonRow:
 
     @property
     def power_saving(self) -> float:
+        """Fractional GALS power saving vs base."""
         return 1.0 - self.relative_power
 
     @property
     def energy_increase(self) -> float:
+        """Fractional GALS energy increase vs base."""
         return self.relative_energy - 1.0
 
 

@@ -45,7 +45,9 @@ from ..uarch.issue_queue import IssueQueue
 from ..uarch.regfile import PhysicalRegisterFile
 from ..uarch.rename import RegisterAliasTable
 from ..uarch.rob import ReorderBuffer
+from ..power.voltage import voltage_for_slowdown
 from .config import DEFAULT_CONFIG, ProcessorConfig
+from .controllers import CONTROLLER_PRIORITY, DvfsController, EpochTelemetry
 from .domains import (BLOCK_LINKS, BLOCKS, DOMAIN_DECODE, DOMAIN_FETCH,
                       DOMAIN_FP, DOMAIN_INTEGER, DOMAIN_MEMORY, GALS_DOMAINS,
                       SYNC_DOMAIN, ClockPlan, Topology, get_topology,
@@ -80,6 +82,136 @@ class _FifoActivityProbe:
             self._activity._pending["fifo"] += delta
 
 
+class _DvfsControllerDriver:
+    """The control-loop plumbing between a processor and a DvfsController.
+
+    A periodic engine event (period = the control epoch, priority after every
+    clock edge sharing its timestamp) samples per-epoch telemetry -- committed
+    instructions, IPC in nominal reference cycles, energy, and each tracked
+    queue's mean occupancy over the epoch -- hands it to the controller, and
+    applies any returned per-block slowdown vector by retiming the affected
+    clock domains through :meth:`Processor.retime_domain`.  Every epoch is
+    appended to :attr:`trace`, which ends up as ``SimulationResult.dvfs_trace``.
+    """
+
+    def __init__(self, processor: "Processor", controller: DvfsController,
+                 epoch_ns: float) -> None:
+        if epoch_ns <= 0:
+            raise ValueError("control epoch must be positive")
+        self.processor = processor
+        self.controller = controller
+        self.epoch_ns = epoch_ns
+        self.trace: List[dict] = []
+        self._epoch = 0
+        self._last_committed = 0
+        self._last_energy = 0.0
+        #: queues whose occupancy the controller observes; sampled once per
+        #: consumer cycle by the pipeline itself, so the per-epoch mean is a
+        #: difference of cumulative (accum, samples) counters
+        self._queues = {
+            "fetch_q": processor.fetch_channel,
+            "iq_int": processor.exec_units["int"].issue_queue,
+            "iq_fp": processor.exec_units["fp"].issue_queue,
+            "iq_mem": processor.exec_units["mem"].issue_queue,
+        }
+        self._last_queue_counters = {name: (0, 0) for name in self._queues}
+        topology = processor.topology
+        plan = processor.plan
+        #: per-block slowdowns currently in force (blocks inherit their
+        #: domain's plan slowdown at build time)
+        self._block_slowdowns: Dict[str, float] = {
+            block: plan.slowdown_of(topology.domain_of(block))
+            for block in BLOCKS
+        }
+        controller.reset()
+
+    # ------------------------------------------------------------- telemetry
+    def _sample(self, now: float) -> EpochTelemetry:
+        processor = self.processor
+        committed = processor.stats.committed
+        committed_delta = committed - self._last_committed
+        self._last_committed = committed
+        energy = processor.power.total_energy()
+        energy_delta = energy - self._last_energy
+        self._last_energy = energy
+        occupancy: Dict[str, float] = {}
+        for name, queue in self._queues.items():
+            accum, samples = queue.occupancy_accum, queue.occupancy_samples
+            last_accum, last_samples = self._last_queue_counters[name]
+            self._last_queue_counters[name] = (accum, samples)
+            delta_samples = samples - last_samples
+            occupancy[name] = ((accum - last_accum) / delta_samples
+                               if delta_samples else 0.0)
+        reference_cycles = self.epoch_ns / processor.plan.base_period
+        return EpochTelemetry(
+            epoch=self._epoch,
+            time_ns=now,
+            epoch_ns=self.epoch_ns,
+            committed=committed,
+            committed_delta=committed_delta,
+            ipc=committed_delta / reference_cycles if reference_cycles else 0.0,
+            energy_nj=energy,
+            energy_delta_nj=energy_delta,
+            queue_occupancy=occupancy,
+            slowdowns=dict(self._block_slowdowns),
+        )
+
+    # -------------------------------------------------------------- decision
+    def _apply(self, vector: Dict[str, float]) -> bool:
+        """Project a per-block vector onto the topology and retime domains.
+
+        Returns True when at least one domain's clock actually changed.
+        """
+        processor = self.processor
+        topology = processor.topology
+        base_period = processor.plan.base_period
+        domain_slowdowns: Dict[str, float] = {}
+        for block in BLOCKS:
+            slowdown = vector.get(block, 1.0)
+            if slowdown < 1.0:
+                raise ValueError(f"controller requested slowdown {slowdown} "
+                                 f"< 1.0 for block {block!r}")
+            domain = topology.domain_of(block)
+            if slowdown > domain_slowdowns.get(domain, 1.0):
+                domain_slowdowns[domain] = slowdown
+        retimed = False
+        for domain_name, domain in processor.domains.items():
+            slowdown = domain_slowdowns.get(domain_name, 1.0)
+            period = base_period * slowdown
+            if period != domain.period:
+                processor.retime_domain(domain_name, period, slowdown)
+                retimed = True
+        if retimed:
+            for block in BLOCKS:
+                self._block_slowdowns[block] = domain_slowdowns.get(
+                    topology.domain_of(block), 1.0)
+        return retimed
+
+    def on_epoch(self, _param: object) -> None:
+        processor = self.processor
+        now = processor.engine.now
+        telemetry = self._sample(now)
+        vector = self.controller.observe(telemetry)
+        retimed = self._apply(dict(vector)) if vector is not None else False
+        domains = processor.domains
+        base_period = processor.plan.base_period
+        self.trace.append({
+            "epoch": self._epoch,
+            "time_ns": now,
+            "committed": telemetry.committed,
+            "ipc": telemetry.ipc,
+            "energy_nj": telemetry.energy_nj,
+            "energy_delta_nj": telemetry.energy_delta_nj,
+            "queue_occupancy": dict(telemetry.queue_occupancy),
+            "retimed": retimed,
+            "slowdowns": {name: domain.period / base_period
+                          for name, domain in domains.items()},
+            "voltages": {name: domain.voltage
+                         for name, domain in domains.items()},
+        })
+        self._epoch += 1
+
+
 class Processor:
     """A fully assembled processor model ready to run one workload trace."""
 
@@ -93,6 +225,8 @@ class Processor:
         name: Optional[str] = None,
         engine: Optional[SimulationEngine] = None,
         topology: Optional[Union[Topology, str]] = None,
+        controller: Optional[DvfsController] = None,
+        controller_epoch: float = 0.0,
     ) -> None:
         if topology is None:
             topology = get_topology(GALS_PROCESSOR if gals else BASE_PROCESSOR)
@@ -112,11 +246,15 @@ class Processor:
         #: wheel-vs-generic equivalence test and the perf benchmarks)
         self.engine = engine if engine is not None else SimulationEngine()
         #: forwarding latencies are pure functions of the clock plan, which
-        #: is immutable once the domains are bound (apply_slowdown refuses to
-        #: run on a bound domain, and a Processor simulates exactly once), so
-        #: this cache -- and the per-unit copies in CommitUnit/IssueQueue --
-        #: can never go stale within a run
+        #: only changes through retime_domain (the online DVFS path); that
+        #: method clears this cache -- and the per-unit copies in
+        #: CommitUnit/IssueQueue -- so the caches can never go stale within
+        #: a run
         self._forwarding_cache: Dict[Tuple[str, str], float] = {}
+        #: online DVFS control loop (None = static clocking, today's default)
+        self.controller = controller
+        self.controller_epoch = controller_epoch
+        self._controller_driver: Optional[_DvfsControllerDriver] = None
         self.activity = ActivityCounters()
         self.stats = SimulationStats()
         self.epoch = 0
@@ -142,6 +280,21 @@ class Processor:
         self._build_power()
         for domain in self.domains.values():
             domain.bind(self.engine)
+        if self.controller is not None:
+            if self.controller_epoch <= 0:
+                raise ValueError("a DVFS controller needs a positive "
+                                 "controller_epoch (ns)")
+            self._controller_driver = _DvfsControllerDriver(
+                self, self.controller, self.controller_epoch)
+            # Fires at the end of every control epoch, after all clock edges
+            # sharing the boundary timestamp (CONTROLLER_PRIORITY > 0).
+            self.engine.schedule_periodic(
+                start=self.controller_epoch,
+                period=self.controller_epoch,
+                callback=self._controller_driver.on_epoch,
+                priority=CONTROLLER_PRIORITY,
+                name="dvfs-controller",
+            )
 
     def _build_domains(self) -> None:
         """Instantiate the topology's clock domains and the block->domain map."""
@@ -450,6 +603,35 @@ class Processor:
             cache[key] = latency
         return latency
 
+    # ----------------------------------------------------------------- DVFS
+    def retime_domain(self, domain_name: str, period: float,
+                      slowdown: Optional[float] = None) -> None:
+        """Change one domain's clock period (and voltage) during a run.
+
+        This is the machine side of online DVFS: the domain's periodic edge
+        chain is re-anchored on its already-scheduled next edge
+        (:meth:`~repro.sim.clock.ClockDomain.retime`), the mixed-clock FIFOs
+        re-read the mutated clock constants, and every forwarding-latency
+        cache derived from the old periods is dropped (this cache plus the
+        per-unit copies in the commit unit and the issue queues).  The supply
+        voltage follows Equation 1 when the run's plan scales voltages;
+        ``slowdown`` defaults to ``period / base_period``.
+        """
+        domain = self.domains[domain_name]
+        if slowdown is None:
+            slowdown = period / self.plan.base_period
+        voltage: Optional[float] = None
+        if self.plan.scale_voltages:
+            voltage = voltage_for_slowdown(slowdown, self.plan.technology)
+        domain.retime(period, voltage)
+        self._forwarding_cache.clear()
+        self.commit_unit._fwd_cache.clear()
+        for unit in self.exec_units.values():
+            unit.issue_queue._fwd_cache.clear()
+        for channel in self.all_channels:
+            if channel.counts_as_fifo:
+                channel.retime()
+
     # -------------------------------------------------------------- recovery
     def _recover(self, branch: DynamicInstruction, now: float) -> None:
         """Branch misprediction recovery, initiated at branch resolution."""
@@ -583,6 +765,8 @@ class Processor:
                              for name, domain in self.domains.items()},
             energy=energy,
             recoveries=self.recoveries,
+            dvfs_trace=(self._controller_driver.trace
+                        if self._controller_driver is not None else None),
         )
 
 

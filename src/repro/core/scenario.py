@@ -30,6 +30,7 @@ from ..power.accounting import EnergyBreakdown
 from ..power.technology import TechnologyParameters
 from ..workloads.registry import build_workload
 from .config import DEFAULT_CONFIG, ProcessorConfig
+from .controllers import DvfsController, make_controller
 from .domains import ClockPlan, Topology, get_topology
 from .dvfs import get_policy
 from .metrics import SimulationResult
@@ -96,15 +97,20 @@ def execute_run(trace: ListTraceSource,
                 topology: Union[Topology, str],
                 config: ProcessorConfig = DEFAULT_CONFIG,
                 plan: Optional[ClockPlan] = None,
-                workload=None) -> SimulationResult:
+                workload=None,
+                controller: Optional[DvfsController] = None,
+                controller_epoch: float = 0.0) -> SimulationResult:
     """Build one processor for ``topology`` and run one trace through it.
 
     This is the single funnel every driver uses -- scenario runs, the paper's
     experiment drivers and the CLI all meet here, which is what keeps their
-    results mutually bit-identical.
+    results mutually bit-identical.  ``controller``/``controller_epoch``
+    attach an online DVFS control loop (:mod:`repro.core.controllers`); the
+    controller instance must be fresh (controllers are stateful).
     """
     machine = Processor(trace, config=config, plan=plan, workload=workload,
-                        topology=topology)
+                        topology=topology, controller=controller,
+                        controller_epoch=controller_epoch)
     return machine.run()
 
 
@@ -138,6 +144,13 @@ class Scenario:
     phases: Dict[str, float] = field(default_factory=dict)
     #: ProcessorConfig field overrides (scalar fields only)
     config: Dict[str, Any] = field(default_factory=dict)
+    #: registered online DVFS controller name ("static", "interval",
+    #: "occupancy", "pid", ...), or None for today's static clocking
+    controller: Optional[str] = None
+    #: JSON-safe constructor arguments for the controller
+    controller_args: Dict[str, Any] = field(default_factory=dict)
+    #: control epoch in ns (how often the controller observes and may retime)
+    controller_epoch: float = 50.0
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -149,9 +162,16 @@ class Scenario:
         if self.base_period <= 0:
             raise ValueError(f"scenario {self.name!r}: base_period must be "
                              "positive")
+        if self.controller_epoch <= 0:
+            raise ValueError(f"scenario {self.name!r}: controller_epoch "
+                             "must be positive")
+        if self.controller_args and self.controller is None:
+            raise ValueError(f"scenario {self.name!r}: controller_args "
+                             "given without a controller")
 
     # -------------------------------------------------------- materialization
     def build_topology(self) -> Topology:
+        """The registered :class:`Topology` this scenario names."""
         return get_topology(self.topology)
 
     def build_config(self) -> ProcessorConfig:
@@ -184,10 +204,19 @@ class Scenario:
             base_period=self.base_period,
             slowdowns=slowdowns,
             phases=dict(self.phases),
-            scale_voltages=bool(slowdowns) and self.scale_voltages,
+            # an online controller may introduce slowdowns mid-run, so its
+            # presence alone turns Equation-1 voltage scaling on
+            scale_voltages=(bool(slowdowns) or self.controller is not None)
+            and self.scale_voltages,
             phase_seed=self.phase_seed,
             technology=technology,
         )
+
+    def build_controller(self) -> Optional[DvfsController]:
+        """A fresh controller instance for one run (None without one)."""
+        if self.controller is None:
+            return None
+        return make_controller(self.controller, self.controller_args)
 
     def build_trace(self):
         """(trace, workload-or-None) for this scenario's workload."""
@@ -196,10 +225,12 @@ class Scenario:
 
     # --------------------------------------------------------- serialization
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe; inverse of :meth:`from_dict`)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its dict form, rejecting unknown fields."""
         known = set(cls.__dataclass_fields__)
         unknown = set(data) - known
         if unknown:
@@ -207,10 +238,12 @@ class Scenario:
         return cls(**dict(data))
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text form (see :meth:`to_dict`)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario from JSON text."""
         return cls.from_dict(json.loads(text))
 
 
@@ -235,24 +268,29 @@ class ScenarioResult:
     result: SimulationResult
 
     def summary(self) -> str:
+        """Human-readable summary of the scenario and its result."""
         return (f"scenario {self.scenario.name!r} "
                 f"(topology {self.scenario.topology}, workload "
                 f"{self.scenario.workload})\n" + self.result.summary())
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of scenario + result (JSON-safe)."""
         return {"scenario": self.scenario.to_dict(),
                 "result": _result_to_dict(self.result)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioResult":
+        """Rebuild a ScenarioResult from its dict form."""
         return cls(scenario=Scenario.from_dict(data["scenario"]),
                    result=_result_from_dict(data["result"]))
 
     def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text form; round-trips bit-identically."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioResult":
+        """Parse a ScenarioResult from JSON text."""
         return cls.from_dict(json.loads(text))
 
 
@@ -314,11 +352,22 @@ register_scenario(Scenario(
     policy="generic",
     description="Figure 11: gcc under the generic slowdown policy"))
 
-# ... and a real-program (kernel) scenario.
+# ... and a real-program (kernel) scenario ...
 register_scenario(Scenario(
     name="dotprod-gals5", topology="gals5", workload="kernel:dot_product",
     kernel_size=96,
     description="assembled dot-product kernel on the 5-domain GALS machine"))
+
+# ... plus online (mid-run) DVFS controller scenarios.
+register_scenario(Scenario(
+    name="gals5-perl-occupancy", topology="gals5", workload="perl",
+    controller="occupancy",
+    description="adaptive queue-occupancy DVFS controller re-binding domain "
+                "clocks mid-run on the perl workload"))
+register_scenario(Scenario(
+    name="gals5-perl-pid", topology="gals5", workload="perl",
+    controller="pid", controller_args={"setpoint": 2.0},
+    description="IPC-setpoint PID DVFS controller on the perl workload"))
 
 
 # ------------------------------------------------------------------ execution
@@ -358,7 +407,9 @@ def run_scenario(scenario: Union[Scenario, str],
     plan = scenario.build_plan(topology, config.technology)
     trace, workload = scenario.build_trace()
     result = execute_run(trace, topology, config=config, plan=plan,
-                         workload=workload)
+                         workload=workload,
+                         controller=scenario.build_controller(),
+                         controller_epoch=scenario.controller_epoch)
     return ScenarioResult(scenario=scenario, result=result)
 
 

@@ -32,11 +32,13 @@ class MachineState:
     memory: Dict[int, float] = field(default_factory=dict)
 
     def read_reg(self, reg: int):
+        """Architectural register read (the zero register reads as 0)."""
         if reg == ZERO_REG:
             return 0
         return self.registers[reg]
 
     def write_reg(self, reg: int, value) -> None:
+        """Architectural register write (writes to the zero register are dropped; integer registers truncate)."""
         if reg == ZERO_REG:
             return
         if not is_fp_reg(reg):
@@ -44,9 +46,11 @@ class MachineState:
         self.registers[reg] = value
 
     def read_mem(self, address: int):
+        """Data-memory read (uninitialised addresses read as 0)."""
         return self.memory.get(address, 0)
 
     def write_mem(self, address: int, value) -> None:
+        """Data-memory write at an absolute address."""
         self.memory[address] = value
 
 
@@ -63,6 +67,7 @@ class FunctionalExecutor:
     # -------------------------------------------------------------- public
     @property
     def halted(self) -> bool:
+        """True once a HALT instruction has executed."""
         return self._halted
 
     def preload_memory(self, values: Dict[int, float]) -> None:
@@ -70,6 +75,7 @@ class FunctionalExecutor:
         self.state.memory.update(values)
 
     def set_register(self, reg: int, value) -> None:
+        """Initialise one architectural register before running."""
         self.state.write_reg(reg, value)
 
     def run(self, entry_label: Optional[str] = None) -> ListTraceSource:

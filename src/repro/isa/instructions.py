@@ -34,19 +34,23 @@ class InstructionClass(enum.Enum):
 
     @property
     def is_memory(self) -> bool:
+        """True for loads and stores."""
         return self in (InstructionClass.LOAD, InstructionClass.STORE)
 
     @property
     def is_control(self) -> bool:
+        """True for branches, jumps and calls."""
         return self in (InstructionClass.BRANCH, InstructionClass.JUMP)
 
     @property
     def is_fp(self) -> bool:
+        """True for floating-point operation classes."""
         return self in (InstructionClass.FP_ALU, InstructionClass.FP_MUL,
                         InstructionClass.FP_DIV)
 
     @property
     def is_int(self) -> bool:
+        """True for integer ALU operation classes."""
         return self in (InstructionClass.INT_ALU, InstructionClass.INT_MUL,
                         InstructionClass.INT_DIV)
 
@@ -166,26 +170,32 @@ class Instruction:
 
     @property
     def opclass(self) -> InstructionClass:
+        """The instruction's :class:`InstructionClass` (derived from its opcode)."""
         return OPCODE_CLASS[self.opcode]
 
     @property
     def is_branch(self) -> bool:
+        """True for conditional branches."""
         return self.opclass is InstructionClass.BRANCH
 
     @property
     def is_jump(self) -> bool:
+        """True for unconditional jumps/calls."""
         return self.opclass is InstructionClass.JUMP
 
     @property
     def is_control(self) -> bool:
+        """True for any control-flow instruction."""
         return self.opclass.is_control
 
     @property
     def is_load(self) -> bool:
+        """True for memory loads."""
         return self.opclass is InstructionClass.LOAD
 
     @property
     def is_store(self) -> bool:
+        """True for memory stores."""
         return self.opclass is InstructionClass.STORE
 
     def __str__(self) -> str:

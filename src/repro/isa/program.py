@@ -71,14 +71,17 @@ class Program:
         self.labels[label] = len(self.instructions)
 
     def append(self, instruction: Instruction) -> None:
+        """Append one instruction to the text segment."""
         self.instructions.append(instruction)
 
     def extend(self, instructions) -> None:
+        """Append a sequence of instructions to the text segment."""
         self.instructions.extend(instructions)
 
     # ---------------------------------------------------------------- queries
     @property
     def entry_pc(self) -> int:
+        """Execution entry point: the ``main`` label if defined, else the text base."""
         return self.pc_of_label("main") if "main" in self.labels else self.text_base
 
     def static_mix(self) -> Dict[str, int]:

@@ -34,18 +34,22 @@ class TraceInstruction:
 
     @property
     def is_load(self) -> bool:
+        """True for memory loads."""
         return self.opclass is InstructionClass.LOAD
 
     @property
     def is_store(self) -> bool:
+        """True for memory stores."""
         return self.opclass is InstructionClass.STORE
 
     @property
     def is_control(self) -> bool:
+        """True for any control-flow instruction."""
         return self.opclass.is_control
 
     @property
     def is_fp(self) -> bool:
+        """True for floating-point instructions."""
         return self.opclass.is_fp
 
     def next_pc(self) -> int:
@@ -71,12 +75,15 @@ class InstructionSource:
         raise NotImplementedError
 
     def peek(self) -> Optional[TraceInstruction]:  # pragma: no cover
+        """The next instruction without consuming it (None when exhausted)."""
         raise NotImplementedError
 
     def next(self) -> Optional[TraceInstruction]:  # pragma: no cover
+        """Consume and return the next instruction (None when exhausted)."""
         raise NotImplementedError
 
     def exhausted(self) -> bool:  # pragma: no cover
+        """True once every instruction has been consumed."""
         raise NotImplementedError
 
 
@@ -95,11 +102,13 @@ class ListTraceSource(InstructionSource):
         return iter(self._instructions)
 
     def peek(self) -> Optional[TraceInstruction]:
+        """The next instruction without consuming it (None when exhausted)."""
         if self._position >= len(self._instructions):
             return None
         return self._instructions[self._position]
 
     def next(self) -> Optional[TraceInstruction]:
+        """Consume and return the next instruction (None when exhausted)."""
         position = self._position
         instructions = self._instructions
         if position >= len(instructions):
@@ -108,6 +117,7 @@ class ListTraceSource(InstructionSource):
         return instructions[position]
 
     def exhausted(self) -> bool:
+        """True once every instruction has been consumed."""
         return self._position >= len(self._instructions)
 
     def reset(self) -> None:
@@ -116,4 +126,5 @@ class ListTraceSource(InstructionSource):
 
     @property
     def remaining(self) -> int:
+        """Number of instructions not yet consumed."""
         return len(self._instructions) - self._position

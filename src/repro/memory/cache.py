@@ -33,12 +33,14 @@ class CacheStats:
 
     @property
     def miss_rate(self) -> float:
+        """Misses per access (0.0 before any access)."""
         if self.accesses == 0:
             return 0.0
         return self.misses / self.accesses
 
     @property
     def hit_rate(self) -> float:
+        """Hits per access (0.0 before any access)."""
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses
@@ -61,6 +63,7 @@ class CacheGeometry:
 
     @property
     def num_sets(self) -> int:
+        """Number of sets implied by size, line size and associativity."""
         return self.size_bytes // (self.associativity * self.line_size)
 
 
@@ -196,6 +199,7 @@ class Cache:
         self._sets.clear()
 
     def reset_stats(self) -> None:
+        """Zero the hit/miss statistics (cache contents are kept)."""
         self.stats = CacheStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -218,6 +222,7 @@ class MainMemory:
         self.writes = 0
 
     def access(self, address: int, is_write: bool = False) -> int:
+        """Access main memory; returns the fixed memory latency in cycles."""
         self.accesses += 1
         if is_write:
             self.writes += 1
@@ -226,6 +231,7 @@ class MainMemory:
         return self.latency
 
     def reset_stats(self) -> None:
+        """Zero the access counters."""
         self.accesses = 0
         self.reads = 0
         self.writes = 0

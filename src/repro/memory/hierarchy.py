@@ -33,6 +33,7 @@ class MemoryHierarchyConfig:
     replacement: str = "lru"
 
     def validate(self) -> None:
+        """Reject non-positive sizes/latencies early, with a field name in the error."""
         for name in ("il1_size", "dl1_size", "l2_size", "line_size"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
@@ -72,12 +73,14 @@ class MemoryHierarchy:
         return self.dcache.access(address, is_write=True)
 
     def reset_stats(self) -> None:
+        """Zero the statistics of every level (contents are kept)."""
         self.icache.reset_stats()
         self.dcache.reset_stats()
         self.l2.reset_stats()
         self.memory.reset_stats()
 
     def flush(self) -> None:
+        """Empty every cache level (statistics are kept)."""
         self.icache.flush()
         self.dcache.flush()
         self.l2.flush()

@@ -44,10 +44,12 @@ class LRUPolicy(ReplacementPolicy):
         self._recency: List[int] = list(range(associativity))
 
     def on_access(self, way: int) -> None:
+        """Move the touched way to the most-recently-used position."""
         self._recency.remove(way)
         self._recency.insert(0, way)
 
     def victim(self, valid: List[bool]) -> int:
+        """The least-recently-used way."""
         for way, is_valid in enumerate(valid):
             if not is_valid:
                 return way
@@ -64,12 +66,15 @@ class FIFOPolicy(ReplacementPolicy):
         self._next = 0
 
     def on_access(self, way: int) -> None:
+        """No-op: FIFO ignores access recency."""
         pass  # hits do not change FIFO order
 
     def on_fill(self, way: int) -> None:
+        """Record the filled way at the back of the eviction queue."""
         self._next = (way + 1) % self.associativity
 
     def victim(self, valid: List[bool]) -> int:
+        """The oldest-filled way."""
         for way, is_valid in enumerate(valid):
             if not is_valid:
                 return way
@@ -86,9 +91,11 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = random.Random(seed)
 
     def on_access(self, way: int) -> None:
+        """No-op: random replacement keeps no access state."""
         pass
 
     def victim(self, valid: List[bool]) -> int:
+        """A uniformly random way from the set's private RNG."""
         for way, is_valid in enumerate(valid):
             if not is_valid:
                 return way

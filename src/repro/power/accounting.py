@@ -149,6 +149,7 @@ class PowerAccountant:
 
     # ----------------------------------------------------------------- results
     def total_energy(self) -> float:
+        """Total accumulated energy over every block, in nJ."""
         return sum(self.energy_by_block.values())
 
     def breakdown(self, elapsed_ns: Optional[float] = None) -> EnergyBreakdown:

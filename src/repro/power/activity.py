@@ -58,5 +58,6 @@ class ActivityCounters:
         return merged
 
     def reset(self) -> None:
+        """Zero both the pending per-cycle and the total access counters."""
         self._pending.clear()
         self._totals.clear()

@@ -27,6 +27,7 @@ def delay_factor(vdd: float, tech: TechnologyParameters = DEFAULT_TECHNOLOGY) ->
         raise ValueError(f"Vdd {vdd} must exceed the threshold voltage "
                          f"{tech.threshold_voltage}")
     def raw(v: float) -> float:
+        """Unnormalised Equation-1 delay at one supply voltage."""
         return v / (v - tech.threshold_voltage) ** tech.alpha
     return raw(vdd) / raw(tech.nominal_vdd)
 
@@ -81,10 +82,12 @@ class OperatingPoint:
 
     @property
     def energy_multiplier(self) -> float:
+        """Dynamic-energy scale factor (Vdd squared) at this operating point."""
         return energy_scale(self.vdd, self.tech)
 
     @property
     def frequency_ghz(self) -> float:
+        """Clock frequency at this operating point, in GHz."""
         return self.tech.nominal_frequency_ghz / self.slowdown
 
 

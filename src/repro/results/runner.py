@@ -36,6 +36,7 @@ class SweepRun:
 
     @property
     def status(self) -> str:
+        """'cached' when the result was served from the store, else 'computed'."""
         return "cached" if self.cached else "computed"
 
 

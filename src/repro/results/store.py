@@ -146,12 +146,15 @@ class ResultsStore:
     # ------------------------------------------------------------- locations
     @property
     def results_dir(self) -> Path:
+        """Directory holding the sharded result entries."""
         return self.root / "results"
 
     def entry_path(self, key: str) -> Path:
+        """On-disk path of one cache key (sharded by the first two hex digits)."""
         return self.results_dir / key[:2] / f"{key}.json"
 
     def key_for(self, scenario: Scenario) -> str:
+        """Cache key of one scenario under this store's code fingerprint."""
         return cache_key(scenario, self.fingerprint)
 
     # ----------------------------------------------------------------- probes
@@ -182,6 +185,7 @@ class ResultsStore:
         return ScenarioResult(scenario=scenario, result=result), seconds
 
     def contains(self, scenario: Scenario) -> bool:
+        """True when a result for ``scenario`` is already stored."""
         return self.entry_path(self.key_for(scenario)).exists()
 
     def put(self, outcome: ScenarioResult,

@@ -80,15 +80,19 @@ class Channel:
     # ------------------------------------------------------------- interface
     @property
     def occupancy(self) -> int:  # pragma: no cover - overridden
+        """Number of items currently in the channel."""
         raise NotImplementedError
 
     def can_push(self, time: float) -> bool:  # pragma: no cover - overridden
+        """Whether the producer may push at ``time``."""
         raise NotImplementedError
 
     def push(self, item: Any, time: float) -> None:  # pragma: no cover
+        """Insert one item at ``time`` (raises when apparently full)."""
         raise NotImplementedError
 
     def can_pop(self, time: float) -> bool:  # pragma: no cover - overridden
+        """Whether the consumer can pop at ``time``."""
         raise NotImplementedError
 
     def pop_ready(self, time: float) -> Any:
@@ -119,15 +123,19 @@ class Channel:
         return popped
 
     def peek(self, time: float) -> Any:  # pragma: no cover - overridden
+        """The next consumable item without removing it."""
         raise NotImplementedError
 
     def pop(self, time: float) -> Any:  # pragma: no cover - overridden
+        """Remove and return the next consumable item."""
         raise NotImplementedError
 
     def flush(self, predicate: Optional[Callable[[Any], bool]] = None) -> int:
+        """Drop entries matching ``predicate`` (all entries when None)."""
         raise NotImplementedError  # pragma: no cover
 
     def items(self) -> Iterable[Any]:  # pragma: no cover - overridden
+        """The queued items, oldest first."""
         raise NotImplementedError
 
 
@@ -148,12 +156,15 @@ class SyncQueue(Channel):
 
     @property
     def occupancy(self) -> int:
+        """Number of buffered items."""
         return len(self._entries)
 
     def can_push(self, time: float) -> bool:
+        """True while the queue has free capacity."""
         return len(self._entries) < self.capacity
 
     def push(self, item: Any, time: float) -> None:
+        """Append one item (raises when full)."""
         entries = self._entries
         if len(entries) >= self.capacity:
             raise OverflowError(f"push into full channel {self.name!r}")
@@ -161,14 +172,17 @@ class SyncQueue(Channel):
         self.push_count += 1
 
     def can_pop(self, time: float) -> bool:
+        """True while any item is buffered (same-domain: no sync delay)."""
         return bool(self._entries)
 
     def peek(self, time: float) -> Any:
+        """The oldest item without removing it."""
         if not self._entries:
             raise LookupError(f"peek on empty channel {self.name!r}")
         return self._entries[0][0]
 
     def pop(self, time: float) -> Any:
+        """Remove and return the oldest item."""
         if not self._entries:
             raise LookupError(f"pop on empty channel {self.name!r}")
         item, pushed_at = self._entries.popleft()
@@ -181,10 +195,12 @@ class SyncQueue(Channel):
         return item
 
     def sample_occupancy(self) -> None:
+        """Record the current occupancy (one sample per consumer cycle)."""
         self.occupancy_samples += 1
         self.occupancy_accum += len(self._entries)
 
     def pop_ready(self, time: float) -> Any:
+        """The oldest item, or None when empty (fused can_pop + pop)."""
         entries = self._entries
         if not entries:
             return None
@@ -198,6 +214,7 @@ class SyncQueue(Channel):
         return item
 
     def pop_bulk(self, time: float, limit: int) -> List[Tuple[Any, float]]:
+        """Drain up to ``limit`` items with batched statistics bookkeeping."""
         entries = self._entries
         if not entries:
             return []
@@ -232,4 +249,5 @@ class SyncQueue(Channel):
         return dropped
 
     def items(self) -> List[Any]:
+        """The buffered items, oldest first."""
         return [item for item, _ in self._entries]

@@ -25,6 +25,7 @@ class ClockedComponent(Protocol):
     """Anything that does work on a rising clock edge."""
 
     def clock_edge(self, cycle: int, time: float) -> None:  # pragma: no cover
+        """Do one cycle of work at rising edge ``cycle`` (absolute ``time`` ns)."""
         ...
 
 
@@ -111,14 +112,17 @@ class ClockDomain:
     # ------------------------------------------------------------ composition
     @property
     def name(self) -> str:
+        """The domain's name (same as its clock's)."""
         return self.clock.name
 
     @property
     def period(self) -> float:
+        """The domain clock's current period, in ns."""
         return self.clock.period
 
     @property
     def frequency(self) -> float:
+        """The domain clock's current frequency, in GHz."""
         return self.clock.frequency
 
     def add_component(self, component: ClockedComponent) -> None:
@@ -149,6 +153,7 @@ class ClockDomain:
         def on_edge(_param: object, domain=self, engine=engine,
                     callbacks=callbacks) -> None:
             # specialised _on_edge: engine and callback list pre-bound
+            """One rising edge: tick every component and hook, then count the cycle."""
             time = engine._now
             cycle = domain.cycle
             for callback in callbacks:
@@ -181,15 +186,55 @@ class ClockDomain:
     def apply_slowdown(self, slowdown: float, voltage: Optional[float] = None) -> None:
         """Slow the clock by ``slowdown`` and optionally change the voltage.
 
-        Must be called before :meth:`bind`; mid-run frequency changes are done
-        by the DVFS controller re-binding a fresh domain (the paper's
-        experiments set slowdowns statically per run).
+        Must be called before :meth:`bind`; mid-run frequency changes go
+        through :meth:`retime` instead (the paper's experiments set slowdowns
+        statically per run; the adaptive controllers re-bind domains online).
         """
         if self._engine is not None:
             raise SimulationError("cannot change frequency after the domain is bound")
         self.clock = self.clock.scaled(slowdown)
         if voltage is not None:
             self.voltage = voltage
+
+    def retime(self, period: float, voltage: Optional[float] = None) -> float:
+        """Change a *bound* domain's clock period (and optionally voltage)
+        mid-run; returns the anchor time of the retimed schedule.
+
+        The edge already scheduled keeps its time -- a local ring oscillator
+        cannot retract a rising edge that is in flight -- and becomes the
+        anchor of the new schedule: edges fire at ``anchor + k * period``.
+        The domain's periodic chain is cancelled and re-scheduled, which the
+        clock-wheel scheduler supports mid-run (the run loop re-reads the
+        wheel whenever its membership version changes), and the cycle counter
+        continues uninterrupted.
+
+        After a retime, ``clock.phase`` holds the *absolute* anchor time
+        rather than a phase within ``[0, period)``: every consumer of the
+        clock's edge arithmetic (the mixed-clock FIFO synchronizers) treats
+        times before the anchor as "before the first edge", which is exactly
+        the behaviour of a freshly started oscillator.
+        """
+        if period <= 0:
+            raise SimulationError(
+                f"clock {self.name!r}: retimed period must be positive")
+        engine = self._engine
+        if engine is None:
+            raise SimulationError(
+                f"cannot retime unbound domain {self.name!r}; use "
+                "apply_slowdown before bind")
+        anchor = engine.next_chain_time(f"clock:{self.clock.name}")
+        if anchor is None:
+            raise SimulationError(
+                f"domain {self.name!r} has no pending clock edge to retime")
+        engine.cancel_chain(f"clock:{self.clock.name}")
+        # Mutate the Clock in place so every holder of the reference (the
+        # mixed-clock FIFOs and their synchronizers) observes the new timing.
+        self.clock.period = period
+        self.clock.phase = anchor
+        if voltage is not None:
+            self.voltage = voltage
+        self.bind(engine)
+        return anchor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ClockDomain(name={self.name!r}, period={self.period:.4f} ns, "

@@ -167,6 +167,26 @@ class SimulationEngine:
             heapq.heappush(self._queue, (start, priority, event.seq, event))
         return event
 
+    def next_chain_time(self, name: str) -> Optional[float]:
+        """Pending fire time of the live periodic chain named ``name``.
+
+        Returns the earliest pending occurrence over both scheduler paths
+        (clock wheel and generic heap), or ``None`` when no live event with
+        that name is pending.  Used by mid-run DVFS retiming to anchor a
+        domain's new clock schedule on the edge that is already in flight.
+        """
+        best: Optional[float] = None
+        for chain in self._wheel:
+            if chain[CHAIN_NAME] == name and not chain[CHAIN_CANCELLED]:
+                time = chain[CHAIN_TIME]
+                if best is None or time < best:
+                    best = time
+        for time, _, _, event in self._queue:
+            if event.name == name and not event.cancelled:
+                if best is None or time < best:
+                    best = time
+        return best
+
     def cancel_chain(self, name: str) -> int:
         """Cancel every pending event whose name matches ``name``.
 

@@ -32,12 +32,14 @@ class PredictorStats:
 
     @property
     def accuracy(self) -> float:
+        """Correct predictions per prediction (1.0 before any)."""
         if self.lookups == 0:
             return 0.0
         return self.correct / self.lookups
 
     @property
     def misprediction_rate(self) -> float:
+        """Mispredictions per prediction (0.0 before any)."""
         if self.lookups == 0:
             return 0.0
         return self.mispredictions / self.lookups
@@ -51,6 +53,7 @@ class DirectionPredictor:
         self.stats = PredictorStats()
 
     def predict(self, pc: int) -> bool:  # pragma: no cover - overridden
+        """Predicted direction (True = taken) for the branch at ``pc``."""
         raise NotImplementedError
 
     def update(self, pc: int, taken: bool, predicted: bool) -> None:
@@ -80,6 +83,7 @@ class BimodalPredictor(DirectionPredictor):
         return (pc >> 2) & (self.entries - 1)
 
     def predict(self, pc: int) -> bool:
+        """Prediction from the 2-bit counter indexed by ``pc``."""
         counter = self._table.get(self._index(pc), 2)
         return counter >= 2
 
@@ -110,6 +114,7 @@ class GSharePredictor(DirectionPredictor):
         return ((pc >> 2) ^ history) & self._index_mask
 
     def predict(self, pc: int) -> bool:
+        """Prediction from the counter indexed by pc XOR global history."""
         history = self._history & self._history_mask
         counter = self._table.get(((pc >> 2) ^ history) & self._index_mask, 2)
         return counter >= 2
@@ -141,6 +146,7 @@ class BranchTargetBuffer:
         return index, tag
 
     def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target for ``pc``, or None on a BTB miss."""
         index, tag = self._locate(pc)
         entries = self._sets.get(index, [])
         for position, (stored_tag, target) in enumerate(entries):
@@ -152,6 +158,7 @@ class BranchTargetBuffer:
         return None
 
     def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of ``pc`` in its set."""
         index, tag = self._locate(pc)
         entries = self._sets.setdefault(index, [])
         for position, (stored_tag, _) in enumerate(entries):
@@ -188,6 +195,7 @@ class BranchUnit:
 
     @property
     def misprediction_rate(self) -> float:
+        """Direction-misprediction rate of the underlying predictor."""
         return self.predictor.stats.misprediction_rate
 
 

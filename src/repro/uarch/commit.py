@@ -65,6 +65,7 @@ class CommitUnit:
         # the can-commit visibility check, retirement bookkeeping
         # (rob.retire_head / regfile.free) and stats.record_commit are all
         # inlined below rather than paid as per-instruction calls.
+        """Retire up to ``commit_width`` finished instructions in program order and sample occupancies."""
         rob = self.rob
         entries = rob._entries
         if entries:
@@ -166,4 +167,5 @@ class CommitUnit:
 
     # ------------------------------------------------------------------ state
     def pending_work(self) -> int:
+        """Instructions still in the ROB (drain check)."""
         return self.rob.occupancy

@@ -90,6 +90,7 @@ class DecodeRenameUnit:
     def clock_edge(self, cycle: int, time: float) -> None:
         # Each helper no-ops on an empty pipeline / input, so idle edges cost
         # two attribute checks plus the occupancy sample.
+        """One decode-domain cycle: advance the decode pipeline, rename, and dispatch to the clusters."""
         if self._pipeline:
             self._dispatch(time)
         channel = self.input_channel
@@ -207,4 +208,5 @@ class DecodeRenameUnit:
 
     # ------------------------------------------------------------------ state
     def pending_work(self) -> int:
+        """Instructions inside the decode pipeline or waiting in the fetch queue."""
         return len(self._pipeline) + self.input_channel.occupancy

@@ -69,6 +69,7 @@ class FunctionalUnitPool:
 
     @property
     def utilization_count(self) -> int:
+        """Total operations issued to this pool."""
         return self.operations
 
 
@@ -133,6 +134,7 @@ class ExecutionUnit:
         # Guards keep idle edges (no completions due, empty channel, empty
         # window) down to a few comparisons; each helper no-ops in exactly
         # the guarded situation, so skipping the call changes nothing.
+        """One cluster cycle: writeback completions, wake up and issue ready instructions, accept dispatches."""
         if time >= self._next_completion:
             self._complete_finished(time)
         channel = self.input_channel
@@ -308,6 +310,7 @@ class ExecutionUnit:
     # ------------------------------------------------------------------ state
     @property
     def in_flight_count(self) -> int:
+        """Instructions currently executing in the functional units."""
         return len(self._in_flight)
 
     def pending_work(self) -> int:

@@ -116,6 +116,7 @@ class FetchUnit:
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
+        """One fetch-domain cycle: honour redirects, fetch up to ``fetch_width`` instructions into the fetch queue."""
         if self.redirect_channel._entries:
             self._check_redirect(time)
         output_channel = self.output_channel

@@ -89,18 +89,22 @@ class DynamicInstruction:
     # --------------------------------------------------------------- queries
     @property
     def dest(self) -> Optional[int]:
+        """Architectural destination register, or None."""
         return self.trace.dest
 
     @property
     def sources(self) -> Tuple[int, ...]:
+        """Architectural source registers (possibly empty)."""
         return self.trace.sources
 
     @property
     def is_fp(self) -> bool:
+        """True for floating-point instructions."""
         return self.opclass.is_fp
 
     @property
     def is_mem(self) -> bool:
+        """True for loads and stores."""
         return self.opclass.is_memory
 
     @property

@@ -60,19 +60,23 @@ class IssueQueue:
     # ----------------------------------------------------------------- state
     @property
     def occupancy(self) -> int:
+        """Number of instructions waiting in the window."""
         return len(self._entries)
 
     @property
     def is_full(self) -> bool:
+        """True when the window has no free entry."""
         return len(self._entries) >= self.capacity
 
     @property
     def mean_occupancy(self) -> float:
+        """Average occupancy over the sampled cycles."""
         if self.occupancy_samples == 0:
             return 0.0
         return self.occupancy_accum / self.occupancy_samples
 
     def sample_occupancy(self) -> None:
+        """Record the current occupancy (one sample per cluster cycle)."""
         self.occupancy_samples += 1
         self.occupancy_accum += len(self._entries)
 

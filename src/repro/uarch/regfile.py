@@ -143,9 +143,11 @@ class PhysicalRegisterFile:
         self.writes += 1
 
     def ready_time(self, index: int) -> float:
+        """Absolute time the register's value is ready in its producing domain."""
         return self._registers[index].ready_time
 
     def producer_domain(self, index: int) -> str:
+        """Clock domain that produces (or produced) the register's value."""
         return self._registers[index].producer_domain
 
     def is_ready(
@@ -198,12 +200,15 @@ class PhysicalRegisterFile:
 
     @property
     def fp_in_use(self) -> int:
+        """Number of allocated FP physical registers."""
         return self._fp_in_use
 
     @property
     def free_int_count(self) -> int:
+        """Number of free integer physical registers."""
         return len(self._free_int)
 
     @property
     def free_fp_count(self) -> int:
+        """Number of free FP physical registers."""
         return len(self._free_fp)

@@ -150,6 +150,7 @@ class RegisterAliasTable:
 
     @property
     def live_checkpoints(self) -> int:
+        """Number of outstanding rename checkpoints (unresolved branches)."""
         return len(self._checkpoints)
 
     # ------------------------------------------------------------ statistics

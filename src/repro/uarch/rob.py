@@ -36,23 +36,28 @@ class ReorderBuffer:
     # ----------------------------------------------------------------- state
     @property
     def occupancy(self) -> int:
+        """Number of in-flight instructions."""
         return len(self._entries)
 
     @property
     def is_full(self) -> bool:
+        """True when no entry is free."""
         return len(self._entries) >= self.capacity
 
     @property
     def is_empty(self) -> bool:
+        """True when nothing is in flight."""
         return not self._entries
 
     @property
     def mean_occupancy(self) -> float:
+        """Average occupancy over the sampled cycles."""
         if self.occupancy_samples == 0:
             return 0.0
         return self.occupancy_accum / self.occupancy_samples
 
     def sample_occupancy(self) -> None:
+        """Record the current occupancy (one sample per commit-domain cycle)."""
         self.occupancy_samples += 1
         self.occupancy_accum += len(self._entries)
 

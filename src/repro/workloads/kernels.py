@@ -37,6 +37,7 @@ class Kernel:
     builder: Callable[[int], Tuple[Program, Dict[int, float]]]
 
     def build(self, size: int) -> Tuple[Program, Dict[int, float]]:
+        """Assemble the kernel at ``size``; returns (program, preloaded memory)."""
         return self.builder(size)
 
     def trace(self, size: int, max_instructions: int = 2_000_000) -> ListTraceSource:

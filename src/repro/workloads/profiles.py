@@ -90,10 +90,12 @@ class BenchmarkProfile:
 
     @property
     def is_integer_benchmark(self) -> bool:
+        """True when the FP fraction is negligible (< 5 %)."""
         return self.fp_fraction < 0.05
 
     @property
     def branches_per_instruction(self) -> float:
+        """Control-flow density: branch + jump fraction."""
         return self.branch_fraction + self.jump_fraction
 
     @property

@@ -218,10 +218,12 @@ class SyntheticWorkload:
     # ------------------------------------------------------------ properties
     @property
     def blocks(self) -> Sequence[_StaticBlock]:
+        """The generated static basic blocks."""
         return tuple(self._blocks)
 
     @property
     def static_instruction_count(self) -> int:
+        """Total static instructions over all blocks."""
         return sum(block.length for block in self._blocks)
 
     # --------------------------------------------------------- dynamic trace

@@ -59,6 +59,30 @@ def test_run_scenario_prints_summary(capsys):
     assert "instructions in" in out
 
 
+def test_run_with_controller_prints_trace(capsys):
+    code, out, _ = run_cli(capsys, "run", "gals5", "--controller", "occupancy",
+                           "--instructions", str(SMALL))
+    assert code == 0
+    assert "per-epoch DVFS trace" in out
+
+
+def test_run_switching_controller_drops_stale_args(capsys):
+    # gals5-perl-pid stores pid constructor args; switching the controller
+    # type on the command line must not feed them to the new constructor
+    code, out, _ = run_cli(capsys, "run", "gals5-perl-pid",
+                           "--controller", "occupancy",
+                           "--instructions", str(SMALL))
+    assert code == 0
+    assert "controller=occupancy" in out
+
+
+def test_list_controllers(capsys):
+    code, out, _ = run_cli(capsys, "list", "controllers")
+    assert code == 0
+    for name in ("static", "interval", "occupancy", "pid"):
+        assert name in out
+
+
 def test_run_with_overrides_and_json_dump(tmp_path, capsys):
     dump = tmp_path / "result.json"
     code, out, _ = run_cli(

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate over ``src/repro/`` (no third-party deps).
+
+Counts docstrings on modules, classes and functions/methods the way
+``interrogate`` does by default, but implemented on the standard-library
+``ast`` module so the check runs in hermetic environments where installing
+``interrogate`` is not an option.  CI fails the build when coverage drops
+below the floor (see ``--fail-under``); the same floor is enforced by
+``tests/test_docs.py`` so a regression is caught before it reaches CI.
+
+What counts as a documentable object:
+
+* every module (``__init__.py`` included);
+* every class and every function/method, *except* private ones (a leading
+  underscore anywhere in the dotted path) and trivial ``__repr__``-style
+  dunders -- ``__init__`` is documented through its class, matching the
+  convention this codebase uses.
+
+Usage::
+
+    python tools/docstring_coverage.py [--fail-under 95] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Default coverage floor (percent).  The codebase sits well above this;
+#: the margin absorbs small refactors without letting coverage rot.
+DEFAULT_FLOOR = 95.0
+
+#: Dunder methods whose behaviour is defined by the data model; a docstring
+#: on them would restate the obvious.
+_EXEMPT_DUNDERS = {"__init__", "__repr__", "__str__", "__iter__", "__len__",
+                   "__eq__", "__hash__", "__enter__", "__exit__",
+                   "__post_init__", "__main__",
+                   "__lt__", "__le__", "__gt__", "__ge__"}
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (name.startswith("__")
+                                         and name.endswith("__"))
+
+
+def iter_objects(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (dotted name, node) for every documentable def/class."""
+    def walk(node: ast.AST, prefix: str, skip: bool) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = child.name
+                hidden = skip or _is_private(name)
+                if name in _EXEMPT_DUNDERS:
+                    hidden = True
+                dotted = f"{prefix}{name}"
+                if not hidden:
+                    yield dotted, child
+                yield from walk(child, f"{dotted}.", hidden)
+    yield from walk(tree, "", False)
+
+
+def file_coverage(path: Path) -> Tuple[int, int, List[str]]:
+    """(documented, total, missing names) for one source file."""
+    tree = ast.parse(path.read_text())
+    documented, total = 0, 1           # the module itself
+    missing: List[str] = []
+    if ast.get_docstring(tree):
+        documented += 1
+    else:
+        missing.append("(module)")
+    for name, node in iter_objects(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(name)
+    return documented, total, missing
+
+
+def measure(root: Path, verbose: bool = False) -> float:
+    """Print a report for every file under ``root``; return coverage %."""
+    documented_total, total_total = 0, 0
+    rows = []
+    for path in sorted(root.rglob("*.py")):
+        documented, total, missing = file_coverage(path)
+        documented_total += documented
+        total_total += total
+        rows.append((path, documented, total, missing))
+    for path, documented, total, missing in rows:
+        if verbose or documented < total:
+            print(f"{path}: {documented}/{total}")
+            for name in missing:
+                print(f"    missing: {name}")
+    if not total_total:
+        raise SystemExit(f"error: no Python sources under {root}")
+    return 100.0 * documented_total / total_total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default="src/repro",
+                        help="package directory to measure (default: src/repro)")
+    parser.add_argument("--fail-under", type=float, default=DEFAULT_FLOOR,
+                        metavar="PCT",
+                        help=f"minimum coverage %% (default {DEFAULT_FLOOR})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="per-file breakdown even for fully covered files")
+    args = parser.parse_args(argv)
+    coverage = measure(Path(args.root), verbose=args.verbose)
+    print(f"docstring coverage: {coverage:.1f}% "
+          f"(floor {args.fail_under:.1f}%)")
+    if coverage < args.fail_under:
+        print("FAILED: docstring coverage below the floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
