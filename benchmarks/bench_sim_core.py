@@ -9,7 +9,11 @@ Measures, on the current machine:
   and mixed-period wheels;
 * **full runs** -- committed-instructions/sec and events/sec for a complete
   ``run_single`` of the GALS and base machines (workload synthesis, cache
-  warming and simulation, exactly what the figure harness pays per run).
+  warming and simulation, exactly what the figure harness pays per run;
+  workload synthesis is memoized per process, as it is for the harness),
+  plus two fast-path coverage runs: the ``occupancy`` online DVFS controller
+  on the paper's gals5 machine (mid-run retiming + epoch telemetry flushes)
+  and the non-paper ``fem3`` topology.
 
 Results are appended to ``BENCH_sim_core.json`` next to this file so the
 performance trajectory is tracked from the fast-simulation-core PR onward.
@@ -159,16 +163,34 @@ def bench_engine(engine_factory, clocks):
 
 
 def bench_full_run(kind):
-    """Instructions/sec and events/sec of one complete run_single."""
-    from repro.core.processor import build_base_processor, build_gals_processor
+    """Instructions/sec and events/sec of one complete run_single.
+
+    ``kind`` selects the machine: ``gals``/``base`` (the two paper machines,
+    unchanged protocol since the first record), ``gals_controller`` (gals5
+    driven by the ``occupancy`` online DVFS controller -- covers the epoch
+    flush points and mid-run retiming), or ``fem3`` (a non-paper topology).
+    """
+    from repro.core.controllers import make_controller
+    from repro.core.processor import (Processor, build_base_processor,
+                                      build_gals_processor)
     from repro.workloads.registry import build_workload
 
-    build = build_gals_processor if kind == "gals" else build_base_processor
     state = {}
+
+    def build(trace, workload):
+        if kind == "gals":
+            return build_gals_processor(trace, workload=workload)
+        if kind == "base":
+            return build_base_processor(trace, workload=workload)
+        if kind == "gals_controller":
+            return Processor(trace, workload=workload, topology="gals5",
+                             controller=make_controller("occupancy"),
+                             controller_epoch=50.0)
+        return Processor(trace, workload=workload, topology=kind)
 
     def run_once():
         trace, workload = build_workload("perl", FULL_RUN_INSTRUCTIONS, seed=1)
-        machine = build(trace, workload=workload)
+        machine = build(trace, workload)
         result = machine.run()
         state["events"] = machine.engine.events_processed
         return result
@@ -202,9 +224,10 @@ def main():
               f"speedup {row['wheel_speedup_vs_live_seed']:.2f}x")
 
     print("full-run benchmark (perl, %d instructions) ..." % FULL_RUN_INSTRUCTIONS)
-    full = {kind: bench_full_run(kind) for kind in ("gals", "base")}
+    full = {kind: bench_full_run(kind)
+            for kind in ("gals", "base", "gals_controller", "fem3")}
     for kind, row in full.items():
-        print(f"  {kind:5s} {row['instr_per_sec']:>10,.0f} instr/s  "
+        print(f"  {kind:15s} {row['instr_per_sec']:>10,.0f} instr/s  "
               f"{row['events_per_sec']:>12,.0f} events/s")
 
     record = {

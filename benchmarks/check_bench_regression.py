@@ -6,8 +6,11 @@ repository -- and fails when any tracked throughput metric regressed by more
 than the threshold (default 25 %, generous enough to absorb CI-runner noise
 while still catching a real hot-path regression).
 
-Tracked metrics: full-run instructions/sec (gals and base machines) and
+Tracked metrics: full-run instructions/sec (gals and base machines, the
+occupancy-controller gals5 run, and the non-paper fem3 topology) and
 engine-alone events/sec (clock-wheel scheduler, mixed and uniform periods).
+Metrics missing from an older record (e.g. the controller/fem3 runs added in
+the deferred-telemetry PR) are reported and skipped, not failed.
 
 Usage::
 
@@ -38,6 +41,8 @@ def _instr(record, kind):
 ABSOLUTE_METRICS = (
     ("gals instr/s", lambda r: _instr(r, "gals")),
     ("base instr/s", lambda r: _instr(r, "base")),
+    ("gals+controller instr/s", lambda r: _instr(r, "gals_controller")),
+    ("fem3 instr/s", lambda r: _instr(r, "fem3")),
     ("engine mixed ev/s", lambda r: _engine(r, "mixed", "wheel")),
     ("engine uniform ev/s", lambda r: _engine(r, "uniform", "wheel")),
 )
@@ -52,6 +57,11 @@ RELATIVE_METRICS = (
      lambda r: _instr(r, "gals") / _engine(r, "mixed", "seed_engine_live")),
     ("base instr per seed-ev",
      lambda r: _instr(r, "base") / _engine(r, "mixed", "seed_engine_live")),
+    ("gals+controller instr per seed-ev",
+     lambda r: (_instr(r, "gals_controller")
+                / _engine(r, "mixed", "seed_engine_live"))),
+    ("fem3 instr per seed-ev",
+     lambda r: _instr(r, "fem3") / _engine(r, "mixed", "seed_engine_live")),
     ("mixed wheel/seed speedup",
      lambda r: (_engine(r, "mixed", "wheel")
                 / _engine(r, "mixed", "seed_engine_live"))),
@@ -79,13 +89,13 @@ def check(history, threshold):
         try:
             was, now = extract(baseline), extract(current)
         except (KeyError, TypeError, ValueError, ZeroDivisionError):
-            lines.append(f"  {label:<26} missing from a record; skipped")
+            lines.append(f"  {label:<34} missing from a record; skipped")
             continue
         change = now / was - 1.0 if was else 0.0
         bad = change < -threshold
         regressed |= bad
         verdict = "REGRESSION" if bad else "ok"
-        lines.append(f"  {label:<26} {was:>12,.2f} -> {now:>12,.2f}  "
+        lines.append(f"  {label:<34} {was:>12,.2f} -> {now:>12,.2f}  "
                      f"{change:+7.1%}  {verdict}")
     return lines, regressed
 

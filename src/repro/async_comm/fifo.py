@@ -151,6 +151,18 @@ class MixedClockFifo(Channel):
             pending.popleft()
         return len(self._entries) + len(pending) < self.capacity
 
+    def free_slots(self, time: float) -> int:
+        """Producer-visible free slots at ``time`` (full-flag sync applies).
+
+        Destructively expires visible space like ``can_push``; the count
+        stays valid for the rest of the producer's cycle minus its own
+        pushes (consumer pops land at other simulation events).
+        """
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        return self.capacity - len(self._entries) - len(pending)
+
     def push(self, item: Any, time: float) -> None:
         # inline can_push: expire visible space, then bound-check
         """Insert an item; it becomes consumer-visible only after the empty flag synchronizes into the consumer domain."""
@@ -159,6 +171,32 @@ class MixedClockFifo(Channel):
             pending.popleft()
         if len(self._entries) + len(pending) >= self.capacity:
             raise OverflowError(f"push into apparently-full FIFO {self.name!r}")
+        if time == self._last_push_time:
+            visible = self._last_push_visible
+        else:
+            # inline Synchronizer.observable_at(consumer clock)
+            phase = self._data_phase
+            if time < phase:
+                first_edge = phase
+            else:
+                period = self._data_period
+                first_edge = phase + (int((time - phase) / period) + 1) * period
+            visible = first_edge + self._data_latency
+            self._last_push_time = time
+            self._last_push_visible = visible
+        self._entries.append((item, time, visible))
+        self.push_count += 1
+        box = self._transfer_box
+        if box is not None:
+            box[0] += 1
+
+    def push_granted(self, item: Any, time: float) -> None:
+        """Insert an item after a same-``time`` ``can_push`` grant.
+
+        ``can_push`` already expired the visible space at ``time`` and
+        verified a free slot, so only the synchronizer mapping (same-cycle
+        cached) and the entry append remain.
+        """
         if time == self._last_push_time:
             visible = self._last_push_visible
         else:

@@ -260,6 +260,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    scenario = _scenario_with_overrides(args)
+    if not args.quiet:
+        print(f"profiling scenario {scenario.name!r}: topology="
+              f"{scenario.topology}, workload={scenario.workload}, "
+              f"{scenario.num_instructions} instructions")
+    from .core.scenario import run_scenario
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    outcome = run_scenario(scenario)
+    profiler.disable()
+    seconds = time.perf_counter() - start
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(args.sort)
+    if args.json:
+        width, functions = stats.get_print_list([args.limit])
+        records = []
+        for func in functions:
+            cc, nc, tottime, cumtime, _callers = stats.stats[func]
+            filename, line, name = func
+            records.append({
+                "function": name, "file": filename, "line": line,
+                "calls": nc, "primitive_calls": cc,
+                "tottime": tottime, "cumtime": cumtime,
+            })
+        payload = {
+            "scenario": scenario.name,
+            "topology": scenario.topology,
+            "workload": scenario.workload,
+            "num_instructions": scenario.num_instructions,
+            "wall_seconds": seconds,
+            "sort": args.sort,
+            "instr_per_sec": (outcome.result.committed_instructions / seconds
+                              if seconds > 0 else 0.0),
+            "functions": records,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        if not args.quiet:
+            print(f"  profile written to {args.json}")
+    if not args.quiet or not args.json:
+        buffer.seek(0)
+        buffer.truncate()
+        stats.print_stats(args.limit)
+        print(buffer.getvalue(), end="")
+        rate = (outcome.result.committed_instructions / seconds
+                if seconds > 0 else 0.0)
+        print(f"wall {seconds:.3f}s, {rate:,.0f} committed instr/s "
+              f"(profiler overhead included)")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = list(args.scenarios)
     if args.all:
@@ -439,6 +498,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the full ScenarioResult as JSON")
     run_parser.add_argument("--quiet", action="store_true")
     run_parser.set_defaults(handler=_cmd_run)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one scenario under cProfile and print the hottest functions")
+    profile_parser.add_argument("scenario", help="registered scenario name")
+    _add_override_arguments(profile_parser)
+    profile_parser.add_argument("--sort", default="cumulative",
+                                choices=("cumulative", "tottime", "calls",
+                                         "ncalls", "pcalls", "time"),
+                                help="pstats sort key (default: cumulative)")
+    profile_parser.add_argument("--limit", type=int, default=25, metavar="N",
+                                help="number of functions to print "
+                                     "(default: 25)")
+    profile_parser.add_argument("--json", metavar="PATH",
+                                help="write the top functions and run "
+                                     "metadata as JSON (CI artifact)")
+    profile_parser.add_argument("--quiet", action="store_true")
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     sweep_parser = sub.add_parser(
         "sweep", help="run several scenarios over the process pool")

@@ -71,7 +71,7 @@ class _FifoActivityProbe:
         for channel in channels:
             if channel.counts_as_fifo:
                 channel.attach_transfer_counter(self._box)
-        self._activity = activity
+        self._fifo_cell = activity.cell("fifo")
         self._last_transfer_count = 0
 
     def clock_edge(self, cycle: int, time: float) -> None:
@@ -79,7 +79,7 @@ class _FifoActivityProbe:
         delta = transfers - self._last_transfer_count
         if delta > 0:
             self._last_transfer_count = transfers
-            self._activity._pending["fifo"] += delta
+            self._fifo_cell[0] += delta
 
 
 class _DvfsControllerDriver:
@@ -128,6 +128,9 @@ class _DvfsControllerDriver:
     # ------------------------------------------------------------- telemetry
     def _sample(self, now: float) -> EpochTelemetry:
         processor = self.processor
+        # Epoch boundaries are observation points: replay the deferred energy
+        # segments and occupancy runs so the deltas below are exact.
+        processor.flush_telemetry()
         committed = processor.stats.committed
         committed_delta = committed - self._last_committed
         self._last_committed = committed
@@ -392,6 +395,7 @@ class Processor:
             rat=self.rat,
             regfile=self.regfile,
             clock_period=lambda: decode_domain.period,
+            clock=decode_domain.clock,
             current_epoch=lambda: self.epoch,
             activity=self.activity,
             decode_width=config.decode_width,
@@ -428,6 +432,7 @@ class Processor:
                 regfile=self.regfile,
                 forwarding_latency=self.forwarding_latency,
                 clock_period=lambda: int_domain.period,
+                clock=int_domain.clock,
                 functional_units=FunctionalUnitPool("int_alu", config.num_int_alus),
                 issue_width=config.issue_width_int,
                 activity=self.activity,
@@ -445,6 +450,7 @@ class Processor:
                 regfile=self.regfile,
                 forwarding_latency=self.forwarding_latency,
                 clock_period=lambda: fp_domain.period,
+                clock=fp_domain.clock,
                 functional_units=FunctionalUnitPool("fp_alu", config.num_fp_alus),
                 issue_width=config.issue_width_fp,
                 activity=self.activity,
@@ -460,6 +466,7 @@ class Processor:
                 regfile=self.regfile,
                 forwarding_latency=self.forwarding_latency,
                 clock_period=lambda: mem_domain.period,
+                clock=mem_domain.clock,
                 functional_units=FunctionalUnitPool("mem_port", config.num_mem_ports),
                 issue_width=config.issue_width_mem,
                 activity=self.activity,
@@ -618,6 +625,9 @@ class Processor:
         ``slowdown`` defaults to ``period / base_period``.
         """
         domain = self.domains[domain_name]
+        # A voltage change must close the deferred accounting run at the old
+        # voltage: retiming is one of the accountant's flush points.
+        self.power.flush()
         if slowdown is None:
             slowdown = period / self.plan.base_period
         voltage: Optional[float] = None
@@ -698,39 +708,75 @@ class Processor:
         outcome through the direction predictor and BTB once, and then clears
         the statistics; capacity/conflict misses and genuinely hard-to-predict
         branches still show up during the timed run.
+
+        The warm accesses are a pure function of the trace and the cache line
+        size, so they are derived once into an ordered replay plan (shared
+        between copies of a memoized trace) and replayed per run without
+        re-walking every instruction.
         """
         line = self.memory.config.line_size
-        seen_code = set()
-        seen_data = set()
-        add_code = seen_code.add
-        add_data = seen_data.add
+        plans = getattr(self.trace, "_warm_plans", None)
+        plan = plans.get(line) if plans is not None else None
+        if plan is None:
+            plan = []
+            add_op = plan.append
+            seen_code = set()
+            seen_data = set()
+            add_code = seen_code.add
+            add_data = seen_data.add
+            for instr in self.trace:
+                pc = instr.pc
+                code_line = pc // line
+                if code_line not in seen_code:
+                    add_code(code_line)
+                    add_op((0, pc, False, None))
+                mem_address = instr.mem_address
+                if mem_address is not None:
+                    data_line = mem_address // line
+                    if data_line not in seen_data:
+                        add_data(data_line)
+                        add_op((1, mem_address, False, None))
+                if instr.is_branch:
+                    add_op((2, pc, instr.taken, instr.target_pc))
+                elif instr.target_pc is not None and instr.is_control:
+                    add_op((3, pc, False, instr.target_pc))
+            if plans is not None:
+                plans[line] = plan
         fetch_access = self.memory.fetch_access
         load_access = self.memory.load_access
         branch_unit = self.branch_unit
         predict = branch_unit.predict
         resolve = branch_unit.resolve
         btb_update = branch_unit.btb.update
-        for instr in self.trace:
-            pc = instr.pc
-            code_line = pc // line
-            if code_line not in seen_code:
-                add_code(code_line)
-                fetch_access(pc)
-            mem_address = instr.mem_address
-            if mem_address is not None:
-                data_line = mem_address // line
-                if data_line not in seen_data:
-                    add_data(data_line)
-                    load_access(mem_address)
-            if instr.is_branch:
-                predicted, _ = predict(pc)
-                resolve(pc, instr.taken, predicted, instr.target_pc)
-            elif instr.target_pc is not None and instr.is_control:
-                btb_update(pc, instr.target_pc)
+        for kind, address, taken, target in plan:
+            if kind == 2:
+                predicted, _ = predict(address)
+                resolve(address, taken, predicted, target)
+            elif kind == 0:
+                fetch_access(address)
+            elif kind == 1:
+                load_access(address)
+            else:
+                btb_update(address, target)
         self.memory.reset_stats()
         self.branch_unit.predictor.stats = type(self.branch_unit.predictor.stats)()
 
+    def flush_telemetry(self) -> None:
+        """Replay all deferred telemetry (energy segments, occupancy runs).
+
+        Called at every observation point -- controller epoch sampling and
+        end-of-run collection -- and safe to call at any time: flushing is
+        value-preserving, so interleaved flushes never change final results.
+        """
+        self.power.flush()
+        self.fetch_unit.flush_samples()
+        self.decode_unit.flush_samples()
+        self.commit_unit.flush_samples()
+        for unit in self.exec_units.values():
+            unit.flush_samples()
+
     def _collect_result(self, elapsed_ns: float) -> SimulationResult:
+        self.flush_telemetry()
         committed = self.stats.committed
         base_period = self.plan.base_period
         reference_cycles = elapsed_ns / base_period if base_period > 0 else 0.0

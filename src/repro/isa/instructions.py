@@ -55,6 +55,19 @@ class InstructionClass(enum.Enum):
                         InstructionClass.INT_DIV)
 
 
+# Flattened per-member facts for the pipeline hot paths: enum members hash
+# and compare through Python-level descriptors, so the per-instruction stages
+# (dispatch clustering, latency lookup, commit statistics) read plain
+# attributes stamped once at import instead of hitting enum-keyed dicts.
+for _op_index, _opclass in enumerate(InstructionClass):
+    _opclass.op_index = _op_index
+    _opclass.class_key = _opclass.value
+    _opclass.cluster = ("mem" if _opclass.is_memory
+                        else "fp" if _opclass.is_fp else "int")
+    _opclass.unpipelined = _opclass in (InstructionClass.INT_DIV,
+                                        InstructionClass.FP_DIV)
+
+
 #: Execution latencies in cycles (Alpha-21264-like, matching SimpleScalar's
 #: default functional-unit latencies used by the paper's infrastructure).
 DEFAULT_LATENCIES: Dict[InstructionClass, int] = {

@@ -94,6 +94,10 @@ class ListTraceSource(InstructionSource):
         super().__init__(name)
         self._instructions = list(instructions)
         self._position = 0
+        #: cache-warming replay plans derived from the instructions, keyed by
+        #: cache line size; shared between copies of a memoized trace (see
+        #: :func:`repro.workloads.registry.build_workload`)
+        self._warm_plans: dict = {}
 
     def __len__(self) -> int:
         return len(self._instructions)

@@ -59,10 +59,28 @@ class MemoryHierarchy:
         self.dcache = Cache("dl1", cfg.dl1_size, cfg.dl1_assoc, cfg.line_size,
                             hit_latency=cfg.dl1_latency,
                             replacement=cfg.replacement, next_level=self.l2)
+        # Sequential-fetch fast path: consecutive fetches overwhelmingly hit
+        # the line of the previous fetch.  With a direct-mapped I-cache a
+        # repeat hit has no replacement state to update, so it reduces to the
+        # statistics increments.  Any access to a *different* line takes the
+        # full path (which installs the line on a miss, so the remembered
+        # line is always resident afterwards).
+        self._fetch_line_valid = cfg.il1_assoc == 1
+        self._last_fetch_line = -1
 
     def fetch_access(self, pc: int) -> int:
         """Instruction fetch: latency in cycles to obtain the line holding pc."""
-        return self.icache.access(pc, is_write=False)
+        icache = self.icache
+        line = pc // self.config.line_size
+        if line == self._last_fetch_line:
+            stats = icache.stats
+            stats.accesses += 1
+            stats.hits += 1
+            return icache.hit_latency
+        latency = icache.access(pc, is_write=False)
+        if self._fetch_line_valid:
+            self._last_fetch_line = line
+        return latency
 
     def load_access(self, address: int) -> int:
         """Data load: latency in cycles."""
@@ -81,6 +99,7 @@ class MemoryHierarchy:
 
     def flush(self) -> None:
         """Empty every cache level (statistics are kept)."""
+        self._last_fetch_line = -1
         self.icache.flush()
         self.dcache.flush()
         self.l2.flush()

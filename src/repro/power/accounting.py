@@ -1,11 +1,25 @@
 """Per-cycle, per-block energy accounting (the Wattch integration layer).
 
 A :class:`PowerAccountant` owns the set of macro-block energy models, knows
-which clock domain each block belongs to, and hooks every domain's clock edge.
-On each edge it drains that cycle's access counts from the shared
-:class:`~repro.power.activity.ActivityCounters`, charges each block its cycle
-energy (full, utilisation-scaled, or 10 %-idle; clock grids are never gated)
-at the domain's current supply voltage, and accumulates the results.
+which clock domain each block belongs to, and observes every domain's clock
+edge.  Logically, on each edge it drains that cycle's access counts from the
+shared :class:`~repro.power.activity.ActivityCounters`, charges each block its
+cycle energy (full, utilisation-scaled, or 10 %-idle; clock grids are never
+gated) at the domain's current supply voltage, and accumulates the results.
+
+Physically the accounting is *deferred*: per edge, each (block, domain) cell
+only extends a run-length-encoded ``(cycle_energy, repeat_count)`` segment
+buffer -- and a *quiescent* edge (zero activity drained for every gated block
+of the domain, voltage unchanged) is a single run-counter increment fused
+into the domain tick (:meth:`~repro.sim.clock.ClockDomain.attach_power_probe`)
+with no per-cell work at all.  The buffered segments are replayed **in their
+original order, one float addition per edge per block** -- never reassociated
+-- when the accountant is *flushed*, so every observable number is bit-equal
+to the eager implementation.  The flush points are exactly the observation
+points: :meth:`total_energy` / :meth:`breakdown` (and the ``energy_by_block``
+view), the DVFS controller's epoch sampling, ``Processor.retime_domain``
+(a voltage change must close the open run at the old voltage), and the end of
+a run.
 
 The output is an :class:`EnergyBreakdown` -- total energy, average power and
 the per-macro-block split of Figure 10.
@@ -14,12 +28,37 @@ the per-macro-block split of Figure 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, List, Optional
 
 from ..sim.clock import ClockDomain
 from .activity import ActivityCounters
 from .blocks import BREAKDOWN_CATEGORIES, BlockEnergyModel
 from .technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+# Gated-cell layout.  Slots 0-1 belong to ActivityCounters ([pending,
+# total]); the accountant extends the same list so the per-edge probe and the
+# pipeline producers share one object with no dictionary in between.
+_C_PENDING = 0        # accesses recorded since the domain's last edge
+_C_TOTAL = 1          # cumulative drained accesses
+_C_LAST_E = 2         # cycle energy of the open RLE run (None before any edge)
+_C_LAST_N = 3         # repeat count of the open RLE run (0 = no open run)
+_C_SEGMENTS = 4       # closed (cycle_energy, repeat_count) segments, in order
+_C_MEMO = 5           # accesses -> cycle energy at the current voltage
+_C_MODEL = 6          # the BlockEnergyModel
+_C_IDLE_E = 7         # cycle energy of a zero-access cycle at current voltage
+_C_NAME = 8           # block name (flush target in energy_by_block)
+_C_SEEN = 9           # domain edge count this cell is accounted through
+_C_LAST_ACC = 10      # access count charged on the cell's last active edge
+
+# Domain state vector shared with the fused clock-domain probe.  A cell that
+# stays idle is not touched at all on the per-edge path: the difference
+# between the domain's edge counter and the cell's ``seen`` counter is the
+# run of idle cycles, materialised lazily (all within one voltage run, so
+# the idle cycle energy of the gap is a single constant).
+_S_VDD = 0            # voltage of the open run (None before the first edge)
+_S_EDGES = 1          # edges accounted for this domain since creation
+_S_RUN_START = 2      # _S_EDGES value when the current voltage run began
 
 
 @dataclass
@@ -55,20 +94,28 @@ class EnergyBreakdown:
 
 
 class PowerAccountant:
-    """Charges block energies on every clock edge of every domain."""
+    """Deferred, flush-on-read energy accounting over every clock domain."""
 
     def __init__(self, activity: ActivityCounters,
                  tech: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
         self.activity = activity
         self.tech = tech
         self._blocks_by_domain: Dict[str, List[BlockEnergyModel]] = {}
-        #: per-domain list of [name, model, memo] cells, parallel to
-        #: ``_blocks_by_domain`` -- memo caches cycle_energy by access count
-        self._cells_by_domain: Dict[str, List[list]] = {}
         self._domains: Dict[str, ClockDomain] = {}
         self._block_domain: Dict[str, str] = {}
-        self.energy_by_block: Dict[str, float] = {}
-        self._last_edge_time: float = 0.0
+        self._energy_by_block: Dict[str, float] = {}
+        #: per-domain [state, gated_cells, ungated_cells, vdd_runs]
+        self._records: Dict[str, list] = {}
+
+    @property
+    def energy_by_block(self) -> Dict[str, float]:
+        """Accumulated energy per block (nJ), flushed to the current edge.
+
+        Reading this property is an observation point: deferred segments are
+        replayed first, so the returned (live) dict is always current.
+        """
+        self.flush()
+        return self._energy_by_block
 
     @property
     def cycles_by_domain(self) -> Dict[str, int]:
@@ -77,97 +124,222 @@ class PowerAccountant:
 
     # ------------------------------------------------------------ registration
     def register_block(self, model: BlockEnergyModel, domain: ClockDomain) -> None:
-        """Assign a block model to the clock domain that charges it."""
+        """Assign a block model to the clock domain that charges it.
+
+        Registering into a domain that has already accumulated edges flushes
+        first, so the new block is only charged from this point on.
+        """
         if model.name in self._block_domain:
             raise ValueError(f"block {model.name!r} registered twice")
-        self._blocks_by_domain.setdefault(domain.name, []).append(model)
-        self._cells_by_domain.setdefault(domain.name, []).append(
-            [model.name, model, {}, model.gated])
-        self._block_domain[model.name] = domain.name
-        self.energy_by_block[model.name] = 0.0
-        if domain.name not in self._domains:
+        record = self._records.get(domain.name)
+        if record is None:
+            #          state,            gated, ungated, vdd_runs
+            record = [[None, 0, 0], [], [], []]
+            self._records[domain.name] = record
             self._domains[domain.name] = domain
-            domain.add_edge_hook(self._make_edge_hook(domain))
+            domain.attach_power_probe(self._make_probe(domain, record))
+        else:
+            self.flush()
+        self._blocks_by_domain.setdefault(domain.name, []).append(model)
+        self._block_domain[model.name] = domain.name
+        self._energy_by_block[model.name] = 0.0
+        if model.gated:
+            cell = self.activity.cell(model.name)
+            if len(cell) == 2:
+                # joining an already-running domain: the voltage run is open,
+                # so derive the idle cycle energy now (rebuild only runs on
+                # the next voltage change)
+                vdd = record[0][0]
+                idle_e = (model.cycle_energy(0, vdd, self.tech)
+                          if vdd is not None else 0.0)
+                cell.extend([None, 0, [], {}, model, idle_e, model.name,
+                             record[0][1], -1])
+            else:  # pragma: no cover - same block shared across accountants
+                raise ValueError(f"block {model.name!r} already has an "
+                                 "accounting cell")
+            record[1].append(cell)
+        else:
+            # Always-on blocks (clock grids): per-edge energy depends only on
+            # the voltage, so one per-domain (vdd, edges) run list covers all
+            # of them and nothing touches them on the per-edge path.
+            record[2].append([model, model.name, {}])
 
-    def _make_edge_hook(self, domain: ClockDomain):
-        """Build the per-edge accounting closure for one clock domain.
+    def _make_probe(self, domain: ClockDomain, record: list):
+        """Build the (gated_cells, state, active_edge) probe for one domain.
 
-        ``cycle_energy`` is a pure function of the access count for a fixed
-        block, supply voltage and technology, and per-cycle access counts are
-        tiny integers, so each block keeps a memo of exact cycle energies by
-        access count (invalidated if the domain voltage ever changes).  The
-        closure charges a whole edge with one dict lookup per block instead of
-        re-deriving capacitance scaling every cycle.
+        The quiescent fast path (zero pending accesses, voltage unchanged) is
+        executed inline by the domain tick itself; ``active_edge`` is the
+        slow path that materialises the deferred quiescent run and extends
+        each cell's RLE buffer for the current edge.  ``cycle_energy`` is a
+        pure function of the access count for a fixed block, supply voltage
+        and technology, and per-cycle access counts are tiny integers, so
+        each cell keeps a memo of exact cycle energies by access count
+        (invalidated whenever the domain voltage changes).
         """
-        domain_name = domain.name
-        cells = self._cells_by_domain.setdefault(domain_name, [])
-        pending = self.activity._pending
-        totals = self.activity._totals
-        energy = self.energy_by_block
+        state, gated, _ungated, vdd_runs = record
         tech = self.tech
-        # Rebuilt whenever the voltage or the block set changes:
-        # state = [vdd, cell_count, gated_cells, ungated_pairs] with
-        # gated_cells: (name, model, memo); ungated_pairs: (name, cycle_e)
-        state = [None, 0, (), ()]
 
         def rebuild(vdd: float) -> None:
-            gated_cells = []
-            ungated_pairs = []
-            for name, model, memo, gated in cells:
-                memo.clear()
-                if gated:
-                    gated_cells.append((name, model, memo))
-                else:
-                    # always-on blocks (clock grids): cycle energy ignores
-                    # the access count and nothing records activity for them
-                    ungated_pairs.append((name, model.cycle_energy(0, vdd, tech)))
+            # Voltage changed: materialise every cell's idle gap and close
+            # the run at the old voltage first, then re-derive the per-cell
+            # memos at the new one.
+            edges = state[1]
+            for cell in gated:
+                gap = edges - cell[9]
+                if gap:
+                    cell[9] = edges
+                    e = cell[7]
+                    if cell[2] == e:
+                        cell[3] += gap
+                    else:
+                        if cell[3]:
+                            cell[4].append((cell[2], cell[3]))
+                        cell[2] = e
+                        cell[3] = gap
+                cell[5].clear()
+                cell[7] = cell[6].cycle_energy(0, vdd, tech)
+                cell[10] = -1
+            run = edges - state[2]
+            if run:
+                vdd_runs.append((state[0], run))
+                state[2] = edges
             state[0] = vdd
-            state[1] = len(cells)
-            state[2] = gated_cells
-            state[3] = ungated_pairs
 
-        def hook(cycle: int, time: float) -> None:
-            if time > self._last_edge_time:
-                self._last_edge_time = time
+        def active_edge() -> None:
             vdd = domain.voltage
-            if vdd != state[0] or len(cells) != state[1]:
+            if vdd != state[0]:
                 rebuild(vdd)
-            for name, model, memo in state[2]:
-                accesses = pending[name]   # defaultdict: seeds missing with 0
-                if accesses:
-                    pending[name] = 0
-                    totals[name] += accesses
-                cycle_e = memo.get(accesses)
-                if cycle_e is None:
-                    cycle_e = model.cycle_energy(accesses, vdd, tech)
-                    memo[accesses] = cycle_e
-                energy[name] += cycle_e
-            for name, cycle_e in state[3]:
-                energy[name] += cycle_e
+            edges = state[1]
+            edges_after = edges + 1
+            state[1] = edges_after
+            for cell in gated:
+                accesses = cell[0]
+                if not accesses:
+                    continue          # idle cell: its gap run grows for free
+                cell[0] = 0
+                cell[1] += accesses
+                if cell[9] == edges and accesses == cell[10]:
+                    # consecutive active edge with the same access count:
+                    # same cycle energy, so the open RLE run just grows
+                    cell[3] += 1
+                    cell[9] = edges_after
+                    continue
+                gap = edges - cell[9]
+                cell[9] = edges_after
+                if gap:
+                    e = cell[7]
+                    if cell[2] == e:
+                        cell[3] += gap
+                    else:
+                        if cell[3]:
+                            cell[4].append((cell[2], cell[3]))
+                        cell[2] = e
+                        cell[3] = gap
+                memo = cell[5]
+                e = memo.get(accesses)
+                if e is None:
+                    e = cell[6].cycle_energy(accesses, vdd, tech)
+                    memo[accesses] = e
+                cell[10] = accesses
+                if cell[2] == e:
+                    cell[3] += 1
+                else:
+                    if cell[3]:
+                        cell[4].append((cell[2], cell[3]))
+                    cell[2] = e
+                    cell[3] = 1
 
-        return hook
+        return (gated, state, active_edge)
+
+    # ----------------------------------------------------------------- flush
+    def flush(self) -> None:
+        """Replay every deferred segment into the per-block accumulators.
+
+        Replays happen in original per-edge order within each accumulator --
+        one float addition per edge per block, exactly the additions the
+        eager implementation performed -- so flushed totals are bit-identical
+        no matter when (or how often) the flush happens.
+        """
+        energy = self._energy_by_block
+        tech = self.tech
+        for record in self._records.values():
+            state, gated, ungated, vdd_runs = record
+            edges = state[1]
+            for cell in gated:
+                # materialise the idle gap, then replay the RLE buffer; the
+                # gap charge moves the open run to the idle energy, so the
+                # consecutive-same-count hint no longer describes cell[2]
+                gap = edges - cell[9]
+                if gap:
+                    cell[9] = edges
+                    cell[10] = -1
+                    e = cell[7]
+                    if cell[2] == e:
+                        cell[3] += gap
+                    else:
+                        if cell[3]:
+                            cell[4].append((cell[2], cell[3]))
+                        cell[2] = e
+                        cell[3] = gap
+                segments = cell[4]
+                tail = cell[3]
+                if not segments and not tail:
+                    continue
+                acc = energy[cell[8]]
+                for e, n in segments:
+                    for _ in repeat(None, n):
+                        acc += e
+                segments.clear()
+                if tail:
+                    e = cell[2]
+                    for _ in repeat(None, tail):
+                        acc += e
+                    cell[3] = 0
+                energy[cell[8]] = acc
+            run = edges - state[2]
+            if run:
+                vdd_runs.append((state[0], run))
+                state[2] = edges
+            if vdd_runs:
+                for model, name, memo in ungated:
+                    acc = energy[name]
+                    for vdd, n in vdd_runs:
+                        e = memo.get(vdd)
+                        if e is None:
+                            e = model.cycle_energy(0, vdd, tech)
+                            memo[vdd] = e
+                        for _ in repeat(None, n):
+                            acc += e
+                    energy[name] = acc
+                vdd_runs.clear()
 
     # ----------------------------------------------------------------- results
     def total_energy(self) -> float:
-        """Total accumulated energy over every block, in nJ."""
-        return sum(self.energy_by_block.values())
+        """Total accumulated energy over every block, in nJ (flushes first)."""
+        self.flush()
+        return sum(self._energy_by_block.values())
 
     def breakdown(self, elapsed_ns: Optional[float] = None) -> EnergyBreakdown:
         """Snapshot the accumulated energy as an :class:`EnergyBreakdown`."""
+        self.flush()
         categories: Dict[str, float] = {}
         domains: Dict[str, float] = {}
         model_by_name = {m.name: m
                          for models in self._blocks_by_domain.values()
                          for m in models}
-        for name, energy in self.energy_by_block.items():
+        for name, energy in self._energy_by_block.items():
             category = model_by_name[name].category
             categories[category] = categories.get(category, 0.0) + energy
             domain = self._block_domain[name]
             domains[domain] = domains.get(domain, 0.0) + energy
+        if elapsed_ns is None:
+            elapsed_ns = max((domain.last_edge_time
+                              for domain in self._domains.values()),
+                             default=0.0)
         return EnergyBreakdown(
-            by_block=dict(self.energy_by_block),
+            by_block=dict(self._energy_by_block),
             by_category=categories,
             by_domain=domains,
-            total_energy_nj=self.total_energy(),
-            elapsed_ns=elapsed_ns if elapsed_ns is not None else self._last_edge_time,
+            total_energy_nj=sum(self._energy_by_block.values()),
+            elapsed_ns=elapsed_ns,
         )

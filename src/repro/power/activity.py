@@ -5,25 +5,48 @@ Microarchitecture components record every access to a power-modelled block
 :class:`ActivityCounters` object.  The power accountant drains the per-cycle
 counts at each clock-domain edge and turns them into energy; cumulative
 counts remain available for reports and tests.
+
+Storage is one mutable *cell* (a small list) per block: ``cell[0]`` is the
+pending count for the current cycle of the block's clock domain, ``cell[1]``
+the cumulative drained total.  Producers on the pipeline hot path hold a
+direct reference to their block's cell (:meth:`ActivityCounters.cell`) and
+increment ``cell[0]`` inline, and the power accountant's per-edge probe reads
+the same cells without any dictionary lookup.  The accountant may extend a
+cell with additional bookkeeping slots; only the first two are owned here.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict
+from typing import Dict, List
+
+
+#: Cell layout: indices owned by the activity counters.
+CELL_PENDING = 0
+CELL_TOTAL = 1
 
 
 class ActivityCounters:
     """Shared access counters, split into per-cycle (pending) and cumulative.
 
     ``record`` is called several times per pipeline stage per cycle, so it
-    performs a single dictionary update: pending counts are folded into the
+    performs a single cell update: pending counts are folded into the
     cumulative totals when they are drained (or read), not on every record.
     """
 
     def __init__(self) -> None:
-        self._pending: Dict[str, int] = defaultdict(int)
-        self._totals: Dict[str, int] = defaultdict(int)
+        self._cells: Dict[str, List] = {}
+
+    def cell(self, block: str) -> List:
+        """The mutable counter cell for ``block`` (created on first use).
+
+        Hot-path producers cache the returned list and do ``cell[0] += n``
+        directly; the cell identity is stable for the lifetime of the
+        counters object.
+        """
+        found = self._cells.get(block)
+        if found is None:
+            found = self._cells[block] = [0, 0]
+        return found
 
     def record(self, block: str, count: int = 1) -> None:
         """Record ``count`` accesses to ``block`` in the current cycle."""
@@ -31,33 +54,40 @@ class ActivityCounters:
             if count == 0:
                 return
             raise ValueError("access count must be non-negative")
-        self._pending[block] += count
+        cell = self._cells.get(block)
+        if cell is None:
+            cell = self._cells[block] = [0, 0]
+        cell[0] += count
 
     def drain(self, block: str) -> int:
         """Return and clear the pending (current-cycle) count for ``block``."""
-        count = self._pending.get(block, 0)
+        cell = self._cells.get(block)
+        if cell is None:
+            return 0
+        count = cell[0]
         if count:
-            self._pending[block] = 0
-            self._totals[block] += count
+            cell[0] = 0
+            cell[1] += count
         return count
 
     def pending(self, block: str) -> int:
         """Pending count without clearing (mainly for tests)."""
-        return self._pending.get(block, 0)
+        cell = self._cells.get(block)
+        return cell[0] if cell is not None else 0
 
     def total(self, block: str) -> int:
         """Cumulative access count for ``block`` (drained + still pending)."""
-        return self._totals.get(block, 0) + self._pending.get(block, 0)
+        cell = self._cells.get(block)
+        return cell[0] + cell[1] if cell is not None else 0
 
     def totals(self) -> Dict[str, int]:
         """Copy of all cumulative counts (drained + still pending)."""
-        merged = dict(self._totals)
-        for block, count in self._pending.items():
-            if count:
-                merged[block] = merged.get(block, 0) + count
-        return merged
+        return {block: cell[0] + cell[1]
+                for block, cell in self._cells.items()
+                if cell[0] or cell[1]}
 
     def reset(self) -> None:
         """Zero both the pending per-cycle and the total access counters."""
-        self._pending.clear()
-        self._totals.clear()
+        for cell in self._cells.values():
+            cell[0] = 0
+            cell[1] = 0

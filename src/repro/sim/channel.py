@@ -87,9 +87,29 @@ class Channel:
         """Whether the producer may push at ``time``."""
         raise NotImplementedError
 
+    def free_slots(self, time: float) -> int:
+        """Number of pushes the producer may perform at ``time``.
+
+        Producer-side visibility only changes at the producer's own pushes
+        within one simulation instant, so a producer draining a whole fetch
+        or dispatch group can take one grant count instead of re-probing
+        ``can_push`` per item.
+        """
+        raise NotImplementedError  # pragma: no cover - overridden
+
     def push(self, item: Any, time: float) -> None:  # pragma: no cover
         """Insert one item at ``time`` (raises when apparently full)."""
         raise NotImplementedError
+
+    def push_granted(self, item: Any, time: float) -> None:
+        """Insert one item after a same-``time`` :meth:`can_push` returned True.
+
+        The producer pipelines call ``can_push`` immediately before pushing,
+        so subclasses override this with a variant that skips the repeated
+        space-expiry and capacity checks.  Calling it without the preceding
+        grant is a contract violation (it may overfill the channel).
+        """
+        self.push(item, time)
 
     def can_pop(self, time: float) -> bool:  # pragma: no cover - overridden
         """Whether the consumer can pop at ``time``."""
@@ -163,12 +183,21 @@ class SyncQueue(Channel):
         """True while the queue has free capacity."""
         return len(self._entries) < self.capacity
 
+    def free_slots(self, time: float) -> int:
+        """Free capacity (same-domain queues have no hidden slots)."""
+        return self.capacity - len(self._entries)
+
     def push(self, item: Any, time: float) -> None:
         """Append one item (raises when full)."""
         entries = self._entries
         if len(entries) >= self.capacity:
             raise OverflowError(f"push into full channel {self.name!r}")
         entries.append((item, time))
+        self.push_count += 1
+
+    def push_granted(self, item: Any, time: float) -> None:
+        """Append one item (capacity already granted by ``can_push``)."""
+        self._entries.append((item, time))
         self.push_count += 1
 
     def can_pop(self, time: float) -> bool:

@@ -79,6 +79,26 @@ class Clock:
                      phase=self.phase)
 
 
+class CallablePeriod:
+    """Adapter giving a ``clock_period()`` callable the ``.period`` interface.
+
+    Pipeline units read the clock period on per-cycle hot paths; handing them
+    the :class:`Clock` object (mutated in place by mid-run retiming) turns
+    that into one attribute read.  Units constructed with only a legacy
+    callable wrap it in this adapter so the hot path stays uniform.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    @property
+    def period(self) -> float:
+        """Current period from the wrapped callable."""
+        return self._fn()
+
+
 class ClockDomain:
     """A locally synchronous block: one clock, one voltage, many components.
 
@@ -102,11 +122,17 @@ class ClockDomain:
         self.nominal_voltage = nominal_voltage if nominal_voltage is not None else voltage
         self.priority = priority
         self.cycle = 0
+        #: absolute time of the most recent rising edge ticked with a power
+        #: probe attached (the default elapsed time of an energy breakdown)
+        self.last_edge_time = 0.0
         self._components: List[ClockedComponent] = []
         self._edge_hooks: List[Callable[[int, float], None]] = []
         #: flat call list ticked per edge: every component's bound
         #: ``clock_edge`` followed by every edge hook, in registration order
         self._edge_callbacks: List[Callable[[int, float], None]] = []
+        #: deferred power accounting fused into the edge tick -- see
+        #: :meth:`attach_power_probe`
+        self._power_probe: Optional[tuple] = None
         self._engine: Optional[SimulationEngine] = None
 
     # ------------------------------------------------------------ composition
@@ -127,16 +153,30 @@ class ClockDomain:
 
     def add_component(self, component: ClockedComponent) -> None:
         """Register a component to be ticked on every rising edge."""
+        self._guard_bound_specialized()
         self._components.append(component)
         self._rebuild_edge_callbacks()
 
     def add_edge_hook(self, hook: Callable[[int, float], None]) -> None:
         """Register a callback ``hook(cycle, time)`` run after components tick.
 
-        Used by the power accountant to close out per-cycle energy.
+        Used by tests and ad-hoc instrumentation; the power accountant fuses
+        its accounting into the edge closure instead (attach_power_probe).
         """
+        self._guard_bound_specialized()
         self._edge_hooks.append(hook)
         self._rebuild_edge_callbacks()
+
+    def _guard_bound_specialized(self) -> None:
+        # A domain bound with a single callback uses a direct-call closure;
+        # its callback set can no longer be grown in place.  Multi-callback
+        # (and empty) domains keep the in-place-mutable list closure, so
+        # post-bind registration keeps working there.
+        if self._engine is not None and getattr(self, "_bound_single", False):
+            raise SimulationError(
+                f"domain {self.name!r}: cannot add components or hooks while "
+                "bound with a fused single-component edge; register before "
+                "bind()")
 
     def _rebuild_edge_callbacks(self) -> None:
         # mutated in place: the bound edge closure captures the list object
@@ -144,21 +184,132 @@ class ClockDomain:
             [component.clock_edge for component in self._components]
             + list(self._edge_hooks))
 
+    def attach_power_probe(self, probe: tuple) -> None:
+        """Fuse a deferred power-accounting probe into this domain's tick.
+
+        ``probe`` is ``(gated_cells, state, active_edge)`` as built by
+        :meth:`repro.power.accounting.PowerAccountant._make_probe`: the edge
+        closure runs the accounting *inline* after the components tick --
+        on a quiescent edge (no gated cell has pending activity and the
+        voltage matches the open run) it is a single run-counter increment
+        with no Python call at all; otherwise it calls ``active_edge``.
+
+        Attaching after the domain is bound falls back to an equivalent edge
+        hook (the bound closure reads the callback list in place), keeping
+        post-bind registration working for domains bound with a mutable
+        callback list.  A domain bound with a fused single-component edge
+        has no such list; attaching there raises -- register power blocks
+        before :meth:`bind` (every processor build does).
+        """
+        if self._engine is None:
+            self._power_probe = probe
+            return
+        if getattr(self, "_bound_single", False):
+            raise SimulationError(
+                f"domain {self.name!r}: cannot attach a power probe while "
+                "bound with a fused single-component edge; register power "
+                "blocks before bind()")
+        gated_cells, state, active_edge = probe
+
+        def hook(_cycle: int, time: float, domain=self) -> None:
+            """Per-edge accounting fallback hook (post-bind attachment)."""
+            domain.last_edge_time = time
+            if domain.voltage == state[0]:
+                for cell in gated_cells:
+                    if cell[0]:
+                        active_edge()
+                        break
+                else:
+                    state[1] += 1
+            else:
+                active_edge()
+
+        self.add_edge_hook(hook)
+
     # --------------------------------------------------------------- clocking
     def bind(self, engine: SimulationEngine) -> None:
-        """Attach this domain to an engine by scheduling its periodic edge event."""
+        """Attach this domain to an engine by scheduling its periodic edge event.
+
+        The edge closure is specialised at bind time: a domain with a single
+        component whose class provides ``make_fused_edge`` (the execution
+        clusters) supplies its own fully fused closure; other single-callback
+        domains get a direct call instead of a callback loop; multi-callback
+        (and empty) domains keep the in-place-mutable callback list so
+        post-bind registration continues to work.  The deferred power
+        accounting probe is fused into every variant: a quiescent edge is a
+        single run-counter increment with no Python call.
+        """
         self._engine = engine
         callbacks = self._edge_callbacks
+        probe = self._power_probe
+        single = callbacks[0] if len(callbacks) == 1 else None
+        self._bound_single = single is not None
+        on_edge = None
 
-        def on_edge(_param: object, domain=self, engine=engine,
-                    callbacks=callbacks) -> None:
-            # specialised _on_edge: engine and callback list pre-bound
-            """One rising edge: tick every component and hook, then count the cycle."""
-            time = engine._now
-            cycle = domain.cycle
-            for callback in callbacks:
+        if (len(self._components) == 1 and not self._edge_hooks
+                and hasattr(self._components[0], "make_fused_edge")):
+            on_edge = self._components[0].make_fused_edge(self, engine, probe)
+        elif probe is not None:
+            gated_cells, state, active_edge = probe
+            if single is not None:
+                def on_edge(_param: object, domain=self, engine=engine,
+                            callback=single, gated_cells=gated_cells,
+                            state=state, active_edge=active_edge) -> None:
+                    """One rising edge: tick the component, account the edge, count the cycle."""
+                    time = engine._now
+                    cycle = domain.cycle
+                    callback(cycle, time)
+                    domain.last_edge_time = time
+                    if domain.voltage == state[0]:
+                        for cell in gated_cells:
+                            if cell[0]:
+                                active_edge()
+                                break
+                        else:
+                            state[1] += 1
+                    else:
+                        active_edge()
+                    domain.cycle = cycle + 1
+            else:
+                def on_edge(_param: object, domain=self, engine=engine,
+                            callbacks=callbacks, gated_cells=gated_cells,
+                            state=state, active_edge=active_edge) -> None:
+                    # a quiescent edge (no pending activity, voltage
+                    # unchanged) is one run-counter increment
+                    """One rising edge: tick every component, account the edge, count the cycle."""
+                    time = engine._now
+                    cycle = domain.cycle
+                    for callback in callbacks:
+                        callback(cycle, time)
+                    domain.last_edge_time = time
+                    if domain.voltage == state[0]:
+                        for cell in gated_cells:
+                            if cell[0]:
+                                active_edge()
+                                break
+                        else:
+                            state[1] += 1
+                    else:
+                        active_edge()
+                    domain.cycle = cycle + 1
+        elif single is not None:
+            def on_edge(_param: object, domain=self, engine=engine,
+                        callback=single) -> None:
+                """One rising edge: tick the single component, count the cycle."""
+                time = engine._now
+                cycle = domain.cycle
                 callback(cycle, time)
-            domain.cycle = cycle + 1
+                domain.cycle = cycle + 1
+        else:
+            def on_edge(_param: object, domain=self, engine=engine,
+                        callbacks=callbacks) -> None:
+                # specialised _on_edge: engine and callback list pre-bound
+                """One rising edge: tick every component and hook, then count the cycle."""
+                time = engine._now
+                cycle = domain.cycle
+                for callback in callbacks:
+                    callback(cycle, time)
+                domain.cycle = cycle + 1
 
         engine.schedule_periodic(
             start=self.clock.phase,
@@ -173,6 +324,7 @@ class ClockDomain:
         if self._engine is not None:
             self._engine.cancel_chain(f"clock:{self.clock.name}")
             self._engine = None
+            self._bound_single = False
 
     def _on_edge(self, _param: object) -> None:
         engine = self._engine

@@ -385,6 +385,42 @@ class SimulationEngine:
                     index = 0
                     wheel_size = len(wheel)
                     wheel_version = self._wheel_version
+                    if stop_condition is None and max_events is None:
+                        # Leanest variant (every full processor run): no
+                        # per-edge stop-condition or event-budget checks --
+                        # the pipeline stops the engine via stop().
+                        while not self._stop_requested:
+                            if rotation is not None:
+                                chain = rotation[index]
+                                index += 1
+                                if index == wheel_size:
+                                    index = 0
+                            else:
+                                chain = min(wheel)
+                            if chain[8]:        # CHAIN_CANCELLED
+                                self._discard_chain(chain)
+                                break
+                            time = chain[0]     # CHAIN_TIME
+                            if time > horizon:
+                                self._now = until
+                                return self._now
+                            self._now = time
+                            self._current_chain = chain
+                            # callbacks observe the pre-event count, exactly
+                            # as on the generic path
+                            self._events_processed = events_done
+                            chain[3](chain[4])  # CHAIN_CALLBACK(CHAIN_PARAM)
+                            self._current_chain = None
+                            events_done += 1
+                            if chain[8]:
+                                self._discard_chain(chain)
+                                break
+                            chain[2] = next_seq()       # CHAIN_SEQ
+                            chain[0] = time + chain[5]  # TIME += PERIOD
+                            if queue or self._wheel_version != wheel_version:
+                                break   # one-shots scheduled / chains changed
+                        self._events_processed = events_done
+                        continue
                     while not self._stop_requested:
                         if rotation is not None:
                             chain = rotation[index]

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..core.metrics import _CLASS_VALUES
 from ..memory.hierarchy import MemoryHierarchy
 from .instruction import DynamicInstruction
 from .issue_queue import ForwardingLatency
@@ -49,8 +48,9 @@ class CommitUnit:
         self.domain_name = domain_name
         self.forwarding_latency = forwarding_latency
         self.activity = activity
-        #: direct handle on the per-cycle counters (see DecodeRenameUnit)
-        self._pending = activity._pending
+        #: direct handles on the per-cycle counter cells (see DecodeRenameUnit)
+        self._dcache_cell = activity.cell("dcache")
+        self._regwrite_cell = activity.cell("regfile_write")
         #: exec-domain -> forwarding latency into the commit domain
         self._fwd_cache: dict = {}
         self.stats = stats
@@ -58,6 +58,14 @@ class CommitUnit:
         # statistics local to the stage
         self.committed = 0
         self.commit_stall_cycles = 0
+        #: run-length-deferred occupancy sampling: consecutive cycles where
+        #: the ROB length and both register-in-use counts are unchanged
+        #: accumulate in ``_sample_run`` and are folded into the integer
+        #: counters (ROB tracker + SimulationStats) on change or read
+        self._sample_rob = -1
+        self._sample_int = -1
+        self._sample_fp = -1
+        self._sample_run = 0
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
@@ -68,13 +76,17 @@ class CommitUnit:
         """Retire up to ``commit_width`` finished instructions in program order and sample occupancies."""
         rob = self.rob
         entries = rob._entries
-        if entries:
+        if entries and not entries[0].completed:
+            # Head not even executed yet: a full stall cycle, skip the
+            # retirement loop's setup entirely (matches the first-iteration
+            # can_commit=False break below).
+            self.commit_stall_cycles += 1
+        elif entries:
             committed_this_cycle = 0
             stores = 0
             width = self.commit_width
             domain_name = self.domain_name
             fwd_cache = self._fwd_cache
-            pending = self._pending
             stats = self.stats
             regfile = self.regfile
             registers = regfile._registers
@@ -132,7 +144,7 @@ class CommitUnit:
                     # inline stats.record_commit (the reference impl)
                     committed = stats.committed + 1
                     stats.committed = committed
-                    key = _CLASS_VALUES[instr.opclass]
+                    key = instr.opclass.class_key
                     by_class = stats.committed_by_class
                     by_class[key] = by_class.get(key, 0) + 1
                     fetch_time = instr.fetch_time
@@ -148,22 +160,55 @@ class CommitUnit:
                 committed_this_cycle += 1
             if committed_this_cycle:
                 if stores:
-                    pending["dcache"] += stores
-                pending["regfile_write"] += committed_this_cycle
-        self._sample(time)
+                    self._dcache_cell[0] += stores
+                self._regwrite_cell[0] += committed_this_cycle
+        # inline _sample's run-extension fast path (unchanged occupancies)
+        regfile = self.regfile
+        if (len(entries) == self._sample_rob
+                and regfile._int_in_use == self._sample_int
+                and regfile._fp_in_use == self._sample_fp):
+            self._sample_run += 1
+        else:
+            self._sample(time)
 
     def _sample(self, now: float) -> None:
         rob = self.rob
-        rob.occupancy_samples += 1
         occupancy = len(rob._entries)
+        regfile = self.regfile
+        int_in_use = regfile._int_in_use
+        fp_in_use = regfile._fp_in_use
+        if (occupancy == self._sample_rob and int_in_use == self._sample_int
+                and fp_in_use == self._sample_fp):
+            self._sample_run += 1
+            return
+        if self._sample_run:
+            self.flush_samples()
+        rob.occupancy_samples += 1
         rob.occupancy_accum += occupancy
         stats = self.stats
         if stats is not None:
-            regfile = self.regfile
             stats.occupancy_samples += 1
             stats.rob_occupancy_sum += occupancy
-            stats.int_regs_in_use_sum += regfile._int_in_use
-            stats.fp_regs_in_use_sum += regfile._fp_in_use
+            stats.int_regs_in_use_sum += int_in_use
+            stats.fp_regs_in_use_sum += fp_in_use
+        self._sample_rob = occupancy
+        self._sample_int = int_in_use
+        self._sample_fp = fp_in_use
+
+    def flush_samples(self) -> None:
+        """Fold the deferred ROB/register occupancy run into the counters."""
+        run = self._sample_run
+        if run:
+            self._sample_run = 0
+            rob = self.rob
+            rob.occupancy_samples += run
+            rob.occupancy_accum += self._sample_rob * run
+            stats = self.stats
+            if stats is not None:
+                stats.occupancy_samples += run
+                stats.rob_occupancy_sum += self._sample_rob * run
+                stats.int_regs_in_use_sum += self._sample_int * run
+                stats.fp_regs_in_use_sum += self._sample_fp * run
 
     # ------------------------------------------------------------------ state
     def pending_work(self) -> int:

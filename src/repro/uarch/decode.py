@@ -15,7 +15,7 @@ exactly the wasted speculative work the paper attributes to the GALS design.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional
 
 from ..isa.instructions import InstructionClass
 from ..sim.channel import Channel
@@ -25,17 +25,16 @@ from .regfile import PhysicalRegisterFile
 from .rob import ReorderBuffer
 
 
-#: opclass -> execution cluster, fully materialised at import so the
-#: dispatch hot loop is a single dict lookup
+#: opclass -> execution cluster; derived from the authoritative ``cluster``
+#: attribute stamped on the enum members (repro.isa.instructions)
 _CLUSTER_CACHE: Dict[InstructionClass, str] = {
-    opclass: ("mem" if opclass.is_memory else "fp" if opclass.is_fp else "int")
-    for opclass in InstructionClass
+    opclass: opclass.cluster for opclass in InstructionClass
 }
 
 
 def cluster_for(opclass: InstructionClass) -> str:
     """Which execution cluster ('int', 'fp', 'mem') runs this class."""
-    return _CLUSTER_CACHE[opclass]
+    return opclass.cluster
 
 
 class DecodeRenameUnit:
@@ -55,8 +54,10 @@ class DecodeRenameUnit:
         dispatch_width: int = 4,
         decode_stages: int = 2,
         cluster_domains: Optional[Dict[str, str]] = None,
+        clock=None,
     ) -> None:
         self.input_channel = input_channel
+        self._input_is_fifo = input_channel.counts_as_fifo
         self.issue_channels = issue_channels
         #: cluster name ('int'/'fp'/'mem') -> clock-domain name executing it
         self.cluster_domains = cluster_domains or {"int": "int", "fp": "fp",
@@ -65,19 +66,26 @@ class DecodeRenameUnit:
         self.rat = rat
         self.regfile = regfile
         self.clock_period = clock_period
+        #: clock-object view of the decode domain (see ExecutionUnit._clock)
+        from ..sim.clock import CallablePeriod
+        self._clock = clock if clock is not None else CallablePeriod(clock_period)
         self.current_epoch = current_epoch
         self.activity = activity
-        #: direct handle on the per-cycle activity counters: decode/dispatch
-        #: record a couple of accesses per instruction, so they increment the
-        #: counter dict inline instead of going through ``activity.record``
-        self._pending = activity._pending
+        #: direct handles on the per-cycle activity counter cells:
+        #: decode/dispatch record a couple of accesses per instruction, so
+        #: they increment the cells inline instead of going through
+        #: ``activity.record``
+        self._decode_cell = activity.cell("decode")
+        self._rename_cell = activity.cell("rename")
+        self._regread_cell = activity.cell("regfile_read")
         self.decode_width = decode_width
         self.dispatch_width = dispatch_width
         self.decode_stages = decode_stages
-        #: instructions inside the decode/rename pipeline: (ready_time, instr).
-        #: Bounded like a real pipe: one decode group per decode stage.
+        #: instructions inside the decode/rename pipeline, oldest first; each
+        #: carries its pipe-exit time in ``instr.pipe_ready``.  Bounded like
+        #: a real pipe: one decode group per decode stage.
         self.pipeline_capacity = decode_stages * decode_width
-        self._pipeline: Deque[Tuple[float, DynamicInstruction]] = deque()
+        self._pipeline: Deque[DynamicInstruction] = deque()
         # statistics
         self.decoded = 0
         self.dispatched = 0
@@ -85,6 +93,9 @@ class DecodeRenameUnit:
         self.rename_stalls = 0
         self.rob_stalls = 0
         self.channel_stalls = 0
+        #: run-length-deferred fetch-queue occupancy sampling (see FetchUnit)
+        self._sample_len = -1
+        self._sample_run = 0
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
@@ -94,10 +105,32 @@ class DecodeRenameUnit:
         if self._pipeline:
             self._dispatch(time)
         channel = self.input_channel
-        if channel._entries:
+        entries = channel._entries
+        # head-visibility precheck: skip the bulk drain while the FIFO head
+        # is still synchronizing into this domain
+        if entries and (not self._input_is_fifo or entries[0][2] <= time):
             self._decode(time)
-        channel.occupancy_samples += 1
-        channel.occupancy_accum += len(channel._entries)
+        entries_len = len(channel._entries)
+        if entries_len == self._sample_len:
+            self._sample_run += 1
+        else:
+            run = self._sample_run
+            if run:
+                self._sample_run = 0
+                channel.occupancy_samples += run
+                channel.occupancy_accum += self._sample_len * run
+            channel.occupancy_samples += 1
+            channel.occupancy_accum += entries_len
+            self._sample_len = entries_len
+
+    def flush_samples(self) -> None:
+        """Fold the deferred fetch-queue occupancy run into the counters."""
+        run = self._sample_run
+        if run:
+            self._sample_run = 0
+            channel = self.input_channel
+            channel.occupancy_samples += run
+            channel.occupancy_accum += self._sample_len * run
 
     # ----------------------------------------------------------------- decode
     def _decode(self, now: float) -> None:
@@ -112,11 +145,10 @@ class DecodeRenameUnit:
         capacity = self.pipeline_capacity
         is_fifo = channel.counts_as_fifo
         width = self.decode_width
-        pending = self._pending
         # epoch and clock period cannot change while decode drains its input
         # (recoveries happen on execution-domain edges), so hoist them
         epoch = self.current_epoch()
-        pipe_delay = self.decode_stages * self.clock_period()
+        pipe_delay = self.decode_stages * self._clock.period
         append = pipeline.append
         while True:
             limit = width - taken
@@ -135,11 +167,12 @@ class DecodeRenameUnit:
                     self.stale_dropped += 1
                     continue
                 instr.decode_time = now
-                append((now + pipe_delay, instr))
+                instr.pipe_ready = now + pipe_delay
+                append(instr)
                 self.decoded += 1
                 taken += 1
         if taken:
-            pending["decode"] += taken
+            self._decode_cell[0] += taken
 
     # --------------------------------------------------------------- dispatch
     def _dispatch(self, now: float) -> None:
@@ -154,22 +187,27 @@ class DecodeRenameUnit:
         issue_channels = self.issue_channels
         cluster_domains = self.cluster_domains
         width = self.dispatch_width
-        pending = self._pending
         regfile_reads = 0
+        #: lazily computed per-cluster grant counts (producer-side space is
+        #: stable within the cycle minus this loop's own pushes)
+        free_slots: Dict[str, int] = {}
         while dispatched < width and pipeline:
-            ready_at, instr = pipeline[0]
-            if ready_at > now:
+            instr = pipeline[0]
+            if instr.pipe_ready > now:
                 break
             if instr.squashed or instr.epoch < current_epoch:
                 pipeline.popleft()
                 self.stale_dropped += 1
                 continue
-            cluster = _CLUSTER_CACHE[instr.opclass]
+            cluster = instr.opclass.cluster
             channel = issue_channels[cluster]
             if len(rob_entries) >= rob_capacity:
                 self.rob_stalls += 1
                 break
-            if not channel.can_push(now):
+            free = free_slots.get(cluster)
+            if free is None:
+                free = channel.free_slots(now)
+            if free <= 0:
                 channel.record_full_stall()
                 self.channel_stalls += 1
                 break
@@ -185,21 +223,22 @@ class DecodeRenameUnit:
             instr.rename_time = now
             instr.dispatch_time = now
             instr.exec_domain = cluster_domains[cluster]
-            channel.push(instr, now)
+            channel.push_granted(instr, now)
+            free_slots[cluster] = free - 1
             pipeline.popleft()
             dispatched += 1
             self.dispatched += 1
             num_reads = len(instr.phys_sources)
             regfile_reads += num_reads if num_reads > 1 else 1
         if dispatched:
-            pending["rename"] += dispatched
-            pending["regfile_read"] += regfile_reads
+            self._rename_cell[0] += dispatched
+            self._regread_cell[0] += regfile_reads
 
     # ----------------------------------------------------------------- squash
     def squash_younger_than(self, branch_seq: int) -> int:
         """Drop wrong-path instructions from the decode pipeline and input."""
         before = len(self._pipeline)
-        self._pipeline = deque((t, i) for (t, i) in self._pipeline
+        self._pipeline = deque(i for i in self._pipeline
                                if i.seq <= branch_seq)
         dropped_pipeline = before - len(self._pipeline)
         dropped_channel = self.input_channel.flush(

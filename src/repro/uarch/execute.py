@@ -31,9 +31,10 @@ from .instruction import DynamicInstruction
 from .issue_queue import ForwardingLatency, IssueQueue
 from .regfile import PhysicalRegisterFile
 
-#: Classes that occupy their functional unit for the full latency
-#: (unpipelined), rather than a single initiation cycle.
-_UNPIPELINED = {InstructionClass.INT_DIV, InstructionClass.FP_DIV}
+# Unpipelined classes (full-latency functional-unit occupancy) are flagged
+# by the ``unpipelined`` attribute stamped on InstructionClass members.
+
+_INF = float("inf")
 
 
 class FunctionalUnitPool:
@@ -94,6 +95,7 @@ class ExecutionUnit:
         recovery_callback: Optional[Callable[[DynamicInstruction, float], None]] = None,
         memory: Optional[MemoryHierarchy] = None,
         latencies: Optional[Dict[InstructionClass, int]] = None,
+        clock=None,
     ) -> None:
         self.name = name
         self.domain_name = domain_name
@@ -102,11 +104,19 @@ class ExecutionUnit:
         self.regfile = regfile
         self.forwarding_latency = forwarding_latency
         self.clock_period = clock_period
+        #: clock-object view for the issue hot path: ``.period`` is a plain
+        #: attribute read (retiming mutates the Clock in place)
+        from ..sim.clock import CallablePeriod
+        self._clock = clock if clock is not None else CallablePeriod(clock_period)
         self.functional_units = functional_units
         self.issue_width = issue_width
         self.activity = activity
-        #: direct handle on the per-cycle counters (see DecodeRenameUnit)
-        self._pending = activity._pending
+        #: direct handles on the per-cycle counter cells (see DecodeRenameUnit)
+        self._regwrite_cell = activity.cell("regfile_write")
+        self._resultbus_cell = activity.cell("resultbus")
+        self._dcache_cell = activity.cell("dcache")
+        self._alu_cell = activity.cell(alu_block)
+        self._queue_cell = activity.cell(queue_block)
         self.alu_block = alu_block
         self.queue_block = queue_block
         self.branch_unit = branch_unit
@@ -118,6 +128,14 @@ class ExecutionUnit:
             opclass: latency_of(opclass, self.latencies)
             for opclass in InstructionClass
         }
+        #: the same table flattened by ``opclass.op_index`` for the issue hot
+        #: loop (a list index beats an enum-keyed dict lookup), paired with
+        #: the functional-unit occupancy of each class
+        self._latency_by_op: List[int] = [
+            self._latency_map[opclass] for opclass in InstructionClass]
+        self._busy_by_op: List[int] = [
+            self._latency_map[opclass] if opclass.unpipelined else 1
+            for opclass in InstructionClass]
         #: operations in execution; each carries its completion time in
         #: ``instr.fu_done`` (set at issue)
         self._in_flight: List[DynamicInstruction] = []
@@ -128,6 +146,14 @@ class ExecutionUnit:
         self.completed_ops = 0
         self.issued_ops = 0
         self.dropped_squashed = 0
+        #: deferred occupancy samples: edges where both the input channel and
+        #: the window were empty (occupancy 0 for both) are counted here and
+        #: folded into the eager counters on the next non-empty edge or an
+        #: external read (integer run-length encoding, so totals are exact)
+        self._idle_samples = 0
+        # per-unit fused stage closures (stable collaborators pre-bound)
+        self._drain_input = self._make_drain_input()
+        self._issue_ready = self._make_issue_ready()
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
@@ -138,15 +164,91 @@ class ExecutionUnit:
         if time >= self._next_completion:
             self._complete_finished(time)
         channel = self.input_channel
-        if channel._entries:
-            self._drain_input(time)
         issue_queue = self.issue_queue
-        if issue_queue._entries:
-            self._issue_ready(time)
-        issue_queue.occupancy_samples += 1
-        issue_queue.occupancy_accum += len(issue_queue._entries)
-        channel.occupancy_samples += 1
-        channel.occupancy_accum += len(channel._entries)
+        if channel._entries or issue_queue._entries:
+            if channel._entries:
+                self._drain_input(time)
+            if issue_queue._entries:
+                self._issue_ready(time)
+            idle = self._idle_samples
+            if idle:
+                self._idle_samples = 0
+                issue_queue.occupancy_samples += idle
+                channel.occupancy_samples += idle
+            issue_queue.occupancy_samples += 1
+            issue_queue.occupancy_accum += len(issue_queue._entries)
+            channel.occupancy_samples += 1
+            channel.occupancy_accum += len(channel._entries)
+        else:
+            # Quiescent edge: both occupancies are zero, so the sample is a
+            # run-length increment (completions above cannot refill either).
+            self._idle_samples += 1
+
+    def flush_samples(self) -> None:
+        """Fold deferred quiescent-edge occupancy samples into the counters."""
+        idle = self._idle_samples
+        if idle:
+            self._idle_samples = 0
+            self.issue_queue.occupancy_samples += idle
+            self.input_channel.occupancy_samples += idle
+
+    def make_fused_edge(self, domain, engine, probe):
+        """Build this cluster's fully fused per-edge closure.
+
+        Used by :meth:`~repro.sim.clock.ClockDomain.bind` when the cluster is
+        its domain's only component: one closure performs the cluster cycle,
+        the deferred occupancy sampling and the deferred power accounting
+        with no intermediate dispatch.  Channel/window list attributes are
+        re-read per edge (squash and flush replace them), but everything
+        else is pre-bound.
+        """
+        unit = self
+        channel = self.input_channel
+        issue_queue = self.issue_queue
+        is_fifo = channel.counts_as_fifo
+        if probe is not None:
+            gated_cells, state, active_edge = probe
+        else:  # pragma: no cover - every processor domain carries a probe
+            gated_cells, state, active_edge = (), [None, 0, 0], lambda: None
+
+        def on_edge(_param: object) -> None:
+            """One cluster cycle fused with accounting: complete, drain, issue, sample, charge."""
+            time = engine._now
+            if time >= unit._next_completion:
+                unit._complete_finished(time)
+            ch_entries = channel._entries
+            iq_entries = issue_queue._entries
+            if ch_entries or iq_entries:
+                # head-visibility precheck saves the empty bulk-drain call
+                # while the FIFO head is still synchronizing
+                if ch_entries and (not is_fifo or ch_entries[0][2] <= time):
+                    unit._drain_input(time)
+                if issue_queue._entries:
+                    unit._issue_ready(time)
+                idle = unit._idle_samples
+                if idle:
+                    unit._idle_samples = 0
+                    issue_queue.occupancy_samples += idle
+                    channel.occupancy_samples += idle
+                issue_queue.occupancy_samples += 1
+                issue_queue.occupancy_accum += len(issue_queue._entries)
+                channel.occupancy_samples += 1
+                channel.occupancy_accum += len(channel._entries)
+            else:
+                unit._idle_samples += 1
+            domain.last_edge_time = time
+            if domain.voltage == state[0]:
+                for cell in gated_cells:
+                    if cell[0]:
+                        active_edge()
+                        break
+                else:
+                    state[1] += 1
+            else:
+                active_edge()
+            domain.cycle += 1
+
+        return on_edge
 
     # ------------------------------------------------------------ completion
     def _complete_finished(self, now: float) -> None:
@@ -160,14 +262,18 @@ class ExecutionUnit:
         # Remove the finished operations from the in-flight set *before*
         # processing them: branch resolution below may trigger misprediction
         # recovery, which squashes younger work in this very unit.
-        for instr in finished:
-            in_flight.remove(instr)
-        pending = self._pending
+        if len(finished) == len(in_flight):
+            in_flight.clear()
+        else:
+            self._in_flight = [instr for instr in in_flight
+                               if instr.fu_done > now]
+        if len(finished) > 1:
+            finished.sort(key=lambda i: i.seq)
         results = 0
         regfile = self.regfile
         registers = regfile._registers
         domain_name = self.domain_name
-        for instr in sorted(finished, key=lambda i: i.seq):
+        for instr in finished:
             if instr.squashed:
                 continue
             instr.completed = True
@@ -190,8 +296,8 @@ class ExecutionUnit:
                 if instr.mispredicted and self.recovery_callback is not None:
                     self.recovery_callback(instr, now)
         if results:
-            pending["regfile_write"] += results
-            pending["resultbus"] += results
+            self._regwrite_cell[0] += results
+            self._resultbus_cell[0] += results
         self._refresh_next_completion()
 
     def _refresh_next_completion(self) -> None:
@@ -203,97 +309,225 @@ class ExecutionUnit:
         self._next_completion = next_completion
 
     # ----------------------------------------------------------------- input
-    def _drain_input(self, now: float) -> None:
-        # Writeback-side intake: drain the dispatch channel in bulk.  Each
-        # batch is bounded by the issue queue's free space; squashed items do
-        # not occupy a queue slot, so the loop re-probes until the queue is
-        # full or the channel has nothing more visible.
+    def _make_drain_input(self):
+        """Build the per-unit bulk-intake closure (stable refs pre-bound).
+
+        The per-cycle stage bodies run thousands of times per simulated
+        millisecond; binding the stable collaborators (channel, window,
+        counter cells) as closure variables makes each access a local read
+        instead of an attribute chain -- the same idiom the clock domains use
+        for their edge closures.
+        """
+        unit = self
         channel = self.input_channel
         pop_bulk = channel.pop_bulk
         is_fifo = channel.counts_as_fifo
         queue = self.issue_queue
-        dispatch = queue.dispatch
-        entries = queue._entries
         capacity = queue.capacity
-        pending = self._pending
-        queue_block = self.queue_block
-        drained = 0
-        while True:
-            space = capacity - len(entries)
-            if space <= 0:
-                break
-            batch = pop_bulk(now, space)
-            if not batch:
-                break
-            for instr, wait in batch:
-                if is_fifo and wait > 0:
-                    instr.fifo_time += wait
-                if instr.squashed:
-                    self.dropped_squashed += 1
-                    continue
-                dispatch(instr)
-                drained += 1
-        if drained:
-            pending[queue_block] += drained
+        queue_cell = self._queue_cell
+
+        def drain_input(now: float) -> None:
+            # Writeback-side intake: drain the dispatch channel in bulk.
+            # Each batch is bounded by the issue queue's free space; squashed
+            # items do not occupy a queue slot, so the loop re-probes until
+            # the queue is full or the channel has nothing more visible.
+            entries = queue._entries
+            drained = 0
+            while True:
+                space = capacity - len(entries)
+                if space <= 0:
+                    break
+                batch = pop_bulk(now, space)
+                if not batch:
+                    break
+                for instr, wait in batch:
+                    if is_fifo and wait > 0:
+                        instr.fifo_time += wait
+                    if instr.squashed:
+                        unit.dropped_squashed += 1
+                        continue
+                    # inline IssueQueue.dispatch (the batch is bounded by the
+                    # window's free space, so the capacity check cannot
+                    # fire).  In-order appends land beyond the wakeup gate's
+                    # covered prefix, so the gate survives; an out-of-order
+                    # arrival scrambles the prefix and must invalidate it.
+                    if entries and instr.seq < entries[-1].seq:
+                        queue._needs_sort = True
+                        queue.gate_time = -1.0
+                    entries.append(instr)
+                    drained += 1
+            if drained:
+                queue.dispatches += drained
+                queue_cell[0] += drained
+
+        return drain_input
 
     # ----------------------------------------------------------------- issue
-    def _issue_ready(self, now: float) -> None:
+    def _make_issue_ready(self):
+        """Build the per-unit wakeup/select + issue closure.
+
+        A single pass over the window models the CAM search of
+        ``IssueQueue.ready_instructions`` (every examined entry counts as
+        wakeup activity, the per-entry visibility caches and the queue-level
+        gate are maintained identically) and starts ready instructions on
+        free functional units as it finds them, oldest first, without
+        materialising an intermediate ready list.  All stable collaborators
+        are pre-bound as closure variables: the per-cycle setup of the scan
+        is a handful of local reads.
+        """
+        unit = self
         issue_queue = self.issue_queue
-        if not issue_queue._entries:
-            return
-        # Queue-level wakeup gate: skip the whole wakeup/select scan when the
-        # last complete scan proved nothing becomes visible before gate_time
-        # and no result has completed since (regfile.writes unchanged).
-        if (issue_queue.gate_stamp == self.regfile.writes
-                and now < issue_queue.gate_time):
-            return
+        regfile = self.regfile
+        registers = regfile._registers
+        fwd_cache = issue_queue._fwd_cache
+        forwarding_latency = self.forwarding_latency
         functional_units = self.functional_units
-        limit = 0
-        for busy_until in functional_units._busy_until:
-            if busy_until <= now:
-                limit += 1
-        if limit <= 0:
-            return
-        if limit > self.issue_width:
-            limit = self.issue_width
-        ready = issue_queue.ready_instructions(
-            now, self.regfile, self.forwarding_latency, limit)
-        period = self.clock_period()
-        latency_map = self._latency_map
-        pending = self._pending
-        alu_block = self.alu_block
-        queue_block = self.queue_block
-        in_flight = self._in_flight
-        issued = 0
-        loads = 0
-        for instr in ready:
-            opclass = instr.opclass
-            latency_cycles = latency_map[opclass]
-            if instr.is_load and self.memory is not None:
-                latency_cycles += self.memory.load_access(instr.trace.mem_address or 0)
-                loads += 1
-            busy_cycles = latency_cycles if opclass in _UNPIPELINED else 1
-            if not functional_units.try_claim(now, busy_cycles * period):
-                # Ready work is left behind: the gate must not skip it.
+        busy = functional_units._busy_until
+        num_units = len(busy)
+        latency_by_op = self._latency_by_op
+        busy_by_op = self._busy_by_op
+        memory = self.memory
+        clock = self._clock
+        domain_name = issue_queue.domain_name
+        issue_width = self.issue_width
+        dcache_cell = self._dcache_cell
+        alu_cell = self._alu_cell
+        queue_cell = self._queue_cell
+
+        def issue_ready(now: float) -> None:
+            entries = issue_queue._entries
+            if not entries:
+                return
+            write_stamp = regfile.writes
+            # Queue-level wakeup gate: when the last complete scan proved
+            # nothing becomes visible before gate_time and no result has
+            # completed since (regfile.writes unchanged), the covered
+            # age-ordered prefix stays blocked -- only entries dispatched
+            # after that scan can be ready, so the pass restricts itself to
+            # the new tail (or skips entirely).
+            start = 0
+            if (issue_queue.gate_stamp == write_stamp
+                    and now < issue_queue.gate_time):
+                start = issue_queue.gate_len
+                if start >= len(entries):
+                    return
+            limit = 0
+            for busy_until in busy:
+                if busy_until <= now:
+                    limit += 1
+            if limit <= 0:
+                return
+            if limit > issue_width:
+                limit = issue_width
+            if issue_queue._needs_sort:
+                entries.sort(key=lambda i: i.seq)
+                issue_queue._needs_sort = False
+            period = clock.period
+            in_flight = unit._in_flight
+            next_completion = unit._next_completion
+            scan_complete = True
+            min_future = _INF
+            issued_instrs: List[DynamicInstruction] = []
+            searched = 0
+            issued = 0
+            loads = 0
+            for instr in entries[start:] if start else entries:
+                searched += 1
+                wakeup_after = instr.wakeup_after
+                if wakeup_after > now:
+                    if wakeup_after < _INF:
+                        if wakeup_after < min_future:
+                            min_future = wakeup_after
+                        continue              # visibility time known, still ahead
+                    if instr.wakeup_stamp == write_stamp:
+                        continue              # still blocked: no new completions
+                    probe = True
+                else:
+                    probe = wakeup_after < 0.0
+                if probe:
+                    # blocked entry with fresh completions, or never-checked
+                    # entry: probe every operand and refresh the cache
+                    visible_at = 0.0
+                    for phys in instr.phys_sources:
+                        reg = registers[phys]
+                        source_visible = reg.ready_time
+                        if source_visible == _INF:
+                            visible_at = _INF
+                            break
+                        producer_domain = reg.producer_domain
+                        if producer_domain and producer_domain != domain_name:
+                            extra = fwd_cache.get(producer_domain)
+                            if extra is None:
+                                extra = forwarding_latency(producer_domain,
+                                                           domain_name)
+                                fwd_cache[producer_domain] = extra
+                            source_visible += extra
+                        if source_visible > visible_at:
+                            visible_at = source_visible
+                    instr.wakeup_after = visible_at
+                    if visible_at > now:
+                        if visible_at == _INF:
+                            instr.wakeup_stamp = write_stamp
+                        elif visible_at < min_future:
+                            min_future = visible_at
+                        continue
+                # ---------------- issue (inline FunctionalUnitPool.try_claim)
+                opclass = instr.opclass
+                op_index = opclass.op_index
+                latency_cycles = latency_by_op[op_index]
+                if instr.is_load and memory is not None:
+                    latency_cycles += memory.load_access(instr.trace.mem_address or 0)
+                    loads += 1
+                claimed = False
+                for index in range(num_units):
+                    if busy[index] <= now:
+                        busy[index] = now + busy_by_op[op_index] * period
+                        functional_units.operations += 1
+                        claimed = True
+                        break
+                if not claimed:
+                    # Ready work is left behind: the gate must not skip it.
+                    functional_units.structural_stalls += 1
+                    scan_complete = False
+                    break
+                issued_instrs.append(instr)
+                instr.issued = True
+                instr.issue_time = now
+                completion_time = now + latency_cycles * period
+                instr.fu_done = completion_time
+                if completion_time < next_completion:
+                    next_completion = completion_time
+                in_flight.append(instr)
+                issued += 1
+                if issued >= limit:
+                    scan_complete = False     # tail not examined this cycle
+                    break
+            unit._next_completion = next_completion
+            issue_queue.wakeup_searches += searched
+            if loads:
+                dcache_cell[0] += loads
+            if issued:
+                for instr in issued_instrs:
+                    entries.remove(instr)
+                issue_queue.issues += issued
+                unit.issued_ops += issued
+                alu_cell[0] += issued
+                queue_cell[0] += issued
+            if scan_complete:
+                # A partial (gated) pass keeps the earlier gate time: the old
+                # prefix stays blocked at least until then, and the new tail
+                # adds its own earliest-visibility bound.
+                if start:
+                    gate_time = issue_queue.gate_time
+                    if gate_time < min_future:
+                        min_future = gate_time
+                issue_queue.gate_time = min_future
+                issue_queue.gate_stamp = write_stamp
+                issue_queue.gate_len = len(entries)
+            else:
                 issue_queue.gate_time = -1.0
-                break
-            # inline issue_queue.remove
-            issue_queue._entries.remove(instr)
-            issue_queue.issues += 1
-            instr.issued = True
-            instr.issue_time = now
-            completion_time = now + latency_cycles * period
-            instr.fu_done = completion_time
-            if completion_time < self._next_completion:
-                self._next_completion = completion_time
-            in_flight.append(instr)
-            self.issued_ops += 1
-            issued += 1
-        if loads:
-            pending["dcache"] += loads
-        if issued:
-            pending[alu_block] += issued
-            pending[queue_block] += issued
+
+        return issue_ready
 
     # ----------------------------------------------------------------- squash
     def squash_younger_than(self, branch_seq: int) -> int:

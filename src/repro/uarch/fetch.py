@@ -76,8 +76,9 @@ class FetchUnit:
         self.memory = memory
         self.clock_period = clock_period
         self.activity = activity
-        #: direct handle on the per-cycle counters (see DecodeRenameUnit)
-        self._pending = activity._pending
+        #: direct handles on the per-cycle counter cells (see DecodeRenameUnit)
+        self._icache_cell = activity.cell("icache")
+        self._bpred_cell = activity.cell("bpred")
         self.fetch_width = fetch_width
         self.wrong_path_generator = wrong_path_generator or _default_wrong_path
 
@@ -86,6 +87,12 @@ class FetchUnit:
         self._wrong_path_pc = 0
         self._wrong_path_offset = 0
         self._busy_until = float("-inf")
+        # Same-line fetch fast path: a repeat hit on the hierarchy's
+        # remembered fetch line is just the statistics increments.  The
+        # remembered line itself lives on the MemoryHierarchy (one source of
+        # truth -- its flush() is the invalidation point); reading it here
+        # only short-circuits the call.
+        self._line_size = memory.config.line_size
 
         # statistics
         self.fetched_total = 0
@@ -93,6 +100,11 @@ class FetchUnit:
         self.fetch_stall_cycles = 0
         self.icache_stall_cycles = 0
         self.redirects_received = 0
+        #: run-length-deferred fetch-queue occupancy sampling: consecutive
+        #: edges observing the same queue length accumulate in ``_sample_run``
+        #: and are folded into the channel's integer counters on change/read
+        self._sample_len = -1
+        self._sample_run = 0
 
     # ---------------------------------------------------------------- helpers
     def _check_redirect(self, now: float) -> None:
@@ -120,8 +132,18 @@ class FetchUnit:
         if self.redirect_channel._entries:
             self._check_redirect(time)
         output_channel = self.output_channel
-        output_channel.occupancy_samples += 1
-        output_channel.occupancy_accum += len(output_channel._entries)
+        entries_len = len(output_channel._entries)
+        if entries_len == self._sample_len:
+            self._sample_run += 1
+        else:
+            run = self._sample_run
+            if run:
+                self._sample_run = 0
+                output_channel.occupancy_samples += run
+                output_channel.occupancy_accum += self._sample_len * run
+            output_channel.occupancy_samples += 1
+            output_channel.occupancy_accum += entries_len
+            self._sample_len = entries_len
         if time < self._busy_until:
             self.icache_stall_cycles += 1
             return
@@ -141,24 +163,66 @@ class FetchUnit:
                     return
                 first_pc = peeked.pc
 
-        latency = self.memory.fetch_access(first_pc)
-        self._pending["icache"] += 1
-        if latency > self.memory.config.il1_latency:
-            # Miss: the front end stalls until the line arrives.
-            self._busy_until = time + latency * self.clock_period()
-            self.icache_stall_cycles += 1
-            return
+        self._icache_cell[0] += 1
+        memory = self.memory
+        line = first_pc // self._line_size
+        if line == memory._last_fetch_line:
+            stats = memory.icache.stats
+            stats.accesses += 1
+            stats.hits += 1
+        else:
+            latency = memory.fetch_access(first_pc)
+            if latency > memory.config.il1_latency:
+                # Miss: the front end stalls until the line arrives.
+                self._busy_until = time + latency * self.clock_period()
+                self.icache_stall_cycles += 1
+                return
 
+        # The correct-path, list-backed case (every real workload) is inlined:
+        # it runs once per fetched instruction.  Wrong-path and generic
+        # sources go through _fetch_one.  A mispredicted branch flips
+        # wrong_path_mode but also ends the group, so the mode chosen here is
+        # stable for the whole loop.
+        source_list = None if wrong_path else self._source_list
+        source = self.source
+        branch_unit = self.branch_unit
+        epoch = self.epoch
+        # Producer-side space is stable within the cycle (consumers pop on
+        # their own edges): one grant count covers the whole fetch group.
+        free = output_channel.free_slots(time)
         fetched_this_cycle = 0
         while fetched_this_cycle < self.fetch_width:
-            if not output_channel.can_push(time):
+            if free <= 0:
                 output_channel.record_full_stall()
                 self.fetch_stall_cycles += 1
                 break
-            instr = self._fetch_one(time)
-            if instr is None:
-                break
-            output_channel.push(instr, time)
+            if source_list is not None:
+                position = source._position
+                if position >= len(source_list):
+                    break
+                source._position = position + 1
+                trace = source_list[position]
+                instr = DynamicInstruction(trace, epoch=epoch,
+                                           wrong_path=False)
+                instr.fetch_time = time
+                self.fetched_total += 1
+                if trace.is_branch:
+                    predicted_taken, _target = branch_unit.predict(trace.pc)
+                    self._bpred_cell[0] += 1
+                    instr.predicted_taken = predicted_taken
+                    if predicted_taken != trace.taken:
+                        instr.mispredicted = True
+                        self._enter_wrong_path(trace.pc)
+                elif instr.is_control:
+                    # Unconditional jumps: correctly predicted (BTB hit).
+                    self._bpred_cell[0] += 1
+                    instr.predicted_taken = True
+            else:
+                instr = self._fetch_one(time)
+                if instr is None:
+                    break
+            output_channel.push_granted(instr, time)
+            free -= 1
             fetched_this_cycle += 1
             # A predicted-taken control instruction ends the fetch group.
             if instr.is_control and (instr.predicted_taken or instr.trace.opclass
@@ -205,16 +269,25 @@ class FetchUnit:
 
         if trace.is_branch:
             predicted_taken, _predicted_target = self.branch_unit.predict(trace.pc)
-            self._pending["bpred"] += 1
+            self._bpred_cell[0] += 1
             instr.predicted_taken = predicted_taken
             if predicted_taken != trace.taken:
                 instr.mispredicted = True
                 self._enter_wrong_path(trace.pc)
         elif instr.is_control:
             # Unconditional jumps are assumed correctly predicted (BTB hit).
-            self._pending["bpred"] += 1
+            self._bpred_cell[0] += 1
             instr.predicted_taken = True
         return instr
+
+    def flush_samples(self) -> None:
+        """Fold the deferred fetch-queue occupancy run into the counters."""
+        run = self._sample_run
+        if run:
+            self._sample_run = 0
+            channel = self.output_channel
+            channel.occupancy_samples += run
+            channel.occupancy_accum += self._sample_len * run
 
     # ------------------------------------------------------------------ state
     def pending_work(self) -> int:

@@ -28,8 +28,8 @@ class DynamicInstruction:
         "phys_dest", "phys_sources", "prev_phys_dest", "rename_checkpoint",
         "rob_index", "exec_domain",
         "predicted_taken", "mispredicted",
-        "fetch_time", "decode_time", "rename_time", "dispatch_time",
-        "issue_time", "complete_time", "commit_time",
+        "fetch_time", "decode_time", "pipe_ready", "rename_time",
+        "dispatch_time", "issue_time", "complete_time", "commit_time",
         "fifo_time", "fu_done",
         "squashed", "completed", "issued",
         "wakeup_after", "wakeup_stamp",

@@ -42,8 +42,12 @@ class IssueQueue:
         # ready entry, nothing can issue before ``gate_time`` unless a new
         # result completes (``regfile.writes`` moves past ``gate_stamp``) or
         # the queue contents change.  ``gate_time`` < 0 means invalid.
+        # ``gate_len`` is the length of the age-ordered prefix the gate
+        # covers: entries dispatched after the scan sit beyond it and are
+        # the only ones a gated wakeup pass still needs to examine.
         self.gate_time = -1.0
         self.gate_stamp = -1
+        self.gate_len = 0
         # producer-domain -> forwarding latency into this queue's domain.
         # Clock periods are immutable once domains are bound (see
         # Processor._forwarding_cache), so the callback result is cached to
@@ -91,10 +95,11 @@ class IssueQueue:
             self.full_stalls += 1
             raise OverflowError(f"issue queue {self.name!r} is full")
         if entries and instr.seq < entries[-1].seq:
+            # an out-of-order arrival scrambles the gate's covered prefix
             self._needs_sort = True
+            self.gate_time = -1.0
         entries.append(instr)
         self.dispatches += 1
-        self.gate_time = -1.0
 
     def ready_instructions(
         self,
@@ -182,6 +187,7 @@ class IssueQueue:
         if scan_complete:
             self.gate_time = min_future
             self.gate_stamp = write_stamp
+            self.gate_len = len(self._entries)
         else:
             self.gate_time = -1.0
         return ready
@@ -190,6 +196,7 @@ class IssueQueue:
         """Remove an instruction that has been issued."""
         self._entries.remove(instr)
         self.issues += 1
+        self.gate_time = -1.0
 
     def squash_younger_than(self, branch_seq: int) -> List[DynamicInstruction]:
         """Drop wrong-path instructions after a misprediction."""

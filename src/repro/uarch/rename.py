@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..isa.registers import FP_BASE as _FP_BASE
 from ..isa.registers import ZERO_REG, is_fp_reg
 from .instruction import DynamicInstruction
 from .regfile import PhysicalRegisterFile
@@ -22,10 +23,15 @@ _PENDING = float("inf")
 
 @dataclass
 class RenameCheckpoint:
-    """Snapshot of the alias table taken at a branch."""
+    """Snapshot of the alias table taken at a branch.
+
+    ``mapping`` is the flat architectural->physical table: index = the
+    architectural register id (the namespace is contiguous, see
+    :mod:`repro.isa.registers`).
+    """
 
     branch_seq: int
-    mapping: Dict[int, int]
+    mapping: List[int]
 
 
 class RenameError(RuntimeError):
@@ -37,7 +43,11 @@ class RegisterAliasTable:
 
     def __init__(self, regfile: PhysicalRegisterFile) -> None:
         self.regfile = regfile
-        self._map: Dict[int, int] = regfile.initial_mapping()
+        # flat list indexed by architectural id: the namespace is contiguous
+        # (0..63), so the rename/checkpoint hot paths use C-level list
+        # indexing and copying instead of dict lookups
+        initial = regfile.initial_mapping()
+        self._map: List[int] = [initial[arch] for arch in range(len(initial))]
         self._checkpoints: List[RenameCheckpoint] = []
         # statistics
         self.renames = 0
@@ -47,14 +57,13 @@ class RegisterAliasTable:
     # ---------------------------------------------------------------- lookup
     def lookup(self, arch_reg: int) -> int:
         """Current physical register holding ``arch_reg``."""
-        try:
+        if 0 <= arch_reg < len(self._map):
             return self._map[arch_reg]
-        except KeyError as exc:
-            raise RenameError(f"architectural register {arch_reg} has no mapping") from exc
+        raise RenameError(f"architectural register {arch_reg} has no mapping")
 
     def mapping_snapshot(self) -> Dict[int, int]:
         """Copy of the current architectural -> physical map."""
-        return dict(self._map)
+        return dict(enumerate(self._map))
 
     # ---------------------------------------------------------------- rename
     def rename(self, instr: DynamicInstruction) -> bool:
@@ -96,7 +105,7 @@ class RegisterAliasTable:
         dest = trace.dest
         if dest is not None and dest != ZERO_REG:
             regfile = self.regfile
-            for_fp = is_fp_reg(dest)
+            for_fp = dest >= _FP_BASE    # inline is_fp_reg (hot path)
             free_list = regfile._free_fp if for_fp else regfile._free_int
             if not free_list:
                 regfile.allocation_failures += 1
@@ -122,7 +131,7 @@ class RegisterAliasTable:
     def take_checkpoint(self, branch_seq: int) -> RenameCheckpoint:
         """Snapshot the map for a conditional branch."""
         checkpoint = RenameCheckpoint(branch_seq=branch_seq,
-                                      mapping=dict(self._map))
+                                      mapping=self._map.copy())
         self._checkpoints.append(checkpoint)
         self.checkpoints_taken += 1
         return checkpoint
@@ -142,7 +151,7 @@ class RegisterAliasTable:
         """
         if checkpoint not in self._checkpoints:
             raise RenameError("cannot restore an unknown or stale checkpoint")
-        self._map = dict(checkpoint.mapping)
+        self._map = checkpoint.mapping.copy()
         # Drop this checkpoint and every younger one.
         position = self._checkpoints.index(checkpoint)
         self._checkpoints = self._checkpoints[:position]
@@ -157,5 +166,5 @@ class RegisterAliasTable:
     @property
     def int_mappings_beyond_arch(self) -> int:
         """How many integer arch registers map to a non-initial physical reg."""
-        return sum(1 for arch, phys in self._map.items()
+        return sum(1 for arch, phys in enumerate(self._map)
                    if not is_fp_reg(arch) and phys != arch)

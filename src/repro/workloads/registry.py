@@ -82,6 +82,17 @@ for _name, _kernel in KERNELS.items():
         factory=_kernel_factory(_name))
 
 
+#: Materialised-workload memo: (name, num_instructions, seed, kernel_size)
+#: -> (instruction list, workload-or-None, shared warm-plan cache).  Trace
+#: synthesis is deterministic and its records are immutable once built, so
+#: repeated runs of the same workload (benchmark repeats, sweeps fanning one
+#: workload over many topologies/policies) share one materialisation; every
+#: hit still gets a *fresh* ListTraceSource, because the source carries the
+#: fetch unit's consume position.
+_MEMO: Dict[Tuple[str, int, int, int], tuple] = {}
+_MEMO_LIMIT = 64
+
+
 def get_workload_entry(name: str) -> WorkloadEntry:
     """Look up a registered workload by name."""
     try:
@@ -99,5 +110,25 @@ def available_workloads() -> Tuple[str, ...]:
 def build_workload(name: str, num_instructions: int, seed: int = 1,
                    kernel_size: int = 64
                    ) -> Tuple[ListTraceSource, Optional[SyntheticWorkload]]:
-    """Materialize a registered workload into (trace, workload-or-None)."""
-    return get_workload_entry(name).factory(num_instructions, seed, kernel_size)
+    """Materialize a registered workload into (trace, workload-or-None).
+
+    Results are memoized per process: the (deterministic) synthesis runs once
+    per distinct ``(name, num_instructions, seed, kernel_size)`` and later
+    calls reuse the instruction records behind a fresh trace source.
+    """
+    key = (name, num_instructions, seed, kernel_size)
+    memo = _MEMO.get(key)
+    if memo is None:
+        trace, workload = get_workload_entry(name).factory(
+            num_instructions, seed, kernel_size)
+        if len(_MEMO) >= _MEMO_LIMIT:
+            _MEMO.clear()
+        memo = (trace._instructions, trace.name, workload, trace._warm_plans)
+        _MEMO[key] = memo
+        return trace, workload
+    instructions, trace_name, workload, warm_plans = memo
+    trace = ListTraceSource(instructions, name=trace_name)
+    # cache warming derives a replay plan from the instruction records;
+    # share it across copies of the same materialised trace
+    trace._warm_plans = warm_plans
+    return trace, workload

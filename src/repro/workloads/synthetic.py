@@ -99,6 +99,10 @@ class SyntheticWorkload:
         # dynamic-walk state
         self._current_block = 0
         self._slot_visits: dict = {}
+        #: (pc, offset) -> synthesised wrong-path instruction; the generator
+        #: is a pure function of its arguments, and mispredictions replay the
+        #: same wrong paths across repeated runs of a shared workload
+        self._wrong_path_cache: dict = {}
 
     # ------------------------------------------------------------ static CFG
     def _build_static_program(self) -> None:
@@ -293,6 +297,11 @@ class SyntheticWorkload:
         decode, rename and issue resources until squashed, which is how the
         extra speculative work of the GALS machine (Figure 8) arises.
         """
+        cache = self._wrong_path_cache
+        key = (pc, offset)
+        found = cache.get(key)
+        if found is not None:
+            return found
         classes = (InstructionClass.INT_ALU, InstructionClass.INT_ALU,
                    InstructionClass.LOAD, InstructionClass.INT_ALU)
         opclass = classes[offset % len(classes)]
@@ -300,8 +309,12 @@ class SyntheticWorkload:
         sources = (_INT_REG_POOL[(offset * 3) % len(_INT_REG_POOL)],)
         mem_address = (DATA_BASE + (offset * 64) % (self.profile.working_set_kb * 1024)
                        if opclass is InstructionClass.LOAD else None)
-        return TraceInstruction(index=-1, pc=pc, opclass=opclass, dest=dest,
-                                sources=sources, mem_address=mem_address)
+        instr = TraceInstruction(index=-1, pc=pc, opclass=opclass, dest=dest,
+                                 sources=sources, mem_address=mem_address)
+        if len(cache) >= 65536:
+            cache.clear()
+        cache[key] = instr
+        return instr
 
 
 def make_workload(name: str, seed: int = 1) -> SyntheticWorkload:

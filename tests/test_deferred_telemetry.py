@@ -1,0 +1,223 @@
+"""Flush-point correctness of the deferred telemetry accounting engine.
+
+The accountant and the occupancy samplers buffer run-length-encoded work and
+replay it only at observation points.  The load-bearing contract: *when* the
+flushes happen must never change *what* they produce.  These tests interleave
+``total_energy()`` reads, full-telemetry flushes, controller epochs and
+mid-run ``retime_domain`` calls at arbitrary times and require the final
+``EnergyBreakdown`` (and every occupancy statistic) to be bit-equal to an
+undisturbed run, including a mid-epoch retime immediately followed by a
+flush.
+"""
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.processor import build_gals_processor
+from repro.core.scenario import run_scenario
+from repro.power.accounting import PowerAccountant
+from repro.power.activity import ActivityCounters
+from repro.power.blocks import BlockEnergyModel
+from repro.sim.clock import Clock, ClockDomain
+from repro.sim.engine import SimulationEngine
+from repro.workloads.registry import build_workload
+
+SMALL = 400
+
+
+def _run(flush_times=(), retimes=(), retime_flush=False, instructions=SMALL):
+    """One GALS run with optional scripted observations and retimes.
+
+    ``flush_times`` schedules full-telemetry reads (energy + occupancy) at
+    the given absolute times; ``retimes`` schedules ``retime_domain`` calls
+    as ``(time, domain, slowdown)``; ``retime_flush`` additionally reads the
+    total energy immediately after each retime (the mid-epoch
+    retime-then-flush case).
+    """
+    trace, workload = build_workload("perl", instructions, seed=1)
+    machine = build_gals_processor(trace, workload=workload)
+
+    def observe(_):
+        machine.power.total_energy()
+        machine.flush_telemetry()
+
+    for at in flush_times:
+        machine.engine.schedule(at, observe, priority=7, name="observe")
+
+    def make_retime(domain, slowdown):
+        def do_retime(_):
+            machine.retime_domain(domain,
+                                  machine.plan.base_period * slowdown)
+            if retime_flush:
+                machine.power.total_energy()
+        return do_retime
+
+    for at, domain, slowdown in retimes:
+        machine.engine.schedule(at, make_retime(domain, slowdown),
+                                priority=8, name="retime")
+    return machine.run()
+
+
+def _comparable(result):
+    record = asdict(result)
+    record.pop("dvfs_trace")
+    return record
+
+
+def test_interleaved_flushes_never_change_the_result():
+    plain = _run()
+    rng = random.Random(7)
+    noisy = _run(flush_times=sorted(rng.uniform(1.0, 150.0)
+                                    for _ in range(25)))
+    assert _comparable(noisy) == _comparable(plain)
+
+
+def test_flush_is_idempotent_and_total_energy_is_monotone_nondecreasing():
+    trace, workload = build_workload("perl", SMALL, seed=1)
+    machine = build_gals_processor(trace, workload=workload)
+    seen = []
+
+    def observe(_):
+        first = machine.power.total_energy()
+        second = machine.power.total_energy()   # immediate re-read
+        assert first == second
+        seen.append(first)
+
+    machine.engine.schedule_periodic(5.0, 20.0, observe, priority=7,
+                                     name="observe")
+    machine.run()
+    assert seen == sorted(seen)
+    assert seen[-1] > 0.0
+
+
+def test_mid_run_retime_with_and_without_immediate_flush_bit_equal():
+    retimes = ((40.7, "fp", 1.5), (90.3, "integer", 1.2))
+    unflushed = _run(retimes=retimes)
+    flushed = _run(retimes=retimes, retime_flush=True)
+    assert _comparable(flushed) == _comparable(unflushed)
+    # the retime visibly slowed the fp clock, so the runs are not trivial
+    assert unflushed.domain_cycles["fp"] < unflushed.domain_cycles["decode"]
+
+
+def test_retimes_with_interleaved_observation_storm_bit_equal():
+    rng = random.Random(13)
+    retimes = ((33.3, "fp", 1.4), (77.7, "fetch", 1.1), (120.1, "fp", 1.0))
+    plain = _run(retimes=retimes)
+    noisy = _run(retimes=retimes, retime_flush=True,
+                 flush_times=sorted(rng.uniform(1.0, 140.0)
+                                    for _ in range(30)))
+    assert _comparable(noisy) == _comparable(plain)
+
+
+def test_controller_epochs_with_extra_reads_leave_trace_and_result_unchanged():
+    plain = run_scenario("gals5-perl-occupancy", num_instructions=SMALL)
+    # identical scenario, but the driver's epochs race extra observations
+    trace, workload = build_workload("perl", SMALL, seed=1)
+    from repro.core.controllers import make_controller
+    from repro.core.processor import Processor
+    from repro.core.scenario import get_scenario
+
+    scenario = get_scenario("gals5-perl-occupancy")
+    machine = Processor(
+        trace, workload=workload,
+        topology=scenario.topology,
+        plan=scenario.build_plan(),
+        controller=make_controller(scenario.controller,
+                                   scenario.controller_args),
+        controller_epoch=scenario.controller_epoch,
+    )
+    machine.engine.schedule_periodic(
+        3.3, 11.7, lambda _: (machine.power.total_energy(),
+                              machine.flush_telemetry()),
+        priority=9, name="observe")
+    noisy = machine.run()
+    assert noisy.dvfs_trace == plain.result.dvfs_trace
+    assert noisy.energy.by_block == plain.result.energy.by_block
+    assert noisy.mean_iq_occupancy == plain.result.mean_iq_occupancy
+
+
+def test_occupancy_counters_flush_on_read_matches_domain_cycles():
+    trace, workload = build_workload("perl", SMALL, seed=1)
+    machine = build_gals_processor(trace, workload=workload)
+    result = machine.run()
+    # every cluster samples its window once per domain cycle; the deferred
+    # run-length counters must reconstruct the exact sample count
+    for name, unit in machine.exec_units.items():
+        domain = machine.domains[machine.topology.domain_of(
+            {"int": "integer", "fp": "fp", "mem": "memory"}[name])]
+        assert unit.issue_queue.occupancy_samples == domain.cycle
+    assert result.mean_iq_occupancy["fp"] == pytest.approx(
+        machine.exec_units["fp"].issue_queue.mean_occupancy)
+
+
+def test_block_registered_into_running_domain_charges_idle_energy():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0), voltage=1.5)
+    accountant = PowerAccountant(ActivityCounters())
+    accountant.register_block(BlockEnergyModel("a", access_energy=1.0), domain)
+    domain.bind(engine)
+    engine.run(until=4.5)                      # edges 0..4: voltage run open
+    late = BlockEnergyModel("b", access_energy=2.0)
+    accountant.register_block(late, domain)    # joins mid-run
+    engine.run(until=9.5)                      # edges 5..9 with b present
+    idle_b = late.cycle_energy(0, 1.5, accountant.tech)
+    assert accountant.energy_by_block["b"] == pytest.approx(5 * idle_b)
+    assert accountant.energy_by_block["b"] > 0.0
+
+
+def test_power_probe_cannot_attach_to_a_bound_fused_domain():
+    from repro.sim.event import SimulationError
+
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0))
+
+    class Component:
+        def clock_edge(self, cycle, time):
+            """No-op component."""
+
+    domain.add_component(Component())          # single fused callback
+    domain.bind(engine)
+    accountant = PowerAccountant(ActivityCounters())
+    with pytest.raises(SimulationError, match="before bind"):
+        accountant.register_block(BlockEnergyModel("a", access_energy=1.0),
+                                  domain)
+
+
+def test_accountant_energy_by_block_view_flushes_and_matches_manual_model():
+    engine = SimulationEngine()
+    domain = ClockDomain(Clock("core", period=1.0), voltage=1.5)
+    activity = ActivityCounters()
+    accountant = PowerAccountant(activity)
+    block = BlockEnergyModel("alu", access_energy=1.0, ports=1)
+    accountant.register_block(block, domain)
+    accountant.register_block(
+        BlockEnergyModel("grid", access_energy=0.25, gated=False), domain)
+
+    class Worker:
+        def clock_edge(self, cycle, time):
+            if cycle % 2 == 0:
+                activity.record("alu", 1)
+
+    domain.add_component(Worker())
+    domain.bind(engine)
+    tech = accountant.tech
+    active_e = block.cycle_energy(1, 1.5, tech)
+    idle_e = block.cycle_energy(0, 1.5, tech)
+    grid_e = accountant._records["core"][2][0][0].cycle_energy(0, 1.5, tech)
+
+    expected_alu = 0.0
+    expected_grid = 0.0
+    edges = 0
+    for stop in (2.5, 3.5, 7.5):      # observation points at odd moments
+        engine.run(until=stop)
+        new_edges = domain.cycle
+        for cycle in range(edges, new_edges):
+            expected_alu += active_e if cycle % 2 == 0 else idle_e
+            expected_grid += grid_e
+        edges = new_edges
+        view = accountant.energy_by_block          # flush-on-read property
+        assert view["alu"] == expected_alu
+        assert view["grid"] == expected_grid
+    assert accountant.total_energy() == expected_alu + expected_grid
