@@ -21,15 +21,25 @@ Speedups are reported against the recorded seed-tree baseline (measured on
 the machine that introduced this benchmark) and against the live embedded
 seed engine, which is load-independent.
 
+A third section, **sweep_warm**, times a small multi-scenario sweep through
+:func:`repro.core.scenario.sweep_scenarios` with warm-started pool workers
+(the parent pre-builds every workload before forking and each worker's
+initializer re-warms the memo on spawn platforms) -- the figure-harness
+shape, where per-run synthesis cost is amortised across the whole sweep.
+
 Run it directly::
 
-    PYTHONPATH=src python benchmarks/bench_sim_core.py
+    PYTHONPATH=src python benchmarks/bench_sim_core.py            # full, appends record
+    PYTHONPATH=src python benchmarks/bench_sim_core.py --smoke    # sweep_warm only, no append
 """
 
+import argparse
 import heapq
 import itertools
 import json
+import os
 import platform
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +58,16 @@ UNIFORM_CLOCKS = ((1.0, 0.13), (1.0, 0.77), (1.0, 0.40), (1.0, 0.91), (1.0, 0.05
 ENGINE_HORIZON_NS = 20_000.0
 FULL_RUN_INSTRUCTIONS = 3000
 REPEATS = 5
+
+#: The warm-start sweep: a handful of distinct topologies (plus a controller
+#: scenario and a kernel workload, so the sweep is not a single memo entry
+#: hit five times) at a size where workload synthesis is a visible fraction
+#: of a cold run.
+SWEEP_SCENARIOS = ("base", "gals5", "fem3", "memsplit2",
+                   "gals5-perl-occupancy", "dotprod-gals5")
+SWEEP_INSTRUCTIONS = 1500
+SWEEP_JOBS = min(4, os.cpu_count() or 1)
+SWEEP_REPEATS = 3
 
 
 # --------------------------------------------------------------------------
@@ -204,8 +224,51 @@ def bench_full_run(kind):
     }
 
 
-def main():
+def bench_sweep_warm(repeats=SWEEP_REPEATS):
+    """Instructions/sec of a warm-started multi-scenario parallel sweep.
+
+    Each repeat pays the full sweep cost -- pool creation, worker warm-start
+    initializers, fan-out, result pickling -- exactly what one figure-harness
+    sweep pays, so the metric tracks the end-to-end sweep path rather than
+    the inner simulation loop alone.
+    """
+    from repro.core.scenario import sweep_scenarios
+
+    def run_once():
+        outcomes = sweep_scenarios(list(SWEEP_SCENARIOS), jobs=SWEEP_JOBS,
+                                   num_instructions=SWEEP_INSTRUCTIONS)
+        return sum(o.result.committed_instructions for o in outcomes)
+
+    seconds, committed = _best(run_once, repeats=repeats)
+    # every synthesized scenario commits the full budget; the assembled
+    # dot-product kernel commits its (shorter, deterministic) trace length
+    assert committed >= SWEEP_INSTRUCTIONS * (len(SWEEP_SCENARIOS) - 1)
+    return {
+        "instr_per_sec": committed / seconds,
+        "wall_seconds_best": seconds,
+        "scenarios": list(SWEEP_SCENARIOS),
+        "num_instructions": SWEEP_INSTRUCTIONS,
+        "jobs": SWEEP_JOBS,
+    }
+
+
+def main(argv=None):
     from repro.sim.engine import SimulationEngine
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the warm-start sweep benchmark (one "
+                             "repeat) and do NOT append to the record file -- "
+                             "the CI quick check")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        print("sweep_warm smoke (%d scenarios x %d instr, %d jobs) ..."
+              % (len(SWEEP_SCENARIOS), SWEEP_INSTRUCTIONS, SWEEP_JOBS))
+        row = bench_sweep_warm(repeats=1)
+        print(f"  sweep_warm      {row['instr_per_sec']:>10,.0f} instr/s  "
+              f"({row['wall_seconds_best']:.2f}s wall)")
+        return row
 
     print("engine-alone microbenchmark (events/sec) ...")
     engine_results = {}
@@ -230,12 +293,20 @@ def main():
         print(f"  {kind:15s} {row['instr_per_sec']:>10,.0f} instr/s  "
               f"{row['events_per_sec']:>12,.0f} events/s")
 
+    print("warm-start sweep benchmark (%d scenarios x %d instr, %d jobs) ..."
+          % (len(SWEEP_SCENARIOS), SWEEP_INSTRUCTIONS, SWEEP_JOBS))
+    sweep = bench_sweep_warm()
+    print(f"  sweep_warm      {sweep['instr_per_sec']:>10,.0f} instr/s  "
+          f"({sweep['wall_seconds_best']:.2f}s wall)")
+
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "machine": platform.platform(),
         "python": platform.python_version(),
+        "python_minor": "%d.%d" % sys.version_info[:2],
         "engine_events_per_sec": engine_results,
         "full_run": full,
+        "sweep_warm": sweep,
         "seed_baseline": SEED_BASELINE,
         "speedup_vs_seed_baseline": {
             "engine_mixed": (engine_results["mixed"]["wheel"]

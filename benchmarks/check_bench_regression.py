@@ -10,7 +10,13 @@ Tracked metrics: full-run instructions/sec (gals and base machines, the
 occupancy-controller gals5 run, and the non-paper fem3 topology) and
 engine-alone events/sec (clock-wheel scheduler, mixed and uniform periods).
 Metrics missing from an older record (e.g. the controller/fem3 runs added in
-the deferred-telemetry PR) are reported and skipped, not failed.
+the deferred-telemetry PR, or the warm-start ``sweep_warm`` key) are reported
+and skipped, not failed.  Records from different CPython minor series (the
+``python_minor`` tag, derived from the full version string for older records)
+never gate each other: interpreter generations shift the profile too much for
+even the seed-normalised ratios to be comparable, so the baseline is the most
+recent older record from the *same* minor series (no such record: nothing to
+gate).
 
 Usage::
 
@@ -36,6 +42,26 @@ def _instr(record, kind):
     return float(record["full_run"][kind]["instr_per_sec"])
 
 
+def _sweep(record):
+    return float(record["sweep_warm"]["instr_per_sec"])
+
+
+def _minor(record):
+    """The record's CPython minor series ('3.11'), or None when unknown.
+
+    Newer records carry an explicit ``python_minor`` tag; for records that
+    predate it, derive the series from the full ``python`` version string.
+    """
+    tag = record.get("python_minor")
+    if tag:
+        return str(tag)
+    version = str(record.get("python", ""))
+    parts = version.split(".")
+    if len(parts) >= 2 and parts[0].isdigit() and parts[1].isdigit():
+        return f"{parts[0]}.{parts[1]}"
+    return None
+
+
 #: Metrics gated when baseline and current ran on the same machine+python:
 #: raw throughput, directly comparable.
 ABSOLUTE_METRICS = (
@@ -43,6 +69,7 @@ ABSOLUTE_METRICS = (
     ("base instr/s", lambda r: _instr(r, "base")),
     ("gals+controller instr/s", lambda r: _instr(r, "gals_controller")),
     ("fem3 instr/s", lambda r: _instr(r, "fem3")),
+    ("sweep_warm instr/s", _sweep),
     ("engine mixed ev/s", lambda r: _engine(r, "mixed", "wheel")),
     ("engine uniform ev/s", lambda r: _engine(r, "uniform", "wheel")),
 )
@@ -62,6 +89,8 @@ RELATIVE_METRICS = (
                 / _engine(r, "mixed", "seed_engine_live"))),
     ("fem3 instr per seed-ev",
      lambda r: _instr(r, "fem3") / _engine(r, "mixed", "seed_engine_live")),
+    ("sweep_warm instr per seed-ev",
+     lambda r: _sweep(r) / _engine(r, "mixed", "seed_engine_live")),
     ("mixed wheel/seed speedup",
      lambda r: (_engine(r, "mixed", "wheel")
                 / _engine(r, "mixed", "seed_engine_live"))),
@@ -75,7 +104,19 @@ def check(history, threshold):
     """Return (lines, regressed) comparing the last record to its baseline."""
     if len(history) < 2:
         return ["fewer than two benchmark records; nothing to compare"], False
-    baseline, current = history[-2], history[-1]
+    current = history[-1]
+    cur_minor = _minor(current)
+    # Different CPython minor series optimise this workload differently
+    # enough (specialising interpreter, comprehension inlining, ...) that
+    # even the seed-normalised ratios drift; cross-minor records document a
+    # version's throughput but never gate each other.  The baseline is the
+    # most recent older record from the *same* interpreter series.
+    baseline = next((record for record in reversed(history[:-1])
+                     if _minor(record) == cur_minor), None)
+    if baseline is None:
+        return [f"no earlier record from CPython {cur_minor or '?'} "
+                "(cross-minor records are not comparable); nothing to "
+                "gate"], False
     same_host = (baseline.get("machine") == current.get("machine")
                  and baseline.get("python") == current.get("python"))
     metrics = ABSOLUTE_METRICS if same_host else RELATIVE_METRICS

@@ -52,6 +52,12 @@ class ProcessorConfig:
     #: pre-touch the trace's code and data lines so short traces measure
     #: steady-state (warm-cache) behaviour, as the paper's full SPEC runs do
     warm_caches: bool = True
+    #: issue-queue wakeup implementation: "event" keeps per-physical-register
+    #: waiter lists feeding an age-ordered per-queue ready list (the default,
+    #: no per-cycle window scan); "scan" is the legacy poll-based CAM scan,
+    #: kept selectable for the differential wakeup-equivalence tests.  Both
+    #: produce bit-identical simulation results.
+    wakeup_scheme: str = "event"
 
     # -- branch prediction
     predictor_kind: str = "bimodal"
@@ -104,6 +110,9 @@ class ProcessorConfig:
             raise ValueError("fifo_sync_cycles must be non-negative")
         if self.int_registers < 32 or self.fp_registers < 32:
             raise ValueError("physical registers must cover the 32+32 architectural state")
+        if self.wakeup_scheme not in ("event", "scan"):
+            raise ValueError(f"unknown wakeup_scheme {self.wakeup_scheme!r}; "
+                             "known: ('event', 'scan')")
         self.memory.validate()
 
     # ------------------------------------------------------------- utilities

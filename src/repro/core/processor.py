@@ -427,7 +427,8 @@ class Processor:
                 name="integer-cluster",
                 domain_name=int_domain.name,
                 issue_queue=IssueQueue("iq_int", config.int_issue_entries,
-                                       int_domain.name),
+                                       int_domain.name,
+                                       scheme=config.wakeup_scheme),
                 input_channel=self.dispatch_channels["int"],
                 regfile=self.regfile,
                 forwarding_latency=self.forwarding_latency,
@@ -445,7 +446,8 @@ class Processor:
                 name="fp-cluster",
                 domain_name=fp_domain.name,
                 issue_queue=IssueQueue("iq_fp", config.fp_issue_entries,
-                                       fp_domain.name),
+                                       fp_domain.name,
+                                       scheme=config.wakeup_scheme),
                 input_channel=self.dispatch_channels["fp"],
                 regfile=self.regfile,
                 forwarding_latency=self.forwarding_latency,
@@ -461,7 +463,8 @@ class Processor:
                 name="memory-cluster",
                 domain_name=mem_domain.name,
                 issue_queue=IssueQueue("iq_mem", config.mem_issue_entries,
-                                       mem_domain.name),
+                                       mem_domain.name,
+                                       scheme=config.wakeup_scheme),
                 input_channel=self.dispatch_channels["mem"],
                 regfile=self.regfile,
                 forwarding_latency=self.forwarding_latency,

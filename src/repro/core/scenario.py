@@ -65,8 +65,49 @@ def _call_star(job: Tuple[Callable, tuple]) -> Any:
     return function(*args)
 
 
+#: A workload build spec: (workload name, num_instructions, seed, kernel_size)
+#: -- exactly build_workload's memo key.
+WorkloadSpec = Tuple[str, int, int, int]
+
+
+def workload_specs(scenarios: Sequence["Scenario"]) -> List[WorkloadSpec]:
+    """Distinct workload build specs of a sweep, in first-use order."""
+    specs: List[WorkloadSpec] = []
+    for scenario in scenarios:
+        spec = (scenario.workload, scenario.num_instructions,
+                scenario.seed, scenario.kernel_size)
+        if spec not in specs:
+            specs.append(spec)
+    return specs
+
+
+def warm_worker(specs: Sequence[WorkloadSpec] = ()) -> None:
+    """Warm-start one sweep worker (a ``ProcessPoolExecutor`` initializer).
+
+    Importing this module has already paid the simulation-package imports by
+    the time the initializer runs, so the remaining per-worker start-up cost
+    is trace synthesis: pre-build the sweep's workload materialisations into
+    the :func:`~repro.workloads.registry.build_workload` memo once per
+    worker instead of once per scenario run.  Called in the *parent* before
+    the pool forks, the same warm memo is shared copy-on-write with every
+    fork-start worker, making the initializer's own pass memo hits.
+
+    Workload names unknown to this process (registered at runtime in the
+    parent, invisible to a spawn-start worker's re-imported registry) are
+    skipped; the sweep's existing KeyError fallback handles those scenarios.
+    """
+    for name, num_instructions, seed, kernel_size in specs:
+        try:
+            build_workload(name, num_instructions, seed=seed,
+                           kernel_size=kernel_size)
+        except KeyError:
+            pass
+
+
 def _run_jobs(function: Callable, argument_tuples: Sequence[tuple],
-              jobs: Optional[int] = None) -> List[Any]:
+              jobs: Optional[int] = None,
+              initializer: Optional[Callable] = None,
+              initargs: tuple = ()) -> List[Any]:
     """Run ``function(*args)`` for each argument tuple, in order.
 
     Every experiment run is fully independent (a fresh Processor, engine and
@@ -75,6 +116,8 @@ def _run_jobs(function: Callable, argument_tuples: Sequence[tuple],
     path -- each run's determinism depends only on its own seeds.  Falls back
     to serial execution when only one worker is useful or when worker
     processes cannot be spawned (restricted environments).
+    ``initializer``/``initargs`` warm-start each pool worker once (see
+    :func:`warm_worker`).
     """
     if jobs is None:
         jobs = default_jobs()
@@ -83,7 +126,8 @@ def _run_jobs(function: Callable, argument_tuples: Sequence[tuple],
         return [function(*args) for args in argument_tuples]
     payload = [(function, args) for args in argument_tuples]
     try:
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
+        with ProcessPoolExecutor(max_workers=jobs, initializer=initializer,
+                                 initargs=initargs) as executor:
             return list(executor.map(_call_star, payload))
     except (OSError, PermissionError, BrokenProcessPool):
         # Pool infrastructure failure (e.g. sandboxes without fork/sem
@@ -433,9 +477,15 @@ def sweep_scenarios(scenarios: Sequence[Union[Scenario, str]],
                 for run in resume_sweep(scenarios, store=cache, jobs=jobs,
                                         **overrides)]
     resolved = resolve_scenarios(scenarios, overrides)
+    # Warm-start: materialise the sweep's workloads in the parent (shared
+    # copy-on-write with fork-start workers, and a memo hit for the serial
+    # fallback) and hand the spec list to each worker's initializer for the
+    # spawn/forkserver start methods.
+    specs = workload_specs(resolved)
+    warm_worker(specs)
     try:
         return _run_jobs(run_scenario, [(scenario,) for scenario in resolved],
-                         jobs=jobs)
+                         jobs=jobs, initializer=warm_worker, initargs=(specs,))
     except KeyError:
         # A scenario references a registry entry added at runtime (e.g. a
         # recommend_policy() registration): workers under the spawn /

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.scenario import (Scenario, ScenarioResult, default_jobs,
-                             resolve_scenarios, run_scenario)
+                             resolve_scenarios, run_scenario, warm_worker,
+                             workload_specs)
 from .store import ResultsStore, resolve_store
 
 
@@ -120,9 +121,17 @@ def _compute_and_store(missing: Sequence[Tuple[int, Scenario]],
 
     workers = jobs if jobs is not None else default_jobs()
     workers = min(max(1, workers), len(missing))
+    # Warm-start: build the missing scenarios' workloads once in the parent
+    # (copy-on-write shared with fork-start workers, memo hits for the
+    # serial fallback below) and re-run the same warm pass in each worker's
+    # initializer for the spawn/forkserver start methods.
+    specs = workload_specs([scenario for _, scenario in missing])
+    warm_worker(specs)
     if workers > 1:
         try:
-            with ProcessPoolExecutor(max_workers=workers) as executor:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=warm_worker,
+                                     initargs=(specs,)) as executor:
                 futures = {executor.submit(timed_run_scenario, scenario): index
                            for index, scenario in missing}
                 for future in as_completed(futures):

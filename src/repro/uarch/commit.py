@@ -128,6 +128,10 @@ class CommitUnit:
                     reg.allocated = False
                     reg.ready_time = _ALWAYS_READY
                     reg.producer_domain = ""
+                    # any waiter still linked is squashed wrong-path work (a
+                    # live consumer commits before its source is freed)
+                    if reg.waiters:
+                        reg.waiters.clear()
                     if reg.is_fp:
                         regfile._fp_in_use -= 1
                         regfile._free_fp.append(prev_phys)

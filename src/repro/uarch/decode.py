@@ -171,6 +171,8 @@ class DecodeRenameUnit:
                 append(instr)
                 self.decoded += 1
                 taken += 1
+            if len(batch) < limit:
+                break                     # channel exhausted: skip the re-probe
         if taken:
             self._decode_cell[0] += taken
 

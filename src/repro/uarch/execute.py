@@ -28,7 +28,7 @@ from ..memory.hierarchy import MemoryHierarchy
 from ..sim.channel import Channel
 from .branch_predictor import BranchUnit
 from .instruction import DynamicInstruction
-from .issue_queue import ForwardingLatency, IssueQueue
+from .issue_queue import SCHEME_EVENT, ForwardingLatency, IssueQueue
 from .regfile import PhysicalRegisterFile
 
 # Unpipelined classes (full-latency functional-unit occupancy) are flagged
@@ -151,9 +151,14 @@ class ExecutionUnit:
         #: folded into the eager counters on the next non-empty edge or an
         #: external read (integer run-length encoding, so totals are exact)
         self._idle_samples = 0
-        # per-unit fused stage closures (stable collaborators pre-bound)
-        self._drain_input = self._make_drain_input()
-        self._issue_ready = self._make_issue_ready()
+        # per-unit fused stage closures (stable collaborators pre-bound),
+        # picked by the queue's wakeup scheme
+        if issue_queue.scheme == SCHEME_EVENT:
+            self._drain_input = self._make_drain_input_event()
+            self._issue_ready = self._make_issue_ready_event()
+        else:
+            self._drain_input = self._make_drain_input()
+            self._issue_ready = self._make_issue_ready()
 
     # --------------------------------------------------------------- clocking
     def clock_edge(self, cycle: int, time: float) -> None:
@@ -206,6 +211,7 @@ class ExecutionUnit:
         channel = self.input_channel
         issue_queue = self.issue_queue
         is_fifo = channel.counts_as_fifo
+        event_mode = issue_queue.scheme == SCHEME_EVENT
         if probe is not None:
             gated_cells, state, active_edge = probe
         else:  # pragma: no cover - every processor domain carries a probe
@@ -223,7 +229,12 @@ class ExecutionUnit:
                 # while the FIFO head is still synchronizing
                 if ch_entries and (not is_fifo or ch_entries[0][2] <= time):
                     unit._drain_input(time)
-                if issue_queue._entries:
+                # event scheme: skip the issue call outright while the ready
+                # list is empty or gated (nothing can become visible yet)
+                if event_mode:
+                    if issue_queue._ready and time >= issue_queue.ready_gate:
+                        unit._issue_ready(time)
+                elif issue_queue._entries:
                     unit._issue_ready(time)
                 idle = unit._idle_samples
                 if idle:
@@ -281,12 +292,26 @@ class ExecutionUnit:
             self.completed_ops += 1
             phys_dest = instr.phys_dest
             if phys_dest is not None:
-                # inline regfile.mark_ready
+                # inline regfile.mark_ready (including its waiter walk: under
+                # the event wakeup scheme this writeback is what moves blocked
+                # consumers toward their queue's ready list; under the scan
+                # scheme the waiter list is always empty)
                 reg = registers[phys_dest]
                 reg.ready_time = now
                 reg.producer_domain = domain_name
                 regfile.writes += 1
                 results += 1
+                waiters = reg.waiters
+                if waiters:
+                    for waiter in waiters:
+                        if not waiter.squashed and waiter.pending_ops:
+                            pending = waiter.pending_ops - 1
+                            waiter.pending_ops = pending
+                            if pending == 0:
+                                queue = waiter.wakeup_queue
+                                if queue is not None:
+                                    queue.push_ready(waiter)
+                    waiters.clear()
             if instr.is_branch and self.branch_unit is not None:
                 self.branch_unit.resolve(instr.pc, instr.trace.taken,
                                          instr.predicted_taken
@@ -356,6 +381,66 @@ class ExecutionUnit:
                         queue.gate_time = -1.0
                     entries.append(instr)
                     drained += 1
+                if len(batch) < space:
+                    break                 # channel exhausted: skip the re-probe
+            if drained:
+                queue.dispatches += drained
+                queue_cell[0] += drained
+
+        return drain_input
+
+    def _make_drain_input_event(self):
+        """Event-scheme intake: the scan drain plus inline waiter linking.
+
+        Each accepted entry is registered on the waiter list of every source
+        operand whose producer has not written back yet; entries with no
+        pending producer go straight onto the queue's age-ordered ready list
+        (``IssueQueue.link_waiters``, inlined).  The scan scheme's wakeup
+        gate is not maintained -- the event issue pass never reads it.
+        """
+        unit = self
+        channel = self.input_channel
+        pop_bulk = channel.pop_bulk
+        is_fifo = channel.counts_as_fifo
+        queue = self.issue_queue
+        capacity = queue.capacity
+        queue_cell = self._queue_cell
+        registers = self.regfile._registers
+        push_ready = queue.push_ready
+
+        def drain_input(now: float) -> None:
+            entries = queue._entries
+            drained = 0
+            while True:
+                space = capacity - len(entries)
+                if space <= 0:
+                    break
+                batch = pop_bulk(now, space)
+                if not batch:
+                    break
+                for instr, wait in batch:
+                    if is_fifo and wait > 0:
+                        instr.fifo_time += wait
+                    if instr.squashed:
+                        unit.dropped_squashed += 1
+                        continue
+                    if entries and instr.seq < entries[-1].seq:
+                        queue._needs_sort = True
+                    entries.append(instr)
+                    drained += 1
+                    # inline IssueQueue.link_waiters
+                    pending = 0
+                    for phys in instr.phys_sources:
+                        reg = registers[phys]
+                        if reg.ready_time == _INF:
+                            reg.waiters.append(instr)
+                            pending += 1
+                    instr.pending_ops = pending
+                    instr.wakeup_queue = queue
+                    if pending == 0:
+                        push_ready(instr)
+                if len(batch) < space:
+                    break                 # channel exhausted: skip the re-probe
             if drained:
                 queue.dispatches += drained
                 queue_cell[0] += drained
@@ -526,6 +611,140 @@ class ExecutionUnit:
                 issue_queue.gate_len = len(entries)
             else:
                 issue_queue.gate_time = -1.0
+
+        return issue_ready
+
+    def _make_issue_ready_event(self):
+        """Build the event-scheme wakeup/select + issue closure.
+
+        The pass walks only the queue's age-ordered ready list (entries
+        whose producers have all written back), pricing cross-domain
+        visibility lazily with the same per-entry ``wakeup_after`` cache the
+        scan uses.  Selection is bit-identical to the scan closure: oldest
+        first over the same candidate set, the same structural-stall and
+        issue-width break conditions, and the same ``memory.load_access``
+        call sequence (the visibility probe fires on the same edge in both
+        schemes -- the first pass after the last producer's writeback).
+        """
+        unit = self
+        issue_queue = self.issue_queue
+        regfile = self.regfile
+        registers = regfile._registers
+        fwd_cache = issue_queue._fwd_cache
+        forwarding_latency = self.forwarding_latency
+        functional_units = self.functional_units
+        busy = functional_units._busy_until
+        num_units = len(busy)
+        latency_by_op = self._latency_by_op
+        busy_by_op = self._busy_by_op
+        memory = self.memory
+        clock = self._clock
+        domain_name = issue_queue.domain_name
+        issue_width = self.issue_width
+        dcache_cell = self._dcache_cell
+        alu_cell = self._alu_cell
+        queue_cell = self._queue_cell
+
+        def issue_ready(now: float) -> None:
+            ready_list = issue_queue._ready
+            if not ready_list:
+                return
+            # Issue gate: after a complete pass that issued everything
+            # visible, no remaining entry can become visible before
+            # ``ready_gate`` -- only a new push resets it (push_ready).
+            if now < issue_queue.ready_gate:
+                return
+            limit = 0
+            for busy_until in busy:
+                if busy_until <= now:
+                    limit += 1
+            if limit <= 0:
+                return
+            if limit > issue_width:
+                limit = issue_width
+            period = clock.period
+            in_flight = unit._in_flight
+            next_completion = unit._next_completion
+            pass_complete = True
+            min_future = _INF
+            issued_instrs: List[DynamicInstruction] = []
+            searched = 0
+            issued = 0
+            loads = 0
+            for instr in ready_list:
+                searched += 1
+                wakeup_after = instr.wakeup_after
+                if wakeup_after > now:
+                    if wakeup_after < min_future:
+                        min_future = wakeup_after
+                    continue              # visibility time known, still ahead
+                if wakeup_after < 0.0:
+                    # first examination since the last producer's writeback:
+                    # price every operand's cross-domain visibility
+                    visible_at = 0.0
+                    for phys in instr.phys_sources:
+                        reg = registers[phys]
+                        source_visible = reg.ready_time
+                        producer_domain = reg.producer_domain
+                        if producer_domain and producer_domain != domain_name:
+                            extra = fwd_cache.get(producer_domain)
+                            if extra is None:
+                                extra = forwarding_latency(producer_domain,
+                                                           domain_name)
+                                fwd_cache[producer_domain] = extra
+                            source_visible += extra
+                        if source_visible > visible_at:
+                            visible_at = source_visible
+                    instr.wakeup_after = visible_at
+                    if visible_at > now:
+                        if visible_at < min_future:
+                            min_future = visible_at
+                        continue
+                # ---------------- issue (inline FunctionalUnitPool.try_claim)
+                opclass = instr.opclass
+                op_index = opclass.op_index
+                latency_cycles = latency_by_op[op_index]
+                if instr.is_load and memory is not None:
+                    latency_cycles += memory.load_access(instr.trace.mem_address or 0)
+                    loads += 1
+                claimed = False
+                for index in range(num_units):
+                    if busy[index] <= now:
+                        busy[index] = now + busy_by_op[op_index] * period
+                        functional_units.operations += 1
+                        claimed = True
+                        break
+                if not claimed:
+                    # a visible entry is left behind: the gate must not hide it
+                    functional_units.structural_stalls += 1
+                    pass_complete = False
+                    break
+                issued_instrs.append(instr)
+                instr.issued = True
+                instr.issue_time = now
+                completion_time = now + latency_cycles * period
+                instr.fu_done = completion_time
+                if completion_time < next_completion:
+                    next_completion = completion_time
+                in_flight.append(instr)
+                issued += 1
+                if issued >= limit:
+                    pass_complete = False     # tail not examined this pass
+                    break
+            unit._next_completion = next_completion
+            issue_queue.wakeup_searches += searched
+            issue_queue.ready_gate = min_future if pass_complete else -1.0
+            if loads:
+                dcache_cell[0] += loads
+            if issued:
+                entries = issue_queue._entries
+                for instr in issued_instrs:
+                    ready_list.remove(instr)
+                    entries.remove(instr)
+                issue_queue.issues += issued
+                unit.issued_ops += issued
+                alu_cell[0] += issued
+                queue_cell[0] += issued
 
         return issue_ready
 

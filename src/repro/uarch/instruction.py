@@ -32,7 +32,7 @@ class DynamicInstruction:
         "dispatch_time", "issue_time", "complete_time", "commit_time",
         "fifo_time", "fu_done",
         "squashed", "completed", "issued",
-        "wakeup_after", "wakeup_stamp",
+        "wakeup_after", "wakeup_stamp", "pending_ops", "wakeup_queue",
     )
 
     def __init__(self, trace: TraceInstruction, epoch: int,
@@ -85,6 +85,12 @@ class DynamicInstruction:
         self.wakeup_after: float = -1.0
         #: regfile write-counter stamp at the last failed +inf wakeup check
         self.wakeup_stamp: int = -1
+        #: event-driven wakeup: number of source operands whose producers
+        #: have not completed yet (maintained by the waiter lists)
+        self.pending_ops: int = 0
+        #: event-driven wakeup: the IssueQueue holding this entry, so a
+        #: producer's writeback can move it onto that queue's ready list
+        self.wakeup_queue = None
 
     # --------------------------------------------------------------- queries
     @property

@@ -23,17 +23,42 @@ ForwardingLatency = Callable[[str, str], float]
 
 _INF = float("inf")
 
+#: event-driven wakeup (per-register waiter lists + a per-queue ready list)
+SCHEME_EVENT = "event"
+#: legacy poll-based wakeup (full CAM scan per cycle, covered-prefix gate)
+SCHEME_SCAN = "scan"
+
+WAKEUP_SCHEMES = (SCHEME_EVENT, SCHEME_SCAN)
+
 
 class IssueQueue:
-    """One instruction window feeding one set of functional units."""
+    """One instruction window feeding one set of functional units.
 
-    def __init__(self, name: str, capacity: int, domain_name: str = "") -> None:
+    ``scheme`` selects the wakeup implementation: ``"event"`` keeps a
+    per-physical-register waiter list (entries blocked on that value) and an
+    age-ordered per-queue ready list fed by writebacks, so the per-cycle
+    wakeup pass touches only awake entries; ``"scan"`` is the legacy
+    poll-based CAM scan over the whole window.  Both produce bit-identical
+    issue decisions (the differential wakeup tests pin this).
+    """
+
+    def __init__(self, name: str, capacity: int, domain_name: str = "",
+                 scheme: str = SCHEME_SCAN) -> None:
         if capacity <= 0:
             raise ValueError("issue queue capacity must be positive")
+        if scheme not in WAKEUP_SCHEMES:
+            raise ValueError(f"unknown wakeup scheme {scheme!r}; "
+                             f"known: {WAKEUP_SCHEMES}")
         self.name = name
         self.capacity = capacity
         self.domain_name = domain_name
+        self.scheme = scheme
         self._entries: List[DynamicInstruction] = []
+        #: event scheme: entries whose source operands have all been
+        #: *produced* (writeback happened; cross-domain visibility may still
+        #: be in the future), kept in age (seq) order.  Always a subset of
+        #: ``_entries``.
+        self._ready: List[DynamicInstruction] = []
         # Entries arrive in program (seq) order from the in-order front end,
         # so the list is kept age-sorted without re-sorting every wakeup; the
         # flag flips if an out-of-order dispatch is ever observed.
@@ -48,6 +73,12 @@ class IssueQueue:
         self.gate_time = -1.0
         self.gate_stamp = -1
         self.gate_len = 0
+        # Event-scheme issue gate: after a complete pass over the ready list
+        # that issued everything visible, no remaining entry becomes visible
+        # before ``ready_gate``.  Only a new push can add an earlier
+        # candidate (it resets the gate); entries leaving the list can never
+        # lower the minimum, so squash/remove keep the gate valid.
+        self.ready_gate = -1.0
         # producer-domain -> forwarding latency into this queue's domain.
         # Clock periods are immutable once domains are bound (see
         # Processor._forwarding_cache), so the callback result is cached to
@@ -88,8 +119,14 @@ class IssueQueue:
         return iter(self._entries)
 
     # ------------------------------------------------------------ operations
-    def dispatch(self, instr: DynamicInstruction) -> None:
-        """Insert a renamed instruction into the window."""
+    def dispatch(self, instr: DynamicInstruction,
+                 regfile: Optional[PhysicalRegisterFile] = None) -> None:
+        """Insert a renamed instruction into the window.
+
+        Under the event wakeup scheme, ``regfile`` is required: the entry is
+        linked onto the waiter list of every not-yet-produced source operand
+        (or straight onto the ready list when none is pending).
+        """
         entries = self._entries
         if len(entries) >= self.capacity:
             self.full_stalls += 1
@@ -100,6 +137,54 @@ class IssueQueue:
             self.gate_time = -1.0
         entries.append(instr)
         self.dispatches += 1
+        if self.scheme == SCHEME_EVENT:
+            if regfile is None:
+                raise ValueError("event-scheme dispatch needs the regfile "
+                                 "to link waiters")
+            self.link_waiters(instr, regfile)
+
+    def link_waiters(self, instr: DynamicInstruction,
+                     regfile: PhysicalRegisterFile) -> None:
+        """Register the entry on the waiter list of each pending operand.
+
+        A source operand is *pending* while its producer has not written
+        back (``ready_time`` is +inf); produced-but-not-yet-visible operands
+        (cross-domain forwarding still in flight) do not count -- the ready
+        list tracks production, the issue pass prices visibility.  Entries
+        with no pending operand join the ready list immediately.
+        """
+        pending = 0
+        registers = regfile._registers
+        for phys in instr.phys_sources:
+            reg = registers[phys]
+            if reg.ready_time == _INF:
+                reg.waiters.append(instr)
+                pending += 1
+        instr.pending_ops = pending
+        instr.wakeup_queue = self
+        if pending == 0:
+            self.push_ready(instr)
+
+    def push_ready(self, instr: DynamicInstruction) -> None:
+        """Insert a fully produced entry into the age-ordered ready list.
+
+        Entries arrive in writeback order, not age order, so the insert
+        walks from the tail to the entry's seq slot (the list is short and
+        mostly-ordered, so the walk is usually zero or one step).  Age order
+        is the bit-identity rule: the issue pass must attempt ready entries
+        oldest first, exactly as the legacy whole-window scan did.
+        """
+        ready = self._ready
+        seq = instr.seq
+        if ready and seq < ready[-1].seq:
+            index = len(ready) - 1
+            while index > 0 and ready[index - 1].seq > seq:
+                index -= 1
+            ready.insert(index, instr)
+        else:
+            ready.append(instr)
+        instr.wakeup_after = -1.0
+        self.ready_gate = -1.0
 
     def ready_instructions(
         self,
@@ -110,12 +195,16 @@ class IssueQueue:
     ) -> List[DynamicInstruction]:
         """Oldest-first list of instructions whose operands are all visible.
 
-        This models the wakeup/select CAM search: every entry is examined
-        (counted as wakeup activity for the power model), and up to ``limit``
-        ready entries are returned in age order.
+        Under the legacy scan scheme this models the wakeup/select CAM
+        search: every entry is examined (counted as wakeup activity), and up
+        to ``limit`` ready entries are returned in age order.  Under the
+        event scheme only the ready list (entries already woken by their
+        producers' writebacks) is examined; the selection is bit-identical.
         """
         if limit <= 0:
             return []
+        if self.scheme == SCHEME_EVENT:
+            return self._ready_event(now, regfile, forwarding_latency, limit)
         if self._needs_sort:
             self._entries.sort(key=lambda i: i.seq)
             self._needs_sort = False
@@ -192,18 +281,103 @@ class IssueQueue:
             self.gate_time = -1.0
         return ready
 
+    def _ready_event(
+        self,
+        now: float,
+        regfile: PhysicalRegisterFile,
+        forwarding_latency: ForwardingLatency,
+        limit: int,
+    ) -> List[DynamicInstruction]:
+        """Event-scheme wakeup: pick visible entries off the ready list.
+
+        Entries on the ready list have every operand produced; the pass
+        prices cross-domain visibility lazily with the same per-entry
+        ``wakeup_after`` cache the scan scheme uses (including its
+        stale-across-retime semantics), which is what keeps the two schemes
+        bit-identical.
+        """
+        if now < self.ready_gate:
+            return []                     # nothing becomes visible before then
+        ready: List[DynamicInstruction] = []
+        searched = 0
+        domain_name = self.domain_name
+        registers = regfile._registers
+        fwd_cache = self._fwd_cache
+        pass_complete = True
+        min_future = _INF
+        for instr in self._ready:
+            searched += 1
+            wakeup_after = instr.wakeup_after
+            if wakeup_after > now:
+                if wakeup_after < min_future:
+                    min_future = wakeup_after
+                continue                  # visibility time known, still ahead
+            if wakeup_after < 0.0:
+                # first examination since the last producer wrote back:
+                # price the cross-domain visibility of every operand
+                visible_at = 0.0
+                for phys in instr.phys_sources:
+                    reg = registers[phys]
+                    source_visible = reg.ready_time
+                    producer_domain = reg.producer_domain
+                    if producer_domain and producer_domain != domain_name:
+                        extra = fwd_cache.get(producer_domain)
+                        if extra is None:
+                            extra = forwarding_latency(producer_domain,
+                                                       domain_name)
+                            fwd_cache[producer_domain] = extra
+                        source_visible += extra
+                    if source_visible > visible_at:
+                        visible_at = source_visible
+                instr.wakeup_after = visible_at
+                if visible_at > now:
+                    if visible_at < min_future:
+                        min_future = visible_at
+                    continue
+            ready.append(instr)
+            if len(ready) >= limit:
+                pass_complete = False     # tail not examined this pass
+                break
+        self.wakeup_searches += searched
+        # The contract mirrors the scan gate: returned entries are expected
+        # to issue (the caller removes them), so on a complete pass nothing
+        # left can become visible before ``min_future``.
+        self.ready_gate = min_future if pass_complete else -1.0
+        return ready
+
     def remove(self, instr: DynamicInstruction) -> None:
         """Remove an instruction that has been issued."""
         self._entries.remove(instr)
+        ready = self._ready
+        if ready:
+            try:
+                ready.remove(instr)
+            except ValueError:
+                pass
         self.issues += 1
         self.gate_time = -1.0
+        # clamp the covered-prefix length: it must never exceed the window
+        if self.gate_len > len(self._entries):
+            self.gate_len = len(self._entries)
 
     def squash_younger_than(self, branch_seq: int) -> List[DynamicInstruction]:
-        """Drop wrong-path instructions after a misprediction."""
+        """Drop wrong-path instructions after a misprediction.
+
+        Under the event scheme the squashed entries also leave the ready
+        list; waiter-list links are unlinked lazily (the producer's
+        writeback skips squashed entries), which the recovery tests pin.
+        """
         squashed = [i for i in self._entries if i.seq > branch_seq]
         if squashed:
             self._entries = [i for i in self._entries if i.seq <= branch_seq]
+            if self._ready:
+                self._ready = [i for i in self._ready
+                               if i.seq <= branch_seq]
             for instr in squashed:
                 instr.squashed = True
             self.gate_time = -1.0
+            # clamp the covered prefix so a stale length can never outrun
+            # the shrunken window (the gate itself is invalid already)
+            if self.gate_len > len(self._entries):
+                self.gate_len = len(self._entries)
         return squashed

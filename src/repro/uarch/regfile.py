@@ -11,7 +11,7 @@ results from one queue to another through FIFOs", Section 5.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa.registers import is_fp_reg
@@ -31,6 +31,12 @@ class PhysicalRegister:
     allocated: bool = False
     ready_time: float = ALWAYS_READY
     producer_domain: str = ""
+    #: event-driven wakeup: issue-queue entries blocked on this register's
+    #: value.  The producer's writeback walks the list, decrements each
+    #: waiter's not-ready operand count and moves fully awake entries onto
+    #: their queue's age-ordered ready list (see IssueQueue.push_ready).
+    #: Squashed entries are skipped lazily; ``free()`` clears the list.
+    waiters: List = field(default_factory=list)
 
 
 class PhysicalRegisterFile:
@@ -121,6 +127,11 @@ class PhysicalRegisterFile:
         reg.allocated = False
         reg.ready_time = ALWAYS_READY
         reg.producer_domain = ""
+        # Any waiter still linked here is squashed wrong-path work (a live
+        # consumer always commits before its source register is freed);
+        # clearing keeps the next allocation's waiter list pristine.
+        if reg.waiters:
+            reg.waiters.clear()
         if reg.is_fp:
             self._fp_in_use -= 1
             self._free_fp.append(index)
@@ -136,11 +147,29 @@ class PhysicalRegisterFile:
         reg.producer_domain = ""
 
     def mark_ready(self, index: int, time: float, domain: str) -> None:
-        """Record that the value was produced at ``time`` in ``domain``."""
+        """Record that the value was produced at ``time`` in ``domain``.
+
+        This is the event-driven wakeup source: the register's waiter list
+        (issue-queue entries blocked on this value) is walked once, each
+        live waiter's not-ready operand count drops by one, and entries
+        whose last operand this was move onto their queue's age-ordered
+        ready list.  Squashed waiters are dropped without a wakeup.
+        """
         reg = self._registers[index]
         reg.ready_time = time
         reg.producer_domain = domain
         self.writes += 1
+        waiters = reg.waiters
+        if waiters:
+            for waiter in waiters:
+                if not waiter.squashed and waiter.pending_ops:
+                    pending = waiter.pending_ops - 1
+                    waiter.pending_ops = pending
+                    if pending == 0:
+                        queue = waiter.wakeup_queue
+                        if queue is not None:
+                            queue.push_ready(waiter)
+            waiters.clear()
 
     def ready_time(self, index: int) -> float:
         """Absolute time the register's value is ready in its producing domain."""

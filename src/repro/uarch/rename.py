@@ -115,6 +115,9 @@ class RegisterAliasTable:
             reg.allocated = True
             reg.ready_time = _PENDING
             reg.producer_domain = ""
+            # reg.waiters is empty here: every free path (commit's inlined
+            # free, regfile.free in recovery) clears it, so the event-wakeup
+            # waiter list never carries links across an allocation
             if for_fp:
                 regfile._fp_in_use += 1
             else:

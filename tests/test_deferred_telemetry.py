@@ -111,6 +111,41 @@ def test_retimes_with_interleaved_observation_storm_bit_equal():
     assert _comparable(noisy) == _comparable(plain)
 
 
+def test_retime_and_flush_storm_is_wakeup_scheme_invariant():
+    """The flush-point invariance contract extends to the wakeup state: a
+    retime landing between a producer's writeback and the consumer's issue
+    pass (with telemetry reads racing both) must leave the event scheme's
+    waiter/ready-list bookkeeping producing the exact result of the legacy
+    scan -- cached visibility prices go stale identically in both."""
+    from repro.core.config import DEFAULT_CONFIG
+    from repro.core.processor import Processor
+
+    def run(scheme):
+        trace, workload = build_workload("perl", SMALL, seed=1)
+        machine = Processor(
+            trace, workload=workload, topology="gals5",
+            config=DEFAULT_CONFIG.with_changes(wakeup_scheme=scheme))
+        machine.engine.schedule_periodic(
+            4.1, 13.7, lambda _: (machine.power.total_energy(),
+                                  machine.flush_telemetry()),
+            priority=9, name="observe")
+
+        def make_retime(domain, slowdown):
+            return lambda _: machine.retime_domain(
+                domain, machine.plan.base_period * slowdown)
+
+        for at, domain, slowdown in ((31.9, "fp", 1.4),
+                                     (58.3, "integer", 1.2),
+                                     (95.7, "fp", 1.0)):
+            machine.engine.schedule(at, make_retime(domain, slowdown),
+                                    priority=8, name="retime")
+        result = machine.run()
+        assert result.recoveries > 0           # branch squashes exercised
+        return result
+
+    assert _comparable(run("event")) == _comparable(run("scan"))
+
+
 def test_controller_epochs_with_extra_reads_leave_trace_and_result_unchanged():
     plain = run_scenario("gals5-perl-occupancy", num_instructions=SMALL)
     # identical scenario, but the driver's epochs race extra observations

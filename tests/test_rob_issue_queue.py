@@ -138,3 +138,28 @@ def test_issue_queue_occupancy_stats():
 def test_issue_queue_invalid_capacity():
     with pytest.raises(ValueError):
         IssueQueue("iq", capacity=0)
+
+
+def test_scan_gate_len_clamped_by_squash_inside_covered_prefix():
+    """Regression: a squash or remove that shrinks the window below the
+    wakeup gate's covered-prefix length must clamp ``gate_len`` -- a stale
+    length would make a later gated scan trust a prefix that no longer
+    exists (legacy scan scheme)."""
+    regfile = PhysicalRegisterFile()
+    queue = IssueQueue("iq_int", capacity=8, domain_name="integer")
+    pending = regfile.allocate(for_fp=False)
+    instrs = [make_instr() for _ in range(5)]
+    for instr in instrs:
+        instr.phys_sources = (pending,)        # all blocked: nothing issues
+        queue.dispatch(instr)
+    queue.ready_instructions(0.0, regfile, no_forwarding, limit=8)
+    assert queue.gate_len == 5                 # complete scan covers everything
+    queue.squash_younger_than(instrs[1].seq)   # squash inside the prefix
+    assert queue.occupancy == 2
+    assert queue.gate_len == 2                 # clamped, not stale at 5
+    queue.remove(instrs[0])
+    assert queue.gate_len == 1
+    # the shrunken window still scans correctly once the operand lands
+    regfile.mark_ready(pending, 3.0, "integer")
+    selected = queue.ready_instructions(3.0, regfile, no_forwarding, limit=8)
+    assert selected == [instrs[1]]

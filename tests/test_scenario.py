@@ -155,7 +155,8 @@ def test_sweep_falls_back_to_serial_when_workers_lack_registrations(monkeypatch)
     pool workers; the sweep must recover by running in the parent process."""
     from repro.core import scenario as scenario_module
 
-    def exploding_run_jobs(function, argument_tuples, jobs=None):
+    def exploding_run_jobs(function, argument_tuples, jobs=None,
+                           initializer=None, initargs=()):
         raise KeyError("unknown DVFS policy 'auto-something'")
 
     monkeypatch.setattr(scenario_module, "_run_jobs", exploding_run_jobs)

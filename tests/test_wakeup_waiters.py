@@ -1,0 +1,281 @@
+"""Event-driven wakeup: waiter lists, ready list, and scan/event parity.
+
+The event scheme (per-physical-register waiter lists + an age-ordered
+per-queue ready list) must produce *bit-identical* simulations to the legacy
+poll-based scan -- same issue decisions, same telemetry, same energy.  These
+tests pin the mechanism (linking, wakeup on writeback, lazy unlink on squash,
+ready-list age order, the push-invalidated ready gate) and the end-to-end
+contract: differential full runs across topologies, controller scenarios,
+branch-recovery-heavy random programs, and scripted mid-run ``retime_domain``
+calls that land between a producer's writeback and the consumer's issue.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.processor import Processor
+from repro.core.scenario import run_scenario
+from repro.isa.instructions import InstructionClass
+from repro.isa.trace import TraceInstruction
+from repro.uarch.instruction import DynamicInstruction
+from repro.uarch.issue_queue import (SCHEME_EVENT, SCHEME_SCAN, IssueQueue)
+from repro.uarch.regfile import PhysicalRegisterFile
+from repro.workloads.registry import build_workload
+
+SMALL = 500
+
+
+def make_instr(opclass=InstructionClass.INT_ALU, sources=()):
+    trace = TraceInstruction(index=0, pc=0x400000, opclass=opclass, dest=1,
+                             sources=tuple(sources))
+    return DynamicInstruction(trace, epoch=0)
+
+
+def no_forwarding(producer, consumer):
+    return 0.0
+
+
+# ------------------------------------------------------------ queue mechanics
+def test_unknown_wakeup_scheme_rejected():
+    with pytest.raises(ValueError, match="unknown wakeup scheme"):
+        IssueQueue("iq", capacity=4, scheme="psychic")
+
+
+def test_event_dispatch_requires_the_regfile():
+    queue = IssueQueue("iq", capacity=4, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    with pytest.raises(ValueError, match="needs the regfile"):
+        queue.dispatch(make_instr())
+
+
+def test_dispatch_links_waiters_and_writeback_wakes():
+    regfile = PhysicalRegisterFile()
+    queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    pending = regfile.allocate(for_fp=False)
+    waiting = make_instr()
+    waiting.phys_sources = (pending, 3)        # one pending, one arch-ready
+    queue.dispatch(waiting, regfile)
+    assert waiting.pending_ops == 1
+    assert waiting.wakeup_queue is queue
+    assert regfile._registers[pending].waiters == [waiting]
+    assert queue._ready == []                  # not woken yet
+    assert queue.ready_instructions(0.0, regfile, no_forwarding, 4) == []
+
+    regfile.mark_ready(pending, 5.0, "integer")
+    assert waiting.pending_ops == 0
+    assert regfile._registers[pending].waiters == []
+    assert queue._ready == [waiting]
+    assert queue.ready_instructions(2.0, regfile, no_forwarding, 4) == []
+    assert queue.ready_instructions(5.0, regfile, no_forwarding, 4) == [waiting]
+
+
+def test_no_pending_operands_goes_straight_to_the_ready_list():
+    regfile = PhysicalRegisterFile()
+    queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    instr = make_instr()
+    instr.phys_sources = (3,)                  # architectural, always ready
+    queue.dispatch(instr, regfile)
+    assert queue._ready == [instr]
+    assert queue.ready_instructions(0.0, regfile, no_forwarding, 4) == [instr]
+
+
+def test_push_ready_keeps_age_order_and_invalidates_the_gate():
+    queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    a, b, c = make_instr(), make_instr(), make_instr()   # ascending seq
+    queue.ready_gate = 99.0
+    for instr in (c, a, b):                    # writeback order != age order
+        queue.push_ready(instr)
+    assert queue._ready == [a, b, c]
+    assert queue.ready_gate == -1.0            # a push can add an earlier entry
+    assert all(i.wakeup_after == -1.0 for i in (a, b, c))
+
+
+def test_squashed_waiter_is_skipped_on_writeback():
+    regfile = PhysicalRegisterFile()
+    queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    pending = regfile.allocate(for_fp=False)
+    older = make_instr()
+    older.phys_sources = (pending,)
+    wrong_path = make_instr()
+    wrong_path.phys_sources = (pending,)
+    queue.dispatch(older, regfile)
+    queue.dispatch(wrong_path, regfile)
+    squashed = queue.squash_younger_than(older.seq)
+    assert squashed == [wrong_path] and wrong_path.squashed
+    # the waiter link survives the squash (lazy unlink) ...
+    assert wrong_path in regfile._registers[pending].waiters
+    regfile.mark_ready(pending, 4.0, "integer")
+    # ... but the writeback drops it without a wakeup
+    assert queue._ready == [older]
+    assert regfile._registers[pending].waiters == []
+
+
+def test_squash_drops_ready_list_entries():
+    regfile = PhysicalRegisterFile()
+    queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    instrs = [make_instr() for _ in range(3)]
+    for instr in instrs:
+        instr.phys_sources = ()
+        queue.dispatch(instr, regfile)
+    assert queue._ready == instrs
+    queue.squash_younger_than(instrs[0].seq)
+    assert queue._ready == [instrs[0]]
+    assert queue._entries == [instrs[0]]
+
+
+def test_freeing_a_register_clears_stale_waiters():
+    regfile = PhysicalRegisterFile()
+    index = regfile.allocate(for_fp=False)
+    leftover = make_instr()
+    leftover.squashed = True
+    regfile._registers[index].waiters.append(leftover)
+    regfile.free(index)
+    assert regfile._registers[index].waiters == []
+
+
+def test_ready_gate_suppresses_passes_until_the_visibility_horizon():
+    regfile = PhysicalRegisterFile()
+    queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                       scheme=SCHEME_EVENT)
+    pending = regfile.allocate(for_fp=False)
+    instr = make_instr()
+    instr.phys_sources = (pending,)
+    queue.dispatch(instr, regfile)
+    regfile.mark_ready(pending, 10.0, "fp")    # cross-domain producer
+
+    def fwd(producer, consumer):
+        return 3.0
+
+    assert queue.ready_instructions(5.0, regfile, fwd, 4) == []
+    assert queue.ready_gate == pytest.approx(13.0)   # 10.0 ready + 3.0 fwd
+    before = queue.wakeup_searches
+    assert queue.ready_instructions(12.0, regfile, fwd, 4) == []
+    assert queue.wakeup_searches == before     # gated: no entry examined
+    assert queue.ready_instructions(13.0, regfile, fwd, 4) == [instr]
+
+
+def test_event_and_scan_make_identical_selections():
+    def build(scheme):
+        regfile = PhysicalRegisterFile()
+        queue = IssueQueue("iq", capacity=8, domain_name="integer",
+                           scheme=scheme)
+        pending = regfile.allocate(for_fp=False)
+        blocked = make_instr()
+        blocked.phys_sources = (pending,)
+        awake = [make_instr() for _ in range(3)]
+        for instr in [blocked, *awake]:
+            if instr is not blocked:
+                instr.phys_sources = (3,)
+            queue.dispatch(instr, regfile)
+        regfile.mark_ready(pending, 6.0, "fp")
+        return regfile, queue, blocked, awake
+
+    def fwd(producer, consumer):
+        return 2.0
+
+    picks = {}
+    for scheme in (SCHEME_EVENT, SCHEME_SCAN):
+        regfile, queue, blocked, awake = build(scheme)
+        window = [blocked, *awake]             # dispatch (age) order
+        rounds = []
+        for now in (0.0, 7.0, 8.0):
+            rounds.append([window.index(i) for i in
+                           queue.ready_instructions(now, regfile, fwd, 2)])
+        picks[scheme] = rounds
+    assert picks[SCHEME_EVENT] == picks[SCHEME_SCAN]
+    assert picks[SCHEME_EVENT][0] == [1, 2]    # oldest awake entries first
+
+
+# ------------------------------------------------------- differential full runs
+def _differential(scenario, instructions=SMALL, **overrides):
+    event = run_scenario(scenario, num_instructions=instructions,
+                         config={"wakeup_scheme": "event"}, **overrides)
+    scan = run_scenario(scenario, num_instructions=instructions,
+                        config={"wakeup_scheme": "scan"}, **overrides)
+    assert asdict(event.result) == asdict(scan.result)
+    return event.result
+
+
+@pytest.mark.parametrize("scenario", [
+    "base",                    # synchronous: no forwarding latency at all
+    "gals5",                   # the paper's 5-domain machine
+    "fem3",                    # 3-domain split
+    "memsplit2",               # 2-domain memory split
+    "dotprod-gals5",           # assembled kernel workload
+])
+def test_event_wakeup_is_bit_identical_to_scan(scenario):
+    result = _differential(scenario)
+    assert result.committed_instructions > 0
+
+
+def test_event_wakeup_bit_identical_on_long_program_with_recoveries():
+    result = _differential("gals5", instructions=2500)
+    # the differential is only meaningful if the run exercised branch
+    # recoveries (waiter unlink on squash) -- the perl workload does
+    assert result.recoveries > 0
+    assert result.branch_misprediction_rate > 0.0
+
+
+def test_event_wakeup_bit_identical_under_online_dvfs_controller():
+    # the occupancy controller retimes domains mid-run: cached visibility
+    # prices must go stale identically in both schemes
+    result = _differential("gals5-perl-occupancy", instructions=800)
+    assert result.dvfs_trace                  # the controller actually acted
+
+
+# ------------------------------------------- scripted mid-run retime parity
+def _scripted_retime_run(scheme, retimes, instructions=SMALL):
+    """One gals5 run with ``retime_domain`` calls at scripted times.
+
+    The retime callbacks run at priority 8, after the execution units'
+    clock edges at the same instant -- so a retime can land *between* a
+    producer's writeback and the consumer's issue pass, the window where a
+    stale cached ``wakeup_after`` must behave identically in both schemes.
+    """
+    from repro.core.config import DEFAULT_CONFIG
+
+    trace, workload = build_workload("perl", instructions, seed=1)
+    machine = Processor(trace,
+                        config=DEFAULT_CONFIG.with_changes(
+                            wakeup_scheme=scheme),
+                        workload=workload, topology="gals5")
+
+    def make_retime(domain, slowdown):
+        def do_retime(_):
+            machine.retime_domain(domain,
+                                  machine.plan.base_period * slowdown)
+        return do_retime
+
+    for at, domain, slowdown in retimes:
+        machine.engine.schedule(at, make_retime(domain, slowdown),
+                                priority=8, name="retime")
+    return machine.run()
+
+
+def test_mid_run_retime_between_writeback_and_issue_is_scheme_invariant():
+    # odd, non-edge-aligned times: the retimes interleave arbitrarily with
+    # writebacks and issue passes across all five domains
+    retimes = ((23.7, "fp", 1.5), (41.3, "integer", 1.3),
+               (67.9, "memory", 1.2), (88.1, "fp", 1.0),
+               (104.513, "integer", 1.0))
+    event = _scripted_retime_run("event", retimes)
+    scan = _scripted_retime_run("scan", retimes)
+    assert asdict(event) == asdict(scan)
+    # the retimes visibly slowed clocks, so the parity is not vacuous
+    assert event.domain_cycles["fp"] < event.domain_cycles["decode"]
+
+
+def test_mid_run_retime_storm_is_scheme_invariant():
+    retimes = tuple((7.0 + 9.77 * i,
+                     ("integer", "fp", "memory")[i % 3],
+                     (1.4, 1.1, 1.25, 1.0)[i % 4])
+                    for i in range(12))
+    event = _scripted_retime_run("event", retimes)
+    scan = _scripted_retime_run("scan", retimes)
+    assert asdict(event) == asdict(scan)
