@@ -27,10 +27,18 @@ A third section, **sweep_warm**, times a small multi-scenario sweep through
 initializer re-warms the memo on spawn platforms) -- the figure-harness
 shape, where per-run synthesis cost is amortised across the whole sweep.
 
+Every record is tagged with the engine kernel ``backend`` that produced it
+("pure" or "compiled", resolved through :func:`repro.kernel.resolve_backend`);
+``check_bench_regression.py`` only baselines records against the same
+backend, so compiled-backend CI numbers never gate (or hide regressions in)
+the pure-Python trajectory.
+
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_sim_core.py            # full, appends record
     PYTHONPATH=src python benchmarks/bench_sim_core.py --smoke    # sweep_warm only, no append
+    PYTHONPATH=src python benchmarks/bench_sim_core.py --backend compiled
+    PYTHONPATH=src python benchmarks/bench_sim_core.py --smoke --append  # smoke-tagged record
 """
 
 import argparse
@@ -252,22 +260,71 @@ def bench_sweep_warm(repeats=SWEEP_REPEATS):
     }
 
 
+def _append_record(record):
+    """Append ``record`` to the repo-root BENCH_sim_core.json history."""
+    output = Path(__file__).resolve().parent.parent / "BENCH_sim_core.json"
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except ValueError:
+            history = []
+    history.append(record)
+    output.write_text(json.dumps(history, indent=1))
+    return output
+
+
 def main(argv=None):
+    from repro.kernel import available_backends, resolve_backend
     from repro.sim.engine import SimulationEngine
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="run only the warm-start sweep benchmark (one "
-                             "repeat) and do NOT append to the record file -- "
-                             "the CI quick check")
+                             "repeat); without --append the record file is "
+                             "not touched -- the CI quick check")
+    parser.add_argument("--append", action="store_true",
+                        help="with --smoke: append a reduced, smoke-tagged "
+                             "record (ignored as a regression baseline) so "
+                             "CI jobs leave a trajectory point")
+    parser.add_argument("--backend", choices=("auto", "pure", "compiled"),
+                        default="auto",
+                        help="engine kernel backend to benchmark (default: "
+                             "auto -- the REPRO_BACKEND environment variable, "
+                             "pure otherwise); 'compiled' errors out when no "
+                             "compiled artifact is importable rather than "
+                             "silently measuring pure Python")
     args = parser.parse_args(argv)
 
+    if args.backend == "compiled" and "compiled" not in available_backends():
+        print("error: compiled backend requested but no compiled kernel is "
+              "importable; run tools/build_kernel.py first", file=sys.stderr)
+        return 2
+    backend = resolve_backend(args.backend)
+    # Children of the warm-start sweep pool and every engine constructed by
+    # the benchmarks resolve their kernel through this variable.
+    os.environ["REPRO_BACKEND"] = backend
+
     if args.smoke:
-        print("sweep_warm smoke (%d scenarios x %d instr, %d jobs) ..."
-              % (len(SWEEP_SCENARIOS), SWEEP_INSTRUCTIONS, SWEEP_JOBS))
+        print("sweep_warm smoke (%d scenarios x %d instr, %d jobs, %s backend) ..."
+              % (len(SWEEP_SCENARIOS), SWEEP_INSTRUCTIONS, SWEEP_JOBS, backend))
         row = bench_sweep_warm(repeats=1)
         print(f"  sweep_warm      {row['instr_per_sec']:>10,.0f} instr/s  "
               f"({row['wall_seconds_best']:.2f}s wall)")
+        if args.append:
+            record = {
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "machine": platform.platform(),
+                "python": platform.python_version(),
+                "python_minor": "%d.%d" % sys.version_info[:2],
+                "backend": backend,
+                "smoke": True,
+                "sweep_warm": row,
+            }
+            print(f"wrote {_append_record(record)} (smoke record)")
+            return record
         return row
 
     print("engine-alone microbenchmark (events/sec) ...")
@@ -304,6 +361,7 @@ def main(argv=None):
         "machine": platform.platform(),
         "python": platform.python_version(),
         "python_minor": "%d.%d" % sys.version_info[:2],
+        "backend": backend,
         "engine_events_per_sec": engine_results,
         "full_run": full,
         "sweep_warm": sweep,
@@ -318,17 +376,7 @@ def main(argv=None):
         },
     }
 
-    output = Path(__file__).resolve().parent.parent / "BENCH_sim_core.json"
-    history = []
-    if output.exists():
-        try:
-            history = json.loads(output.read_text())
-            if not isinstance(history, list):
-                history = [history]
-        except ValueError:
-            history = []
-    history.append(record)
-    output.write_text(json.dumps(history, indent=1))
+    output = _append_record(record)
     print("speedups vs recorded seed baseline:",
           {key: round(value, 2)
            for key, value in record["speedup_vs_seed_baseline"].items()})

@@ -14,9 +14,15 @@ the deferred-telemetry PR, or the warm-start ``sweep_warm`` key) are reported
 and skipped, not failed.  Records from different CPython minor series (the
 ``python_minor`` tag, derived from the full version string for older records)
 never gate each other: interpreter generations shift the profile too much for
-even the seed-normalised ratios to be comparable, so the baseline is the most
-recent older record from the *same* minor series (no such record: nothing to
-gate).
+even the seed-normalised ratios to be comparable.  Records from different
+engine kernel backends (the ``backend`` tag; records predating it are
+implicitly "pure") never gate each other either -- a compiled-kernel number
+would both sail past any pure baseline and mask a genuine pure-path
+regression.  The baseline is therefore the most recent older *full* record
+from the same minor series **and** the same backend; smoke-tagged records
+(CI quick checks appended with ``--smoke --append``) document a point in the
+trajectory but are never used as baselines.  No such record: nothing to
+gate.
 
 Usage::
 
@@ -60,6 +66,15 @@ def _minor(record):
     if len(parts) >= 2 and parts[0].isdigit() and parts[1].isdigit():
         return f"{parts[0]}.{parts[1]}"
     return None
+
+
+def _backend(record):
+    """The engine kernel backend that produced the record.
+
+    Newer records carry an explicit ``backend`` tag; every record from
+    before the kernelized-core PR was measured on the pure-Python path.
+    """
+    return str(record.get("backend") or "pure")
 
 
 #: Metrics gated when baseline and current ran on the same machine+python:
@@ -106,16 +121,23 @@ def check(history, threshold):
         return ["fewer than two benchmark records; nothing to compare"], False
     current = history[-1]
     cur_minor = _minor(current)
+    cur_backend = _backend(current)
     # Different CPython minor series optimise this workload differently
     # enough (specialising interpreter, comprehension inlining, ...) that
     # even the seed-normalised ratios drift; cross-minor records document a
-    # version's throughput but never gate each other.  The baseline is the
-    # most recent older record from the *same* interpreter series.
+    # version's throughput but never gate each other.  The same goes for
+    # different kernel backends: compiled-vs-pure is an implementation swap,
+    # not a code-path regression signal.  The baseline is the most recent
+    # older full (non-smoke) record from the *same* interpreter series and
+    # the *same* backend.
     baseline = next((record for record in reversed(history[:-1])
-                     if _minor(record) == cur_minor), None)
+                     if _minor(record) == cur_minor
+                     and _backend(record) == cur_backend
+                     and not record.get("smoke")), None)
     if baseline is None:
-        return [f"no earlier record from CPython {cur_minor or '?'} "
-                "(cross-minor records are not comparable); nothing to "
+        return [f"no earlier full record from CPython {cur_minor or '?'} "
+                f"with the {cur_backend!r} backend (cross-minor and "
+                "cross-backend records are not comparable); nothing to "
                 "gate"], False
     same_host = (baseline.get("machine") == current.get("machine")
                  and baseline.get("python") == current.get("python"))
@@ -124,6 +146,7 @@ def check(history, threshold):
             else "different host/python: seed-normalised ratios")
     lines = [f"baseline: {baseline.get('timestamp', '?')}  "
              f"current: {current.get('timestamp', '?')}  "
+             f"[{cur_backend} backend]  "
              f"(threshold: -{threshold:.0%}; {mode})"]
     regressed = False
     for label, extract in metrics:

@@ -1,0 +1,203 @@
+"""Benchmark-trajectory analysis over ``BENCH_sim_core.json``.
+
+``benchmarks/bench_sim_core.py`` appends one record per invocation (one per
+commit on the perf-tracked path), so the record file is a per-commit history
+of simulator throughput.  This module renders that history as a table --
+the engine behind ``repro bench history`` -- with the same comparability
+rules as the CI regression gate (``benchmarks/check_bench_regression.py``):
+
+* records from different CPython minor series or different engine kernel
+  backends form separate *cohorts* and are never compared against each other;
+* smoke-tagged records (CI quick checks) are shown but never used as a
+  comparison baseline;
+* a value that dropped by more than the threshold against the previous
+  record of the same cohort is flagged with ``!``.
+
+Raw throughput is only meaningful within one host; pass ``normalise=True``
+(CLI: ``--normalise``) to divide every metric by the record's own live
+embedded-seed-engine throughput, which scales with the host's single-core
+Python speed -- the resulting ratios track code changes across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default name of the record file (at the repository root).
+BENCH_FILENAME = "BENCH_sim_core.json"
+
+
+def _get(record: Dict[str, Any], *path: str) -> Optional[float]:
+    """Fetch a nested numeric field, or None when absent/malformed."""
+    node: Any = record
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+#: Tracked metrics: (column header, extractor).  Mirrors the CI gate's
+#: metric set; absent values (older records, smoke records) render as ``-``.
+METRICS: Tuple[Tuple[str, Any], ...] = (
+    ("gals i/s", lambda r: _get(r, "full_run", "gals", "instr_per_sec")),
+    ("base i/s", lambda r: _get(r, "full_run", "base", "instr_per_sec")),
+    ("ctrl i/s",
+     lambda r: _get(r, "full_run", "gals_controller", "instr_per_sec")),
+    ("fem3 i/s", lambda r: _get(r, "full_run", "fem3", "instr_per_sec")),
+    ("sweep i/s", lambda r: _get(r, "sweep_warm", "instr_per_sec")),
+    ("mixed ev/s",
+     lambda r: _get(r, "engine_events_per_sec", "mixed", "wheel")),
+    ("unif ev/s",
+     lambda r: _get(r, "engine_events_per_sec", "uniform", "wheel")),
+)
+
+
+def record_backend(record: Dict[str, Any]) -> str:
+    """The engine kernel backend tag ('pure' for records predating it)."""
+    return str(record.get("backend") or "pure")
+
+
+def record_minor(record: Dict[str, Any]) -> Optional[str]:
+    """The CPython minor series ('3.11'), derived when untagged."""
+    tag = record.get("python_minor")
+    if tag:
+        return str(tag)
+    parts = str(record.get("python", "")).split(".")
+    if len(parts) >= 2 and parts[0].isdigit() and parts[1].isdigit():
+        return f"{parts[0]}.{parts[1]}"
+    return None
+
+
+def record_cohort(record: Dict[str, Any]) -> Tuple[Optional[str], str]:
+    """The comparability cohort: (CPython minor series, kernel backend)."""
+    return record_minor(record), record_backend(record)
+
+
+def find_bench_file(start: Optional[Path] = None) -> Path:
+    """Locate ``BENCH_sim_core.json`` from ``start`` (default: cwd) upward.
+
+    Searches the starting directory and its parents -- the file lives at the
+    repository root, so the CLI works from any subdirectory of a checkout.
+    Raises :class:`FileNotFoundError` when no record file exists.
+    """
+    base = (start or Path.cwd()).resolve()
+    for directory in (base, *base.parents):
+        candidate = directory / BENCH_FILENAME
+        if candidate.is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"no {BENCH_FILENAME} found in {base} or any parent directory")
+
+
+def load_history(path: Optional[Path] = None) -> List[Dict[str, Any]]:
+    """Load the benchmark record list (a single record wraps into a list)."""
+    if path is None:
+        path = find_bench_file()
+    history = json.loads(Path(path).read_text())
+    if not isinstance(history, list):
+        history = [history]
+    return history
+
+
+def _seed_rate(record: Dict[str, Any]) -> Optional[float]:
+    """The record's live embedded-seed-engine throughput (host yardstick)."""
+    return _get(record, "engine_events_per_sec", "mixed", "seed_engine_live")
+
+
+def history_rows(history: Sequence[Dict[str, Any]],
+                 threshold: float = 0.25,
+                 normalise: bool = False) -> List[Dict[str, Any]]:
+    """Per-record table rows with cohort-wise regression flags.
+
+    Each row carries the record's identity columns, one value per
+    :data:`METRICS` entry (None when absent) and a parallel ``flags`` list:
+    ``"!"`` where the value dropped by more than ``threshold`` against the
+    previous non-smoke record of the same cohort, ``""`` otherwise.
+    """
+    rows = []
+    previous_by_cohort: Dict[Tuple[Optional[str], str], Dict[str, Any]] = {}
+    for record in history:
+        yardstick = _seed_rate(record) if normalise else None
+        values: List[Optional[float]] = []
+        for _, extract in METRICS:
+            value = extract(record)
+            if value is not None and normalise:
+                value = value / yardstick if yardstick else None
+            values.append(value)
+        cohort = record_cohort(record)
+        baseline = previous_by_cohort.get(cohort)
+        flags = []
+        for index, value in enumerate(values):
+            flag = ""
+            if baseline is not None and value is not None:
+                was = baseline["values"][index]
+                if was:
+                    change = value / was - 1.0
+                    if change < -threshold:
+                        flag = "!"
+            flags.append(flag)
+        row = {
+            "timestamp": str(record.get("timestamp", "?")),
+            "python": record_minor(record) or "?",
+            "backend": record_backend(record),
+            "smoke": bool(record.get("smoke")),
+            "values": values,
+            "flags": flags,
+        }
+        rows.append(row)
+        if not row["smoke"]:
+            previous_by_cohort[cohort] = row
+    return rows
+
+
+def _format_value(value: Optional[float], flag: str,
+                  normalise: bool) -> str:
+    if value is None:
+        return "-"
+    text = f"{value:.2f}" if normalise else f"{value:,.0f}"
+    return text + flag
+
+
+def history_table(history: Sequence[Dict[str, Any]],
+                  threshold: float = 0.25,
+                  normalise: bool = False) -> str:
+    """Render the benchmark trajectory as an aligned text table.
+
+    One row per record, newest last; ``!`` marks a metric that regressed by
+    more than ``threshold`` against the previous full record of the same
+    (CPython minor, backend) cohort.  With ``normalise`` every metric is the
+    ratio to the record's own live seed-engine throughput, comparable across
+    hosts.
+    """
+    rows = history_rows(history, threshold=threshold, normalise=normalise)
+    headers = (["timestamp", "py", "backend", "kind"]
+               + [name for name, _ in METRICS])
+    table: List[List[str]] = [headers]
+    for row in rows:
+        table.append(
+            [row["timestamp"], row["python"], row["backend"],
+             "smoke" if row["smoke"] else "full"]
+            + [_format_value(value, flag, normalise)
+               for value, flag in zip(row["values"], row["flags"])])
+    widths = [max(len(line[column]) for line in table)
+              for column in range(len(headers))]
+    rendered = []
+    for index, line in enumerate(table):
+        rendered.append("  ".join(
+            cell.ljust(widths[column]) if column < 4 else
+            cell.rjust(widths[column])
+            for column, cell in enumerate(line)))
+        if index == 0:
+            rendered.append("  ".join("-" * width for width in widths))
+    unit = ("ratios to the record's live seed-engine throughput"
+            if normalise else "raw per-host throughput")
+    rendered.append("")
+    rendered.append(f"({unit}; ! = dropped >{threshold:.0%} vs the previous "
+                    "full record of the same python+backend cohort)")
+    return "\n".join(rendered)

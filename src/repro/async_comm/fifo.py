@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
+from ..kernel.reference import sync_visible_at
 from ..sim.channel import Channel
 from ..sim.clock import Clock
 from .synchronizer import Synchronizer
@@ -246,6 +247,25 @@ class MixedClockFifo(Channel):
         self._last_pop_time = time
         self._last_pop_visible = visible
         return visible
+
+    def synchronizer_visible_at(self, time: float, side: str = "data") -> float:
+        """Kernel-reference visibility time of a flag raised at ``time``.
+
+        ``side="data"`` maps through the consumer (empty-flag) synchronizer,
+        ``side="space"`` through the producer (full-flag) one.  Read-only --
+        no same-cycle cache is touched -- and computed by the shared
+        :func:`repro.kernel.reference.sync_visible_at` helper, which the
+        inlined fast-path arithmetic in ``push``/``_space_visible_at`` (and
+        the compiled backend's C translation) must match bit for bit; the
+        backend differential tests pin all three against each other.
+        """
+        if side == "data":
+            return sync_visible_at(time, self._data_phase, self._data_period,
+                                   self._data_latency)
+        if side == "space":
+            return sync_visible_at(time, self._space_phase,
+                                   self._space_period, self._space_latency)
+        raise ValueError(f"unknown synchronizer side {side!r}")
 
     def pop_ready(self, time: float) -> Any:
         """Fused can_pop + pop: the head item, or None when nothing is visible."""

@@ -13,6 +13,8 @@ The CLI exposes the declarative Scenario subsystem:
   a comparison table;
 * ``repro cache ls|gc|clear`` -- inspect and maintain the persistent results
   store (:mod:`repro.results`, rooted at ``REPRO_CACHE_DIR``);
+* ``repro bench history``    -- render the per-commit benchmark trajectory
+  recorded in ``BENCH_sim_core.json`` (:mod:`repro.analysis.bench_history`);
 * ``repro report ...``       -- render the paper's figure tables
   (:mod:`repro.analysis.report`) from fresh runs, and ``repro report
   compare`` -- cross-topology design-space tables from cached results.
@@ -111,6 +113,12 @@ def _scenario_with_overrides(args: argparse.Namespace) -> Scenario:
             **_parse_assignments(args.controller_arg, "--controller-arg")}
     if args.controller_epoch is not None:
         changes["controller_epoch"] = args.controller_epoch
+    if getattr(args, "backend", None) is not None:
+        # merge into whatever --config overrides produced (the backend never
+        # changes results or cache keys, only the engine implementation)
+        merged = dict(changes.get("config", scenario.config))
+        merged["backend"] = args.backend
+        changes["config"] = merged
     return replace(scenario, **changes) if changes else scenario
 
 
@@ -177,6 +185,11 @@ def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--controller-epoch", type=float,
                         dest="controller_epoch", metavar="NS",
                         help="control epoch in ns (default 50)")
+    parser.add_argument("--backend", choices=("auto", "pure", "compiled"),
+                        help="engine kernel backend (bit-identical results; "
+                             "'compiled' needs tools/build_kernel.py and "
+                             "degrades gracefully to pure Python; default: "
+                             "auto -- the REPRO_BACKEND environment variable)")
 
 
 # ------------------------------------------------------------------ commands
@@ -208,6 +221,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
                         f"workload={scenario.workload:<18} policy={policy:<10} "
                         f"{scenario.description}")
         sections.append("scenarios:\n" + "\n".join(rows))
+    if what in ("backends", "all"):
+        from .kernel import BACKEND_ENV_VAR, available_backends, resolve_backend
+        available = available_backends()
+        default = resolve_backend()
+        rows = []
+        for name, blurb in (
+                ("pure", "pure-Python reference kernel (always available)"),
+                ("compiled", "ahead-of-time compiled kernel "
+                             "(tools/build_kernel.py)")):
+            status = "available" if name in available else "not built"
+            marker = "  <- default" if name == default else ""
+            rows.append(f"  {name:<12} [{status:<9}] {blurb}{marker}")
+        sections.append("engine kernel backends (bit-identical results; "
+                        f"'auto' follows ${BACKEND_ENV_VAR}):\n"
+                        + "\n".join(rows))
     print("\n\n".join(sections))
     return 0
 
@@ -364,6 +392,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------- benchmarks
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """Render the benchmark trajectory recorded in BENCH_sim_core.json."""
+    from pathlib import Path
+
+    from .analysis.bench_history import (find_bench_file, history_table,
+                                         load_history)
+
+    try:
+        path = Path(args.bench_file) if args.bench_file else find_bench_file()
+        history = load_history(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"benchmark history: {path} ({len(history)} record"
+          f"{'' if len(history) == 1 else 's'})")
+    print()
+    print(history_table(history, threshold=args.threshold,
+                        normalise=args.normalise))
+    return 0
+
+
 # ------------------------------------------------------------- results store
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = ResultsStore(root=args.cache_dir)
@@ -477,7 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "what", nargs="?", default="all",
         choices=("all", "topologies", "policies", "controllers", "workloads",
-                 "scenarios"))
+                 "scenarios", "backends"))
     list_parser.set_defaults(handler=_cmd_list)
 
     topo_parser = sub.add_parser("topology",
@@ -544,6 +594,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="results-store root (default: "
                                    "REPRO_CACHE_DIR or ~/.cache/repro)")
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark-trajectory utilities (BENCH_sim_core.json)")
+    bench_sub = bench_parser.add_subparsers(dest="family", required=True)
+    history_parser = bench_sub.add_parser(
+        "history", help="per-commit benchmark trajectory with regression "
+                        "flags (cohorts by CPython minor + kernel backend)")
+    history_parser.add_argument("--bench-file", metavar="PATH",
+                                dest="bench_file",
+                                help="record file (default: BENCH_sim_core"
+                                     ".json, searched upward from the "
+                                     "current directory)")
+    history_parser.add_argument("--threshold", type=float, default=0.25,
+                                metavar="FRACTION",
+                                help="flag drops beyond this fraction vs the "
+                                     "previous same-cohort record "
+                                     "(default: 0.25)")
+    history_parser.add_argument("--normalise", action="store_true",
+                                help="show ratios to each record's live "
+                                     "seed-engine throughput (comparable "
+                                     "across hosts) instead of raw rates")
+    history_parser.set_defaults(handler=_cmd_bench_history)
 
     report_parser = sub.add_parser(
         "report", help="render the paper's figure tables from fresh runs")

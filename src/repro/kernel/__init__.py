@@ -1,0 +1,152 @@
+"""Kernelized engine hot core with interchangeable backends.
+
+The simulation hot core -- clock-wheel run loop, clock-edge ticks,
+mixed-clock FIFO synchronizer math, event-wakeup waiter walk -- lives in
+:mod:`repro.kernel.reference`, a compile-friendly pure-Python module that is
+both the default implementation and the source the optional ahead-of-time
+compiled backend is built from (``tools/build_kernel.py``; a hand-written C
+translation is bundled for hosts with a C compiler but neither mypyc nor
+Cython).
+
+Backend selection::
+
+    ProcessorConfig(backend="auto" | "pure" | "compiled")
+    REPRO_BACKEND=pure|compiled      # honoured when backend is "auto"
+
+``"auto"`` follows ``REPRO_BACKEND`` and otherwise picks ``"pure"``;
+``"compiled"`` degrades gracefully to the reference when no compiled artifact
+is importable (or its :data:`KERNEL_API_VERSION` does not match), so a
+checkout without a built extension behaves identically everywhere.  The two
+backends are bit-identical by contract -- same event order, same
+``SimulationResult``, same results-store cache keys -- pinned by the
+differential suite in ``tests/test_kernel_backends.py``.
+"""
+
+import os
+
+from .reference import KERNEL_API_VERSION
+
+#: Environment variable consulted by the ``"auto"`` backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Accepted values for ``ProcessorConfig.backend`` / ``--backend``.
+BACKENDS = ("auto", "pure", "compiled")
+
+#: Resolved Kernel instances, one per concrete backend name.
+_KERNELS = {}
+
+
+class Kernel:
+    """The resolved hot-core entry points for one backend.
+
+    Attributes mirror the reference module's API: ``run_wheel`` (the engine's
+    clock-wheel segment loop), ``wake_waiters`` (event-wakeup writeback
+    walk), ``sync_visible_at`` (FIFO synchronizer edge mapping) and
+    ``fifo_class`` (the :class:`MixedClockFifo` subclass the processor
+    instantiates for cross-domain channels).  Instances are stateless and
+    picklable (functions resolve by module reference), so configs and
+    scenarios carrying a backend survive ``spawn``-platform worker pools.
+    """
+
+    __slots__ = ("name", "compiled", "run_wheel", "wake_waiters",
+                 "sync_visible_at", "fifo_class")
+
+    def __init__(self, name, compiled, run_wheel, wake_waiters,
+                 sync_visible_at, fifo_class):
+        self.name = name
+        self.compiled = compiled
+        self.run_wheel = run_wheel
+        self.wake_waiters = wake_waiters
+        self.sync_visible_at = sync_visible_at
+        self.fifo_class = fifo_class
+
+    def __reduce__(self):
+        """Pickle by backend name: workers re-resolve against their own build."""
+        return (get_kernel, (self.name,))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Kernel(name={self.name!r}, compiled={self.compiled})"
+
+
+def load_compiled():
+    """The compiled extension module, or None when absent or ABI-mismatched."""
+    try:
+        from . import _ckernel
+    except ImportError:
+        return None
+    if getattr(_ckernel, "KERNEL_API_VERSION", None) != KERNEL_API_VERSION:
+        return None
+    return _ckernel
+
+
+def compiled_available():
+    """True when a usable compiled kernel artifact is importable."""
+    return load_compiled() is not None
+
+
+def available_backends():
+    """Concrete backends importable right now (always includes ``pure``)."""
+    names = ["pure"]
+    if compiled_available():
+        names.append("compiled")
+    return names
+
+
+def resolve_backend(requested="auto"):
+    """Map a requested backend name to the concrete one that will run.
+
+    ``"auto"`` (or None) consults :data:`BACKEND_ENV_VAR` and defaults to
+    ``"pure"``; ``"compiled"`` falls back to ``"pure"`` when no usable
+    artifact is importable (graceful degradation).  Unknown names raise
+    ``ValueError``.
+    """
+    if requested is None or requested == "auto":
+        requested = os.environ.get(BACKEND_ENV_VAR, "").strip() or "pure"
+        if requested == "auto":
+            requested = "pure"
+    if requested not in ("pure", "compiled"):
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; known: {BACKENDS}")
+    if requested == "compiled" and not compiled_available():
+        return "pure"
+    return requested
+
+
+def get_kernel(backend="auto"):
+    """The :class:`Kernel` for ``backend`` (resolved, cached, degraded)."""
+    name = resolve_backend(backend)
+    kernel = _KERNELS.get(name)
+    if kernel is None:
+        kernel = _make_kernel(name)
+        _KERNELS[name] = kernel
+    return kernel
+
+
+def _make_kernel(name):
+    """Assemble the Kernel record for a concrete backend name."""
+    # Imported lazily: fifo -> sim.clock -> kernel.reference must stay
+    # cycle-free, so this package's top level imports nothing from the rest
+    # of the library.
+    from . import reference
+    from ..async_comm.fifo import MixedClockFifo
+    if name == "compiled":
+        ckernel = load_compiled()
+        from .cfifo import CompiledMixedClockFifo
+        return Kernel("compiled", True, ckernel.run_wheel,
+                      ckernel.wake_waiters, ckernel.sync_visible_at,
+                      CompiledMixedClockFifo)
+    return Kernel("pure", False, reference.run_wheel, reference.wake_waiters,
+                  reference.sync_visible_at, MixedClockFifo)
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "KERNEL_API_VERSION",
+    "Kernel",
+    "available_backends",
+    "compiled_available",
+    "get_kernel",
+    "load_compiled",
+    "resolve_backend",
+]

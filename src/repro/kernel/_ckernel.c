@@ -1,0 +1,631 @@
+/* Compiled kernel backend: hand-written C translation of reference.py.
+ *
+ * This extension module exports the same API as repro.kernel.reference --
+ * run_wheel(), wake_waiters(), sync_visible_at(), KERNEL_API_VERSION -- and
+ * is bit-identical to it by construction: every operation below mirrors the
+ * corresponding Python operation (list comparison for chain ordering,
+ * list.sort() for the rotation, truthiness tests, the exact IEEE-754
+ * operation order of the synchronizer edge mapping).  The differential suite
+ * in tests/test_kernel_backends.py pins the equivalence.
+ *
+ * tools/build_kernel.py compiles this file when neither mypyc nor Cython is
+ * available; repro.kernel.load_compiled() only imports the artifact when
+ * KERNEL_API_VERSION matches the reference, so stale builds degrade
+ * gracefully to pure Python.
+ *
+ * Chain records are the 9-element lists documented in repro.sim.event
+ * (indices used literally: 0=time, 1=priority, 2=seq, 3=callback, 4=param,
+ * 5=period, 8=cancelled).
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define REPRO_KERNEL_API_VERSION 1
+
+/* interned attribute/method names (created in module init) */
+static PyObject *str__now;
+static PyObject *str_push_ready;
+static PyObject *str_squashed;
+static PyObject *str_pending_ops;
+static PyObject *str_wakeup_queue;
+
+/* ------------------------------------------------------------- helpers */
+
+/* Truthiness with the common singletons short-circuited; -1 on error. */
+static int
+obj_is_true(PyObject *obj)
+{
+    if (obj == Py_True)
+        return 1;
+    if (obj == Py_False || obj == Py_None)
+        return 0;
+    return PyObject_IsTrue(obj);
+}
+
+/* min(wheel) with Python semantics (first minimal element wins on ties,
+ * list lexicographic comparison).  Returns a new reference, NULL on error. */
+static PyObject *
+wheel_min(PyObject *wheel)
+{
+    Py_ssize_t size = PyList_GET_SIZE(wheel);
+    PyObject *best;
+    Py_ssize_t i;
+
+    if (size == 0) {
+        PyErr_SetString(PyExc_ValueError, "min() arg is an empty sequence");
+        return NULL;
+    }
+    best = PyList_GET_ITEM(wheel, 0);
+    Py_INCREF(best);
+    for (i = 1; i < PyList_GET_SIZE(wheel); i++) {
+        PyObject *item = PyList_GET_ITEM(wheel, i);
+        int lt = PyObject_RichCompareBool(item, best, Py_LT);
+        if (lt < 0) {
+            Py_DECREF(best);
+            return NULL;
+        }
+        if (lt) {
+            Py_INCREF(item);
+            Py_DECREF(best);
+            best = item;
+        }
+    }
+    return best;
+}
+
+/* events_cell[0] = events_done  (unconditional).  0 on success. */
+static int
+store_events(PyObject *cell, long long events_done)
+{
+    PyObject *value = PyLong_FromLongLong(events_done);
+    if (value == NULL)
+        return -1;
+    return PyList_SetItem(cell, 0, value); /* steals value */
+}
+
+/* if events_done > events_cell[0]: events_cell[0] = events_done */
+static int
+store_events_if_greater(PyObject *cell, long long events_done)
+{
+    PyObject *current = PyList_GET_ITEM(cell, 0);
+    long long have = PyLong_AsLongLong(current);
+    if (have == -1 && PyErr_Occurred())
+        return -1;
+    if (events_done > have)
+        return store_events(cell, events_done);
+    return 0;
+}
+
+/* cell[0] = value (borrowed; a new reference is taken).  0 on success. */
+static int
+store_cell(PyObject *cell, PyObject *value)
+{
+    Py_INCREF(value);
+    return PyList_SetItem(cell, 0, value); /* steals */
+}
+
+/* ------------------------------------------------------------ run_wheel */
+
+static PyObject *
+run_wheel(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *engine, *horizon, *until, *stop_condition, *max_events;
+    long long processed, events_done;
+    PyObject *queue = NULL, *wheel = NULL, *stop = NULL, *events_cell = NULL;
+    PyObject *current_cell = NULL, *version_cell = NULL, *sequence = NULL;
+    PyObject *discard_chain = NULL, *rotation = NULL, *wheel_version = NULL;
+    PyObject *chain = NULL, *time = NULL;
+    double event_limit = 0.0;
+    int has_limit, has_stop_condition, finished = 0;
+    Py_ssize_t wheel_size, index = 0;
+
+    if (nargs != 6) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run_wheel expects exactly 6 arguments");
+        return NULL;
+    }
+    engine = args[0];
+    horizon = args[1];
+    until = args[2];
+    stop_condition = args[3];
+    max_events = args[4];
+    processed = PyLong_AsLongLong(args[5]);
+    if (processed == -1 && PyErr_Occurred())
+        return NULL;
+
+    queue = PyObject_GetAttrString(engine, "_queue");
+    wheel = PyObject_GetAttrString(engine, "_wheel");
+    stop = PyObject_GetAttrString(engine, "_stop");
+    events_cell = PyObject_GetAttrString(engine, "_events");
+    current_cell = PyObject_GetAttrString(engine, "_current");
+    version_cell = PyObject_GetAttrString(engine, "_wheel_state");
+    sequence = PyObject_GetAttrString(engine, "_sequence");
+    discard_chain = PyObject_GetAttrString(engine, "_discard_chain");
+    if (queue == NULL || wheel == NULL || stop == NULL || events_cell == NULL
+            || current_cell == NULL || version_cell == NULL
+            || sequence == NULL || discard_chain == NULL)
+        goto error;
+    if (!PyList_Check(queue) || !PyList_Check(wheel) || !PyList_Check(stop)
+            || !PyList_Check(events_cell) || !PyList_Check(current_cell)
+            || !PyList_Check(version_cell)) {
+        PyErr_SetString(PyExc_TypeError, "engine state cells must be lists");
+        goto error;
+    }
+
+    events_done = PyLong_AsLongLong(PyList_GET_ITEM(events_cell, 0));
+    if (events_done == -1 && PyErr_Occurred())
+        goto error;
+    has_limit = (max_events != Py_None);
+    if (has_limit) {
+        event_limit = PyFloat_AsDouble(max_events);
+        if (event_limit == -1.0 && PyErr_Occurred())
+            goto error;
+    }
+    has_stop_condition = (stop_condition != Py_None);
+
+    /* Rotation detection -- see reference.run_wheel for the invariant. */
+    wheel_size = PyList_GET_SIZE(wheel);
+    if (wheel_size > 0) {
+        PyObject *first = PyList_GET_ITEM(wheel, 0);
+        PyObject *period = PyList_GET_ITEM(first, 5);
+        PyObject *priority = PyList_GET_ITEM(first, 1);
+        int uniform = 1;
+        Py_ssize_t i;
+        for (i = 0; i < wheel_size; i++) {
+            PyObject *item = PyList_GET_ITEM(wheel, i);
+            int differs = PyObject_RichCompareBool(
+                PyList_GET_ITEM(item, 5), period, Py_NE);
+            if (differs < 0)
+                goto error;
+            if (!differs) {
+                differs = PyObject_RichCompareBool(
+                    PyList_GET_ITEM(item, 1), priority, Py_NE);
+                if (differs < 0)
+                    goto error;
+            }
+            if (differs) {
+                uniform = 0;
+                break;
+            }
+        }
+        if (uniform) {
+            rotation = PyList_GetSlice(wheel, 0, wheel_size);
+            if (rotation == NULL)
+                goto error;
+            if (PyList_Sort(rotation) < 0)
+                goto error;
+            {
+                PyObject *span = PyNumber_Subtract(
+                    PyList_GET_ITEM(PyList_GET_ITEM(rotation, wheel_size - 1), 0),
+                    PyList_GET_ITEM(PyList_GET_ITEM(rotation, 0), 0));
+                int wraps;
+                if (span == NULL)
+                    goto error;
+                wraps = PyObject_RichCompareBool(span, period, Py_GE);
+                Py_DECREF(span);
+                if (wraps < 0)
+                    goto error;
+                if (wraps)
+                    Py_CLEAR(rotation);
+            }
+        }
+    }
+
+    wheel_version = PyList_GET_ITEM(version_cell, 0);
+    Py_INCREF(wheel_version);
+
+    for (;;) {
+        int stopped, cancelled, over_horizon;
+        PyObject *result, *sequence_value, *period_value, *new_time;
+
+        stopped = obj_is_true(PyList_GET_ITEM(stop, 0));
+        if (stopped < 0)
+            goto error;
+        if (stopped)
+            break;
+
+        if (rotation != NULL) {
+            chain = PyList_GET_ITEM(rotation, index);
+            Py_INCREF(chain);
+            index++;
+            if (index == wheel_size)
+                index = 0;
+        } else {
+            chain = wheel_min(wheel);
+            if (chain == NULL)
+                goto error;
+        }
+
+        cancelled = obj_is_true(PyList_GET_ITEM(chain, 8));
+        if (cancelled < 0)
+            goto error;
+        if (cancelled) {
+            result = PyObject_CallOneArg(discard_chain, chain);
+            if (result == NULL)
+                goto error;
+            Py_DECREF(result);
+            Py_CLEAR(chain);
+            break;
+        }
+
+        time = PyList_GET_ITEM(chain, 0);
+        Py_INCREF(time);
+        if (PyFloat_CheckExact(time) && PyFloat_CheckExact(horizon)) {
+            over_horizon =
+                PyFloat_AS_DOUBLE(time) > PyFloat_AS_DOUBLE(horizon);
+        } else {
+            over_horizon = PyObject_RichCompareBool(time, horizon, Py_GT);
+            if (over_horizon < 0)
+                goto error;
+        }
+        if (over_horizon) {
+            if (PyObject_SetAttr(engine, str__now, until) < 0)
+                goto error;
+            if (store_events_if_greater(events_cell, events_done) < 0)
+                goto error;
+            finished = 1;
+            Py_CLEAR(time);
+            Py_CLEAR(chain);
+            goto done;
+        }
+
+        if (PyObject_SetAttr(engine, str__now, time) < 0)
+            goto error;
+        if (store_cell(current_cell, chain) < 0)
+            goto error;
+        /* callbacks observe the pre-event count, exactly as on the generic
+         * path */
+        if (store_events(events_cell, events_done) < 0)
+            goto error;
+        {
+            PyObject *callback = PyList_GET_ITEM(chain, 3);
+            PyObject *param = PyList_GET_ITEM(chain, 4);
+            Py_INCREF(callback);
+            Py_INCREF(param);
+            result = PyObject_CallOneArg(callback, param);
+            Py_DECREF(callback);
+            Py_DECREF(param);
+        }
+        if (result == NULL)
+            goto error; /* cell holds the pre-event count, _current the chain */
+        Py_DECREF(result);
+        if (store_cell(current_cell, Py_None) < 0)
+            goto error;
+        events_done++;
+
+        cancelled = obj_is_true(PyList_GET_ITEM(chain, 8));
+        if (cancelled < 0)
+            goto error;
+        if (cancelled) {
+            result = PyObject_CallOneArg(discard_chain, chain);
+            if (result == NULL)
+                goto error;
+            Py_DECREF(result);
+            Py_CLEAR(time);
+            Py_CLEAR(chain);
+            break;
+        }
+
+        sequence_value = PyIter_Next(sequence);
+        if (sequence_value == NULL) {
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_RuntimeError,
+                                "engine sequence iterator exhausted");
+            goto error;
+        }
+        if (PyList_SetItem(chain, 2, sequence_value) < 0) /* steals */
+            goto error;
+        period_value = PyList_GET_ITEM(chain, 5);
+        if (PyFloat_CheckExact(time) && PyFloat_CheckExact(period_value)) {
+            new_time = PyFloat_FromDouble(
+                PyFloat_AS_DOUBLE(time) + PyFloat_AS_DOUBLE(period_value));
+        } else {
+            new_time = PyNumber_Add(time, period_value);
+        }
+        if (new_time == NULL)
+            goto error;
+        if (PyList_SetItem(chain, 0, new_time) < 0) /* steals */
+            goto error;
+        Py_CLEAR(time);
+        Py_CLEAR(chain);
+
+        if (has_stop_condition || has_limit) {
+            processed++;
+            if (has_stop_condition) {
+                int should_stop;
+                if (store_events(events_cell, events_done) < 0)
+                    goto error;
+                result = PyObject_CallNoArgs(stop_condition);
+                if (result == NULL)
+                    goto error;
+                should_stop = PyObject_IsTrue(result);
+                Py_DECREF(result);
+                if (should_stop < 0)
+                    goto error;
+                if (should_stop) {
+                    /* cell already written unconditionally above */
+                    finished = 1;
+                    goto done;
+                }
+            }
+            if (has_limit && (double)processed >= event_limit) {
+                if (store_events_if_greater(events_cell, events_done) < 0)
+                    goto error;
+                finished = 1;
+                goto done;
+            }
+        }
+
+        if (PyList_GET_SIZE(queue) > 0)
+            break; /* one-shots scheduled */
+        {
+            PyObject *current_version = PyList_GET_ITEM(version_cell, 0);
+            if (current_version != wheel_version) {
+                int changed = PyObject_RichCompareBool(
+                    current_version, wheel_version, Py_NE);
+                if (changed < 0)
+                    goto error;
+                if (changed)
+                    break; /* chains changed */
+            }
+        }
+    }
+
+    /* segment ended without finishing the run: unconditional count store */
+    if (store_events(events_cell, events_done) < 0)
+        goto error;
+
+done:
+    Py_XDECREF(rotation);
+    Py_XDECREF(wheel_version);
+    Py_DECREF(queue);
+    Py_DECREF(wheel);
+    Py_DECREF(stop);
+    Py_DECREF(events_cell);
+    Py_DECREF(current_cell);
+    Py_DECREF(version_cell);
+    Py_DECREF(sequence);
+    Py_DECREF(discard_chain);
+    {
+        PyObject *count = PyLong_FromLongLong(processed);
+        if (count == NULL)
+            return NULL;
+        PyObject *pair = PyTuple_New(2);
+        if (pair == NULL) {
+            Py_DECREF(count);
+            return NULL;
+        }
+        Py_INCREF(finished ? Py_True : Py_False);
+        PyTuple_SET_ITEM(pair, 0, finished ? Py_True : Py_False);
+        PyTuple_SET_ITEM(pair, 1, count);
+        return pair;
+    }
+
+error:
+    Py_XDECREF(time);
+    Py_XDECREF(chain);
+    Py_XDECREF(rotation);
+    Py_XDECREF(wheel_version);
+    Py_XDECREF(queue);
+    Py_XDECREF(wheel);
+    Py_XDECREF(stop);
+    Py_XDECREF(events_cell);
+    Py_XDECREF(current_cell);
+    Py_XDECREF(version_cell);
+    Py_XDECREF(sequence);
+    Py_XDECREF(discard_chain);
+    return NULL;
+}
+
+/* --------------------------------------------------------- wake_waiters */
+
+static PyObject *
+wake_waiters(PyObject *module, PyObject *waiters)
+{
+    Py_ssize_t i;
+
+    if (!PyList_Check(waiters)) {
+        PyErr_SetString(PyExc_TypeError, "waiters must be a list");
+        return NULL;
+    }
+    for (i = 0; i < PyList_GET_SIZE(waiters); i++) {
+        PyObject *waiter = PyList_GET_ITEM(waiters, i);
+        PyObject *attribute;
+        long pending;
+        int squashed;
+
+        Py_INCREF(waiter);
+        attribute = PyObject_GetAttr(waiter, str_squashed);
+        if (attribute == NULL)
+            goto waiter_error;
+        squashed = PyObject_IsTrue(attribute);
+        Py_DECREF(attribute);
+        if (squashed < 0)
+            goto waiter_error;
+        if (squashed) {
+            Py_DECREF(waiter);
+            continue;
+        }
+        attribute = PyObject_GetAttr(waiter, str_pending_ops);
+        if (attribute == NULL)
+            goto waiter_error;
+        pending = PyLong_AsLong(attribute);
+        Py_DECREF(attribute);
+        if (pending == -1 && PyErr_Occurred())
+            goto waiter_error;
+        if (pending == 0) {
+            Py_DECREF(waiter);
+            continue;
+        }
+        pending--;
+        attribute = PyLong_FromLong(pending);
+        if (attribute == NULL)
+            goto waiter_error;
+        if (PyObject_SetAttr(waiter, str_pending_ops, attribute) < 0) {
+            Py_DECREF(attribute);
+            goto waiter_error;
+        }
+        Py_DECREF(attribute);
+        if (pending == 0) {
+            PyObject *queue = PyObject_GetAttr(waiter, str_wakeup_queue);
+            if (queue == NULL)
+                goto waiter_error;
+            if (queue != Py_None) {
+                PyObject *result =
+                    PyObject_CallMethodOneArg(queue, str_push_ready, waiter);
+                if (result == NULL) {
+                    Py_DECREF(queue);
+                    goto waiter_error;
+                }
+                Py_DECREF(result);
+            }
+            Py_DECREF(queue);
+        }
+        Py_DECREF(waiter);
+        continue;
+
+    waiter_error:
+        Py_DECREF(waiter);
+        return NULL;
+    }
+    if (PyList_SetSlice(waiters, 0, PY_SSIZE_T_MAX, NULL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------ sync_visible_at */
+
+static PyObject *
+sync_visible_at(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    PyObject *time, *phase, *period, *latency;
+
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "sync_visible_at expects exactly 4 arguments");
+        return NULL;
+    }
+    time = args[0];
+    phase = args[1];
+    period = args[2];
+    latency = args[3];
+
+    if (PyFloat_CheckExact(time) && PyFloat_CheckExact(phase)
+            && PyFloat_CheckExact(period) && PyFloat_CheckExact(latency)) {
+        double t = PyFloat_AS_DOUBLE(time);
+        double ph = PyFloat_AS_DOUBLE(phase);
+        double per = PyFloat_AS_DOUBLE(period);
+        double lat = PyFloat_AS_DOUBLE(latency);
+        double first_edge;
+        if (t < ph) {
+            first_edge = ph;
+        } else {
+            double quotient = (t - ph) / per;
+            /* the long long truncation below matches Python int() for the
+             * values a simulation can produce; punt absurd magnitudes to
+             * the exact object path */
+            if (quotient > -9.0e18 && quotient < 9.0e18) {
+                first_edge =
+                    ph + ((double)((long long)quotient + 1)) * per;
+            } else {
+                goto exact;
+            }
+        }
+        return PyFloat_FromDouble(first_edge + lat);
+    }
+
+exact:
+    {
+        /* mirror the reference expression operation by operation */
+        PyObject *first_edge, *result;
+        int before_phase = PyObject_RichCompareBool(time, phase, Py_LT);
+        if (before_phase < 0)
+            return NULL;
+        if (before_phase) {
+            first_edge = phase;
+            Py_INCREF(first_edge);
+        } else {
+            PyObject *offset = PyNumber_Subtract(time, phase);
+            PyObject *quotient, *count, *bumped, *span;
+            if (offset == NULL)
+                return NULL;
+            quotient = PyNumber_TrueDivide(offset, period);
+            Py_DECREF(offset);
+            if (quotient == NULL)
+                return NULL;
+            count = PyNumber_Long(quotient);
+            Py_DECREF(quotient);
+            if (count == NULL)
+                return NULL;
+            {
+                PyObject *one = PyLong_FromLong(1);
+                if (one == NULL) {
+                    Py_DECREF(count);
+                    return NULL;
+                }
+                bumped = PyNumber_Add(count, one);
+                Py_DECREF(one);
+            }
+            Py_DECREF(count);
+            if (bumped == NULL)
+                return NULL;
+            span = PyNumber_Multiply(bumped, period);
+            Py_DECREF(bumped);
+            if (span == NULL)
+                return NULL;
+            first_edge = PyNumber_Add(phase, span);
+            Py_DECREF(span);
+            if (first_edge == NULL)
+                return NULL;
+        }
+        result = PyNumber_Add(first_edge, latency);
+        Py_DECREF(first_edge);
+        return result;
+    }
+}
+
+/* ---------------------------------------------------------- module glue */
+
+static PyMethodDef ckernel_methods[] = {
+    {"run_wheel", (PyCFunction)(void (*)(void))run_wheel, METH_FASTCALL,
+     "Run one clock-wheel segment; see repro.kernel.reference.run_wheel."},
+    {"wake_waiters", (PyCFunction)wake_waiters, METH_O,
+     "Writeback waiter walk; see repro.kernel.reference.wake_waiters."},
+    {"sync_visible_at", (PyCFunction)(void (*)(void))sync_visible_at,
+     METH_FASTCALL,
+     "Synchronizer edge mapping; see repro.kernel.reference.sync_visible_at."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "_ckernel",
+    "Compiled kernel backend (C translation of repro.kernel.reference).",
+    -1,
+    ckernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *module;
+
+    str__now = PyUnicode_InternFromString("_now");
+    str_push_ready = PyUnicode_InternFromString("push_ready");
+    str_squashed = PyUnicode_InternFromString("squashed");
+    str_pending_ops = PyUnicode_InternFromString("pending_ops");
+    str_wakeup_queue = PyUnicode_InternFromString("wakeup_queue");
+    if (str__now == NULL || str_push_ready == NULL || str_squashed == NULL
+            || str_pending_ops == NULL || str_wakeup_queue == NULL)
+        return NULL;
+
+    module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(module, "KERNEL_API_VERSION",
+                                REPRO_KERNEL_API_VERSION) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

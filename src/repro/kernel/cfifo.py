@@ -1,0 +1,68 @@
+"""Mixed-clock FIFO variant backed by the compiled synchronizer kernel.
+
+Selected by :func:`repro.kernel.get_kernel` for the ``compiled`` backend and
+instantiated by ``Processor._make_channel``: the synchronizer edge mapping on
+the push and pop fast paths is evaluated by ``_ckernel.sync_visible_at``
+instead of the inline Python arithmetic.  The arithmetic is bit-identical
+(same IEEE operations in the same order -- the differential suite pins it),
+so entries, waits and therefore ``SimulationResult``s match the pure FIFO
+exactly.  Everything else (capacity accounting, pending-space expiry,
+same-cycle caches, retime semantics) is inherited unchanged.
+"""
+
+from ..async_comm.fifo import MixedClockFifo
+from . import load_compiled
+
+_ckernel = load_compiled()
+if _ckernel is None:  # pragma: no cover - import is gated on availability
+    raise ImportError("compiled kernel artifact is not importable")
+_sync_visible_at = _ckernel.sync_visible_at
+
+
+class CompiledMixedClockFifo(MixedClockFifo):
+    """MixedClockFifo with the synchronizer edge mapping evaluated in C."""
+
+    def push(self, item, time):
+        """Insert an item; consumer visibility mapped by the compiled kernel."""
+        pending = self._pending_space
+        while pending and pending[0] <= time:
+            pending.popleft()
+        if len(self._entries) + len(pending) >= self.capacity:
+            raise OverflowError(f"push into apparently-full FIFO {self.name!r}")
+        if time == self._last_push_time:
+            visible = self._last_push_visible
+        else:
+            visible = _sync_visible_at(time, self._data_phase,
+                                       self._data_period, self._data_latency)
+            self._last_push_time = time
+            self._last_push_visible = visible
+        self._entries.append((item, time, visible))
+        self.push_count += 1
+        box = self._transfer_box
+        if box is not None:
+            box[0] += 1
+
+    def push_granted(self, item, time):
+        """Insert after a same-``time`` ``can_push`` grant (compiled mapping)."""
+        if time == self._last_push_time:
+            visible = self._last_push_visible
+        else:
+            visible = _sync_visible_at(time, self._data_phase,
+                                       self._data_period, self._data_latency)
+            self._last_push_time = time
+            self._last_push_visible = visible
+        self._entries.append((item, time, visible))
+        self.push_count += 1
+        box = self._transfer_box
+        if box is not None:
+            box[0] += 1
+
+    def _space_visible_at(self, time):
+        """Producer-side visibility of a slot freed at ``time`` (compiled)."""
+        if time == self._last_pop_time:
+            return self._last_pop_visible
+        visible = _sync_visible_at(time, self._space_phase,
+                                   self._space_period, self._space_latency)
+        self._last_pop_time = time
+        self._last_pop_visible = visible
+        return visible

@@ -71,6 +71,13 @@ def canonical_scenario_dict(scenario: Scenario) -> Dict[str, Any]:
     payload = scenario.to_dict()
     for fieldname in _METADATA_FIELDS:
         payload.pop(fieldname, None)
+    # The kernel backend is bit-identical by contract (the differential
+    # suite pins it), so a backend override must not change the key: a
+    # result computed with the compiled kernel serves pure-Python runs of
+    # the same scenario and vice versa.
+    config = payload.get("config")
+    if isinstance(config, dict):
+        config.pop("backend", None)
     try:
         topology = get_topology(scenario.topology)
         payload["topology_definition"] = {

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Protocol
 
+from ..kernel.reference import (MultiEdgeTick, ProbedMultiEdgeTick,
+                                ProbedSingleEdgeTick, SingleEdgeTick)
 from .engine import SimulationEngine
 from .event import SimulationError
 
@@ -230,86 +232,35 @@ class ClockDomain:
     def bind(self, engine: SimulationEngine) -> None:
         """Attach this domain to an engine by scheduling its periodic edge event.
 
-        The edge closure is specialised at bind time: a domain with a single
+        The edge tick is specialised at bind time: a domain with a single
         component whose class provides ``make_fused_edge`` (the execution
-        clusters) supplies its own fully fused closure; other single-callback
-        domains get a direct call instead of a callback loop; multi-callback
-        (and empty) domains keep the in-place-mutable callback list so
-        post-bind registration continues to work.  The deferred power
-        accounting probe is fused into every variant: a quiescent edge is a
-        single run-counter increment with no Python call.
+        clusters) supplies its own fully fused closure; every other domain
+        gets one of the kernel package's explicit edge-tick state objects
+        (:mod:`repro.kernel.reference`) -- single-callback domains a direct
+        call instead of a callback loop, multi-callback (and empty) domains
+        the in-place-mutable callback list so post-bind registration
+        continues to work.  The deferred power accounting probe is fused into
+        every variant: a quiescent edge is a single run-counter increment
+        with no Python call.
         """
         self._engine = engine
         callbacks = self._edge_callbacks
         probe = self._power_probe
         single = callbacks[0] if len(callbacks) == 1 else None
         self._bound_single = single is not None
-        on_edge = None
 
         if (len(self._components) == 1 and not self._edge_hooks
                 and hasattr(self._components[0], "make_fused_edge")):
             on_edge = self._components[0].make_fused_edge(self, engine, probe)
         elif probe is not None:
-            gated_cells, state, active_edge = probe
             if single is not None:
-                def on_edge(_param: object, domain=self, engine=engine,
-                            callback=single, gated_cells=gated_cells,
-                            state=state, active_edge=active_edge) -> None:
-                    """One rising edge: tick the component, account the edge, count the cycle."""
-                    time = engine._now
-                    cycle = domain.cycle
-                    callback(cycle, time)
-                    domain.last_edge_time = time
-                    if domain.voltage == state[0]:
-                        for cell in gated_cells:
-                            if cell[0]:
-                                active_edge()
-                                break
-                        else:
-                            state[1] += 1
-                    else:
-                        active_edge()
-                    domain.cycle = cycle + 1
+                on_edge = ProbedSingleEdgeTick(self, engine, single, probe)
             else:
-                def on_edge(_param: object, domain=self, engine=engine,
-                            callbacks=callbacks, gated_cells=gated_cells,
-                            state=state, active_edge=active_edge) -> None:
-                    # a quiescent edge (no pending activity, voltage
-                    # unchanged) is one run-counter increment
-                    """One rising edge: tick every component, account the edge, count the cycle."""
-                    time = engine._now
-                    cycle = domain.cycle
-                    for callback in callbacks:
-                        callback(cycle, time)
-                    domain.last_edge_time = time
-                    if domain.voltage == state[0]:
-                        for cell in gated_cells:
-                            if cell[0]:
-                                active_edge()
-                                break
-                        else:
-                            state[1] += 1
-                    else:
-                        active_edge()
-                    domain.cycle = cycle + 1
+                on_edge = ProbedMultiEdgeTick(self, engine, callbacks, probe)
         elif single is not None:
-            def on_edge(_param: object, domain=self, engine=engine,
-                        callback=single) -> None:
-                """One rising edge: tick the single component, count the cycle."""
-                time = engine._now
-                cycle = domain.cycle
-                callback(cycle, time)
-                domain.cycle = cycle + 1
+            on_edge = SingleEdgeTick(self, engine, single)
         else:
-            def on_edge(_param: object, domain=self, engine=engine,
-                        callbacks=callbacks) -> None:
-                # specialised _on_edge: engine and callback list pre-bound
-                """One rising edge: tick every component and hook, then count the cycle."""
-                time = engine._now
-                cycle = domain.cycle
-                for callback in callbacks:
-                    callback(cycle, time)
-                domain.cycle = cycle + 1
+            on_edge = MultiEdgeTick(self, engine, callbacks)
 
         engine.schedule_periodic(
             start=self.clock.phase,

@@ -22,8 +22,18 @@ events; one-shot events are rare.  The engine therefore keeps the periodic
 events on a *clock wheel* -- a small list of chain records, one per clock,
 each holding the chain's next edge time -- and merges the general-purpose
 heap (one-shots, aperiodic events) into it only when the heap is non-empty.
-Advancing a clock is then one C-level ``min()`` over the wheel plus a float
-add, instead of a heap pop, an ``Event`` allocation and a heap push per edge.
+Advancing a clock is then one ``min()`` over the wheel plus a float add,
+instead of a heap pop, an ``Event`` allocation and a heap push per edge.
+
+The wheel segment loop itself lives in the :mod:`repro.kernel` package
+(``run_wheel``): the default is the pure-Python reference, and an optional
+ahead-of-time compiled backend can be selected per engine (``kernel=``) or
+through ``REPRO_BACKEND`` / ``ProcessorConfig.backend``.  Both backends are
+bit-identical by contract.  The run-loop state the kernel touches per event
+is held in single-element list cells (``_stop``, ``_events``, ``_current``,
+``_wheel_state``) so a compiled loop needs no Python attribute writes on the
+per-event path; ``_now`` stays a plain attribute because the pipeline's edge
+closures read ``engine._now`` directly.
 
 Edge times are produced by the same repeated ``time += period`` float
 addition the generic heap path uses, so the two paths are bit-identical:
@@ -55,24 +65,38 @@ class SimulationEngine:
     ``use_wheel=False`` disables the clock-wheel fast path and schedules
     periodic events through the generic heap (the seed engine's behaviour);
     both paths are deterministic and produce identical simulations.
+
+    ``kernel`` selects the hot-core implementation running the wheel segments
+    (a :class:`repro.kernel.Kernel`); None resolves the default backend
+    (``REPRO_BACKEND`` honoured, pure-Python reference otherwise).
     """
 
-    def __init__(self, use_wheel: bool = True) -> None:
+    def __init__(self, use_wheel: bool = True, kernel=None) -> None:
         #: generic heap of (time, priority, seq, event) tuples
         self._queue: List[tuple] = []
         #: clock wheel: one chain record per periodic event (see event.py)
         self._wheel: List[list] = []
         self._use_wheel = use_wheel
         self._now: float = 0.0
-        self._events_processed: int = 0
         self._running: bool = False
-        self._stop_requested: bool = False
         self._cancelled_pending: int = 0
-        self._current_chain: Optional[list] = None
-        #: bumped on every wheel membership change; lets the run loop detect
-        #: mid-run schedule/cancel of periodic chains even when the wheel
-        #: length is unchanged
-        self._wheel_version: int = 0
+        # Run-loop state shared with the kernel as single-element list cells:
+        # events processed, stop request, chain currently firing, and the
+        # wheel membership version (bumped on every wheel change; lets the
+        # run loop detect mid-run schedule/cancel of periodic chains even
+        # when the wheel length is unchanged).
+        self._events: List[int] = [0]
+        self._stop: List[bool] = [False]
+        self._current: List[Optional[list]] = [None]
+        self._wheel_state: List[int] = [0]
+        #: the global event sequence counter (shared with the kernel loop,
+        #: which draws fresh seqs for rescheduled chain occurrences)
+        self._sequence = _SEQUENCE
+        if kernel is None:
+            from ..kernel import get_kernel
+            kernel = get_kernel()
+        self._kernel = kernel
+        self._run_wheel = kernel.run_wheel
 
     # ------------------------------------------------------------------ time
     @property
@@ -83,7 +107,12 @@ class SimulationEngine:
     @property
     def events_processed(self) -> int:
         """Number of events executed so far."""
-        return self._events_processed
+        return self._events[0]
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend running this engine's wheel segments."""
+        return self._kernel.name
 
     @property
     def pending_events(self) -> int:
@@ -161,7 +190,7 @@ class SimulationEngine:
                      name, event, False]
             event._chain = chain
             self._wheel.append(chain)
-            self._wheel_version += 1
+            self._wheel_state[0] += 1
         else:
             event._cancel_hook = self._note_cancelled
             heapq.heappush(self._queue, (start, priority, event.seq, event))
@@ -196,7 +225,7 @@ class SimulationEngine:
         already been popped off the queue).
         """
         count = 0
-        current = self._current_chain
+        current = self._current[0]
         for chain in self._wheel:
             if (chain[CHAIN_NAME] == name and not chain[CHAIN_CANCELLED]
                     and chain is not current):
@@ -229,12 +258,12 @@ class SimulationEngine:
 
     def _prune_wheel(self) -> None:
         """Remove cancelled chains (except the one currently firing)."""
-        current = self._current_chain
+        current = self._current[0]
         kept = [chain for chain in self._wheel
                 if not chain[CHAIN_CANCELLED] or chain is current]
         if len(kept) != len(self._wheel):
             self._wheel[:] = kept
-            self._wheel_version += 1
+            self._wheel_state[0] += 1
 
     def _discard_chain(self, chain: list) -> None:
         """Remove one chain from the wheel by identity (it may be gone
@@ -243,7 +272,7 @@ class SimulationEngine:
         for index in range(len(wheel)):
             if wheel[index] is chain:
                 del wheel[index]
-                self._wheel_version += 1
+                self._wheel_state[0] += 1
                 return
 
     # ------------------------------------------------------------------- run
@@ -281,10 +310,10 @@ class SimulationEngine:
         if time < self._now:
             raise SimulationError("event queue corrupted: time went backwards")
         self._now = time
-        self._current_chain = chain
+        self._current[0] = chain
         chain[CHAIN_CALLBACK](chain[CHAIN_PARAM])
-        self._current_chain = None
-        self._events_processed += 1
+        self._current[0] = None
+        self._events[0] += 1
         handle = chain[CHAIN_HANDLE]
         handle.time = time
         if chain[CHAIN_CANCELLED]:
@@ -306,7 +335,7 @@ class SimulationEngine:
         event._cancel_hook = None
         self._now = event.time
         event.callback(event.param)
-        self._events_processed += 1
+        self._events[0] += 1
         if event.period is not None and event.period > 0.0 and not event.cancelled:
             # Re-arm the *same* event object (fresh time and seq, allocated
             # after the callback exactly like the wheel path does), so the
@@ -340,125 +369,31 @@ class SimulationEngine:
             requested number of instructions.
 
         Returns the simulation time at which the run stopped.
+
+        Wheel segments (periodic events only, no pending one-shots) are
+        delegated to the selected kernel backend's ``run_wheel``; the generic
+        heap path interleaves through :meth:`step` exactly as before.
         """
         self._running = True
-        self._stop_requested = False
+        stop = self._stop
+        stop[0] = False
         processed = 0
         queue = self._queue
         wheel = self._wheel
-        next_seq = _SEQUENCE.__next__
-        events_done = self._events_processed
+        run_wheel = self._run_wheel
         # Hoisted sentinels: "no limit" becomes +inf so the per-event checks
         # are single float comparisons with no None tests.
         horizon = float("inf") if until is None else until
         event_limit = float("inf") if max_events is None else max_events
         try:
-            while not self._stop_requested:
+            while not stop[0]:
                 if not queue and wheel:
                     # ---- clock-wheel fast path: periodic events only ----
-                    # Equal-period wheels (the uniform GALS plan and the
-                    # synchronous machine) fire in a fixed rotation: float
-                    # rounding is monotonic, so per-chain `time += period`
-                    # never reorders chains, and exact-tie breaking by seq
-                    # agrees with the rotation because the chain that fired
-                    # first also drew its fresh seq first.  One hyperperiod
-                    # is simply one pass over the sorted chains, so the
-                    # merged edge schedule needs no priority queue at all.
-                    # The rotation is only valid while the next-edge times
-                    # span less than one period (guaranteed to persist once
-                    # true); chains started more than a period apart, and
-                    # unequal periods, fall back to a C-level min() over the
-                    # handful of chains (accumulated float edge times make a
-                    # precomputed rational-ratio pattern unsafe to trust
-                    # without re-verifying the order, which would cost the
-                    # same min() again).
-                    rotation = None
-                    period = wheel[0][5]
-                    priority = wheel[0][1]
-                    for chain in wheel:
-                        if chain[5] != period or chain[1] != priority:
-                            break
-                    else:
-                        rotation = sorted(wheel)
-                        if rotation[-1][0] - rotation[0][0] >= period:
-                            rotation = None
-                    index = 0
-                    wheel_size = len(wheel)
-                    wheel_version = self._wheel_version
-                    if stop_condition is None and max_events is None:
-                        # Leanest variant (every full processor run): no
-                        # per-edge stop-condition or event-budget checks --
-                        # the pipeline stops the engine via stop().
-                        while not self._stop_requested:
-                            if rotation is not None:
-                                chain = rotation[index]
-                                index += 1
-                                if index == wheel_size:
-                                    index = 0
-                            else:
-                                chain = min(wheel)
-                            if chain[8]:        # CHAIN_CANCELLED
-                                self._discard_chain(chain)
-                                break
-                            time = chain[0]     # CHAIN_TIME
-                            if time > horizon:
-                                self._now = until
-                                return self._now
-                            self._now = time
-                            self._current_chain = chain
-                            # callbacks observe the pre-event count, exactly
-                            # as on the generic path
-                            self._events_processed = events_done
-                            chain[3](chain[4])  # CHAIN_CALLBACK(CHAIN_PARAM)
-                            self._current_chain = None
-                            events_done += 1
-                            if chain[8]:
-                                self._discard_chain(chain)
-                                break
-                            chain[2] = next_seq()       # CHAIN_SEQ
-                            chain[0] = time + chain[5]  # TIME += PERIOD
-                            if queue or self._wheel_version != wheel_version:
-                                break   # one-shots scheduled / chains changed
-                        self._events_processed = events_done
-                        continue
-                    while not self._stop_requested:
-                        if rotation is not None:
-                            chain = rotation[index]
-                            index += 1
-                            if index == wheel_size:
-                                index = 0
-                        else:
-                            chain = min(wheel)
-                        if chain[8]:            # CHAIN_CANCELLED
-                            self._discard_chain(chain)
-                            break
-                        time = chain[0]         # CHAIN_TIME
-                        if time > horizon:
-                            self._now = until
-                            return self._now
-                        self._now = time
-                        self._current_chain = chain
-                        # callbacks observe the pre-event count, exactly as
-                        # on the generic path (step() increments after fire)
-                        self._events_processed = events_done
-                        chain[3](chain[4])      # CHAIN_CALLBACK(CHAIN_PARAM)
-                        self._current_chain = None
-                        events_done += 1
-                        if chain[8]:
-                            self._discard_chain(chain)
-                            break
-                        chain[2] = next_seq()       # CHAIN_SEQ
-                        chain[0] = time + chain[5]  # CHAIN_TIME += CHAIN_PERIOD
-                        processed += 1
-                        if stop_condition is not None:
-                            self._events_processed = events_done
-                            if stop_condition():
-                                return self._now
-                        if processed >= event_limit:
-                            return self._now
-                        if queue or self._wheel_version != wheel_version:
-                            break   # one-shots scheduled / chains changed
-                    self._events_processed = events_done
+                    finished, processed = run_wheel(
+                        self, horizon, until, stop_condition, max_events,
+                        processed)
+                    if finished:
+                        return self._now
                 else:
                     # ---- general path: one-shots pending, or wheel empty ----
                     next_time = self._peek_time()
@@ -469,21 +404,18 @@ class SimulationEngine:
                         break
                     if self.step() is None:
                         break
-                    events_done = self._events_processed
                     processed += 1
                     if stop_condition is not None and stop_condition():
                         break
                     if processed >= event_limit:
                         break
         finally:
-            if events_done > self._events_processed:
-                self._events_processed = events_done
             self._running = False
         return self._now
 
     def stop(self) -> None:
         """Request the current :meth:`run` call to stop after the current event."""
-        self._stop_requested = True
+        self._stop[0] = True
 
     def _peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if none is pending."""
@@ -518,7 +450,7 @@ class SimulationEngine:
                 remaining.append(handle)
         if self._wheel:
             self._wheel.clear()
-            self._wheel_version += 1
+            self._wheel_state[0] += 1
         remaining.sort(key=lambda e: (e.time, e.priority, e.seq))
         yield from remaining
 
@@ -530,9 +462,9 @@ class SimulationEngine:
             chain[CHAIN_HANDLE]._chain = None
         self._queue.clear()
         self._wheel.clear()
-        self._wheel_version += 1
+        self._wheel_state[0] += 1
         self._now = 0.0
-        self._events_processed = 0
-        self._stop_requested = False
+        self._events[0] = 0
+        self._stop[0] = False
         self._cancelled_pending = 0
-        self._current_chain = None
+        self._current[0] = None

@@ -96,6 +96,7 @@ class ExecutionUnit:
         memory: Optional[MemoryHierarchy] = None,
         latencies: Optional[Dict[InstructionClass, int]] = None,
         clock=None,
+        kernel=None,
     ) -> None:
         self.name = name
         self.domain_name = domain_name
@@ -151,6 +152,12 @@ class ExecutionUnit:
         #: folded into the eager counters on the next non-empty edge or an
         #: external read (integer run-length encoding, so totals are exact)
         self._idle_samples = 0
+        # event-wakeup writeback walk from the selected kernel backend
+        # (pure reference or the compiled extension; bit-identical)
+        if kernel is None:
+            from ..kernel import get_kernel
+            kernel = get_kernel()
+        self._wake_waiters = kernel.wake_waiters
         # per-unit fused stage closures (stable collaborators pre-bound),
         # picked by the queue's wakeup scheme
         if issue_queue.scheme == SCHEME_EVENT:
@@ -292,10 +299,11 @@ class ExecutionUnit:
             self.completed_ops += 1
             phys_dest = instr.phys_dest
             if phys_dest is not None:
-                # inline regfile.mark_ready (including its waiter walk: under
-                # the event wakeup scheme this writeback is what moves blocked
+                # inline regfile.mark_ready; the waiter walk (under the event
+                # wakeup scheme this writeback is what moves blocked
                 # consumers toward their queue's ready list; under the scan
-                # scheme the waiter list is always empty)
+                # scheme the waiter list is always empty) is the kernel
+                # backend's wake_waiters
                 reg = registers[phys_dest]
                 reg.ready_time = now
                 reg.producer_domain = domain_name
@@ -303,15 +311,7 @@ class ExecutionUnit:
                 results += 1
                 waiters = reg.waiters
                 if waiters:
-                    for waiter in waiters:
-                        if not waiter.squashed and waiter.pending_ops:
-                            pending = waiter.pending_ops - 1
-                            waiter.pending_ops = pending
-                            if pending == 0:
-                                queue = waiter.wakeup_queue
-                                if queue is not None:
-                                    queue.push_ready(waiter)
-                    waiters.clear()
+                    self._wake_waiters(waiters)
             if instr.is_branch and self.branch_unit is not None:
                 self.branch_unit.resolve(instr.pc, instr.trace.taken,
                                          instr.predicted_taken

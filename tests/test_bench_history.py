@@ -1,0 +1,125 @@
+"""Tests for the benchmark-trajectory analysis and ``repro bench history``."""
+
+import json
+
+from repro.analysis.bench_history import (history_rows, history_table,
+                                          load_history, record_backend,
+                                          record_cohort, record_minor)
+from repro.cli import main
+
+
+def _record(timestamp, *, minor="3.11", backend=None, smoke=False,
+            mixed=None, gals=None):
+    record = {"timestamp": timestamp, "python_minor": minor}
+    if backend is not None:
+        record["backend"] = backend
+    if smoke:
+        record["smoke"] = True
+    if mixed is not None:
+        record["engine_events_per_sec"] = {
+            "mixed": {"wheel": mixed, "seed_engine_live": mixed / 2.0}}
+    if gals is not None:
+        record["full_run"] = {"gals": {"instr_per_sec": gals}}
+    return record
+
+
+# ----------------------------------------------------------- record identity
+def test_record_identity_helpers():
+    assert record_backend({}) == "pure"
+    assert record_backend({"backend": "compiled"}) == "compiled"
+    assert record_minor({"python_minor": "3.11"}) == "3.11"
+    assert record_minor({"python": "3.12.4"}) == "3.12"
+    assert record_minor({}) is None
+    assert record_cohort({"python_minor": "3.11",
+                          "backend": "compiled"}) == ("3.11", "compiled")
+
+
+# ----------------------------------------------------------------- flag rules
+def test_regression_flagged_within_cohort_only():
+    history = [
+        _record("a", mixed=1_000_000.0),
+        # different cohort (compiled): huge drop vs "a" must NOT flag
+        _record("b", backend="compiled", mixed=100.0),
+        # same cohort as "a": >25% drop must flag
+        _record("c", mixed=500_000.0),
+    ]
+    rows = history_rows(history, threshold=0.25)
+    mixed_col = 5  # METRICS index of "mixed ev/s"
+    assert rows[1]["flags"][mixed_col] == ""
+    assert rows[2]["flags"][mixed_col] == "!"
+
+
+def test_smoke_records_shown_but_never_baseline():
+    history = [
+        _record("a", mixed=1_000_000.0),
+        _record("b", smoke=True, mixed=10.0),
+        # compared against "a" (full), not the smoke record: no flag
+        _record("c", mixed=950_000.0),
+    ]
+    rows = history_rows(history)
+    assert [row["smoke"] for row in rows] == [False, True, False]
+    assert rows[2]["flags"][5] == ""
+
+
+def test_normalise_divides_by_seed_engine_rate():
+    rows = history_rows([_record("a", mixed=1_000_000.0)], normalise=True)
+    # seed yardstick is mixed/2 in the fixture, so the ratio is exactly 2
+    assert rows[0]["values"][5] == 2.0
+
+
+def test_history_table_renders_all_records():
+    history = [
+        _record("2026-01-01", gals=10_000.0, mixed=2_000_000.0),
+        _record("2026-01-02", backend="compiled", smoke=True),
+    ]
+    text = history_table(history)
+    assert "timestamp" in text and "mixed ev/s" in text
+    assert "2026-01-01" in text and "2026-01-02" in text
+    assert "compiled" in text and "smoke" in text
+    # absent metrics render as "-"
+    assert " - " in text or text.rstrip().endswith("-")
+
+
+def test_load_history_wraps_single_record(tmp_path):
+    path = tmp_path / "BENCH_sim_core.json"
+    path.write_text(json.dumps(_record("solo")))
+    assert [r["timestamp"] for r in load_history(path)] == ["solo"]
+
+
+# ------------------------------------------------------------------ CLI level
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_bench_history(tmp_path, capsys):
+    path = tmp_path / "BENCH_sim_core.json"
+    path.write_text(json.dumps([
+        _record("2026-01-01", gals=12_345.0, mixed=3_000_000.0),
+        _record("2026-01-02", backend="compiled", mixed=5_000_000.0),
+    ]))
+    code, out, _ = run_cli(capsys, "bench", "history",
+                           "--bench-file", str(path))
+    assert code == 0
+    assert "2 records" in out
+    assert "compiled" in out
+    code, out, _ = run_cli(capsys, "bench", "history",
+                           "--bench-file", str(path), "--normalise")
+    assert code == 0
+    assert "ratios" in out
+
+
+def test_cli_bench_history_missing_file(tmp_path, capsys):
+    code, _, err = run_cli(capsys, "bench", "history",
+                           "--bench-file", str(tmp_path / "nope.json"))
+    assert code == 2
+    assert "error" in err
+
+
+def test_cli_list_backends(capsys):
+    code, out, _ = run_cli(capsys, "list", "backends")
+    assert code == 0
+    assert "engine kernel backends" in out
+    assert "pure" in out and "compiled" in out
+    assert "<- default" in out

@@ -1,0 +1,301 @@
+"""Kernel backend selection, pickling, and pure-vs-compiled bit-identity.
+
+Three layers of guarantees:
+
+* **selection** -- ``resolve_backend`` / ``ProcessorConfig.backend`` /
+  ``REPRO_BACKEND`` resolve as documented, unknown names are rejected, and
+  the backend never leaks into results-store cache keys;
+* **pickling** -- configs and resolved :class:`~repro.kernel.Kernel` objects
+  survive the round-trip a ``spawn``-platform sweep worker pool imposes;
+* **differential bit-identity** -- with a compiled artifact built
+  (``tools/build_kernel.py``), the compiled backend produces byte-identical
+  simulation results to the pure-Python reference: engine-level event traces
+  across every wheel exit path, full runs across every registered topology,
+  an occupancy-controller run with mid-run retimes, and a recovery-heavy
+  long program.  Without the artifact the differential tests skip cleanly.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.config import ProcessorConfig
+from repro.core.domains import TOPOLOGIES
+from repro.core.scenario import (Scenario, _result_to_dict, run_scenario,
+                                 sweep_scenarios)
+from repro.kernel import (BACKENDS, Kernel, available_backends,
+                          compiled_available, get_kernel, resolve_backend)
+from repro.kernel.reference import sync_visible_at as reference_sync
+from repro.results.store import cache_key
+from repro.sim.engine import SimulationEngine
+
+COMPILED = compiled_available()
+needs_compiled = pytest.mark.skipif(
+    not COMPILED,
+    reason="no compiled kernel artifact (run tools/build_kernel.py)")
+
+MIXED_CLOCKS = ((0.8, 0.0), (1.1, 0.3), (0.95, 0.1), (1.25, 0.6), (1.0, 0.2))
+
+
+# -------------------------------------------------------------- selection
+def test_backends_tuple_matches_config_validation():
+    assert BACKENDS == ("auto", "pure", "compiled")
+    for name in BACKENDS:
+        ProcessorConfig(backend=name)  # accepted
+    with pytest.raises(ValueError, match="unknown backend"):
+        ProcessorConfig(backend="fortran")
+
+
+def test_resolve_backend_defaults_to_pure(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend() == "pure"
+    assert resolve_backend("auto") == "pure"
+    assert resolve_backend("pure") == "pure"
+
+
+def test_resolve_backend_follows_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "pure")
+    assert resolve_backend("auto") == "pure"
+    # an explicit request always beats the environment
+    monkeypatch.setenv("REPRO_BACKEND", "compiled")
+    assert resolve_backend("pure") == "pure"
+    # auto never recurses: an env var saying "auto" means "pure"
+    monkeypatch.setenv("REPRO_BACKEND", "auto")
+    assert resolve_backend("auto") == "pure"
+
+
+def test_resolve_backend_rejects_unknown_names(monkeypatch):
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend("numba")
+    monkeypatch.setenv("REPRO_BACKEND", "numba")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        resolve_backend("auto")
+
+
+def test_compiled_degrades_gracefully_when_artifact_missing(monkeypatch):
+    import repro.kernel as kernel_pkg
+    monkeypatch.setattr(kernel_pkg, "load_compiled", lambda: None)
+    assert kernel_pkg.resolve_backend("compiled") == "pure"
+    assert kernel_pkg.available_backends() == ["pure"]
+    assert kernel_pkg.get_kernel("compiled").name == "pure"
+
+
+def test_available_backends_reports_reality():
+    names = available_backends()
+    assert names[0] == "pure"
+    assert ("compiled" in names) == COMPILED
+
+
+def test_get_kernel_is_cached_and_consistent():
+    pure = get_kernel("pure")
+    assert pure is get_kernel("pure")
+    assert pure.name == "pure" and pure.compiled is False
+    assert pure.run_wheel is not None
+    if COMPILED:
+        compiled = get_kernel("compiled")
+        assert compiled is get_kernel("compiled")
+        assert compiled.name == "compiled" and compiled.compiled is True
+        assert compiled.run_wheel is not pure.run_wheel
+
+
+def test_engine_and_processor_report_their_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert SimulationEngine().kernel_backend == "pure"
+    from repro.core.processor import Processor
+    from repro.workloads.registry import build_workload
+    trace, workload = build_workload("perl", 100, seed=1)
+    machine = Processor(trace, workload=workload,
+                        config=ProcessorConfig(backend="pure"))
+    assert machine.backend == "pure"
+    assert machine.engine.kernel_backend == "pure"
+
+
+# ------------------------------------------------------- cache-key hygiene
+def test_backend_never_changes_cache_keys():
+    base = Scenario(name="key-probe", topology="gals5", workload="perl",
+                    num_instructions=200)
+    tagged = {backend: Scenario(name="key-probe", topology="gals5",
+                                workload="perl", num_instructions=200,
+                                config={"backend": backend})
+              for backend in ("pure", "compiled")}
+    fingerprint = "test:fingerprint"
+    keys = {cache_key(base, fingerprint)}
+    keys.update(cache_key(scenario, fingerprint)
+                for scenario in tagged.values())
+    assert len(keys) == 1, "backend leaked into the results-store cache key"
+    # ... while a real config change still misses
+    other = Scenario(name="key-probe", topology="gals5", workload="perl",
+                     num_instructions=200, config={"fifo_capacity": 12})
+    assert cache_key(other, fingerprint) not in keys
+
+
+# ---------------------------------------------------------------- pickling
+def test_processor_config_backend_survives_pickle():
+    config = ProcessorConfig(backend="compiled")
+    clone = pickle.loads(pickle.dumps(config))
+    assert clone.backend == "compiled"
+    assert clone == config
+
+
+def test_kernel_objects_pickle_by_name():
+    pure = get_kernel("pure")
+    clone = pickle.loads(pickle.dumps(pure))
+    assert clone is pure  # cached instance, resolved by name
+    if COMPILED:
+        compiled = get_kernel("compiled")
+        assert pickle.loads(pickle.dumps(compiled)) is compiled
+
+
+def test_kernel_pickle_degrades_in_artifactless_worker(monkeypatch):
+    """A kernel pickled as 'compiled' resolves to pure where there is no
+    artifact -- the spawn-worker graceful-degradation contract."""
+    import repro.kernel as kernel_pkg
+    if COMPILED:
+        payload = pickle.dumps(get_kernel("compiled"))
+        monkeypatch.setattr(kernel_pkg, "load_compiled", lambda: None)
+        monkeypatch.setitem(kernel_pkg._KERNELS, "pure",
+                            kernel_pkg._KERNELS.get("pure"))
+        clone = pickle.loads(payload)
+        assert clone.name == "pure"
+    else:
+        payload = pickle.dumps(get_kernel("pure"))
+        assert pickle.loads(payload).name == "pure"
+
+
+def test_backend_config_survives_the_sweep_pool():
+    """Scenarios carrying an explicit backend run through the worker pool
+    (workload warm-start memo included) and match the serial path."""
+    scenario = Scenario(name="pool-probe", topology="gals5", workload="perl",
+                        num_instructions=300,
+                        config={"backend": resolve_backend("compiled")})
+    serial = run_scenario(scenario)
+    pooled = sweep_scenarios([scenario, scenario], jobs=2)
+    assert len(pooled) == 2
+    for outcome in pooled:
+        assert outcome.scenario.config["backend"] == scenario.config["backend"]
+        assert _result_to_dict(outcome.result) == _result_to_dict(serial.result)
+
+
+# ----------------------------------------------- engine-level differential
+def _engine_events(kernel, *, cancel=False, oneshots=False,
+                   stop_after=None, max_events=None, until=300.0):
+    """Drive one engine over the mixed wheel; return its full event trace."""
+    engine = SimulationEngine(kernel=kernel)
+    events = []
+    chains = []
+    for index, (period, phase) in enumerate(MIXED_CLOCKS):
+        def tick(_param, index=index, engine=engine):
+            events.append((round(engine.now, 9), index,
+                           engine.events_processed))
+        chains.append(engine.schedule_periodic(
+            start=phase, period=period, callback=tick,
+            name=f"clk{index}"))
+    if oneshots:
+        def oneshot(param):
+            events.append((round(engine.now, 9), "oneshot", param))
+            if param < 5:
+                engine.schedule_after(7.3, oneshot, param + 1)
+        engine.schedule(2.5, oneshot, 0)
+    if cancel:
+        def cancel_one(_param):
+            if engine.now >= 100.0:
+                engine.cancel_chain("clk3")
+        engine.schedule_periodic(start=50.0, period=60.0,
+                                 callback=cancel_one, name="canceller")
+    stop_condition = None
+    if stop_after is not None:
+        stop_condition = lambda: len(events) >= stop_after  # noqa: E731
+    final = engine.run(until=until, max_events=max_events,
+                       stop_condition=stop_condition)
+    return events, engine.events_processed, final, engine.now
+
+
+@needs_compiled
+@pytest.mark.parametrize("variant", ["lean", "oneshots", "cancel",
+                                     "stop_condition", "max_events"])
+def test_engine_traces_bit_identical_across_backends(variant):
+    options = {
+        "lean": {},
+        "oneshots": {"oneshots": True},
+        "cancel": {"cancel": True},
+        "stop_condition": {"stop_after": 500},
+        "max_events": {"max_events": 700},
+    }[variant]
+    pure = _engine_events(get_kernel("pure"), **options)
+    compiled = _engine_events(get_kernel("compiled"), **options)
+    assert pure == compiled
+
+
+@needs_compiled
+def test_sync_visible_at_grid_matches_reference_and_fifo():
+    from repro.async_comm.fifo import MixedClockFifo
+    from repro.sim.clock import Clock
+    compiled = get_kernel("compiled")
+    for step in range(160):
+        time = step * 0.37
+        for phase, period, latency in ((0.0, 1.0, 1.0), (0.3, 0.8, 1.6),
+                                       (2.5, 1.25, 0.0), (0.05, 0.33, 0.66)):
+            expected = reference_sync(time, phase, period, latency)
+            assert compiled.sync_visible_at(time, phase, period,
+                                            latency) == expected
+    # and the FIFO's read-only pin agrees on both sides
+    fifo = MixedClockFifo(
+        "probe", 8,
+        producer_clock=Clock("prod", 0.8, phase=0.1),
+        consumer_clock=Clock("cons", 1.1, phase=0.3),
+        producer_sync=1, consumer_sync=1)
+    sides = {
+        "data": (fifo._data_phase, fifo._data_period, fifo._data_latency),
+        "space": (fifo._space_phase, fifo._space_period, fifo._space_latency),
+    }
+    for step in range(40):
+        time = step * 0.41
+        for side, parameters in sides.items():
+            assert (fifo.synchronizer_visible_at(time, side)
+                    == compiled.sync_visible_at(time, *parameters))
+    with pytest.raises(ValueError, match="unknown synchronizer side"):
+        fifo.synchronizer_visible_at(1.0, "sideways")
+
+
+# --------------------------------------------------- full-run differential
+def _run_pair(topology, workload="perl", instructions=300, **fields):
+    results = {}
+    for backend in ("pure", "compiled"):
+        scenario = Scenario(name=f"diff-{topology}-{backend}",
+                            topology=topology, workload=workload,
+                            num_instructions=instructions,
+                            config={"backend": backend}, **fields)
+        results[backend] = _result_to_dict(run_scenario(scenario).result)
+    return results
+
+
+@needs_compiled
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_all_topologies_bit_identical_across_backends(topology):
+    results = _run_pair(topology)
+    assert results["pure"] == results["compiled"]
+
+
+@needs_compiled
+def test_controller_run_with_retimes_bit_identical():
+    results = {}
+    for backend in ("pure", "compiled"):
+        scenario = Scenario(name=f"diff-ctrl-{backend}", topology="gals5",
+                            workload="perl", num_instructions=1200,
+                            controller="occupancy", controller_epoch=50.0,
+                            config={"backend": backend})
+        outcome = run_scenario(scenario)
+        results[backend] = _result_to_dict(outcome.result)
+        # the differential is only meaningful if the controller actually
+        # retimed clocks mid-run (the wheel-membership-change exit path)
+        assert outcome.result.dvfs_trace, "controller produced no trace"
+    assert results["pure"] == results["compiled"]
+
+
+@needs_compiled
+def test_recovery_heavy_long_run_bit_identical():
+    results = _run_pair("gals5", workload="gcc", instructions=2500)
+    assert results["pure"] == results["compiled"]
+    from repro.core.scenario import _result_from_dict
+    reloaded = _result_from_dict(results["pure"])
+    assert reloaded.recoveries > 0, "program exercised no recoveries"

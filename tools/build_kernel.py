@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Build the optional compiled kernel backend (``repro.kernel._ckernel``).
+
+The simulation hot core lives in :mod:`repro.kernel.reference`, written in a
+compile-friendly subset of Python.  This script produces the ahead-of-time
+compiled twin that ``ProcessorConfig(backend="compiled")`` (or
+``REPRO_BACKEND=compiled``) selects, trying three strategies in order:
+
+1. **mypyc** -- compiles a copy of ``reference.py`` named ``_ckernel``;
+2. **Cython** -- same source, ``cythonize`` in pure-Python mode;
+3. **bundled C** -- compiles the hand-written translation
+   ``src/repro/kernel/_ckernel.c`` with the local C compiler (no third-party
+   packages needed; this is the path that works on a bare toolchain).
+
+Whichever succeeds first, the built extension is copied into
+``src/repro/kernel/`` where :func:`repro.kernel.load_compiled` finds it.  The
+artifact is keyed by ``KERNEL_API_VERSION``: a stale build from an older
+checkout is ignored at import time, so rebuilding is never *required* --
+only needed to regain the speedup.
+
+Usage::
+
+    python tools/build_kernel.py             # build with the first working strategy
+    python tools/build_kernel.py --strategy c        # force one strategy
+    python tools/build_kernel.py --check     # build (if needed) + differential self-test
+    python tools/build_kernel.py --clean     # remove built artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import sysconfig
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+KERNEL_DIR = REPO_ROOT / "src" / "repro" / "kernel"
+EXT_SUFFIX = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+
+#: build strategies in preference order
+STRATEGIES = ("mypyc", "cython", "c")
+
+
+def _find_artifact(build_dir: Path) -> Path:
+    """Locate the extension module produced under ``build_dir``."""
+    candidates = sorted(build_dir.rglob("_ckernel*" + EXT_SUFFIX.split(".")[-1]))
+    candidates = [path for path in candidates
+                  if path.name.startswith("_ckernel")
+                  and path.suffix in (".so", ".pyd")]
+    if not candidates:
+        raise FileNotFoundError(
+            f"no _ckernel extension found under {build_dir}")
+    return candidates[0]
+
+
+def _run_build_ext(extensions, build_dir: Path) -> Path:
+    """Run setuptools ``build_ext`` on ``extensions``; return the artifact."""
+    from setuptools.dist import Distribution
+
+    dist = Distribution({"name": "repro-kernel", "ext_modules": extensions})
+    command = dist.get_command_obj("build_ext")
+    command.build_lib = str(build_dir / "lib")
+    command.build_temp = str(build_dir / "temp")
+    dist.run_command("build_ext")
+    return _find_artifact(build_dir / "lib")
+
+
+def build_with_mypyc(build_dir: Path) -> Path:
+    """Compile a copy of ``reference.py`` as ``_ckernel`` via mypyc."""
+    from mypyc.build import mypycify  # raises ImportError when absent
+
+    source = build_dir / "_ckernel.py"
+    shutil.copy2(KERNEL_DIR / "reference.py", source)
+    extensions = mypycify([str(source)], target_dir=str(build_dir / "mypyc"))
+    return _run_build_ext(extensions, build_dir)
+
+
+def build_with_cython(build_dir: Path) -> Path:
+    """Compile a copy of ``reference.py`` as ``_ckernel`` via Cython."""
+    from Cython.Build import cythonize  # raises ImportError when absent
+
+    source = build_dir / "_ckernel.py"
+    shutil.copy2(KERNEL_DIR / "reference.py", source)
+    extensions = cythonize([str(source)], language_level=3, quiet=True)
+    return _run_build_ext(extensions, build_dir)
+
+
+def build_with_c(build_dir: Path) -> Path:
+    """Compile the bundled hand-written C translation."""
+    from setuptools import Extension
+
+    extension = Extension("_ckernel",
+                          sources=[str(KERNEL_DIR / "_ckernel.c")],
+                          extra_compile_args=["-O2"])
+    return _run_build_ext([extension], build_dir)
+
+
+_BUILDERS = {
+    "mypyc": build_with_mypyc,
+    "cython": build_with_cython,
+    "c": build_with_c,
+}
+
+
+def clean() -> int:
+    """Remove previously built kernel artifacts; returns the count removed."""
+    removed = 0
+    for path in KERNEL_DIR.glob("_ckernel*"):
+        if path.suffix in (".so", ".pyd"):
+            path.unlink()
+            removed += 1
+            print(f"removed {path}")
+    return removed
+
+
+def build(strategy: str = "auto") -> Path:
+    """Build the compiled kernel and install it into the package tree.
+
+    ``strategy`` is one of :data:`STRATEGIES` or ``"auto"`` (first that
+    works).  Returns the installed artifact path.
+    """
+    order = STRATEGIES if strategy == "auto" else (strategy,)
+    errors = []
+    for name in order:
+        with tempfile.TemporaryDirectory(prefix="repro-kernel-") as tmp:
+            try:
+                artifact = _BUILDERS[name](Path(tmp))
+            except ImportError as exc:
+                errors.append(f"{name}: not available ({exc})")
+                continue
+            except Exception as exc:  # compiler failures, bad toolchain, ...
+                errors.append(f"{name}: build failed ({exc})")
+                continue
+            destination = KERNEL_DIR / ("_ckernel" + EXT_SUFFIX)
+            shutil.copy2(artifact, destination)
+            print(f"built {destination.name} via {name}")
+            return destination
+    raise SystemExit("all build strategies failed:\n  " + "\n  ".join(errors))
+
+
+def self_test() -> None:
+    """Differential smoke test: compiled kernel vs pure reference."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.kernel import compiled_available, get_kernel
+    from repro.kernel.reference import sync_visible_at as pure_sync
+    from repro.sim.engine import SimulationEngine
+
+    if not compiled_available():
+        raise SystemExit("self-test failed: compiled kernel not importable "
+                         "(stale KERNEL_API_VERSION or missing artifact)")
+    compiled = get_kernel("compiled")
+    if not compiled.compiled:
+        raise SystemExit("self-test failed: 'compiled' resolved to pure")
+
+    # synchronizer mapping over a grid
+    for time in [x * 0.31 for x in range(50)]:
+        for phase, period, latency in ((0.0, 1.0, 1.0), (0.3, 0.8, 1.6),
+                                       (2.5, 1.25, 0.0)):
+            expected = pure_sync(time, phase, period, latency)
+            got = compiled.sync_visible_at(time, phase, period, latency)
+            if got != expected:
+                raise SystemExit(
+                    f"self-test failed: sync_visible_at({time}, {phase}, "
+                    f"{period}, {latency}) = {got!r}, expected {expected!r}")
+
+    # engine run over a mixed wheel, identical event traces
+    def trace_with(kernel):
+        engine = SimulationEngine(kernel=kernel)
+        events = []
+        for index, (period, phase) in enumerate(
+                [(0.8, 0.0), (1.1, 0.3), (0.95, 0.1), (1.0, 0.2)]):
+            engine.schedule_periodic(
+                start=phase, period=period,
+                callback=lambda _, i=index: events.append((engine.now, i)))
+        engine.run(until=200.0)
+        return events, engine.events_processed
+
+    pure_trace = trace_with(get_kernel("pure"))
+    compiled_trace = trace_with(compiled)
+    if pure_trace != compiled_trace:
+        raise SystemExit("self-test failed: engine event traces diverge")
+    print(f"self-test passed ({pure_trace[1]} events, bit-identical)")
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--strategy", choices=("auto",) + STRATEGIES,
+                        default="auto",
+                        help="build strategy (default: first that works)")
+    parser.add_argument("--check", action="store_true",
+                        help="run the differential self-test after building")
+    parser.add_argument("--clean", action="store_true",
+                        help="remove built artifacts and exit")
+    arguments = parser.parse_args(argv)
+    if arguments.clean:
+        if clean() == 0:
+            print("nothing to clean")
+        return 0
+    build(arguments.strategy)
+    if arguments.check:
+        self_test()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
