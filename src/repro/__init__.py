@@ -36,13 +36,15 @@ from .core import (ClockPlan, ComparisonRow, DEFAULT_CONFIG, DvfsController,
                    run_design_space, run_pair, run_scenario, run_single,
                    selective_slowdown, slowdown_plan, slowdown_sweep,
                    sweep_scenarios, uniform_plan)
+from .exec import (ExecutionConfig, JobBackend, available_job_backends,
+                   make_job_backend, register_job_backend)
 from .results import (ResultsStore, code_fingerprint, resume_sweep,
                       run_cached)
 from .workloads import (DEFAULT_BENCHMARKS, PROFILES, available_workloads,
                         build_workload, get_kernel, get_profile, kernel_trace,
                         make_trace, make_workload)
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 __all__ = [
     "ClockPlan",
@@ -52,6 +54,8 @@ __all__ = [
     "DvfsController",
     "DvfsResult",
     "EpochTelemetry",
+    "ExecutionConfig",
+    "JobBackend",
     "PROFILES",
     "Processor",
     "ProcessorConfig",
@@ -63,6 +67,7 @@ __all__ = [
     "Topology",
     "__version__",
     "available_controllers",
+    "available_job_backends",
     "available_policies",
     "available_scenarios",
     "available_topologies",
@@ -81,11 +86,13 @@ __all__ = [
     "get_scenario",
     "get_topology",
     "kernel_trace",
-    "make_trace",
     "make_controller",
+    "make_job_backend",
+    "make_trace",
     "make_workload",
     "phase_sensitivity",
     "register_controller",
+    "register_job_backend",
     "register_scenario",
     "register_topology",
     "resume_sweep",

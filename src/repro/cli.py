@@ -17,7 +17,12 @@ The CLI exposes the declarative Scenario subsystem:
   recorded in ``BENCH_sim_core.json`` (:mod:`repro.analysis.bench_history`);
 * ``repro report ...``       -- render the paper's figure tables
   (:mod:`repro.analysis.report`) from fresh runs, and ``repro report
-  compare`` -- cross-topology design-space tables from cached results.
+  compare`` -- cross-topology design-space tables from cached results;
+* ``repro serve``            -- run the HTTP results service
+  (:mod:`repro.serve`): cached queries answer bit-identically to ``repro
+  run --json``, misses are queued on a job backend and served once stored;
+* ``repro query``            -- query a running ``repro serve`` instance
+  for one scenario (optionally waiting for a queued miss to land).
 
 Every run funnels through :func:`repro.core.scenario.run_scenario`, so CLI
 results are bit-identical to library results for the same scenario --
@@ -46,6 +51,7 @@ from .core.experiments import (DEFAULT_INSTRUCTIONS, baseline_comparison,
                                design_space_scenarios, slowdown_sweep)
 from .core.scenario import (SCENARIOS, Scenario, get_scenario,
                             resolve_scenarios)
+from .exec import JOB_BACKENDS, ExecutionConfig
 from .results import (ResultsStore, code_fingerprint, hit_rate, resume_sweep,
                       run_cached)
 from .workloads.profiles import DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS
@@ -236,6 +242,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
         sections.append("engine kernel backends (bit-identical results; "
                         f"'auto' follows ${BACKEND_ENV_VAR}):\n"
                         + "\n".join(rows))
+        job_rows = [f"  {name:<12} {info.description}"
+                    for name, info in JOB_BACKENDS.items()]
+        sections.append("job backends (sweep execution fabrics; select with "
+                        "--job-backend or ExecutionConfig):\n"
+                        + "\n".join(job_rows))
     print("\n\n".join(sections))
     return 0
 
@@ -364,7 +375,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"({scenarios[0].num_instructions} instructions each)...")
     store = _store_from_args(args, default=False)
     wall_start = time.perf_counter()
-    runs = resume_sweep(scenarios, store=store, jobs=args.jobs)
+    runs = resume_sweep(scenarios, store=store, jobs=args.jobs,
+                        execution=args.job_backend)
     wall = time.perf_counter() - wall_start
     results = [run.outcome for run in runs]
     if not args.quiet:
@@ -494,7 +506,8 @@ def _cmd_report_compare(args: argparse.Namespace) -> int:
         policies=policies, controllers=controllers,
         num_instructions=args.instructions, seed=args.seed)
     store = _store_from_args(args, default=True)
-    runs = resume_sweep(grid, store=store, jobs=args.jobs)
+    runs = resume_sweep(grid, store=store, jobs=args.jobs,
+                        execution=args.job_backend)
     results = [run.outcome for run in runs]
     hits = sum(run.cached for run in runs)
     print(f"=== design-space compare: {len(results)} configuration(s), "
@@ -511,6 +524,56 @@ def _cmd_report_compare(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"records written to {args.json}")
     return 0
+
+
+# ------------------------------------------------------------ results service
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP results service in the foreground."""
+    from .serve import ResultsService
+
+    execution = ExecutionConfig(backend=args.job_backend or "local",
+                                jobs=args.jobs)
+    service = ResultsService(store=ResultsStore(root=args.cache_dir),
+                             execution=execution,
+                             host=args.host, port=args.port,
+                             poll_interval=args.poll_interval,
+                             verbose=not args.quiet)
+    service.start()
+    # the URL line is the machine-readable handshake (port may be ephemeral)
+    print(f"serving results store {service.store.root} at {service.url} "
+          f"(backend: {service.execution.backend})", flush=True)
+    service.run_forever()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Query a running ``repro serve`` instance for one scenario."""
+    from .serve import QueryReply, query_scenario
+
+    scenario = _scenario_with_overrides(args)
+    reply: QueryReply = query_scenario(args.url, scenario, wait=args.wait,
+                                       poll=args.poll)
+    if reply.code == 200:
+        if not args.quiet:
+            print(f"{reply.status} (key {reply.key[:12]}) from {args.url}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(reply.body)
+            if not args.quiet:
+                print(f"  result written to {args.json}")
+        else:
+            from .core.scenario import ScenarioResult
+            outcome = ScenarioResult.from_dict(reply.payload)
+            print(outcome.result.summary())
+        return 0
+    if reply.code == 202:
+        print(f"pending: the service queued key {reply.key[:12]} "
+              f"(re-query or raise --wait)", file=sys.stderr)
+        return 3
+    error = reply.payload.get("error") if isinstance(reply.payload, dict) \
+        else reply.body
+    print(f"error: service replied {reply.code}: {error}", file=sys.stderr)
+    return 2
 
 
 # --------------------------------------------------------------------- parser
@@ -576,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--jobs", type=int,
                               help="worker processes (default: REPRO_JOBS "
                                    "or the CPU count)")
+    sweep_parser.add_argument("--job-backend", dest="job_backend",
+                              metavar="NAME",
+                              help="job backend for computed scenarios "
+                                   "(serial, local, subprocess; see 'repro "
+                                   "list backends'; default: local)")
     sweep_parser.add_argument("--instructions", type=int, metavar="N")
     sweep_parser.add_argument("--seed", type=int)
     _add_cache_arguments(sweep_parser, default=False)
@@ -653,11 +721,63 @@ def build_parser() -> argparse.ArgumentParser:
                                 default=DEFAULT_INSTRUCTIONS)
     compare_parser.add_argument("--seed", type=int, default=1)
     compare_parser.add_argument("--jobs", type=int)
+    compare_parser.add_argument("--job-backend", dest="job_backend",
+                                metavar="NAME",
+                                help="job backend for computed grid cells "
+                                     "(serial, local, subprocess; default: "
+                                     "local)")
     _add_cache_arguments(compare_parser, default=True)
     compare_parser.add_argument("--json", metavar="PATH",
                                 help="write the metric records as JSON "
                                      "(CI artifact format)")
     compare_parser.set_defaults(handler=_cmd_report)
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve the results store over a JSON HTTP API "
+                      "(misses are queued on a job backend)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8000,
+                              help="TCP port; 0 binds an ephemeral port "
+                                   "printed on startup (default: 8000)")
+    serve_parser.add_argument("--cache-dir", metavar="PATH", dest="cache_dir",
+                              help="results-store root (default: "
+                                   "REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_parser.add_argument("--job-backend", dest="job_backend",
+                              metavar="NAME",
+                              help="job backend for queued misses (serial, "
+                                   "local, subprocess; default: local)")
+    serve_parser.add_argument("--jobs", type=int,
+                              help="worker processes for the job backend "
+                                   "(default: REPRO_JOBS or the CPU count)")
+    serve_parser.add_argument("--poll-interval", type=float, default=0.25,
+                              dest="poll_interval", metavar="SECONDS",
+                              help="miss-batching window of the background "
+                                   "sweep thread (default: 0.25)")
+    serve_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-request access logging")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    query_parser = sub.add_parser(
+        "query", help="query a running 'repro serve' for one scenario")
+    query_parser.add_argument("scenario", help="registered scenario name")
+    _add_override_arguments(query_parser)
+    query_parser.add_argument("--url", default="http://127.0.0.1:8000",
+                              help="service base URL "
+                                   "(default: http://127.0.0.1:8000)")
+    query_parser.add_argument("--wait", type=float, default=0.0,
+                              metavar="SECONDS",
+                              help="keep polling a 202 (queued miss) up to "
+                                   "this long (default: return immediately)")
+    query_parser.add_argument("--poll", type=float, default=0.2,
+                              metavar="SECONDS",
+                              help="poll interval while waiting "
+                                   "(default: 0.2)")
+    query_parser.add_argument("--json", metavar="PATH",
+                              help="write the served ScenarioResult JSON "
+                                   "(byte-identical to repro run --json)")
+    query_parser.add_argument("--quiet", action="store_true")
+    query_parser.set_defaults(handler=_cmd_query)
 
     return parser
 

@@ -27,6 +27,7 @@ backwards compatibility.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -39,8 +40,8 @@ from .domains import (ClockPlan, available_topologies, get_topology,
 from .dvfs import SlowdownPolicy
 from .metrics import (ComparisonRow, SimulationResult, arithmetic_mean, compare)
 from .scenario import (DEFAULT_INSTRUCTIONS, JOBS_ENV_VAR, Scenario,
-                       ScenarioResult, _call_star, _run_jobs, default_jobs,
-                       execute_run, sweep_scenarios)
+                       ScenarioResult, _UNSET, _call_star, _run_jobs,
+                       default_jobs, execute_run, sweep_scenarios)
 
 
 @dataclass
@@ -248,17 +249,25 @@ def run_design_space(topologies: Optional[Sequence[str]] = None,
                      num_instructions: int = DEFAULT_INSTRUCTIONS,
                      seed: int = 1,
                      jobs: Optional[int] = None,
-                     cache=True,
+                     store=True,
+                     execution=None,
+                     cache=_UNSET,
                      **scenario_fields) -> List[ScenarioResult]:
     """Run (or load from the results store) the whole design-space grid.
 
-    Feeds ``repro report compare``: with the default ``cache=True`` the grid
+    Feeds ``repro report compare``: with the default ``store=True`` the grid
     is resumable and a repeated invocation renders purely from cached
-    :class:`ScenarioResult` records.
+    :class:`ScenarioResult` records.  ``execution`` selects the job backend
+    (see :func:`~repro.core.scenario.sweep_scenarios`); ``cache=`` is the
+    deprecated alias of ``store=``.
     """
+    if cache is not _UNSET:
+        warnings.warn("the cache= parameter is deprecated; use store=",
+                      DeprecationWarning, stacklevel=2)
+        store = cache
     grid = design_space_scenarios(topologies, workloads, policies, controllers,
                                   num_instructions, seed, **scenario_fields)
-    return sweep_scenarios(grid, jobs=jobs, cache=cache)
+    return sweep_scenarios(grid, jobs=jobs, store=store, execution=execution)
 
 
 # -------------------------------------------------------------- phase studies

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
@@ -428,23 +429,41 @@ def resolve_scenarios(scenarios: Sequence[Union[Scenario, str]],
     return resolved
 
 
+#: Local "argument not passed" sentinel (this module cannot import
+#: :mod:`repro.exec` -- the exec backends import *us*).
+_UNSET: Any = object()
+
+
+def _fold_cache_alias(store: Any, cache: Any) -> Any:
+    """Fold the deprecated ``cache=`` spelling into ``store=`` (warning)."""
+    if cache is not _UNSET:
+        warnings.warn("the cache= parameter is deprecated; use store=",
+                      DeprecationWarning, stacklevel=3)
+        if store is None or store is _UNSET:
+            store = cache
+    return store
+
+
 def run_scenario(scenario: Union[Scenario, str],
-                 cache: Any = None, **overrides) -> ScenarioResult:
+                 store: Any = None, cache: Any = _UNSET,
+                 **overrides) -> ScenarioResult:
     """Run one scenario (by object or registered name) end to end.
 
     Keyword overrides are applied with :func:`dataclasses.replace`, e.g.
     ``run_scenario("gals5", num_instructions=500)``.
 
-    ``cache`` memoizes the run in the persistent results store
+    ``store`` memoizes the run in the persistent results store
     (:mod:`repro.results`): pass ``True`` for the default store
     (``REPRO_CACHE_DIR``, else ``~/.cache/repro``), a path for a specific
     store root, or a :class:`~repro.results.ResultsStore`.  A cached result
     is bit-identical to a fresh one; the key covers every
     simulation-relevant scenario field plus the code fingerprint.
+    ``cache=`` is the deprecated alias of ``store=``.
     """
-    if cache is not None and cache is not False:
+    store = _fold_cache_alias(store, cache)
+    if store is not None and store is not False:
         from ..results import run_cached
-        return run_cached(scenario, store=cache, **overrides).outcome
+        return run_cached(scenario, store=store, **overrides).outcome
     (scenario,) = resolve_scenarios([scenario], overrides)
     topology = scenario.build_topology()
     config = scenario.build_config()
@@ -459,23 +478,31 @@ def run_scenario(scenario: Union[Scenario, str],
 
 def sweep_scenarios(scenarios: Sequence[Union[Scenario, str]],
                     jobs: Optional[int] = None,
-                    cache: Any = None,
+                    store: Any = None,
+                    execution: Any = None,
+                    cache: Any = _UNSET,
                     **overrides) -> List[ScenarioResult]:
     """Run many scenarios, fanned out over the experiment process pool.
 
     Results come back in submission order and match the serial path exactly
     (every scenario is self-contained and seed-deterministic).
 
-    With ``cache`` set (see :func:`run_scenario`), the sweep is *resumable*:
+    With ``store`` set (see :func:`run_scenario`), the sweep is *resumable*:
     scenarios already in the results store load from disk, only the missing
     ones fan out over the pool, and each freshly computed result is stored
     immediately -- a repeated sweep is served entirely from cache.
+    ``execution`` (an :class:`~repro.exec.ExecutionConfig` or a job-backend
+    name) routes the sweep through :func:`~repro.results.resume_sweep` on
+    the selected backend; ``cache=`` is the deprecated alias of ``store=``.
     """
-    if cache is not None and cache is not False:
+    store = _fold_cache_alias(store, cache)
+    if execution is not None or (store is not None and store is not False):
         from ..results import resume_sweep
+        keywords: dict = {"jobs": jobs, "execution": execution}
+        if store is not None:
+            keywords["store"] = store
         return [run.outcome
-                for run in resume_sweep(scenarios, store=cache, jobs=jobs,
-                                        **overrides)]
+                for run in resume_sweep(scenarios, **keywords, **overrides)]
     resolved = resolve_scenarios(scenarios, overrides)
     # Warm-start: materialise the sweep's workloads in the parent (shared
     # copy-on-write with fork-start workers, and a memo hit for the serial

@@ -1,0 +1,36 @@
+"""Pluggable sweep execution: job backends behind one unified API.
+
+This package decouples *what* a sweep runs (scenarios) from *how* it runs
+them.  :class:`~repro.exec.config.ExecutionConfig` is the single spelling of
+the execution knobs (backend, jobs, store, warm-start) threaded through
+every sweep entry point; :class:`~repro.exec.backends.JobBackend` is the
+fabric protocol with three implementations -- ``serial`` (in-process),
+``local`` (the warm-started process pool, the default) and ``subprocess``
+(worker processes coordinating through queue + claim files in a shared
+results store, the multi-host shape; see :mod:`repro.exec.worker`).  The
+``repro serve`` results service (:mod:`repro.serve`) drains its miss queue
+through the same protocol.
+"""
+
+from .backends import (JOB_BACKENDS, JobBackend, JobBackendInfo, JobHandle,
+                       LocalPoolBackend, SerialBackend, SubprocessBackend,
+                       available_job_backends, make_job_backend,
+                       register_job_backend, timed_run_scenario)
+from .config import UNSET, ExecutionConfig, resolve_execution
+
+__all__ = [
+    "ExecutionConfig",
+    "JOB_BACKENDS",
+    "JobBackend",
+    "JobBackendInfo",
+    "JobHandle",
+    "LocalPoolBackend",
+    "SerialBackend",
+    "SubprocessBackend",
+    "UNSET",
+    "available_job_backends",
+    "make_job_backend",
+    "register_job_backend",
+    "resolve_execution",
+    "timed_run_scenario",
+]

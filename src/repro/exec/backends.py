@@ -1,0 +1,444 @@
+"""Pluggable job backends: the execution fabric behind scenario sweeps.
+
+A :class:`JobBackend` turns a list of missing scenarios into completed
+:class:`JobHandle` objects; :func:`~repro.results.runner.resume_sweep` (and
+everything layered on it, up to the ``repro serve`` results service) only
+talks to this protocol, so the execution fabric is swappable per call:
+
+* ``serial`` -- one scenario at a time, in-process (no pool, no forking;
+  deterministic and debugger-friendly);
+* ``local`` -- the warm-started :class:`~concurrent.futures.ProcessPoolExecutor`
+  fan-out (bit-identical to the pre-backend sweep path, and the default);
+* ``subprocess`` -- N independent worker *processes* coordinating purely
+  through a shared results store (queue files + atomic claim files under the
+  store root), the multi-host-shaped fabric: point several machines at one
+  ``REPRO_CACHE_DIR`` on shared storage and they divide the queue between
+  them.
+
+Backends register by name in :data:`JOB_BACKENDS` (shown by ``repro list
+backends`` next to the kernel backends) so new fabrics -- a cluster
+scheduler, an rsh/ssh fan-out in the style of instrumentation-infra's
+``prun`` -- plug in without touching the sweep code.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
+
+from ..core.controllers import CONTROLLERS
+from ..core.domains import TOPOLOGIES
+from ..core.dvfs import POLICIES
+from ..core.scenario import (Scenario, ScenarioResult, WorkloadSpec,
+                             default_jobs, run_scenario, warm_worker)
+from ..workloads.registry import WORKLOADS
+from .config import ExecutionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - the import-time dependency must stay
+    from ..results.store import ResultsStore  # one-way: results -> exec
+
+
+def timed_run_scenario(scenario: Scenario) -> Tuple[ScenarioResult, float]:
+    """Top-level (picklable) run returning (outcome, wall seconds)."""
+    start = time.perf_counter()
+    outcome = run_scenario(scenario)
+    return outcome, time.perf_counter() - start
+
+
+# ------------------------------------------------------------------- handles
+@dataclass
+class JobHandle:
+    """One submitted scenario's lifecycle under a job backend.
+
+    ``index`` is the scenario's position in the ``submit()`` call;
+    ``stored_key`` is set when the backend itself already persisted the
+    result (the ``subprocess`` workers publish straight into the shared
+    store), telling the caller not to ``put()`` a second time.
+    """
+
+    index: int
+    scenario: Scenario
+    done: bool = False
+    outcome: Optional[ScenarioResult] = None
+    seconds: float = 0.0
+    stored_key: Optional[str] = None
+
+    def complete(self, outcome: ScenarioResult, seconds: float,
+                 stored_key: Optional[str] = None) -> "JobHandle":
+        """Mark this handle finished with its outcome; returns itself."""
+        self.outcome = outcome
+        self.seconds = seconds
+        self.stored_key = stored_key
+        self.done = True
+        return self
+
+
+class JobBackend:
+    """Protocol of a sweep execution fabric (duck-typed base class).
+
+    The contract: ``warm(specs)`` may pre-build workloads, ``submit(
+    scenarios)`` returns one :class:`JobHandle` per scenario, repeated
+    ``poll()`` calls each return at least one newly completed handle while
+    any job is pending (blocking as needed) and ``[]`` once none are, and
+    ``cancel()`` abandons outstanding work and releases resources (always
+    called, including after errors).  Scenario execution funnels through
+    :func:`~repro.core.scenario.run_scenario`, so every backend produces
+    bit-identical results for the same scenario.
+    """
+
+    #: registry name (overridden per implementation)
+    name = "abstract"
+
+    def warm(self, specs: Sequence[WorkloadSpec]) -> None:
+        """Pre-build the sweep's workloads (default: in this process)."""
+        warm_worker(specs)
+
+    def submit(self, scenarios: Sequence[Scenario]) -> List[JobHandle]:
+        """Queue the scenarios; returns their handles in submission order."""
+        raise NotImplementedError
+
+    def poll(self) -> List[JobHandle]:
+        """Newly completed handles; ``[]`` only when nothing is pending."""
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Abandon outstanding jobs and release backend resources."""
+
+
+# ------------------------------------------------------------- serial backend
+class SerialBackend(JobBackend):
+    """Run scenarios one at a time in the calling process.
+
+    No pool, no forking: the backend for restricted sandboxes, debugging
+    (breakpoints work) and the results service's low-footprint drain mode.
+    """
+
+    name = "serial"
+
+    def __init__(self, config: ExecutionConfig,
+                 store: Optional[ResultsStore] = None) -> None:
+        self.config = config
+        self.store = store
+        self._queue: List[JobHandle] = []
+
+    def submit(self, scenarios: Sequence[Scenario]) -> List[JobHandle]:
+        """Queue the scenarios for one-at-a-time execution."""
+        handles = [JobHandle(index, scenario)
+                   for index, scenario in enumerate(scenarios)]
+        self._queue = list(handles)
+        return handles
+
+    def poll(self) -> List[JobHandle]:
+        """Run the next queued scenario and return its completed handle."""
+        if not self._queue:
+            return []
+        handle = self._queue.pop(0)
+        return [handle.complete(*timed_run_scenario(handle.scenario))]
+
+    def cancel(self) -> None:
+        """Drop every queued (not yet started) scenario."""
+        self._queue.clear()
+
+
+# --------------------------------------------------------- local pool backend
+class LocalPoolBackend(JobBackend):
+    """Warm-started ``ProcessPoolExecutor`` fan-out (the default backend).
+
+    Behaviour matches the pre-backend sweep path bit for bit: one worker per
+    job up to ``jobs``/``REPRO_JOBS``/CPU count, workers warm-started via the
+    pool initializer, and graceful degradation to in-process execution when
+    the pool infrastructure is unavailable (sandboxes without fork/sem
+    support) or dies mid-sweep.  Real worker exceptions -- a scenario that
+    raises -- propagate unchanged; only *pool-infrastructure* failures and
+    spawn-worker registry misses divert jobs to the in-process fallback.
+    """
+
+    name = "local"
+
+    def __init__(self, config: ExecutionConfig,
+                 store: Optional[ResultsStore] = None) -> None:
+        self.config = config
+        self.store = store
+        self._handles: List[JobHandle] = []
+        self._futures: Dict[object, JobHandle] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._serial: List[JobHandle] = []
+        self._specs: Tuple[WorkloadSpec, ...] = ()
+
+    def warm(self, specs: Sequence[WorkloadSpec]) -> None:
+        """Warm the parent's workload memo and remember the specs for workers."""
+        self._specs = tuple(specs)
+        warm_worker(self._specs)
+
+    def submit(self, scenarios: Sequence[Scenario]) -> List[JobHandle]:
+        """Fan the scenarios out over the pool (or queue them in-process)."""
+        self._handles = [JobHandle(index, scenario)
+                         for index, scenario in enumerate(scenarios)]
+        jobs = (self.config.jobs if self.config.jobs is not None
+                else default_jobs())
+        workers = min(max(1, jobs), len(self._handles))
+        if workers > 1:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=workers, initializer=warm_worker,
+                    initargs=(self._specs,))
+                self._futures = {
+                    self._executor.submit(timed_run_scenario, handle.scenario):
+                    handle for handle in self._handles}
+            except (OSError, PermissionError):
+                # Pool infrastructure failure (sandboxes without fork/sem
+                # support): the parent can still run everything itself.
+                self._teardown_pool()
+        if self._executor is None:
+            self._serial = list(self._handles)
+        return list(self._handles)
+
+    def poll(self) -> List[JobHandle]:
+        """Wait for pool completions (or run one in-process fallback job)."""
+        completed: List[JobHandle] = []
+        if self._futures:
+            done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                handle = self._futures.pop(future)
+                try:
+                    outcome, seconds = future.result()
+                except (OSError, PermissionError, BrokenProcessPool):
+                    # The pool died mid-sweep: divert this job and every
+                    # still-queued one to the in-process fallback.
+                    self._serial.append(handle)
+                    self._serial.extend(self._futures.values())
+                    self._serial.sort(key=lambda pending: pending.index)
+                    self._futures.clear()
+                    self._teardown_pool()
+                    break
+                except KeyError:
+                    # A spawn/forkserver worker re-imported the package with
+                    # fresh registries and could not resolve a name that was
+                    # registered at runtime in the parent.  Only that exact
+                    # shape is retried in-process; a KeyError the parent
+                    # cannot explain either is a real bug and surfaces.
+                    if not _parent_can_resolve(handle.scenario):
+                        raise
+                    self._serial.append(handle)
+                    continue
+                completed.append(handle.complete(outcome, seconds))
+            if completed:
+                return completed
+        if self._serial:
+            handle = self._serial.pop(0)
+            return [handle.complete(*timed_run_scenario(handle.scenario))]
+        return completed
+
+    def cancel(self) -> None:
+        """Cancel queued pool futures and shut the executor down."""
+        for future in self._futures:
+            future.cancel()
+        self._futures.clear()
+        self._serial.clear()
+        self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+
+def _parent_can_resolve(scenario: Scenario) -> bool:
+    """True when every registry name the scenario uses resolves here.
+
+    Distinguishes a worker-side registry miss (runtime registration the
+    worker's re-imported registries lack -- retry in the parent) from a
+    genuinely unknown name or a simulation-bug ``KeyError`` (surface it).
+    """
+    return (scenario.topology in TOPOLOGIES
+            and scenario.workload in WORKLOADS
+            and (scenario.policy is None or scenario.policy in POLICIES)
+            and (scenario.controller is None
+                 or scenario.controller in CONTROLLERS))
+
+
+# --------------------------------------------------------- subprocess backend
+class SubprocessBackend(JobBackend):
+    """N worker processes coordinating through the shared results store.
+
+    The multi-host-shaped fabric: ``submit()`` writes one queue file per
+    scenario under ``<store root>/queue/``, spawns ``jobs`` detached
+    ``python -m repro.exec.worker`` processes against the same store root,
+    and ``poll()`` watches the store for published results -- the
+    instrumentation-infra ``prun`` loop (queue jobs, poll completion,
+    aggregate).  Workers claim jobs via atomic claim files
+    (:meth:`~repro.results.store.ResultsStore.try_claim`), publish with the
+    store's atomic ``put()`` and exit when the queue runs dry.  Because the
+    only coordination substrate is the store directory, workers started by
+    hand on *other hosts* against a shared filesystem participate in exactly
+    the same way.  Jobs the workers cannot finish (crashes, registry names
+    only the parent knows) fall back to in-process execution once every
+    worker has exited, so the sweep still completes -- or surfaces the real
+    exception with full context.
+    """
+
+    name = "subprocess"
+
+    def __init__(self, config: ExecutionConfig,
+                 store: Optional[ResultsStore]) -> None:
+        if store is None:
+            raise ValueError(
+                "the 'subprocess' job backend requires a results store: its "
+                "queue and claim files live under the store root (pass "
+                "store=/--cache, or use the 'local' backend)")
+        self.config = config
+        self.store = store
+        self._handles: List[JobHandle] = []
+        self._pending: List[JobHandle] = []
+        self._workers: List[subprocess.Popen] = []
+
+    def submit(self, scenarios: Sequence[Scenario]) -> List[JobHandle]:
+        """Enqueue job files in the store and spawn the worker processes."""
+        from .worker import enqueue_job
+        self._handles = [JobHandle(index, scenario)
+                         for index, scenario in enumerate(scenarios)]
+        for handle in self._handles:
+            enqueue_job(self.store, handle.scenario)
+        self._pending = list(self._handles)
+        jobs = (self.config.jobs if self.config.jobs is not None
+                else default_jobs())
+        workers = min(max(1, jobs), len(self._handles))
+        command = [sys.executable, "-m", "repro.exec.worker",
+                   "--store", str(self.store.root), "--exit-when-idle",
+                   "--poll-interval", str(self.config.poll_interval)]
+        for _ in range(workers):
+            try:
+                self._workers.append(subprocess.Popen(
+                    command, env=_worker_environment(),
+                    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+            except OSError:
+                # cannot spawn (restricted environment): the in-process
+                # fallback in poll() still completes the sweep
+                break
+        return list(self._handles)
+
+    def poll(self) -> List[JobHandle]:
+        """Collect results the workers published into the shared store."""
+        if not self._pending:
+            return []
+        completed: List[JobHandle] = []
+        for handle in list(self._pending):
+            hit = self.store.get_with_seconds(handle.scenario)
+            if hit is not None:
+                outcome, seconds = hit
+                completed.append(handle.complete(
+                    outcome, seconds,
+                    stored_key=self.store.key_for(handle.scenario)))
+                self._pending.remove(handle)
+        if completed:
+            return completed
+        if not any(worker.poll() is None for worker in self._workers):
+            # Every worker has exited yet jobs remain (a worker crashed, or
+            # a scenario references registry names only this process knows):
+            # finish in-process so the sweep completes or the real exception
+            # surfaces with full context.
+            handle = self._pending.pop(0)
+            self._dequeue(handle.scenario)
+            return [handle.complete(*timed_run_scenario(handle.scenario))]
+        time.sleep(self.config.poll_interval)
+        return []
+
+    def cancel(self) -> None:
+        """Terminate the workers and withdraw unclaimed queue files."""
+        for worker in self._workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in self._workers:
+            try:
+                worker.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                worker.kill()
+        self._workers.clear()
+        for handle in self._pending:
+            self._dequeue(handle.scenario)
+        self._pending.clear()
+
+    def _dequeue(self, scenario: Scenario) -> None:
+        from .worker import withdraw_job
+        withdraw_job(self.store, self.store.key_for(scenario))
+
+
+def _worker_environment() -> Dict[str, str]:
+    """Environment for worker processes: parent env + importable ``repro``.
+
+    Prepending the installed package's parent directory to ``PYTHONPATH``
+    keeps workers importable both for ``pip install -e .`` checkouts and
+    for ``PYTHONPATH=src`` source runs.
+    """
+    environment = dict(os.environ)
+    package_parent = str(Path(__file__).resolve().parent.parent.parent)
+    existing = environment.get("PYTHONPATH", "")
+    if package_parent not in existing.split(os.pathsep):
+        environment["PYTHONPATH"] = (
+            package_parent + (os.pathsep + existing if existing else ""))
+    return environment
+
+
+# ------------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class JobBackendInfo:
+    """Registry entry: backend name, factory and one-line description."""
+
+    name: str
+    factory: Callable[[ExecutionConfig, Optional[ResultsStore]], JobBackend]
+    description: str
+
+
+JOB_BACKENDS: Dict[str, JobBackendInfo] = {}
+
+
+def register_job_backend(name: str,
+                         factory: Callable[..., JobBackend],
+                         description: str = "") -> None:
+    """Register a job backend factory under ``name``.
+
+    The factory is called as ``factory(config, store)`` with the resolved
+    :class:`ExecutionConfig` and the sweep's results store (or ``None``).
+    """
+    if name in JOB_BACKENDS:
+        raise ValueError(f"job backend {name!r} already registered")
+    JOB_BACKENDS[name] = JobBackendInfo(name=name, factory=factory,
+                                        description=description)
+
+
+def available_job_backends() -> Tuple[str, ...]:
+    """Registered job backend names, in registration order."""
+    return tuple(JOB_BACKENDS)
+
+
+def make_job_backend(execution: Union[ExecutionConfig, str],
+                     store: Optional[ResultsStore] = None) -> JobBackend:
+    """Instantiate the job backend an execution config (or name) selects."""
+    if isinstance(execution, str):
+        execution = ExecutionConfig(backend=execution)
+    try:
+        info = JOB_BACKENDS[execution.backend]
+    except KeyError as exc:
+        raise KeyError(f"unknown job backend {execution.backend!r}; known: "
+                       f"{', '.join(sorted(JOB_BACKENDS))}") from exc
+    return info.factory(execution, store)
+
+
+register_job_backend(
+    "serial", SerialBackend,
+    "one scenario at a time, in-process (no pool; sandbox/debug-friendly)")
+register_job_backend(
+    "local", LocalPoolBackend,
+    "warm-started ProcessPoolExecutor fan-out on this machine (default)")
+register_job_backend(
+    "subprocess", SubprocessBackend,
+    "worker processes coordinating via queue+claim files in the shared "
+    "results store (multi-host-shaped; requires a store)")

@@ -1,0 +1,193 @@
+"""Store-coordinated sweep worker: ``python -m repro.exec.worker``.
+
+One worker process drains the job queue of a results store: it scans
+``<store root>/queue/`` for job files (one canonical scenario JSON each,
+written by :class:`~repro.exec.backends.SubprocessBackend` or by hand),
+claims individual jobs via the store's atomic claim files, runs the claimed
+scenario through the single :func:`~repro.core.scenario.run_scenario` path
+and publishes the result with the store's atomic ``put()``.  Because the
+*only* coordination substrate is the store directory, any number of workers
+-- on this machine or on other hosts sharing the filesystem -- can drain the
+same queue without double-computing or torn writes.
+
+A job that raises is recorded as a ``<key>.err`` marker (with the
+traceback) instead of looping forever; the submitting parent falls back to
+computing such jobs in-process, which re-raises the real exception with
+full context.
+
+Usage::
+
+    python -m repro.exec.worker --store /path/to/store [--exit-when-idle]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+import traceback
+from pathlib import Path
+from typing import List, Optional
+
+from ..core.scenario import Scenario
+from ..results.store import ResultsStore
+
+#: Queue directory name under the store root.
+QUEUE_DIR = "queue"
+
+#: Consecutive empty queue scans before an ``--exit-when-idle`` worker exits.
+IDLE_SCANS = 3
+
+
+def queue_dir(store: ResultsStore) -> Path:
+    """The store's job-queue directory."""
+    return store.root / QUEUE_DIR
+
+
+def job_path(store: ResultsStore, key: str) -> Path:
+    """Queue-file path of one job (keyed like the result it will produce)."""
+    return queue_dir(store) / f"{key}.json"
+
+
+def error_path(store: ResultsStore, key: str) -> Path:
+    """Failure-marker path of one job (holds the worker's traceback)."""
+    return queue_dir(store) / f"{key}.err"
+
+
+def enqueue_job(store: ResultsStore, scenario: Scenario,
+                key: Optional[str] = None) -> str:
+    """Write one job file atomically (idempotent per key); returns the key."""
+    if key is None:
+        key = store.key_for(scenario)
+    path = job_path(store, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_suffix(f".tmp.{os.getpid()}")
+    temporary.write_text(json.dumps(
+        {"key": key, "scenario": scenario.to_dict()}, indent=1))
+    os.replace(temporary, path)
+    # a fresh submission supersedes any stale failure marker for the key
+    withdraw_error(store, key)
+    return key
+
+
+def withdraw_job(store: ResultsStore, key: str) -> None:
+    """Remove one job file (no-op when a worker already consumed it)."""
+    try:
+        job_path(store, key).unlink()
+    except FileNotFoundError:
+        pass
+
+
+def withdraw_error(store: ResultsStore, key: str) -> None:
+    """Remove one failure marker (no-op when absent)."""
+    try:
+        error_path(store, key).unlink()
+    except FileNotFoundError:
+        pass
+
+
+def pending_jobs(store: ResultsStore) -> List[Path]:
+    """Job files currently queued, oldest key first (stable across workers)."""
+    directory = queue_dir(store)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def _load_job(path: Path) -> Optional[Scenario]:
+    """Parse one job file; None when it is torn/foreign (skip it)."""
+    try:
+        payload = json.loads(path.read_text())
+        return Scenario.from_dict(payload["scenario"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def run_one(store: ResultsStore, owner: str = "") -> bool:
+    """Claim and run at most one queued job; True when one was processed.
+
+    Processing means: the job was claimed, computed (or found already
+    published) and its queue file removed -- or it failed and a ``.err``
+    marker was written.  False means nothing was claimable this scan (queue
+    empty, or every remaining job is claimed by another worker).
+    """
+    from .backends import timed_run_scenario
+    for path in pending_jobs(store):
+        key = path.stem
+        if store.entry_path(key).exists():
+            # someone already published this job's result
+            withdraw_job(store, key)
+            continue
+        if not store.try_claim(key, owner=owner):
+            continue
+        try:
+            if store.entry_path(key).exists():
+                # published between the scan and the claim
+                withdraw_job(store, key)
+                return True
+            scenario = _load_job(path)
+            if scenario is None:
+                withdraw_job(store, key)
+                return True
+            try:
+                outcome, seconds = timed_run_scenario(scenario)
+            except Exception:
+                error_path(store, key).write_text(traceback.format_exc())
+                withdraw_job(store, key)
+                return True
+            store.put(outcome, wall_seconds=seconds)
+            withdraw_job(store, key)
+            return True
+        finally:
+            store.release_claim(key)
+    return False
+
+
+def drain(store: ResultsStore, poll_interval: float = 0.05,
+          exit_when_idle: bool = False, owner: str = "") -> int:
+    """Worker main loop; returns the number of jobs this worker processed.
+
+    With ``exit_when_idle`` the loop ends after :data:`IDLE_SCANS`
+    consecutive scans that found nothing claimable (the parent-driven
+    sweep shape); without it the worker serves the queue indefinitely (the
+    standing multi-host worker shape).
+    """
+    processed = 0
+    idle_scans = 0
+    while True:
+        if run_one(store, owner=owner):
+            processed += 1
+            idle_scans = 0
+            continue
+        idle_scans += 1
+        if exit_when_idle and idle_scans >= IDLE_SCANS:
+            return processed
+        time.sleep(poll_interval)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point of one worker process."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.worker",
+        description="Drain a results store's sweep-job queue (claim jobs "
+                    "via atomic claim files, publish results atomically).")
+    parser.add_argument("--store", required=True, metavar="PATH",
+                        help="results-store root shared with the submitter")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="sleep between empty queue scans (default 0.05)")
+    parser.add_argument("--exit-when-idle", action="store_true",
+                        help="exit after the queue stays empty for a few "
+                             "scans instead of serving forever")
+    args = parser.parse_args(argv)
+    store = ResultsStore(root=args.store)
+    owner = f"{os.uname().nodename}:{os.getpid()}" if hasattr(os, "uname") \
+        else str(os.getpid())
+    processed = drain(store, poll_interval=args.poll_interval,
+                      exit_when_idle=args.exit_when_idle, owner=owner)
+    return 0 if processed >= 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -7,8 +7,18 @@ bit-identically and any code or override change invalidates cleanly.  See
 :mod:`repro.results.store` for the store, :mod:`repro.results.fingerprint`
 for the invalidation scheme and :mod:`repro.results.runner` for resumable
 cache-aware sweeps.
+
+The stable public surface of the execution subsystem is re-exported here as
+well: :class:`~repro.exec.ExecutionConfig` (the unified execution knobs),
+the :class:`~repro.exec.JobBackend` protocol, and the job-backend registry
+(:func:`~repro.exec.register_job_backend` /
+:func:`~repro.exec.available_job_backends` /
+:func:`~repro.exec.make_job_backend`).
 """
 
+from ..exec import (JOB_BACKENDS, ExecutionConfig, JobBackend, JobBackendInfo,
+                    JobHandle, available_job_backends, make_job_backend,
+                    register_job_backend, resolve_execution)
 from .fingerprint import (SIMULATION_PACKAGES, code_fingerprint,
                           fingerprint_details, source_tree_digest)
 from .runner import (SweepRun, hit_rate, resume_sweep, run_cached,
@@ -20,16 +30,25 @@ from .store import (CACHE_DIR_ENV_VAR, CacheEntry, GcStats, ResultsStore,
 __all__ = [
     "CACHE_DIR_ENV_VAR",
     "CacheEntry",
+    "ExecutionConfig",
     "GcStats",
+    "JOB_BACKENDS",
+    "JobBackend",
+    "JobBackendInfo",
+    "JobHandle",
     "ResultsStore",
     "SIMULATION_PACKAGES",
     "SweepRun",
+    "available_job_backends",
     "cache_key",
     "canonical_scenario_dict",
     "code_fingerprint",
     "default_cache_dir",
     "fingerprint_details",
     "hit_rate",
+    "make_job_backend",
+    "register_job_backend",
+    "resolve_execution",
     "resolve_store",
     "resume_sweep",
     "run_cached",

@@ -2,23 +2,28 @@
 
 :func:`resume_sweep` is the sweep engine behind ``repro sweep --cache`` and
 ``repro report compare``: scenarios already in the store load from disk, only
-the missing ones fan out over the experiment process pool, and every freshly
-computed result is stored immediately -- so an interrupted sweep resumes
-where it stopped, and a repeated sweep is served entirely from cache.
+the missing ones fan out over a pluggable :class:`~repro.exec.JobBackend`
+(the warm-started local process pool by default; ``serial`` and the
+store-coordinated ``subprocess`` fabric are one
+:class:`~repro.exec.ExecutionConfig` away), and every freshly computed
+result is stored immediately -- so an interrupted sweep resumes where it
+stopped, and a repeated sweep is served entirely from cache.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
-from ..core.scenario import (Scenario, ScenarioResult, default_jobs,
-                             resolve_scenarios, run_scenario, warm_worker,
+from ..core.scenario import (Scenario, ScenarioResult, resolve_scenarios,
                              workload_specs)
+from ..exec import (ExecutionConfig, UNSET, make_job_backend,
+                    resolve_execution, timed_run_scenario)
 from .store import ResultsStore, resolve_store
+
+__all__ = ["SweepRun", "hit_rate", "resume_sweep", "run_cached",
+           "timed_run_scenario"]
 
 
 @dataclass
@@ -41,17 +46,29 @@ class SweepRun:
         return "cached" if self.cached else "computed"
 
 
-def timed_run_scenario(scenario: Scenario) -> Tuple[ScenarioResult, float]:
-    """Top-level (picklable) run returning (outcome, wall seconds)."""
-    start = time.perf_counter()
-    outcome = run_scenario(scenario)
-    return outcome, time.perf_counter() - start
+def _normalise_store(store: Any, cache: Any) -> Any:
+    """Fold the deprecated ``cache=`` spelling into ``store=`` (warning)."""
+    if cache is not UNSET:
+        warnings.warn("the cache= parameter is deprecated; use store=",
+                      DeprecationWarning, stacklevel=3)
+        if store is UNSET:
+            store = cache
+    return store
 
 
 def run_cached(scenario: Union[Scenario, str],
-               store: Union[bool, str, ResultsStore, None] = True,
+               store: Union[bool, str, ResultsStore, None] = UNSET,
+               cache: Any = UNSET,
                **overrides) -> SweepRun:
-    """Run one scenario through the store (compute-and-store on a miss)."""
+    """Run one scenario through the store (compute-and-store on a miss).
+
+    ``store`` accepts everything :func:`~repro.results.store.resolve_store`
+    does and defaults to the default store; ``cache=`` is the deprecated
+    alias.
+    """
+    store = _normalise_store(store, cache)
+    if store is UNSET:
+        store = True
     (scenario,) = resolve_scenarios([scenario], overrides)
     resolved_store = resolve_store(store)
     if resolved_store is not None:
@@ -68,19 +85,28 @@ def run_cached(scenario: Union[Scenario, str],
 
 
 def resume_sweep(scenarios: Sequence[Union[Scenario, str]],
-                 store: Union[bool, str, ResultsStore, None] = True,
+                 store: Union[bool, str, ResultsStore, None] = UNSET,
                  jobs: Optional[int] = None,
+                 execution: Union[ExecutionConfig, str, None] = None,
+                 cache: Any = UNSET,
                  **overrides) -> List[SweepRun]:
     """Sweep many scenarios, loading hits from the store, computing misses.
 
     Results come back in submission order either way, and computed slots are
-    bit-identical to a plain uncached :func:`sweep_scenarios` (both funnel
-    through :func:`run_scenario`).  With ``store=None`` every slot is
-    computed -- the per-scenario timing/status bookkeeping still applies,
+    bit-identical to a plain uncached :func:`sweep_scenarios` (every backend
+    funnels through :func:`run_scenario`).  With ``store=None`` every slot
+    is computed -- the per-scenario timing/status bookkeeping still applies,
     which is what the CLI prints for uncached sweeps.
+
+    ``execution`` selects the job backend (an :class:`ExecutionConfig` or a
+    bare backend name: ``"serial"``, ``"local"``, ``"subprocess"``);
+    explicit ``store=``/``jobs=`` keywords override the corresponding
+    config fields.  ``cache=`` is the deprecated alias of ``store=``.
     """
     resolved = resolve_scenarios(scenarios, overrides)
-    resolved_store = resolve_store(store)
+    config = resolve_execution(execution, store=store, jobs=jobs, cache=cache,
+                               default_store=True)
+    resolved_store = config.resolve_store()
 
     slots: List[Optional[SweepRun]] = [None] * len(resolved)
     missing: List[Tuple[int, Scenario]] = []
@@ -96,7 +122,7 @@ def resume_sweep(scenarios: Sequence[Union[Scenario, str]],
         missing.append((index, scenario))
 
     if missing:
-        _compute_and_store(missing, slots, resolved_store, jobs)
+        _compute_and_store(missing, slots, resolved_store, config)
 
     return [slot for slot in slots if slot is not None]
 
@@ -104,49 +130,39 @@ def resume_sweep(scenarios: Sequence[Union[Scenario, str]],
 def _compute_and_store(missing: Sequence[Tuple[int, Scenario]],
                        slots: List[Optional[SweepRun]],
                        store: Optional[ResultsStore],
-                       jobs: Optional[int]) -> None:
+                       execution: ExecutionConfig) -> None:
     """Compute the missing slots, persisting each result *as it completes*.
 
-    Storing per-completion (not after the whole pool drains) is what makes
-    an interrupted sweep resumable: killing the process loses at most the
-    runs still in flight, and the re-run picks up every finished one from
-    the store.
+    Storing per-completion (not after the whole backend drains) is what
+    makes an interrupted sweep resumable: killing the process loses at most
+    the runs still in flight, and the re-run picks up every finished one
+    from the store.  Exceptions raised by a scenario itself propagate
+    unchanged (the backend contract); only pool-infrastructure failures and
+    worker-side registry misses are retried in-process by the backends.
     """
-    def record(index: int, outcome: ScenarioResult, seconds: float) -> None:
-        key = ""
-        if store is not None:
-            key = store.put(outcome, wall_seconds=seconds)
-        slots[index] = SweepRun(outcome=outcome, cached=False, key=key,
-                                seconds=seconds)
-
-    workers = jobs if jobs is not None else default_jobs()
-    workers = min(max(1, workers), len(missing))
-    # Warm-start: build the missing scenarios' workloads once in the parent
-    # (copy-on-write shared with fork-start workers, memo hits for the
-    # serial fallback below) and re-run the same warm pass in each worker's
-    # initializer for the spawn/forkserver start methods.
-    specs = workload_specs([scenario for _, scenario in missing])
-    warm_worker(specs)
-    if workers > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=workers,
-                                     initializer=warm_worker,
-                                     initargs=(specs,)) as executor:
-                futures = {executor.submit(timed_run_scenario, scenario): index
-                           for index, scenario in missing}
-                for future in as_completed(futures):
-                    outcome, seconds = future.result()
-                    record(futures[future], outcome, seconds)
-        except (OSError, PermissionError, BrokenProcessPool, KeyError):
-            # Pool infrastructure failure (sandboxes without fork/sem
-            # support), or a KeyError from a spawn/forkserver worker whose
-            # re-imported registries lack a name registered at runtime: the
-            # parent can still run these, so fall through to the serial
-            # loop for whatever is not recorded yet (see sweep_scenarios).
-            pass
-    for index, scenario in missing:
-        if slots[index] is None:
-            record(index, *timed_run_scenario(scenario))
+    backend = make_job_backend(execution, store)
+    scenarios = [scenario for _, scenario in missing]
+    try:
+        if execution.warm_start:
+            backend.warm(workload_specs(scenarios))
+        handles = backend.submit(scenarios)
+        remaining = len(handles)
+        while remaining:
+            completed = backend.poll()
+            if not completed and not any(
+                    not handle.done for handle in handles):
+                break  # defensive: backend reports nothing left pending
+            for handle in completed:
+                index = missing[handle.index][0]
+                key = handle.stored_key or ""
+                if store is not None and handle.stored_key is None:
+                    key = store.put(handle.outcome,
+                                    wall_seconds=handle.seconds)
+                slots[index] = SweepRun(outcome=handle.outcome, cached=False,
+                                        key=key, seconds=handle.seconds)
+                remaining -= 1
+    finally:
+        backend.cancel()
 
 
 def hit_rate(runs: Sequence[SweepRun]) -> float:

@@ -24,9 +24,12 @@ defaults to ``~/.cache/repro``.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -46,6 +49,10 @@ STORE_FORMAT = 1
 
 #: Scenario fields that do not influence the simulation.
 _METADATA_FIELDS = ("name", "description")
+
+#: Process-wide serial for temp-file names, so concurrent same-key writers
+#: (threads share a pid, and a thread id can be recycled) never collide.
+_temp_serial = itertools.count()
 
 
 def default_cache_dir() -> Path:
@@ -211,13 +218,61 @@ class ResultsStore:
             "scenario": scenario.to_dict(),
             "result": _result_to_dict(outcome.result),
         }
-        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        # the temp name must be unique per *writer*, not just per process:
+        # two service threads racing put() on one key would otherwise share
+        # a temp path and one os.replace would consume the other's file
+        temporary = path.with_suffix(".tmp.%d.%d.%d" % (
+            os.getpid(), threading.get_ident(), next(_temp_serial)))
         # not sort_keys: JSON objects keep insertion order, so dict-valued
         # result fields (domain_cycles, ...) reload in their original order
         # and a cached run is indistinguishable from a fresh one
         temporary.write_text(json.dumps(payload, indent=1))
         os.replace(temporary, path)
         return key
+
+    # ------------------------------------------------------------------ claims
+    @property
+    def claims_dir(self) -> Path:
+        """Directory holding per-entry claim files (worker coordination)."""
+        return self.root / "claims"
+
+    def claim_path(self, key: str) -> Path:
+        """On-disk path of one key's claim file."""
+        return self.claims_dir / f"{key}.claim"
+
+    def try_claim(self, key: str, owner: str = "") -> bool:
+        """Atomically claim ``key`` for computation; False if already claimed.
+
+        The claim is a file created with ``O_CREAT | O_EXCL`` -- the
+        filesystem guarantees exactly one concurrent claimer wins, which is
+        what lets several worker processes share one store root (the
+        ``subprocess`` job backend's coordination substrate) without
+        computing the same scenario twice.  Claims are advisory: :meth:`put`
+        itself stays safe under unclaimed concurrent writers (atomic
+        ``os.replace``, last writer wins with identical bytes).
+        """
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            descriptor = os.open(self.claim_path(key),
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump({"pid": os.getpid(), "owner": owner,
+                       "created": time.strftime("%Y-%m-%dT%H:%M:%S")},
+                      handle)
+        return True
+
+    def release_claim(self, key: str) -> None:
+        """Drop ``key``'s claim file (no-op when absent)."""
+        try:
+            self.claim_path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def claimed(self, key: str) -> bool:
+        """True while some worker holds a claim on ``key``."""
+        return self.claim_path(key).exists()
 
     # -------------------------------------------------------------- inventory
     def _entry_files(self) -> Iterator[Path]:
@@ -279,18 +334,27 @@ class ResultsStore:
                 f"fingerprint={self.fingerprint!r})")
 
 
-def resolve_store(cache: Union[bool, str, Path, ResultsStore, None]
-                  ) -> Optional[ResultsStore]:
-    """Normalise a ``cache=`` argument into a store (or None when disabled).
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET: Any = object()
+
+
+def resolve_store(store: Union[bool, str, Path, ResultsStore, None] = None,
+                  cache: Any = _UNSET) -> Optional[ResultsStore]:
+    """Normalise a ``store=`` argument into a store (or None when disabled).
 
     ``True`` means the default store, a string/path names a store root, an
     existing :class:`ResultsStore` passes through, ``None``/``False`` disable
-    caching.
+    caching.  ``cache=`` is the deprecated spelling of the same argument and
+    raises a :class:`DeprecationWarning`.
     """
-    if cache is None or cache is False:
+    if cache is not _UNSET:
+        warnings.warn("resolve_store(cache=...) is deprecated; pass store=",
+                      DeprecationWarning, stacklevel=2)
+        store = cache
+    if store is None or store is False:
         return None
-    if cache is True:
+    if store is True:
         return ResultsStore()
-    if isinstance(cache, ResultsStore):
-        return cache
-    return ResultsStore(root=cache)
+    if isinstance(store, ResultsStore):
+        return store
+    return ResultsStore(root=store)

@@ -1,0 +1,123 @@
+"""Stdlib client for the ``repro serve`` JSON API (used by ``repro query``).
+
+The client speaks the three endpoints of
+:class:`~repro.serve.service.ResultsService` over :mod:`urllib` -- no
+third-party HTTP stack.  :func:`query_scenario` sends the *full canonical
+scenario JSON* (not just a name), so the key the service computes is
+identical to the key a local ``repro run --cache`` would use, and a hit's
+body is byte-identical to ``repro run --json``.  With ``wait`` set it polls
+*202 Accepted* replies until the queued computation lands (or the deadline
+passes), mirroring a prun-style submit-and-poll loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.error import HTTPError
+from urllib.parse import urlencode
+from urllib.request import urlopen
+
+from ..core.scenario import Scenario
+
+__all__ = ["QueryReply", "query_compare", "query_health", "query_scenario",
+           "request_json", "scenario_query_url"]
+
+
+@dataclass
+class QueryReply:
+    """One service response: HTTP code, raw body, parsed body, headers."""
+
+    code: int
+    body: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def payload(self) -> Any:
+        """The body parsed as JSON (None when it is not JSON)."""
+        try:
+            return json.loads(self.body)
+        except ValueError:
+            return None
+
+    @property
+    def status(self) -> str:
+        """Service-level status: the X-Repro-Status header when present,
+        else the payload's ``status`` field, else ``hit``/``error`` by code.
+        """
+        if "X-Repro-Status" in self.headers:
+            return self.headers["X-Repro-Status"]
+        payload = self.payload
+        if isinstance(payload, dict) and "status" in payload:
+            return str(payload["status"])
+        return "hit" if self.code == 200 else "error"
+
+    @property
+    def key(self) -> str:
+        """The result's cache key (header first, payload fallback)."""
+        if "X-Repro-Key" in self.headers:
+            return self.headers["X-Repro-Key"]
+        payload = self.payload
+        if isinstance(payload, dict):
+            return str(payload.get("key", ""))
+        return ""
+
+
+def request_json(url: str, timeout: float = 30.0) -> QueryReply:
+    """GET one URL, returning the reply whatever the HTTP status code is."""
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return QueryReply(code=response.status,
+                              body=response.read().decode("utf-8"),
+                              headers=dict(response.headers))
+    except HTTPError as error:
+        # 4xx/5xx carry a JSON error body too -- surface it, don't raise
+        return QueryReply(code=error.code,
+                          body=error.read().decode("utf-8"),
+                          headers=dict(error.headers))
+
+
+def scenario_query_url(base_url: str, scenario: Scenario) -> str:
+    """The /scenario URL carrying one scenario's full canonical JSON."""
+    query = urlencode({"scenario": scenario.to_json(indent=None)})
+    return f"{base_url.rstrip('/')}/scenario?{query}"
+
+
+def query_health(base_url: str, timeout: float = 30.0) -> QueryReply:
+    """GET /health."""
+    return request_json(f"{base_url.rstrip('/')}/health", timeout=timeout)
+
+
+def query_scenario(base_url: str, scenario: Scenario,
+                   wait: float = 0.0, poll: float = 0.2,
+                   timeout: float = 30.0) -> QueryReply:
+    """Query one scenario, optionally polling a 202 until it is served.
+
+    Returns the final reply: 200 with the result JSON body on a hit (or
+    once the queued computation lands within ``wait`` seconds), the last
+    202 when the deadline passes first, or the 4xx/5xx error reply.
+    """
+    url = scenario_query_url(base_url, scenario)
+    deadline = time.monotonic() + wait
+    while True:
+        reply = request_json(url, timeout=timeout)
+        if reply.code != 202 or time.monotonic() >= deadline:
+            return reply
+        time.sleep(poll)
+
+
+def query_compare(base_url: str,
+                  params: Optional[Dict[str, Any]] = None,
+                  wait: float = 0.0, poll: float = 0.2,
+                  timeout: float = 30.0) -> QueryReply:
+    """GET /compare with the given query parameters (polling like above)."""
+    suffix = f"?{urlencode(params)}" if params else ""
+    url = f"{base_url.rstrip('/')}/compare{suffix}"
+    deadline = time.monotonic() + wait
+    while True:
+        reply = request_json(url, timeout=timeout)
+        if reply.code != 202 or time.monotonic() >= deadline:
+            return reply
+        time.sleep(poll)

@@ -1,0 +1,354 @@
+"""The ``repro serve`` HTTP results service.
+
+A :class:`ResultsService` wraps one results store and one
+:class:`~repro.exec.ExecutionConfig` behind a small JSON API:
+
+* ``GET /health`` -- service metadata (store root, code fingerprint,
+  backend, queue depth);
+* ``GET /scenario?name=...&field=value...`` (or ``?scenario=<json>``) --
+  one scenario result.  A stored result returns *200* with a body that is
+  byte-identical to ``repro run --json`` / ``ScenarioResult.to_json()``
+  (provenance rides in ``X-Repro-Status`` / ``X-Repro-Key`` headers, never
+  in the body); a miss returns *202 Accepted* and queues the scenario for
+  the background sweep thread, so a later repeat of the query is a hit.
+* ``GET /compare?...`` -- the design-space grid of
+  :func:`~repro.core.experiments.design_space_scenarios`, rendered as
+  records + table once every cell is stored (*202* with the miss count
+  until then).
+
+Misses are *batched*: the drain thread collects everything queued during
+one poll interval and runs it as a single
+:func:`~repro.results.resume_sweep` over the service's job backend, so a
+burst of cold queries warms the store with one warm-started sweep instead
+of one process pool per request.  A scenario whose computation raises is
+remembered as a failure and reported with *500* instead of being retried
+forever.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.experiments import design_space_scenarios
+from ..core.scenario import DEFAULT_INSTRUCTIONS, Scenario, get_scenario
+from ..exec import ExecutionConfig
+from ..results import resume_sweep, run_cached
+from ..results.store import ResultsStore, resolve_store
+
+__all__ = ["ResultsService"]
+
+#: Scenario fields the /scenario endpoint accepts as query parameters.
+SCENARIO_FIELDS = frozenset(Scenario.__dataclass_fields__)
+
+
+def _parse_query_value(text: str) -> Any:
+    """Parse one query value: JSON first, bare string as fallback."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _scenario_from_query(params: Dict[str, List[str]]) -> Scenario:
+    """Build the queried scenario from /scenario query parameters.
+
+    ``scenario=<full canonical JSON>`` wins (that is what ``repro query``
+    sends -- guaranteed key-identical to the client's local scenario);
+    otherwise ``name=<registered scenario>`` plus per-field overrides.
+    Raises ValueError/KeyError for malformed input (mapped to 400/404).
+    """
+    if "scenario" in params:
+        payload = json.loads(params["scenario"][0])
+        if not isinstance(payload, dict):
+            raise ValueError("scenario= must be a JSON object")
+        return Scenario.from_dict(payload)
+    if "name" not in params:
+        raise ValueError("missing query parameter: name= (a registered "
+                         "scenario) or scenario= (full scenario JSON)")
+    scenario = get_scenario(params["name"][0])
+    overrides = {}
+    for field, values in params.items():
+        if field == "name":
+            continue
+        if field not in SCENARIO_FIELDS:
+            raise ValueError(f"unknown scenario field: {field!r}")
+        overrides[field] = _parse_query_value(values[0])
+    return replace(scenario, **overrides) if overrides else scenario
+
+
+def _comma_list(params: Dict[str, List[str]], field: str,
+                default: Optional[List[Optional[str]]] = None
+                ) -> Optional[List[Optional[str]]]:
+    """A comma-separated /compare parameter ('none' entries become None)."""
+    if field not in params:
+        return default
+    return [None if item == "none" else item
+            for item in params[field][0].split(",") if item]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one :class:`ResultsService` (class attr)."""
+
+    service: "ResultsService"
+    # the service answers tiny JSON bodies; keep-alive just ties up threads
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logging through the service (quiet by default)."""
+        self.service.log(f"{self.address_string()} - {format % args}")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        """Dispatch GET /health, /scenario and /compare."""
+        split = urlsplit(self.path)
+        params = parse_qs(split.query)
+        try:
+            if split.path in ("/health", "/"):
+                self._reply_json(200, self.service.health())
+            elif split.path == "/scenario":
+                self._reply_scenario(params)
+            elif split.path == "/compare":
+                self._reply_compare(params)
+            else:
+                self._reply_json(404, {"error":
+                                       f"unknown endpoint: {split.path}"})
+        except KeyError as exc:
+            self._reply_json(404, {"error": str(exc.args[0])})
+        except (ValueError, TypeError) as exc:
+            self._reply_json(400, {"error": str(exc)})
+
+    def _reply_scenario(self, params: Dict[str, List[str]]) -> None:
+        scenario = _scenario_from_query(params)
+        status, key, body = self.service.lookup(scenario)
+        if status == "hit":
+            self._reply_raw(200, body, status, key)
+        elif status == "failed":
+            self._reply_json(500, {"status": "failed", "key": key,
+                                   "error": body}, status, key)
+        else:
+            self._reply_json(202, {"status": "pending", "key": key},
+                            status, key)
+
+    def _reply_compare(self, params: Dict[str, List[str]]) -> None:
+        payload = self.service.compare(
+            topologies=_comma_list(params, "topologies"),
+            workloads=_comma_list(params, "workloads", ["perl"]),
+            policies=_comma_list(params, "policies", [None]),
+            controllers=_comma_list(params, "controllers", [None]),
+            num_instructions=int(params.get(
+                "instructions", [str(DEFAULT_INSTRUCTIONS)])[0]),
+            seed=int(params.get("seed", ["1"])[0]))
+        self._reply_json(200 if payload["status"] == "complete" else 202,
+                         payload, payload["status"])
+
+    def _reply_raw(self, code: int, body: str, status: str = "",
+                   key: str = "") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if status:
+            self.send_header("X-Repro-Status", status)
+        if key:
+            self.send_header("X-Repro-Key", key)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_json(self, code: int, payload: Dict[str, Any],
+                    status: str = "", key: str = "") -> None:
+        self._reply_raw(code, json.dumps(payload, indent=1, sort_keys=True),
+                        status, key)
+
+
+class ResultsService:
+    """HTTP facade over one results store + one execution config.
+
+    ``store`` accepts everything :func:`~repro.results.store.resolve_store`
+    does (default: the default store); ``execution`` is an
+    :class:`~repro.exec.ExecutionConfig` or a job-backend name whose
+    ``store`` field is rebound to the service's store.  ``port=0`` binds an
+    ephemeral port (see :attr:`url` after :meth:`start`).
+    """
+
+    def __init__(self,
+                 store: Union[bool, str, ResultsStore, None] = True,
+                 execution: Union[ExecutionConfig, str, None] = None,
+                 host: str = "127.0.0.1",
+                 port: int = 8000,
+                 poll_interval: float = 0.25,
+                 verbose: bool = False) -> None:
+        resolved = resolve_store(store)
+        self.store = resolved if resolved is not None else ResultsStore()
+        if isinstance(execution, str):
+            execution = ExecutionConfig(backend=execution)
+        elif execution is None:
+            execution = ExecutionConfig()
+        self.execution = replace(execution, store=self.store)
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.verbose = verbose
+        self._pending: Dict[str, Scenario] = {}
+        self._failures: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "ResultsService":
+        """Bind the listening socket and start the server + drain threads."""
+        handler = type("BoundHandler", (_Handler,), {"service": self})
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self.port = self._server.server_address[1]
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(target=self._server.serve_forever,
+                             name="repro-serve-http", daemon=True),
+            threading.Thread(target=self._drain_loop,
+                             name="repro-serve-drain", daemon=True),
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the worker threads."""
+        self._stop.set()
+        self._wake.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads = []
+
+    def run_forever(self) -> None:
+        """Block until interrupted (the ``repro serve`` foreground shape)."""
+        if self._server is None:
+            self.start()
+        try:
+            while not self._stop.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running service."""
+        return f"http://{self.host}:{self.port}"
+
+    def log(self, message: str) -> None:
+        """Access/progress logging hook (stdout when ``verbose``)."""
+        if self.verbose:
+            print(f"[repro serve] {message}", flush=True)
+
+    # -------------------------------------------------------------- requests
+    def health(self) -> Dict[str, Any]:
+        """The /health payload."""
+        with self._lock:
+            pending = len(self._pending)
+            failed = len(self._failures)
+        return {
+            "status": "ok",
+            "store": str(self.store.root),
+            "fingerprint": self.store.fingerprint,
+            "backend": self.execution.backend,
+            "pending": pending,
+            "failed": failed,
+        }
+
+    def lookup(self, scenario: Scenario) -> Tuple[str, str, str]:
+        """Probe one scenario: ``(status, key, body)``.
+
+        ``status`` is ``"hit"`` (body = the stored result's canonical JSON),
+        ``"failed"`` (body = the recorded error) or ``"pending"`` (the
+        scenario was queued for the drain thread; body empty).
+        """
+        key = self.store.key_for(scenario)
+        hit = self.store.get_with_seconds(scenario)
+        if hit is not None:
+            return "hit", key, hit[0].to_json()
+        with self._lock:
+            if key in self._failures:
+                return "failed", key, self._failures.pop(key)
+            self._pending.setdefault(key, scenario)
+        self._wake.set()
+        return "pending", key, ""
+
+    def compare(self, **grid_fields: Any) -> Dict[str, Any]:
+        """Probe the design-space grid; records+table once fully stored."""
+        from ..analysis.report import design_space_records, design_space_table
+        grid = design_space_scenarios(**grid_fields)
+        outcomes = []
+        missing = 0
+        for scenario in grid:
+            hit = self.store.get_with_seconds(scenario)
+            if hit is None:
+                missing += 1
+                self.lookup(scenario)  # enqueue the miss
+            else:
+                outcomes.append(hit[0])
+        if missing:
+            return {"status": "pending", "missing": missing,
+                    "total": len(grid)}
+        return {
+            "status": "complete",
+            "total": len(grid),
+            "records": design_space_records(outcomes),
+            "table": design_space_table(outcomes),
+        }
+
+    # ----------------------------------------------------------- drain thread
+    def _drain_loop(self) -> None:
+        """Background loop: batch queued misses into one sweep per interval."""
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self.poll_interval)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            # everything queued while we slept becomes one batched sweep
+            with self._lock:
+                batch = dict(self._pending)
+            if not batch:
+                continue
+            self.drain_once(batch)
+
+    def drain_once(self, batch: Optional[Dict[str, Scenario]] = None) -> int:
+        """Compute one batch of queued misses; returns the batch size.
+
+        Exposed for tests and synchronous draining.  The happy path is a
+        single batched :func:`resume_sweep` on the configured backend; if
+        the sweep raises, each scenario is retried individually so one bad
+        scenario is recorded as a failure without poisoning the batch.
+        """
+        if batch is None:
+            with self._lock:
+                batch = dict(self._pending)
+        if not batch:
+            return 0
+        scenarios = list(batch.values())
+        self.log(f"computing {len(scenarios)} queued scenario(s) on the "
+                 f"{self.execution.backend!r} backend")
+        try:
+            resume_sweep(scenarios, execution=self.execution)
+        except Exception:
+            for key, scenario in batch.items():
+                try:
+                    run_cached(scenario, store=self.store)
+                except Exception as exc:
+                    with self._lock:
+                        self._failures[key] = (
+                            f"{type(exc).__name__}: {exc}")
+        with self._lock:
+            for key in batch:
+                self._pending.pop(key, None)
+        return len(batch)

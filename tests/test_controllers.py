@@ -279,9 +279,9 @@ def test_controller_results_round_trip_through_the_store(tmp_path):
     store = ResultsStore(root=tmp_path)
     fresh = run_scenario("gals5-perl-occupancy", num_instructions=SMALL)
     stored = run_scenario("gals5-perl-occupancy", num_instructions=SMALL,
-                          cache=store)
+                          store=store)
     loaded = run_scenario("gals5-perl-occupancy", num_instructions=SMALL,
-                          cache=store)
+                          store=store)
     assert store.hits == 1
     assert fresh.to_json() == stored.to_json() == loaded.to_json()
 

@@ -100,8 +100,8 @@ def test_store_misses_across_fingerprints(tmp_path, scenario):
 
 # ------------------------------------------------------------- bit-identity
 def test_cached_result_is_bit_identical_to_fresh(store, scenario):
-    fresh = run_scenario(scenario, cache=store)     # miss: compute + put
-    cached = run_scenario(scenario, cache=store)    # hit: load from disk
+    fresh = run_scenario(scenario, store=store)     # miss: compute + put
+    cached = run_scenario(scenario, store=store)    # hit: load from disk
     direct = run_scenario(scenario)                 # no cache involved
     assert store.hits == 1 and store.misses == 1
     assert cached.result == fresh.result == direct.result
@@ -137,13 +137,13 @@ def test_repeated_sweep_is_fully_cached_and_faster(store):
     """Acceptance: a warm 6-scenario sweep is all hits, >=5x faster, and
     bit-identical to the uncached pool path."""
     start = time.perf_counter()
-    cold = sweep_scenarios(SWEEP_SCENARIOS, jobs=1, cache=store,
+    cold = sweep_scenarios(SWEEP_SCENARIOS, jobs=1, store=store,
                            num_instructions=SMALL)
     cold_seconds = time.perf_counter() - start
 
     store.hits = store.misses = 0
     start = time.perf_counter()
-    warm = sweep_scenarios(SWEEP_SCENARIOS, jobs=1, cache=store,
+    warm = sweep_scenarios(SWEEP_SCENARIOS, jobs=1, store=store,
                            num_instructions=SMALL)
     warm_seconds = time.perf_counter() - start
 
@@ -188,10 +188,10 @@ def test_entries_gc_clear(tmp_path, scenario):
 
 
 def test_corrupt_entry_is_a_miss_and_recomputed(store, scenario):
-    run_scenario(scenario, cache=store)
+    run_scenario(scenario, store=store)
     path = store.entry_path(store.key_for(scenario))
     path.write_text("{not json")
-    outcome = run_scenario(scenario, cache=store)   # recomputes, rewrites
+    outcome = run_scenario(scenario, store=store)   # recomputes, rewrites
     assert outcome.result == run_scenario(scenario).result
     assert json.loads(path.read_text())["key"] == store.key_for(scenario)
 
@@ -259,3 +259,139 @@ def test_interrupted_sweep_persists_completed_runs(store):
     assert store.get(good) is not None
     runs = resume_sweep([good], store=store, jobs=1)
     assert runs[0].cached
+
+
+# --------------------------------------------------------- concurrent writers
+def test_racing_puts_on_same_key_produce_identical_bytes(tmp_path, scenario,
+                                                         monkeypatch):
+    """Two writers racing put() on one key: both succeed, bytes identical.
+
+    The entry timestamp is frozen so both writers serialize the exact same
+    payload -- the store's atomic temp-file + os.replace publish then means
+    the race can only ever swap identical files, never tear one.
+    """
+    import threading
+
+    monkeypatch.setattr(time, "strftime",
+                        lambda fmt, *args: "2026-01-01T00:00:00")
+    outcome = run_scenario(scenario)
+    writers = [ResultsStore(root=tmp_path / "cache") for _ in range(2)]
+    barrier = threading.Barrier(len(writers))
+    keys = []
+
+    def racer(writer):
+        barrier.wait()
+        for _ in range(20):
+            keys.append(writer.put(outcome, wall_seconds=1.5))
+
+    threads = [threading.Thread(target=racer, args=(writer,))
+               for writer in writers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(set(keys)) == 1
+    # the published entry is whole and serves the result bit-identically
+    reader = ResultsStore(root=tmp_path / "cache")
+    loaded = reader.get(scenario)
+    assert loaded is not None
+    assert loaded.to_json() == outcome.to_json()
+    payload = json.loads(reader.entry_path(keys[0]).read_text())
+    assert payload["key"] == keys[0]
+
+
+def test_reads_never_tear_under_a_concurrent_writer(tmp_path, scenario):
+    """A reader polling during repeated put() sees a hit or a miss -- never
+    a torn/partial entry (atomic publish)."""
+    import threading
+
+    outcome = run_scenario(scenario)
+    writer = ResultsStore(root=tmp_path / "cache")
+    reader = ResultsStore(root=tmp_path / "cache")
+    stop = threading.Event()
+
+    def keep_writing():
+        while not stop.is_set():
+            writer.put(outcome, wall_seconds=0.5)
+
+    thread = threading.Thread(target=keep_writing)
+    thread.start()
+    try:
+        hits = 0
+        for _ in range(200):
+            loaded = reader.get(scenario)
+            if loaded is not None:
+                hits += 1
+                assert loaded.to_json() == outcome.to_json()
+    finally:
+        stop.set()
+        thread.join()
+    assert hits > 0
+
+
+def test_claim_contention_has_exactly_one_winner(store):
+    """Many threads racing try_claim() on one key: exactly one wins."""
+    import threading
+
+    contenders = 8
+    barrier = threading.Barrier(contenders)
+    wins = []
+
+    def contend(index):
+        barrier.wait()
+        if store.try_claim("deadbeef", owner=f"thread-{index}"):
+            wins.append(index)
+
+    threads = [threading.Thread(target=contend, args=(index,))
+               for index in range(contenders)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(wins) == 1
+    assert store.claimed("deadbeef")
+    # release -> the key is claimable again (exactly once, as before)
+    store.release_claim("deadbeef")
+    assert not store.claimed("deadbeef")
+    assert store.try_claim("deadbeef")
+    assert not store.try_claim("deadbeef")
+
+
+# ------------------------------------------------------- deprecated spellings
+def test_resolve_store_cache_alias_warns_but_works(tmp_path):
+    with pytest.warns(DeprecationWarning, match="store="):
+        resolved = resolve_store(cache=str(tmp_path / "cache"))
+    assert resolved is not None
+    assert resolved.root == tmp_path / "cache"
+
+
+def test_run_scenario_cache_alias_warns_but_works(store, scenario):
+    with pytest.warns(DeprecationWarning, match="store="):
+        outcome = run_scenario(scenario, cache=store)
+    assert store.get(scenario) is not None
+    assert store.get(scenario).to_json() == outcome.to_json()
+
+
+def test_run_cached_cache_alias_warns_but_works(store, scenario):
+    with pytest.warns(DeprecationWarning, match="store="):
+        run = run_cached(scenario, cache=store)
+    assert not run.cached
+    assert run_cached(scenario, store=store).cached
+
+
+def test_sweep_scenarios_cache_alias_warns_but_works(store):
+    with pytest.warns(DeprecationWarning, match="store="):
+        results = sweep_scenarios(["base"], jobs=1, cache=store,
+                                  num_instructions=SMALL)
+    assert len(results) == 1
+    assert store.get(replace(get_scenario("base"),
+                             num_instructions=SMALL)) is not None
+
+
+def test_run_design_space_cache_alias_warns_but_works(store):
+    from repro.core.experiments import run_design_space
+    with pytest.warns(DeprecationWarning, match="store="):
+        results = run_design_space(topologies=["base"], workloads=["perl"],
+                                   num_instructions=SMALL, jobs=1,
+                                   cache=store)
+    assert len(results) == 1

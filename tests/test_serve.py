@@ -1,0 +1,190 @@
+"""Tests for the ``repro serve`` results service (:mod:`repro.serve`).
+
+One in-process :class:`ResultsService` per module (ephemeral port, serial
+job backend, fast drain interval) exercises the whole API surface: health,
+hit/miss/pending semantics, byte-identity of served bodies with
+``ScenarioResult.to_json()``, the /compare design-space endpoint, error
+mapping, failure reporting, the library client and the ``repro query``
+subcommand.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.scenario import get_scenario
+from repro.results import ResultsStore, run_cached
+from repro.serve import (ResultsService, query_compare, query_health,
+                         query_scenario, request_json)
+from repro.serve.service import _scenario_from_query
+from repro.workloads.registry import (WORKLOAD_SYNTHETIC, WORKLOADS,
+                                      WorkloadEntry)
+
+SMALL = 150
+
+#: Generous wall-clock budget for one queued scenario to land (CI-safe).
+WAIT = 60.0
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve") / "cache"
+    instance = ResultsService(store=ResultsStore(root=root),
+                              execution="serial", port=0,
+                              poll_interval=0.02)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def scenario():
+    return replace(get_scenario("base"), num_instructions=SMALL)
+
+
+# ---------------------------------------------------------------------- health
+def test_health_reports_store_and_backend(service):
+    reply = query_health(service.url)
+    assert reply.code == 200
+    payload = reply.payload
+    assert payload["status"] == "ok"
+    assert payload["store"] == str(service.store.root)
+    assert payload["backend"] == "serial"
+    assert payload["fingerprint"] == service.store.fingerprint
+
+
+# ------------------------------------------------------------ scenario queries
+def test_miss_is_queued_then_served_bit_identically(service, scenario):
+    first = query_scenario(service.url, scenario)
+    assert first.code == 202
+    assert first.status == "pending"
+    key = first.key
+    assert key == service.store.key_for(scenario)
+
+    served = query_scenario(service.url, scenario, wait=WAIT, poll=0.05)
+    assert served.code == 200
+    assert served.status == "hit"
+    assert served.headers["X-Repro-Key"] == key
+    # acceptance: the served body is byte-identical to the stored result's
+    # canonical JSON (what repro run --json writes)
+    expected = run_cached(scenario, store=service.store)
+    assert expected.cached
+    assert served.body == expected.outcome.to_json()
+
+
+def test_hit_without_recompute(service, scenario):
+    """A stored scenario is answered 200 straight from the store."""
+    before = service.store.hits
+    reply = query_scenario(service.url, scenario)
+    assert reply.code == 200 and reply.status == "hit"
+    assert service.store.hits > before
+
+
+def test_query_by_name_with_field_overrides(service, scenario):
+    url = (f"{service.url}/scenario?name=base"
+           f"&num_instructions={SMALL}")
+    reply = request_json(url)
+    assert reply.code == 200  # same key as the canonical-JSON spelling
+    assert json.loads(reply.body)["scenario"]["num_instructions"] == SMALL
+
+
+def test_unknown_endpoint_404(service):
+    assert request_json(f"{service.url}/nope").code == 404
+
+
+def test_unknown_scenario_name_404(service):
+    reply = request_json(f"{service.url}/scenario?name=no-such-scenario")
+    assert reply.code == 404
+    assert "no-such-scenario" in reply.payload["error"]
+
+
+def test_bad_field_and_missing_params_400(service):
+    reply = request_json(f"{service.url}/scenario?name=base&bogus=1")
+    assert reply.code == 400
+    assert "bogus" in reply.payload["error"]
+    assert request_json(f"{service.url}/scenario").code == 400
+
+
+def test_failed_computation_reports_500_once(service, monkeypatch):
+    def raising_factory(num_instructions, seed, kernel_size):
+        raise ValueError("doomed workload")
+
+    monkeypatch.setitem(WORKLOADS, "doomed", WorkloadEntry(
+        name="doomed", kind=WORKLOAD_SYNTHETIC, description="",
+        factory=raising_factory))
+    bad = replace(get_scenario("base"), workload="doomed",
+                  num_instructions=SMALL)
+    reply = query_scenario(service.url, bad, wait=WAIT, poll=0.05)
+    assert reply.code == 500
+    assert reply.payload["status"] == "failed"
+    assert "doomed" in reply.payload["error"]
+    # the failure was consumed: the next query re-queues from scratch
+    assert query_scenario(service.url, bad).code == 202
+    service.drain_once()  # settle the re-queued job before teardown
+
+
+# -------------------------------------------------------------------- /compare
+def test_compare_cold_202_then_complete(service):
+    params = {"topologies": "base,gals5", "workloads": "perl",
+              "instructions": str(SMALL)}
+    reply = query_compare(service.url, params, wait=WAIT, poll=0.05)
+    assert reply.code == 200
+    payload = reply.payload
+    assert payload["status"] == "complete" and payload["total"] == 2
+    assert len(payload["records"]) == 2
+    assert "base" in payload["table"] and "gals5" in payload["table"]
+    # warm repeat answers 200 immediately (no queue involved)
+    assert query_compare(service.url, params).code == 200
+
+
+# ------------------------------------------------------------- query URL parse
+def test_scenario_from_query_requires_json_object():
+    with pytest.raises(ValueError, match="JSON object"):
+        _scenario_from_query({"scenario": ["[1, 2]"]})
+
+
+# ------------------------------------------------------------- repro query CLI
+def run_cli(capsys, *argv):
+    code = cli_main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_query_round_trip(service, scenario, capsys, tmp_path):
+    out_path = tmp_path / "served.json"
+    code, out, _ = run_cli(capsys, "query", "base",
+                           "--instructions", str(SMALL),
+                           "--url", service.url,
+                           "--wait", str(WAIT),
+                           "--json", str(out_path))
+    assert code == 0
+    assert "hit" in out
+    expected = run_cached(scenario, store=service.store)
+    assert out_path.read_text() == expected.outcome.to_json()
+
+
+def test_cli_query_pending_exit_code(service, capsys):
+    code, _, err = run_cli(capsys, "query", "base",
+                           "--instructions", str(SMALL + 1),
+                           "--seed", "9",
+                           "--url", service.url)
+    assert code == 3
+    assert "pending" in err
+    service.drain_once()  # settle the queued job before teardown
+
+
+def test_cli_query_unreachable_service(capsys):
+    code, _, err = run_cli(capsys, "query", "base",
+                           "--url", "http://127.0.0.1:9")  # discard port
+    assert code == 2
+    assert "error" in err
+
+
+def test_cli_query_prints_summary_without_json(service, scenario, capsys):
+    code, out, _ = run_cli(capsys, "query", "base",
+                           "--instructions", str(SMALL),
+                           "--url", service.url, "--wait", str(WAIT))
+    assert code == 0
+    assert "instructions in" in out  # the ScenarioResult summary rendering
