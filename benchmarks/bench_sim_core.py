@@ -196,7 +196,11 @@ def bench_full_run(kind):
     ``kind`` selects the machine: ``gals``/``base`` (the two paper machines,
     unchanged protocol since the first record), ``gals_controller`` (gals5
     driven by the ``occupancy`` online DVFS controller -- covers the epoch
-    flush points and mid-run retiming), or ``fem3`` (a non-paper topology).
+    flush points and mid-run retiming), ``phased_osc`` (gals5 running the
+    oscillating ``phased:intfp-osc`` mix -- covers phased trace synthesis and
+    mid-run regime changes), or a plain topology name such as ``fem3`` or
+    ``cluster2`` (the replicated-cluster machine with its extra execution
+    clusters, channels and clock domains).
     """
     from repro.core.controllers import make_controller
     from repro.core.processor import (Processor, build_base_processor,
@@ -204,6 +208,7 @@ def bench_full_run(kind):
     from repro.workloads.registry import build_workload
 
     state = {}
+    workload_name = "phased:intfp-osc" if kind == "phased_osc" else "perl"
 
     def build(trace, workload):
         if kind == "gals":
@@ -214,10 +219,13 @@ def bench_full_run(kind):
             return Processor(trace, workload=workload, topology="gals5",
                              controller=make_controller("occupancy"),
                              controller_epoch=50.0)
+        if kind == "phased_osc":
+            return Processor(trace, workload=workload, topology="gals5")
         return Processor(trace, workload=workload, topology=kind)
 
     def run_once():
-        trace, workload = build_workload("perl", FULL_RUN_INSTRUCTIONS, seed=1)
+        trace, workload = build_workload(workload_name,
+                                         FULL_RUN_INSTRUCTIONS, seed=1)
         machine = build(trace, workload)
         result = machine.run()
         state["events"] = machine.engine.events_processed
@@ -345,7 +353,8 @@ def main(argv=None):
 
     print("full-run benchmark (perl, %d instructions) ..." % FULL_RUN_INSTRUCTIONS)
     full = {kind: bench_full_run(kind)
-            for kind in ("gals", "base", "gals_controller", "fem3")}
+            for kind in ("gals", "base", "gals_controller", "fem3",
+                         "phased_osc", "cluster2")}
     for kind, row in full.items():
         print(f"  {kind:15s} {row['instr_per_sec']:>10,.0f} instr/s  "
               f"{row['events_per_sec']:>12,.0f} events/s")

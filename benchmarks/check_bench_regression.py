@@ -7,8 +7,10 @@ than the threshold (default 25 %, generous enough to absorb CI-runner noise
 while still catching a real hot-path regression).
 
 Tracked metrics: full-run instructions/sec (gals and base machines, the
-occupancy-controller gals5 run, and the non-paper fem3 topology) and
-engine-alone events/sec (clock-wheel scheduler, mixed and uniform periods).
+occupancy-controller gals5 run, the non-paper fem3 topology, the oscillating
+``phased:intfp-osc`` workload, and the replicated-cluster cluster2 machine)
+and engine-alone events/sec (clock-wheel scheduler, mixed and uniform
+periods).
 Metrics missing from an older record (e.g. the controller/fem3 runs added in
 the deferred-telemetry PR, or the warm-start ``sweep_warm`` key) are reported
 and skipped, not failed.  Records from different CPython minor series (the
@@ -84,6 +86,8 @@ ABSOLUTE_METRICS = (
     ("base instr/s", lambda r: _instr(r, "base")),
     ("gals+controller instr/s", lambda r: _instr(r, "gals_controller")),
     ("fem3 instr/s", lambda r: _instr(r, "fem3")),
+    ("phased_osc instr/s", lambda r: _instr(r, "phased_osc")),
+    ("cluster2 instr/s", lambda r: _instr(r, "cluster2")),
     ("sweep_warm instr/s", _sweep),
     ("engine mixed ev/s", lambda r: _engine(r, "mixed", "wheel")),
     ("engine uniform ev/s", lambda r: _engine(r, "uniform", "wheel")),
@@ -104,6 +108,12 @@ RELATIVE_METRICS = (
                 / _engine(r, "mixed", "seed_engine_live"))),
     ("fem3 instr per seed-ev",
      lambda r: _instr(r, "fem3") / _engine(r, "mixed", "seed_engine_live")),
+    ("phased_osc instr per seed-ev",
+     lambda r: (_instr(r, "phased_osc")
+                / _engine(r, "mixed", "seed_engine_live"))),
+    ("cluster2 instr per seed-ev",
+     lambda r: (_instr(r, "cluster2")
+                / _engine(r, "mixed", "seed_engine_live"))),
     ("sweep_warm instr per seed-ev",
      lambda r: _sweep(r) / _engine(r, "mixed", "seed_engine_live")),
     ("mixed wheel/seed speedup",

@@ -5,8 +5,9 @@ from .clock_skew import (CLOCK_SKEW_CASES, ClockSkewCase, clock_skew_table,
 from .report import (ascii_bar, bar_chart, breakdown_table,
                      design_space_records, design_space_table, dvfs_table,
                      energy_power_table, misspeculation_table,
-                     performance_table, scenario_table, slip_breakdown_table,
-                     slip_table)
+                     performance_table, phase_resolved_table,
+                     phase_trace_records, scenario_table,
+                     slip_breakdown_table, slip_table)
 
 __all__ = [
     "CLOCK_SKEW_CASES",
@@ -21,6 +22,8 @@ __all__ = [
     "energy_power_table",
     "misspeculation_table",
     "performance_table",
+    "phase_resolved_table",
+    "phase_trace_records",
     "projected_skew_fraction",
     "scenario_table",
     "skew_trend",

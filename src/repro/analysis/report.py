@@ -251,6 +251,80 @@ def dvfs_trace_table(item) -> str:
     return "\n".join(lines)
 
 
+# -------------------------------------------------------- phased workloads
+def phase_trace_records(item) -> List[Dict[str, Any]]:
+    """Per-control-epoch records annotated with the phased-workload phase.
+
+    For a controller-driven run of a ``phased:<mix>`` workload, rebuilds the
+    (deterministic) phase plan and attributes every control epoch to the
+    phase in which the epoch's last committed instruction falls, adding
+    ``phase``, ``segment`` and ``committed_delta`` to each
+    :func:`dvfs_trace_records` record.  This is what lets adaptive-vs-static
+    comparisons see *which regime* the controller was reacting to.
+    """
+    from ..workloads import PhasedWorkload, get_mix
+    from ..workloads.registry import PHASED_PREFIX
+    scenario = item.scenario
+    if not scenario.workload.startswith(PHASED_PREFIX):
+        raise ValueError(f"scenario {scenario.name!r} runs workload "
+                         f"{scenario.workload!r}, not a phased: workload")
+    workload = PhasedWorkload(
+        get_mix(scenario.workload[len(PHASED_PREFIX):]),
+        seed=scenario.seed, kernel_size=scenario.kernel_size)
+    plan = workload.plan(scenario.num_instructions)
+    records = []
+    prev_committed = 0
+    for record in dvfs_trace_records(item):
+        committed = record["committed"]
+        marker = max(prev_committed,
+                     min(committed, scenario.num_instructions) - 1)
+        placement = next(p for p in plan if p.start <= marker < p.end)
+        records.append({**record,
+                        "phase": placement.index,
+                        "segment": placement.segment,
+                        "committed_delta": committed - prev_committed})
+        prev_committed = committed
+    return records
+
+
+def phase_resolved_table(item) -> str:
+    """Phase-resolved IPC and energy of one controller-driven phased run.
+
+    One row per phase of the workload's schedule: how many control epochs it
+    spanned, the instructions committed and time spent inside it, and the
+    resulting per-phase IPC (in nominal reference cycles) and energy per
+    instruction -- the table that shows a regime change actually moving the
+    machine's operating point.
+    """
+    records = phase_trace_records(item)
+    if not records:
+        return "(no phase trace: run had no online controller)"
+    base_period = item.scenario.base_period
+    by_phase: Dict[int, Dict[str, Any]] = {}
+    prev_time = 0.0
+    for record in records:
+        row = by_phase.setdefault(record["phase"], {
+            "segment": record["segment"], "epochs": 0,
+            "committed": 0, "time_ns": 0.0, "energy_nj": 0.0})
+        row["epochs"] += 1
+        row["committed"] += record["committed_delta"]
+        row["time_ns"] += record["time_ns"] - prev_time
+        row["energy_nj"] += record["energy_delta_nj"]
+        prev_time = record["time_ns"]
+    header = (f"{'phase':>5} {'segment':<20} {'epochs':>6} {'instr':>7} "
+              f"{'t ns':>9} {'IPC':>6} {'nJ':>9} {'nJ/instr':>9}")
+    lines = [header]
+    for phase in sorted(by_phase):
+        row = by_phase[phase]
+        cycles = row["time_ns"] / base_period if base_period else 0.0
+        ipc = row["committed"] / cycles if cycles else 0.0
+        epi = row["energy_nj"] / row["committed"] if row["committed"] else 0.0
+        lines.append(f"{phase:>5} {row['segment']:<20} {row['epochs']:>6} "
+                     f"{row['committed']:>7} {row['time_ns']:>9.1f} "
+                     f"{ipc:>6.2f} {row['energy_nj']:>9.1f} {epi:>9.2f}")
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------- Figures 11-13
 def dvfs_table(results: Sequence[DvfsResult], include_ideal: bool = True) -> str:
     """Figures 11-13: normalised performance / energy / (ideal) / power."""

@@ -55,7 +55,7 @@ from .exec import JOB_BACKENDS, ExecutionConfig
 from .results import (ResultsStore, code_fingerprint, hit_rate, resume_sweep,
                       run_cached)
 from .workloads.profiles import DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS
-from .workloads.registry import WORKLOADS
+from .workloads.registry import PHASED_PREFIX, WORKLOADS
 
 
 # ------------------------------------------------------------------- helpers
@@ -216,8 +216,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         sections.append("DVFS controllers (online, per control epoch):\n"
                         + "\n".join(rows))
     if what in ("workloads", "all"):
+        # sorted (like available_workloads) so newly registered families
+        # never reorder existing CLI/doc snapshots
         rows = [f"  {name:<22} [{entry.kind}] {entry.description}"
-                for name, entry in WORKLOADS.items()]
+                for name, entry in sorted(WORKLOADS.items())]
         sections.append("workloads:\n" + "\n".join(rows))
     if what in ("scenarios", "all"):
         rows = []
@@ -257,7 +259,15 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    print(get_scenario(args.scenario).to_json())
+    scenario = get_scenario(args.scenario)
+    print(scenario.to_json())
+    if scenario.workload.startswith(PHASED_PREFIX):
+        from .workloads import PhasedWorkload, get_mix
+        workload = PhasedWorkload(
+            get_mix(scenario.workload[len(PHASED_PREFIX):]),
+            seed=scenario.seed, kernel_size=scenario.kernel_size)
+        print()
+        print(workload.describe_schedule(scenario.num_instructions))
     return 0
 
 

@@ -18,6 +18,7 @@ slowdown (the multiple-voltage experiments of Section 5.2).
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -55,6 +56,19 @@ BLOCK_LINKS: Tuple[Tuple[str, str, str], ...] = (
     ("dispatch->mem", DOMAIN_DECODE, DOMAIN_MEMORY),
     ("redirect", DOMAIN_INTEGER, DOMAIN_FETCH),
 )
+
+
+def base_block(block: str) -> str:
+    """Canonical block a (possibly replicated) block derives from.
+
+    Replicated-cluster topologies name their extra execution blocks by
+    suffixing a replica number onto a canonical block ("integer2", "fp3");
+    stripping the suffix recovers the canonical block whose energy model,
+    area and policy slowdowns the replica inherits.  Canonical names pass
+    through unchanged.
+    """
+    stripped = block.rstrip("0123456789")
+    return stripped if stripped in BLOCKS else block
 
 #: Table 2: pipeline stage -> clock domains involved.
 PIPELINE_STAGES: Tuple[Tuple[int, str, Tuple[str, ...]], ...] = (
@@ -102,10 +116,21 @@ class Topology:
     #: label stored in ``SimulationResult.processor`` (defaults to ``name``);
     #: lets the canonical topologies keep the historical 'base'/'gals' labels
     kind: str = ""
+    #: the machine's locally synchronous blocks, in canonical order; defaults
+    #: to the paper's five :data:`BLOCKS`.  Replicated-cluster topologies
+    #: extend this with per-replica execution blocks ("integer2", "fp2", ...).
+    blocks: Tuple[str, ...] = ()
+    #: structural inter-block links (channel name, producer, consumer);
+    #: defaults to the paper's :data:`BLOCK_LINKS`
+    links: Tuple[Tuple[str, str, str], ...] = ()
 
     def __post_init__(self) -> None:
-        missing = set(BLOCKS) - set(self.assignment)
-        extra = set(self.assignment) - set(BLOCKS)
+        if not self.blocks:
+            object.__setattr__(self, "blocks", BLOCKS)
+        if not self.links:
+            object.__setattr__(self, "links", BLOCK_LINKS)
+        missing = set(self.blocks) - set(self.assignment)
+        extra = set(self.assignment) - set(self.blocks)
         if missing:
             raise ValueError(f"topology {self.name!r}: unassigned blocks "
                              f"{sorted(missing)}")
@@ -116,20 +141,24 @@ class Topology:
             if not domain or not isinstance(domain, str):
                 raise ValueError(f"topology {self.name!r}: block {block!r} "
                                  f"mapped to invalid domain {domain!r}")
+        for link_name, producer, consumer in self.links:
+            if producer not in self.assignment or consumer not in self.assignment:
+                raise ValueError(f"topology {self.name!r}: link {link_name!r} "
+                                 f"references unknown blocks")
         if not self.kind:
             object.__setattr__(self, "kind", self.name)
 
     # -------------------------------------------------------------- structure
     @property
     def domain_names(self) -> Tuple[str, ...]:
-        """Domain names in first-appearance order over the canonical blocks.
+        """Domain names in first-appearance order over the topology's blocks.
 
         This order is load-bearing: it fixes both the per-domain random phase
         draws and the engine bind order, so the canonical topologies replay
         the seed tree's exact sequence.
         """
         seen: List[str] = []
-        for block in BLOCKS:
+        for block in self.blocks:
             domain = self.assignment[block]
             if domain not in seen:
                 seen.append(domain)
@@ -155,7 +184,7 @@ class Topology:
 
     def blocks_in(self, domain: str) -> Tuple[str, ...]:
         """Blocks clocked by one domain, in canonical block order."""
-        return tuple(block for block in BLOCKS
+        return tuple(block for block in self.blocks
                      if self.assignment[block] == domain)
 
     def crosses(self, producer_block: str, consumer_block: str) -> bool:
@@ -166,13 +195,13 @@ class Topology:
     def edges(self) -> Tuple[Tuple[str, str, str], ...]:
         """Cross-domain links: (channel name, producer domain, consumer domain).
 
-        Derived from the machine's structural :data:`BLOCK_LINKS`; these are
-        exactly the places the builder instantiates mixed-clock FIFOs and
+        Derived from the topology's structural ``links``; these are exactly
+        the places the builder instantiates mixed-clock FIFOs and
         synchronizers.
         """
         return tuple(
             (name, self.assignment[producer], self.assignment[consumer])
-            for name, producer, consumer in BLOCK_LINKS
+            for name, producer, consumer in self.links
             if self.assignment[producer] != self.assignment[consumer])
 
     def describe(self) -> str:
@@ -212,12 +241,27 @@ def register_topology(topology: Topology,
     return topology
 
 
+#: Pattern of the parametric replicated-cluster family, ``cluster<N>``.
+_CLUSTER_NAME = re.compile(r"^cluster(\d+)$")
+
+#: Largest replication factor ``get_topology`` will synthesize on demand.
+MAX_CLUSTER_REPLICAS = 16
+
+
 def get_topology(name: str) -> Topology:
-    """Look up a registered topology by name or alias."""
+    """Look up a registered topology by name or alias.
+
+    Members of the parametric ``cluster<N>`` family (1 <= N <=
+    :data:`MAX_CLUSTER_REPLICAS`) are synthesized and registered on first
+    use, so any ``clusterN`` name works without eager registration.
+    """
     key = _TOPOLOGY_ALIASES.get(name, name)
     try:
         return TOPOLOGIES[key]
     except KeyError as exc:
+        match = _CLUSTER_NAME.match(key)
+        if match and 1 <= int(match.group(1)) <= MAX_CLUSTER_REPLICAS:
+            return register_topology(make_cluster_topology(int(match.group(1))))
         raise KeyError(f"unknown topology {name!r}; known: "
                        f"{', '.join(sorted(TOPOLOGIES))}") from exc
 
@@ -282,6 +326,45 @@ MEMSPLIT2_TOPOLOGY = register_topology(Topology(
                 DOMAIN_INTEGER: "cpu", DOMAIN_FP: "cpu",
                 DOMAIN_MEMORY: "mem"},
 ))
+
+
+def make_cluster_topology(replicas: int) -> Topology:
+    """Build the ``cluster<N>`` replicated-cluster topology.
+
+    N integer/FP execution-cluster pairs share the fetch, decode and memory
+    blocks; every block keeps its own clock domain (the GALS identity
+    assignment), so ``cluster1`` is structurally the paper's five-domain
+    machine and ``clusterN`` adds ``2*(N-1)`` domains and dispatch crossings
+    on top.  Replica blocks are named "integer2"/"fp2" and so on; the
+    primary cluster keeps the canonical names (and hosts all control
+    instructions, so the single redirect link is unchanged).
+    """
+    if replicas < 1:
+        raise ValueError("cluster topology needs at least one cluster pair")
+    blocks = list(BLOCKS)
+    links = list(BLOCK_LINKS)
+    for k in range(2, replicas + 1):
+        blocks += [f"{DOMAIN_INTEGER}{k}", f"{DOMAIN_FP}{k}"]
+        links += [(f"dispatch->int{k}", DOMAIN_DECODE, f"{DOMAIN_INTEGER}{k}"),
+                  (f"dispatch->fp{k}", DOMAIN_DECODE, f"{DOMAIN_FP}{k}")]
+    return Topology(
+        name=f"cluster{replicas}",
+        description=f"replicated-cluster GALS machine: {replicas} integer/FP "
+                    "cluster pair(s) sharing the fetch, decode and memory "
+                    f"domains ({3 + 2 * replicas} clock domains)",
+        assignment={block: block for block in blocks},
+        blocks=tuple(blocks),
+        links=tuple(links),
+    )
+
+
+#: Replicated-cluster topologies.  ``cluster1`` is the paper's machine under
+#: the parametric naming; higher replica counts stress synchronizer and
+#: mixed-clock-FIFO counts beyond the paper's five blocks.  Other ``clusterN``
+#: members are synthesized on demand by :func:`get_topology`.
+CLUSTER1_TOPOLOGY = register_topology(make_cluster_topology(1))
+CLUSTER2_TOPOLOGY = register_topology(make_cluster_topology(2))
+CLUSTER4_TOPOLOGY = register_topology(make_cluster_topology(4))
 
 
 @dataclass

@@ -50,8 +50,8 @@ from .config import DEFAULT_CONFIG, ProcessorConfig
 from .controllers import CONTROLLER_PRIORITY, DvfsController, EpochTelemetry
 from .domains import (BLOCK_LINKS, BLOCKS, DOMAIN_DECODE, DOMAIN_FETCH,
                       DOMAIN_FP, DOMAIN_INTEGER, DOMAIN_MEMORY, GALS_DOMAINS,
-                      SYNC_DOMAIN, ClockPlan, Topology, get_topology,
-                      uniform_plan)
+                      SYNC_DOMAIN, ClockPlan, Topology, base_block,
+                      get_topology, uniform_plan)
 from .metrics import SimulationResult, SimulationStats
 
 BASE_PROCESSOR = "base"
@@ -110,9 +110,8 @@ class _DvfsControllerDriver:
         #: difference of cumulative (accum, samples) counters
         self._queues = {
             "fetch_q": processor.fetch_channel,
-            "iq_int": processor.exec_units["int"].issue_queue,
-            "iq_fp": processor.exec_units["fp"].issue_queue,
-            "iq_mem": processor.exec_units["mem"].issue_queue,
+            **{f"iq_{instance}": unit.issue_queue
+               for instance, unit in processor.exec_units.items()},
         }
         self._last_queue_counters = {name: (0, 0) for name in self._queues}
         topology = processor.topology
@@ -121,7 +120,7 @@ class _DvfsControllerDriver:
         #: domain's plan slowdown at build time)
         self._block_slowdowns: Dict[str, float] = {
             block: plan.slowdown_of(topology.domain_of(block))
-            for block in BLOCKS
+            for block in topology.blocks
         }
         controller.reset()
 
@@ -169,8 +168,10 @@ class _DvfsControllerDriver:
         topology = processor.topology
         base_period = processor.plan.base_period
         domain_slowdowns: Dict[str, float] = {}
-        for block in BLOCKS:
-            slowdown = vector.get(block, 1.0)
+        for block in topology.blocks:
+            # Controllers reason in the canonical blocks; replica blocks
+            # follow their base block's decision unless addressed directly.
+            slowdown = vector.get(block, vector.get(base_block(block), 1.0))
             if slowdown < 1.0:
                 raise ValueError(f"controller requested slowdown {slowdown} "
                                  f"< 1.0 for block {block!r}")
@@ -185,7 +186,7 @@ class _DvfsControllerDriver:
                 processor.retime_domain(domain_name, period, slowdown)
                 retimed = True
         if retimed:
-            for block in BLOCKS:
+            for block in topology.blocks:
                 self._block_slowdowns[block] = domain_slowdowns.get(
                     topology.domain_of(block), 1.0)
         return retimed
@@ -313,14 +314,21 @@ class Processor:
         #: logical block name -> the ClockDomain clocking it
         self._block_domains: Dict[str, ClockDomain] = {
             block: self.domains[self.topology.domain_of(block)]
-            for block in BLOCKS
+            for block in self.topology.blocks
+        }
+        #: execution-cluster instance -> the block hosting it, derived from
+        #: the topology's dispatch links ("dispatch->int" feeds instance
+        #: "int" in block "integer"; replicated topologies add "int2", ...)
+        self._cluster_blocks: Dict[str, str] = {
+            link_name[len("dispatch->"):]: consumer
+            for link_name, _producer, consumer in self.topology.links
+            if link_name.startswith("dispatch->")
         }
         #: execution cluster -> clock-domain *name* (decode stamps this on
         #: dispatched instructions so wakeup/commit can price the crossing)
         self._cluster_domains = {
-            "int": self.topology.domain_of(DOMAIN_INTEGER),
-            "fp": self.topology.domain_of(DOMAIN_FP),
-            "mem": self.topology.domain_of(DOMAIN_MEMORY),
+            instance: self.topology.domain_of(block)
+            for instance, block in self._cluster_blocks.items()
         }
 
     def _build_shared_structures(self) -> None:
@@ -350,13 +358,14 @@ class Processor:
     def _build_channels(self) -> None:
         """Instantiate every structural link as a queue or mixed-clock FIFO.
 
-        The links are the machine-structural :data:`BLOCK_LINKS`; whether a
-        link becomes a plain pipeline queue or a mixed-clock FIFO follows
-        from the topology's assignment of its endpoint blocks.
+        The links are the topology's structural ``links`` (the paper's
+        :data:`BLOCK_LINKS` for the canonical machines); whether a link
+        becomes a plain pipeline queue or a mixed-clock FIFO follows from
+        the topology's assignment of its endpoint blocks.
         """
         block_domains = self._block_domains
         channels: Dict[str, Channel] = {}
-        for link_name, producer_block, consumer_block in BLOCK_LINKS:
+        for link_name, producer_block, consumer_block in self.topology.links:
             capacity, sync_cycles = self._channel_spec(link_name)
             channels[link_name] = self._make_channel(
                 link_name, capacity,
@@ -366,9 +375,8 @@ class Processor:
         self.fetch_channel = channels["fetch->decode"]
         self.redirect_channel = channels["redirect"]
         self.dispatch_channels: Dict[str, Channel] = {
-            "int": channels["dispatch->int"],
-            "fp": channels["dispatch->fp"],
-            "mem": channels["dispatch->mem"],
+            instance: channels["dispatch->" + instance]
+            for instance in self._cluster_blocks
         }
         self.all_channels: List[Channel] = [self.fetch_channel,
                                             self.redirect_channel,
@@ -409,6 +417,7 @@ class Processor:
             dispatch_width=config.dispatch_width,
             decode_stages=config.decode_stages,
             cluster_domains=self._cluster_domains,
+            cluster_instances=self._cluster_instances(),
         )
         self.commit_unit = CommitUnit(
             rob=self.rob,
@@ -422,72 +431,79 @@ class Processor:
             commit_width=config.commit_width,
         )
 
+    def _cluster_instances(self) -> Dict[str, Tuple[str, ...]]:
+        """Cluster kind -> execution-cluster instances, primary first.
+
+        Instance keys are the dispatch-link suffixes ("int", "fp", "mem",
+        plus "int2"/"fp2"/... on replicated topologies); the kind of each
+        instance follows from its host block's canonical base block.
+        """
+        kinds = {DOMAIN_INTEGER: "int", DOMAIN_FP: "fp", DOMAIN_MEMORY: "mem"}
+        instances: Dict[str, List[str]] = {kind: [] for kind in kinds.values()}
+        for instance, block in self._cluster_blocks.items():
+            instances[kinds[base_block(block)]].append(instance)
+        return {kind: tuple(members) for kind, members in instances.items()}
+
     def _build_execute_blocks(self) -> None:
-        """Blocks 3-5: the integer, FP and memory execution clusters."""
+        """Blocks 3-5 (and their replicas): the execution clusters.
+
+        One :class:`ExecutionUnit` per dispatch link, in link order, so the
+        canonical machines build exactly the historical int/fp/mem trio and
+        replicated-cluster topologies append their extra instances after it.
+        Only the primary integer cluster carries the branch unit and the
+        recovery callback: decode routes every control instruction there, so
+        the single redirect link of the paper's machine is unchanged.
+        """
         config = self.config
-        block_domains = self._block_domains
-        int_domain = block_domains[DOMAIN_INTEGER]
-        fp_domain = block_domains[DOMAIN_FP]
-        mem_domain = block_domains[DOMAIN_MEMORY]
-        self.exec_units: Dict[str, ExecutionUnit] = {
-            "int": ExecutionUnit(
-                name="integer-cluster",
-                domain_name=int_domain.name,
-                issue_queue=IssueQueue("iq_int", config.int_issue_entries,
-                                       int_domain.name,
-                                       scheme=config.wakeup_scheme),
-                input_channel=self.dispatch_channels["int"],
-                regfile=self.regfile,
-                forwarding_latency=self.forwarding_latency,
-                clock_period=lambda: int_domain.period,
-                clock=int_domain.clock,
-                functional_units=FunctionalUnitPool("int_alu", config.num_int_alus),
-                issue_width=config.issue_width_int,
-                activity=self.activity,
-                alu_block="alu_int",
-                queue_block="iq_int",
-                branch_unit=self.branch_unit,
-                recovery_callback=self._recover,
-                kernel=self.kernel,
-            ),
-            "fp": ExecutionUnit(
-                name="fp-cluster",
-                domain_name=fp_domain.name,
-                issue_queue=IssueQueue("iq_fp", config.fp_issue_entries,
-                                       fp_domain.name,
-                                       scheme=config.wakeup_scheme),
-                input_channel=self.dispatch_channels["fp"],
-                regfile=self.regfile,
-                forwarding_latency=self.forwarding_latency,
-                clock_period=lambda: fp_domain.period,
-                clock=fp_domain.clock,
-                functional_units=FunctionalUnitPool("fp_alu", config.num_fp_alus),
-                issue_width=config.issue_width_fp,
-                activity=self.activity,
-                alu_block="alu_fp",
-                queue_block="iq_fp",
-                kernel=self.kernel,
-            ),
-            "mem": ExecutionUnit(
-                name="memory-cluster",
-                domain_name=mem_domain.name,
-                issue_queue=IssueQueue("iq_mem", config.mem_issue_entries,
-                                       mem_domain.name,
-                                       scheme=config.wakeup_scheme),
-                input_channel=self.dispatch_channels["mem"],
-                regfile=self.regfile,
-                forwarding_latency=self.forwarding_latency,
-                clock_period=lambda: mem_domain.period,
-                clock=mem_domain.clock,
-                functional_units=FunctionalUnitPool("mem_port", config.num_mem_ports),
-                issue_width=config.issue_width_mem,
-                activity=self.activity,
-                alu_block="alu_int",
-                queue_block="iq_mem",
-                memory=self.memory,
-                kernel=self.kernel,
-            ),
+        #: per-kind ExecutionUnit parameterisation (issue queue sizing,
+        #: functional units, issue width, power-model blocks)
+        cluster_params = {
+            "int": dict(entries=config.int_issue_entries,
+                        units=("int_alu", config.num_int_alus),
+                        issue_width=config.issue_width_int,
+                        alu_block="alu_int", unit_name="integer-cluster"),
+            "fp": dict(entries=config.fp_issue_entries,
+                       units=("fp_alu", config.num_fp_alus),
+                       issue_width=config.issue_width_fp,
+                       alu_block="alu_fp", unit_name="fp-cluster"),
+            "mem": dict(entries=config.mem_issue_entries,
+                        units=("mem_port", config.num_mem_ports),
+                        issue_width=config.issue_width_mem,
+                        alu_block="alu_int", unit_name="memory-cluster"),
         }
+        kinds = {DOMAIN_INTEGER: "int", DOMAIN_FP: "fp", DOMAIN_MEMORY: "mem"}
+        self.exec_units: Dict[str, ExecutionUnit] = {}
+        for instance, block in self._cluster_blocks.items():
+            kind = kinds[base_block(block)]
+            params = cluster_params[kind]
+            domain = self._block_domains[block]
+            primary = instance == kind
+            queue_block = f"iq_{instance}"
+            unit_name = (params["unit_name"] if primary
+                         else f"{params['unit_name']}-{instance}")
+            pool_name, pool_size = params["units"]
+            self.exec_units[instance] = ExecutionUnit(
+                name=unit_name,
+                domain_name=domain.name,
+                issue_queue=IssueQueue(queue_block, params["entries"],
+                                       domain.name,
+                                       scheme=config.wakeup_scheme),
+                input_channel=self.dispatch_channels[instance],
+                regfile=self.regfile,
+                forwarding_latency=self.forwarding_latency,
+                clock_period=lambda d=domain: d.period,
+                clock=domain.clock,
+                functional_units=FunctionalUnitPool(pool_name, pool_size),
+                issue_width=params["issue_width"],
+                activity=self.activity,
+                alu_block=(params["alu_block"] if primary or kind == "mem"
+                           else f"alu_{instance}"),
+                queue_block=queue_block,
+                branch_unit=self.branch_unit if instance == "int" else None,
+                recovery_callback=self._recover if instance == "int" else None,
+                memory=self.memory if kind == "mem" else None,
+                kernel=self.kernel,
+            )
 
     def _register_components(self) -> None:
         """Register each unit with its domain, in reverse pipeline order.
@@ -500,9 +516,8 @@ class Processor:
         block_domains = self._block_domains
         reverse_pipeline = (
             (self.commit_unit, DOMAIN_DECODE),
-            (self.exec_units["int"], DOMAIN_INTEGER),
-            (self.exec_units["fp"], DOMAIN_FP),
-            (self.exec_units["mem"], DOMAIN_MEMORY),
+            *((unit, self._cluster_blocks[instance])
+              for instance, unit in self.exec_units.items()),
             (self.decode_unit, DOMAIN_DECODE),
             (self.fetch_unit, DOMAIN_FETCH),
         )
@@ -574,15 +589,28 @@ class Processor:
         )
         for name, block in self._POWER_PLACEMENT:
             self.power.register_block(models[name], block_domains[block])
+        # Replicated execution clusters carry their own issue-queue and ALU
+        # energy models (clones of the canonical ones under the replica's
+        # activity-cell names), charged in the replica's clock domain.
+        for instance, block in self._cluster_blocks.items():
+            if instance in ("int", "fp", "mem"):
+                continue
+            kind = "fp" if base_block(block) == DOMAIN_FP else "int"
+            for model_name in (f"iq_{kind}", f"alu_{kind}"):
+                clone = dataclasses.replace(
+                    models[model_name],
+                    name=model_name.replace(kind, instance, 1))
+                self.power.register_block(clone, block_domains[block])
         if self.gals:
             # Any machine with mixed-clock FIFOs pays their energy in the
             # commit/decode domain (where the probe ticks).  The stock model
-            # is sized for the full 5-FIFO gals5 complex; a topology with
-            # fewer crossings carries proportionally fewer FIFO ports, so its
-            # idle cost and utilisation normalisation shrink with it.
+            # is sized for the full 5-FIFO gals5 complex; a topology with a
+            # different crossing count carries proportionally scaled FIFO
+            # ports, so its idle cost and utilisation normalisation follow
+            # the synchronizer count in both directions.
             fifo_model = models["fifo"]
             num_crossings = len(self.topology.edges())
-            if num_crossings < len(BLOCK_LINKS):
+            if num_crossings != len(BLOCK_LINKS):
                 fifo_model = dataclasses.replace(
                     fifo_model,
                     ports=max(1, round(fifo_model.ports * num_crossings
@@ -593,11 +621,16 @@ class Processor:
             # The synchronous machine pays for the chip-wide global clock grid.
             self.power.register_block(global_clock_block(),
                                       block_domains[DOMAIN_FETCH])
-        # Every machine has the five local (major-clock) distribution grids,
-        # each charged in whatever domain clocks its block.
-        for block in GALS_DOMAINS:
-            self.power.register_block(local_clock_block(block),
-                                      block_domains[block])
+        # Every machine has one local (major-clock) distribution grid per
+        # block, each charged in whatever domain clocks it; replica blocks
+        # reuse their canonical block's grid model under a distinct name.
+        for block in self.topology.blocks:
+            base = base_block(block)
+            clock_model = local_clock_block(base)
+            if block != base:
+                clock_model = dataclasses.replace(clock_model,
+                                                  name=f"clock_{block}")
+            self.power.register_block(clock_model, block_domains[block])
 
     # ----------------------------------------------------------- cross-domain
     def forwarding_latency(self, producer_domain: str, consumer_domain: str) -> float:

@@ -385,6 +385,17 @@ register_scenario(Scenario(
 register_scenario(Scenario(
     name="memsplit2", topology="memsplit2", workload="perl",
     description="2-domain memory split on the perl workload"))
+register_scenario(Scenario(
+    name="cluster2-perl", topology="cluster2", workload="perl",
+    description="replicated-cluster machine (2 integer/FP cluster pairs, "
+                "7 domains) on the perl workload"))
+
+# ... a phase-structured (regime-changing) workload scenario ...
+register_scenario(Scenario(
+    name="gals5-phased-osc", topology="gals5", workload="phased:intfp-osc",
+    num_instructions=1200,
+    description="integer/FP oscillating phased workload on the 5-domain "
+                "GALS machine"))
 
 # ... plus the paper's DVFS case studies as scenarios ...
 register_scenario(Scenario(

@@ -15,7 +15,7 @@ exactly the wasted speculative work the paper attributes to the GALS design.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..isa.instructions import InstructionClass
 from ..sim.channel import Channel
@@ -54,14 +54,33 @@ class DecodeRenameUnit:
         dispatch_width: int = 4,
         decode_stages: int = 2,
         cluster_domains: Optional[Dict[str, str]] = None,
+        cluster_instances: Optional[Dict[str, Tuple[str, ...]]] = None,
         clock=None,
     ) -> None:
         self.input_channel = input_channel
         self._input_is_fifo = input_channel.counts_as_fifo
         self.issue_channels = issue_channels
-        #: cluster name ('int'/'fp'/'mem') -> clock-domain name executing it
+        #: cluster instance ('int'/'fp'/'mem', plus 'int2'/... on replicated
+        #: topologies) -> clock-domain name executing it
         self.cluster_domains = cluster_domains or {"int": "int", "fp": "fp",
                                                    "mem": "mem"}
+        #: cluster kind -> the instances that can execute it, in dispatch
+        #: preference order (the primary instance first).  The default is the
+        #: identity map of the paper's single-cluster machine; replicated
+        #: topologies list the replicas after the primary.
+        self.cluster_instances: Dict[str, Tuple[str, ...]] = (
+            cluster_instances
+            or {kind: (kind,) for kind in ("int", "fp", "mem")})
+        #: True when any kind has more than one instance: enables the
+        #: replica-routing dispatch path (the single-instance path is the
+        #: exact historical behaviour)
+        self._replicated = any(len(instances) > 1
+                               for instances in self.cluster_instances.values())
+        #: per-kind round-robin cursor for non-control instructions on
+        #: replicated topologies (advanced only on successful dispatch, so a
+        #: stalled instruction retries the same instance)
+        self._round_robin: Dict[str, int] = {
+            kind: 0 for kind in self.cluster_instances}
         self.rob = rob
         self.rat = rat
         self.regfile = regfile
@@ -202,6 +221,17 @@ class DecodeRenameUnit:
                 self.stale_dropped += 1
                 continue
             cluster = instr.opclass.cluster
+            if self._replicated:
+                # Replica routing: control instructions always run on the
+                # primary instance (the only cluster with a branch unit and
+                # redirect link); everything else round-robins across the
+                # kind's instances, deterministically.
+                instances = self.cluster_instances[cluster]
+                if len(instances) == 1 or instr.opclass.is_control:
+                    cluster = instances[0]
+                else:
+                    cluster = instances[self._round_robin[cluster]
+                                        % len(instances)]
             channel = issue_channels[cluster]
             if len(rob_entries) >= rob_capacity:
                 self.rob_stalls += 1
@@ -227,6 +257,8 @@ class DecodeRenameUnit:
             instr.exec_domain = cluster_domains[cluster]
             channel.push_granted(instr, now)
             free_slots[cluster] = free - 1
+            if self._replicated:
+                self._round_robin[instr.opclass.cluster] += 1
             pipeline.popleft()
             dispatched += 1
             self.dispatched += 1

@@ -1,18 +1,25 @@
 """Workloads: Spec95/Mediabench behaviour profiles, synthetic traces, kernels.
 
-* :mod:`repro.workloads.profiles` -- per-benchmark behavioural parameters.
+* :mod:`repro.workloads.profiles` -- per-benchmark behavioural parameters and
+  the named multi-phase mix table.
 * :mod:`repro.workloads.synthetic` -- deterministic synthetic trace generation.
 * :mod:`repro.workloads.kernels` -- hand-written assembly kernels executed
   functionally to produce real traces.
+* :mod:`repro.workloads.phased` -- phase-structured traces that change regime
+  mid-run (static / oscillating / dynamic hot-set schedules).
 * :mod:`repro.workloads.registry` -- the name -> trace-factory registry the
   declarative Scenario subsystem and the CLI resolve workloads through.
 """
 
 from .kernels import KERNELS, Kernel, get_kernel, kernel_trace
+from .phased import PhasedWorkload, PhasePlacement
 from .profiles import (DEFAULT_BENCHMARKS, DVFS_CASE_STUDY_BENCHMARKS, PROFILES,
-                       BenchmarkProfile, get_profile, profiles_in_suite)
-from .registry import (WORKLOADS, WorkloadEntry, available_workloads,
-                       build_workload, get_workload_entry)
+                       WORKLOAD_MIXES, BenchmarkProfile, PhasedMix,
+                       available_mixes, get_mix, get_profile,
+                       profiles_in_suite)
+from .registry import (KERNEL_PREFIX, PHASED_PREFIX, WORKLOADS, WorkloadEntry,
+                       available_workloads, build_workload,
+                       get_workload_entry)
 from .synthetic import SyntheticWorkload, make_trace, make_workload
 
 __all__ = [
@@ -20,14 +27,22 @@ __all__ = [
     "DEFAULT_BENCHMARKS",
     "DVFS_CASE_STUDY_BENCHMARKS",
     "KERNELS",
+    "KERNEL_PREFIX",
     "Kernel",
+    "PHASED_PREFIX",
     "PROFILES",
+    "PhasePlacement",
+    "PhasedMix",
+    "PhasedWorkload",
     "SyntheticWorkload",
     "WORKLOADS",
+    "WORKLOAD_MIXES",
     "WorkloadEntry",
+    "available_mixes",
     "available_workloads",
     "build_workload",
     "get_kernel",
+    "get_mix",
     "get_profile",
     "get_workload_entry",
     "kernel_trace",

@@ -282,3 +282,113 @@ def get_profile(name: str) -> BenchmarkProfile:
 def profiles_in_suite(suite: str) -> List[BenchmarkProfile]:
     """All profiles belonging to one suite."""
     return [p for p in PROFILES.values() if p.suite == suite]
+
+
+# --------------------------------------------------------------- phased mixes
+#: Phase-schedule kinds understood by the phased trace generator
+#: (:mod:`repro.workloads.phased`).
+PHASE_STATIC = "static"
+PHASE_OSCILLATING = "oscillating"
+PHASE_HOTSET = "hotset"
+
+PHASE_KINDS: Tuple[str, ...] = (PHASE_STATIC, PHASE_OSCILLATING, PHASE_HOTSET)
+
+
+@dataclass(frozen=True)
+class PhasedMix:
+    """A characterized multi-phase workload mix (the workload-profile table).
+
+    A mix names the regime structure of a phased workload: which base
+    workloads (benchmark profiles or ``kernel:<name>`` kernels) supply each
+    phase's instructions, and how the phases are scheduled over the run:
+
+    * ``static`` -- each segment runs once, in order, splitting the
+      instruction budget by ``weights`` (one long regime per segment);
+    * ``oscillating`` -- the segments alternate every ``period``
+      instructions until the budget is exhausted (regime *changes* at a
+      fixed cadence -- where online DVFS controllers must react);
+    * ``hotset`` -- a single base segment whose data working set is
+      rescaled every ``period`` instructions through ``hot_scales`` (the
+      hot set drifts while the instruction mix stays put).
+    """
+
+    name: str
+    description: str
+    kind: str
+    #: base workload names: benchmark profiles or ``kernel:<name>`` kernels
+    segments: Tuple[str, ...]
+    #: instructions per phase (oscillating / hotset schedules)
+    period: int = 500
+    #: per-segment budget shares (static schedules; empty = uniform)
+    weights: Tuple[float, ...] = ()
+    #: working-set multipliers cycled per phase (hotset schedules)
+    hot_scales: Tuple[float, ...] = (1.0, 4.0, 0.25)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PHASE_KINDS:
+            raise ValueError(f"mix {self.name!r}: unknown phase kind "
+                             f"{self.kind!r}; known: {', '.join(PHASE_KINDS)}")
+        if not self.segments:
+            raise ValueError(f"mix {self.name!r}: needs at least one segment")
+        if self.kind in (PHASE_OSCILLATING, PHASE_HOTSET) and self.period <= 0:
+            raise ValueError(f"mix {self.name!r}: period must be positive")
+        if self.weights and len(self.weights) != len(self.segments):
+            raise ValueError(f"mix {self.name!r}: {len(self.weights)} weights "
+                             f"for {len(self.segments)} segments")
+        if any(w <= 0 for w in self.weights):
+            raise ValueError(f"mix {self.name!r}: weights must be positive")
+        if self.kind == PHASE_HOTSET and not self.hot_scales:
+            raise ValueError(f"mix {self.name!r}: hotset mixes need "
+                             "hot_scales")
+
+
+#: The named workload-profile table of characterized multi-phase mixes.  Each
+#: entry is registered as the first-class workload name ``phased:<mix>`` (see
+#: :mod:`repro.workloads.registry`) and therefore flows through scenarios,
+#: sweeps, the results store and ``repro serve`` like any stationary workload.
+WORKLOAD_MIXES: Dict[str, PhasedMix] = {m.name: m for m in [
+    PhasedMix(
+        name="intfp-osc", kind=PHASE_OSCILLATING,
+        segments=("gcc", "swim"), period=400,
+        description="integer/FP regime oscillation: gcc (no FP) alternating "
+                    "with swim (streaming FP) every 400 instructions"),
+    PhasedMix(
+        name="calm-storm", kind=PHASE_OSCILLATING,
+        segments=("adpcm", "fpppp"), period=600,
+        description="control-flow regime oscillation: branchy adpcm "
+                    "alternating with nearly branch-free FP fpppp"),
+    PhasedMix(
+        name="membound-osc", kind=PHASE_OSCILLATING,
+        segments=("li", "tomcatv"), period=500,
+        description="memory-pressure oscillation: small-footprint li "
+                    "alternating with cache-thrashing tomcatv"),
+    PhasedMix(
+        name="int-fp-mem", kind=PHASE_STATIC,
+        segments=("gcc", "swim", "mpeg2"), weights=(1.0, 1.0, 1.0),
+        description="three long regimes back to back: integer compile, "
+                    "streaming FP, then media/memory"),
+    PhasedMix(
+        name="hotset-perl", kind=PHASE_HOTSET,
+        segments=("perl",), period=500, hot_scales=(1.0, 4.0, 0.25),
+        description="dynamic hot set: perl's working set rescaled every "
+                    "500 instructions (1x -> 4x -> 0.25x)"),
+    PhasedMix(
+        name="kernel-warmup", kind=PHASE_STATIC,
+        segments=("kernel:dot_product", "gcc"), weights=(1.0, 3.0),
+        description="assembled dot-product kernel prologue followed by a "
+                    "long gcc-profile regime"),
+]}
+
+
+def get_mix(name: str) -> PhasedMix:
+    """Look up a phased workload mix by name."""
+    try:
+        return WORKLOAD_MIXES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown phased mix {name!r}; known: "
+                       f"{', '.join(sorted(WORKLOAD_MIXES))}") from exc
+
+
+def available_mixes() -> Tuple[str, ...]:
+    """Registered phased-mix names, sorted."""
+    return tuple(sorted(WORKLOAD_MIXES))

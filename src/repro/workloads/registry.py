@@ -1,12 +1,14 @@
 """Workload registry: named trace factories for the Scenario subsystem.
 
-Two families of workloads exist and both are addressable by name:
+Three families of workloads exist and all are addressable by name:
 
 * synthetic profile-driven workloads (:mod:`repro.workloads.synthetic`),
-  registered under their benchmark profile name ("perl", "gcc", ...), and
+  registered under their benchmark profile name ("perl", "gcc", ...),
 * hand-written kernels (:mod:`repro.workloads.kernels`), assembled and
   functionally executed to a real dynamic trace, registered as
-  ``kernel:<name>`` ("kernel:dot_product", ...).
+  ``kernel:<name>`` ("kernel:dot_product", ...), and
+* phase-structured mixes (:mod:`repro.workloads.phased`) that change regime
+  mid-run, registered as ``phased:<mix>`` ("phased:intfp-osc", ...).
 
 The registry is what makes scenarios declarative: a scenario stores only the
 workload *name* plus its sizing parameters, and :func:`build_workload` turns
@@ -21,14 +23,19 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..isa.trace import ListTraceSource
 from .kernels import KERNELS
-from .profiles import PROFILES
+from .phased import PhasedWorkload
+from .profiles import PROFILES, WORKLOAD_MIXES
 from .synthetic import SyntheticWorkload, make_workload
 
 WORKLOAD_SYNTHETIC = "synthetic"
 WORKLOAD_KERNEL = "kernel"
+WORKLOAD_PHASED = "phased"
 
 #: Prefix marking kernel workload names in the registry.
 KERNEL_PREFIX = "kernel:"
+
+#: Prefix marking phased-mix workload names in the registry.
+PHASED_PREFIX = "phased:"
 
 
 @dataclass(frozen=True)
@@ -36,7 +43,7 @@ class WorkloadEntry:
     """One named workload: how to build its trace."""
 
     name: str
-    kind: str            # WORKLOAD_SYNTHETIC or WORKLOAD_KERNEL
+    kind: str            # WORKLOAD_SYNTHETIC, WORKLOAD_KERNEL or WORKLOAD_PHASED
     description: str
     #: (num_instructions, seed, kernel_size) -> (trace, workload object or None)
     factory: Callable[[int, int, int],
@@ -67,6 +74,19 @@ def _kernel_factory(name: str):
     return build
 
 
+def _phased_factory(name: str):
+    def build(num_instructions: int, seed: int, kernel_size: int
+              ) -> Tuple[ListTraceSource, Optional[SyntheticWorkload]]:
+        workload = PhasedWorkload(WORKLOAD_MIXES[name], seed=seed,
+                                  kernel_size=kernel_size)
+        trace = workload.trace(num_instructions)
+        # The fetch unit only needs a wrong-path generator; hand it the
+        # phased workload's (deterministic) delegate so phased runs squash
+        # speculative work just like stationary synthetic runs.
+        return trace, workload.wrong_path_source()
+    return build
+
+
 WORKLOADS: Dict[str, WorkloadEntry] = {}
 
 for _name, _profile in PROFILES.items():
@@ -80,6 +100,13 @@ for _name, _kernel in KERNELS.items():
         name=KERNEL_PREFIX + _name, kind=WORKLOAD_KERNEL,
         description=_kernel.description,
         factory=_kernel_factory(_name))
+
+# Registered at import time so spawn-pool sweep workers see the same names.
+for _name, _mix in WORKLOAD_MIXES.items():
+    WORKLOADS[PHASED_PREFIX + _name] = WorkloadEntry(
+        name=PHASED_PREFIX + _name, kind=WORKLOAD_PHASED,
+        description=_mix.description,
+        factory=_phased_factory(_name))
 
 
 #: Materialised-workload memo: (name, num_instructions, seed, kernel_size)
@@ -103,8 +130,8 @@ def get_workload_entry(name: str) -> WorkloadEntry:
 
 
 def available_workloads() -> Tuple[str, ...]:
-    """Registered workload names, synthetic profiles first."""
-    return tuple(WORKLOADS)
+    """Registered workload names, sorted for stable CLI/doc output."""
+    return tuple(sorted(WORKLOADS))
 
 
 def build_workload(name: str, num_instructions: int, seed: int = 1,

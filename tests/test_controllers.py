@@ -20,7 +20,8 @@ from dataclasses import asdict, replace
 import pytest
 
 from repro.analysis.report import (design_space_records, design_space_table,
-                                   dvfs_trace_records, dvfs_trace_table)
+                                   dvfs_trace_records, dvfs_trace_table,
+                                   phase_resolved_table, phase_trace_records)
 from repro.core.controllers import (CONTROLLERS, EpochTelemetry,
                                     IntervalController, OccupancyController,
                                     PidController, available_controllers,
@@ -367,3 +368,73 @@ def test_occupancy_controller_beats_best_static_policy_on_ed2():
     table = design_space_table(outcomes + [adaptive])
     assert "controller" in table.splitlines()[0]
     assert "occupancy" in table
+
+
+# ------------------------------------------- phased-workload regression pins
+PHASED_OSC = dict(workload="phased:intfp-osc", num_instructions=1200)
+#: The adaptive configuration the phased-oscillation pin certifies: a short
+#: epoch (so the controller sees each 400-instruction regime several times)
+#: with full-step retiming up to 2x.
+PHASED_ADAPTIVE = dict(controller="occupancy", controller_epoch=10.0,
+                       controller_args={"step": 1.0, "max_slowdown": 2.0})
+
+
+def test_adaptive_beats_every_static_policy_on_oscillating_phases():
+    """No static policy can fit BOTH regimes of an oscillating mix.
+
+    phased:intfp-osc alternates gcc (no FP work -- fp should sleep) with
+    swim (streaming FP -- fp must run flat out) every 400 instructions.
+    Each registered static policy commits to one answer for the whole run;
+    the occupancy controller retimes at the regime changes and wins on ED2.
+    """
+    statics = [run_scenario("gals5", policy=policy, **PHASED_OSC)
+               for policy in (None, *POLICIES)]
+    others = [run_scenario("gals5", controller=name, **PHASED_OSC)
+              for name in ("interval", "pid")]
+    adaptive = run_scenario("gals5", **PHASED_OSC, **PHASED_ADAPTIVE)
+    records = design_space_records(statics + others + [adaptive])
+    static_ed2 = [record["ed2p_nj_ns2"] for record in records
+                  if record["controller"] is None]
+    assert len(static_ed2) == 1 + len(POLICIES)
+    adaptive_ed2 = [record["ed2p_nj_ns2"] for record in records
+                    if record["controller"] == "occupancy"]
+    assert len(adaptive_ed2) == 1
+    # beat the best static policy with margin (observed ratio ~0.89)
+    assert adaptive_ed2[0] < 0.95 * min(static_ed2)
+
+
+def test_controller_retimes_at_phase_boundaries():
+    """The dvfs trace must show the controller reacting to regime changes."""
+    adaptive = run_scenario("gals5", **PHASED_OSC, **PHASED_ADAPTIVE)
+    records = phase_trace_records(adaptive)
+    phases = sorted({record["phase"] for record in records})
+    assert phases == [0, 1, 2]  # gcc, swim, gcc
+    first_epoch = {}
+    for position, record in enumerate(records):
+        first_epoch.setdefault(record["phase"], position)
+    for phase in phases[1:]:
+        start = first_epoch[phase]
+        # a retime lands within the first two epochs of each new regime
+        assert any(record["retimed"] for record in records[start:start + 2])
+    # steady state: fp is slowed while gcc runs, released while swim runs
+    end_of = {record["phase"]: record for record in records}
+    assert end_of[0]["slowdowns"]["fp"] > 1.0
+    assert end_of[2]["slowdowns"]["fp"] > 1.0
+    assert end_of[1]["slowdowns"]["fp"] == 1.0
+
+
+def test_phase_resolved_table_shows_the_regimes():
+    adaptive = run_scenario("gals5", **PHASED_OSC, **PHASED_ADAPTIVE)
+    table = phase_resolved_table(adaptive)
+    lines = table.splitlines()
+    assert "segment" in lines[0] and "nJ/instr" in lines[0]
+    assert len(lines) == 4  # header + one row per phase
+    assert lines[1].split()[1] == "gcc"
+    assert lines[2].split()[1] == "swim"
+    assert lines[3].split()[1] == "gcc"
+
+
+def test_phase_trace_requires_a_phased_workload():
+    stationary = run_scenario("gals5-perl-occupancy", num_instructions=300)
+    with pytest.raises(ValueError, match="not a phased: workload"):
+        phase_trace_records(stationary)

@@ -1,0 +1,228 @@
+"""Property suite for phase-structured workloads (``phased:<mix>``).
+
+Pins the contracts the phased-workload subsystem rests on:
+
+* the phase plan is exact arithmetic -- phases are contiguous, cover the
+  instruction budget precisely, and oscillating schedules place boundaries
+  at multiples of the mix period;
+* composition -- a phase's records equal exactly what its segment generator
+  would produce standalone with the phase seed (no cross-phase RNG bleed);
+* determinism -- rebuilds, spawn-pool sweep workers and results-store round
+  trips all produce bit-identical results;
+* the ``build_workload`` memo never aliases across mixes, seeds or budgets.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cli import main
+from repro.core.scenario import run_scenario, sweep_scenarios
+from repro.results import ResultsStore
+from repro.workloads import (PHASED_PREFIX, WORKLOAD_MIXES, PhasedMix,
+                             PhasedWorkload, available_mixes, get_mix,
+                             get_profile)
+from repro.workloads.kernels import KERNELS
+from repro.workloads.profiles import PHASE_OSCILLATING, PHASE_STATIC
+from repro.workloads.registry import (WORKLOADS, available_workloads,
+                                      build_workload)
+from repro.workloads.synthetic import SyntheticWorkload
+
+SMALL = 600
+
+
+def osc(seed=1):
+    return PhasedWorkload(get_mix("intfp-osc"), seed=seed)
+
+
+# ----------------------------------------------------------------- phase plan
+def test_plan_is_contiguous_and_covers_the_budget_exactly():
+    for mix in WORKLOAD_MIXES.values():
+        for budget in (1, 37, 400, 997, 2400):
+            plan = PhasedWorkload(mix, seed=3).plan(budget)
+            assert plan[0].start == 0
+            assert plan[-1].end == budget
+            for before, after in zip(plan, plan[1:]):
+                assert after.start == before.end
+            assert all(p.length > 0 for p in plan)
+            assert [p.index for p in plan] == list(range(len(plan)))
+
+
+def test_oscillating_plan_places_boundaries_on_period_multiples():
+    mix = get_mix("intfp-osc")
+    plan = osc().plan(1200)
+    assert [p.start for p in plan] == [0, 400, 800]
+    assert [p.length for p in plan] == [400, 400, 400]
+    assert [p.segment for p in plan] == ["gcc", "swim", "gcc"]
+    # a budget that is not a period multiple truncates only the last phase
+    ragged = osc().plan(1000)
+    assert [p.length for p in ragged] == [400, 400, 200]
+    assert all(p.start % mix.period == 0 for p in ragged)
+
+
+def test_static_plan_splits_budget_by_weights():
+    plan = PhasedWorkload(get_mix("kernel-warmup")).plan(1000)
+    # weights (1, 3) -> 250 kernel instructions, 750 gcc instructions
+    assert [(p.segment, p.length) for p in plan] == [
+        ("kernel:dot_product", 250), ("gcc", 750)]
+
+
+def test_plan_rejects_empty_budget():
+    with pytest.raises(ValueError):
+        osc().plan(0)
+
+
+# ---------------------------------------------------------------- composition
+def _strip_index(instr):
+    return replace(instr, index=0)
+
+
+def test_phase_records_equal_standalone_segment_generators():
+    """Composition: each phase is exactly its segment generator's output."""
+    workload = osc(seed=7)
+    records = list(workload.trace(1000))
+    for placement in workload.plan(1000):
+        standalone = SyntheticWorkload(
+            get_profile(placement.segment),
+            seed=workload.phase_seed(placement.index))
+        expected = list(standalone.trace(placement.length))
+        got = records[placement.start:placement.end]
+        assert ([_strip_index(i) for i in got]
+                == [_strip_index(i) for i in expected])
+
+
+def test_trace_records_are_reindexed_globally():
+    records = list(osc().trace(900))
+    assert [instr.index for instr in records] == list(range(900))
+
+
+def test_kernel_phase_tiles_the_assembled_kernel_trace():
+    workload = PhasedWorkload(get_mix("kernel-warmup"), seed=1)
+    records = list(workload.trace(1000))
+    (kernel_phase, _) = workload.plan(1000)
+    base = list(KERNELS["dot_product"].trace(workload.kernel_size))
+    got = records[kernel_phase.start:kernel_phase.end]
+    for offset, instr in enumerate(got):
+        assert _strip_index(instr) == _strip_index(base[offset % len(base)])
+
+
+def test_hotset_phases_rescale_the_working_set():
+    workload = PhasedWorkload(get_mix("hotset-perl"))
+    base_kb = get_profile("perl").working_set_kb
+    plan = workload.plan(1500)
+    assert [p.working_set_scale for p in plan] == [1.0, 4.0, 0.25]
+    for placement in plan:
+        segment = workload.segment_workload(placement)
+        assert segment.profile.working_set_kb == max(
+            1, round(base_kb * placement.working_set_scale))
+
+
+def test_wrong_path_delegate_is_first_profile_phase():
+    # kernel-warmup's first phase is a kernel: the delegate must come from
+    # the first *profile* phase so the fetch unit always has a generator
+    workload = PhasedWorkload(get_mix("kernel-warmup"))
+    delegate = workload.wrong_path_source()
+    assert delegate is not None
+    assert delegate.profile.name == "gcc"
+
+
+# ---------------------------------------------------------------- determinism
+def test_trace_is_pure_per_seed():
+    first = list(osc(seed=5).trace(SMALL))
+    again = list(osc(seed=5).trace(SMALL))
+    assert first == again
+    # and repeated calls on ONE object do not advance hidden state
+    workload = osc(seed=5)
+    assert list(workload.trace(SMALL)) == list(workload.trace(SMALL)) == first
+    assert list(osc(seed=6).trace(SMALL)) != first
+
+
+def test_build_workload_memo_does_not_alias_across_keys():
+    name = PHASED_PREFIX + "intfp-osc"
+    base, _ = build_workload(name, SMALL, seed=1)
+    hit, _ = build_workload(name, SMALL, seed=1)
+    assert list(base) == list(hit)
+    assert list(build_workload(name, SMALL, seed=2)[0]) != list(base)
+    assert len(list(build_workload(name, SMALL + 50, seed=1)[0])) == SMALL + 50
+    # the phased name never aliases its base profile's entry
+    assert list(build_workload("gcc", SMALL, seed=1)[0]) != list(base)
+    assert (list(build_workload(PHASED_PREFIX + "membound-osc", SMALL)[0])
+            != list(base))
+
+
+def test_phased_scenarios_survive_the_process_pool():
+    pooled = sweep_scenarios(["gals5-phased-osc"], jobs=2,
+                             num_instructions=SMALL)
+    serial = [run_scenario("gals5-phased-osc", num_instructions=SMALL)]
+    assert [r.to_json() for r in pooled] == [r.to_json() for r in serial]
+
+
+def test_phased_results_round_trip_through_the_store(tmp_path):
+    store = ResultsStore(root=tmp_path)
+    fresh = run_scenario("gals5-phased-osc", num_instructions=SMALL)
+    stored = run_scenario("gals5-phased-osc", num_instructions=SMALL,
+                          store=store)
+    loaded = run_scenario("gals5-phased-osc", num_instructions=SMALL,
+                          store=store)
+    assert store.hits == 1
+    assert fresh.to_json() == stored.to_json() == loaded.to_json()
+
+
+# ------------------------------------------------------------------- registry
+def test_every_mix_is_registered_as_a_first_class_workload():
+    for name in WORKLOAD_MIXES:
+        assert PHASED_PREFIX + name in WORKLOADS
+    assert available_mixes() == tuple(sorted(WORKLOAD_MIXES))
+
+
+def test_available_workloads_is_sorted_and_stable():
+    names = available_workloads()
+    assert list(names) == sorted(names)
+    assert names == available_workloads()
+    assert PHASED_PREFIX + "intfp-osc" in names
+
+
+def test_mix_validation_rejects_malformed_tables():
+    with pytest.raises(ValueError, match="unknown phase kind"):
+        PhasedMix(name="x", description="", kind="wavelet", segments=("gcc",))
+    with pytest.raises(ValueError, match="at least one segment"):
+        PhasedMix(name="x", description="", kind=PHASE_STATIC, segments=())
+    with pytest.raises(ValueError, match="period must be positive"):
+        PhasedMix(name="x", description="", kind=PHASE_OSCILLATING,
+                  segments=("gcc",), period=0)
+    with pytest.raises(ValueError, match="weights"):
+        PhasedMix(name="x", description="", kind=PHASE_STATIC,
+                  segments=("gcc", "swim"), weights=(1.0,))
+    with pytest.raises(ValueError, match="positive"):
+        PhasedMix(name="x", description="", kind=PHASE_STATIC,
+                  segments=("gcc",), weights=(-1.0,))
+    with pytest.raises(KeyError, match="unknown phased mix"):
+        get_mix("nope")
+
+
+# ------------------------------------------------------------------------ CLI
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_lists_workloads_sorted(capsys):
+    code, out, _ = run_cli(capsys, "list", "workloads")
+    assert code == 0
+    lines = [line.split()[0] for line in out.splitlines()
+             if line.startswith("  ")]
+    assert lines == sorted(lines)
+    assert PHASED_PREFIX + "intfp-osc" in lines
+
+
+def test_cli_show_renders_phase_schedule(capsys):
+    code, out, _ = run_cli(capsys, "show", "gals5-phased-osc")
+    assert code == 0
+    head, _, schedule = out.partition("\n\n")
+    payload = json.loads(head)
+    assert payload["workload"] == "phased:intfp-osc"
+    assert "phased workload 'intfp-osc' (oscillating)" in schedule
+    assert "[     0,    400)  gcc" in schedule
+    assert "[   400,    800)  swim" in schedule

@@ -1,14 +1,19 @@
 """Tests for the Topology abstraction, its registry and the generic builder."""
 
+from dataclasses import asdict
+
 import pytest
 
 from repro.core.domains import (BLOCK_LINKS, BLOCKS, DOMAIN_DECODE,
                                 DOMAIN_FETCH, DOMAIN_FP, DOMAIN_INTEGER,
                                 DOMAIN_MEMORY, GALS_DOMAINS, SYNC_DOMAIN,
-                                Topology, available_topologies, get_topology,
+                                Topology, available_topologies, base_block,
+                                get_topology, make_cluster_topology,
                                 register_topology, uniform_plan)
 from repro.core.experiments import run_single
-from repro.core.processor import build_processor
+from repro.core.processor import Processor, build_processor
+from repro.core.scenario import Scenario, run_scenario
+from repro.sim.engine import SimulationEngine
 from repro.workloads import make_workload
 
 SMALL = 250
@@ -166,3 +171,142 @@ def test_fifo_power_model_scales_with_crossing_count():
     assert full is not None
     assert ports["memsplit2"] == max(1, round(full * 1 / len(BLOCK_LINKS)))
     assert ports["frontback2"] == max(1, round(full * 4 / len(BLOCK_LINKS)))
+
+
+# ------------------------------------------------- replicated-cluster family
+def test_base_block_strips_replica_suffixes():
+    assert base_block("integer2") == DOMAIN_INTEGER
+    assert base_block("fp12") == DOMAIN_FP
+    for block in BLOCKS:
+        assert base_block(block) == block
+    # only canonical stems resolve; anything else passes through unchanged
+    assert base_block("rogue7") == "rogue7"
+
+
+def test_cluster_topology_structure_scales_with_replicas():
+    """Domains, blocks and synchronizer crossings grow as N predicts."""
+    for n in (1, 2, 3, 4, 8):
+        topo = get_topology(f"cluster{n}")
+        assert topo.num_domains == 3 + 2 * n
+        assert len(topo.blocks) == 3 + 2 * n
+        # every block keeps its own clock -> every link is a crossing
+        assert len(topo.edges()) == len(BLOCK_LINKS) + 2 * (n - 1)
+        assert len(topo.links) == len(BLOCK_LINKS) + 2 * (n - 1)
+    with pytest.raises(ValueError):
+        make_cluster_topology(0)
+    with pytest.raises(KeyError):
+        get_topology("cluster999")   # beyond the on-demand synthesis bound
+
+
+def test_cluster1_matches_gals5_bit_for_bit():
+    """The 1-pair member of the parametric family IS the paper's machine."""
+    reference = run_single("perl", "gals5", num_instructions=SMALL, seed=1)
+    cluster1 = run_single("perl", "cluster1", num_instructions=SMALL, seed=1)
+    ref = asdict(reference)
+    got = asdict(cluster1)
+    # only the processor label (the topology's kind) may differ
+    assert ref.pop("processor") == "gals"
+    assert got.pop("processor") == "cluster1"
+    assert got == ref
+
+
+#: Bit-exact goldens for the replicated-cluster machines, captured when the
+#: cluster family landed.  If a future change intentionally alters the model,
+#: update these constants in the same commit and say so.
+CLUSTER_GOLDEN = {
+    ("cluster2", "perl", 300): {
+        "committed_instructions": 300,
+        "elapsed_ns": 146.7579544029403,
+        "ipc": 2.044182212953968,
+        "mean_slip_ns": 26.206865884748627,
+        "total_energy_nj": 2734.6213859555164,
+        "recoveries": 0,
+        "domain_cycles": {"fetch": 146, "decode": 147, "integer": 147,
+                          "fp": 147, "memory": 147, "integer2": 147,
+                          "fp2": 146},
+    },
+    ("cluster4", "perl", 300): {
+        "committed_instructions": 300,
+        "elapsed_ns": 146.7579544029403,
+        "ipc": 2.044182212953968,
+        "mean_slip_ns": 26.843532551415294,
+        "total_energy_nj": 3388.528607560866,
+        "recoveries": 0,
+        "domain_cycles": {"fetch": 146, "decode": 147, "integer": 147,
+                          "fp": 147, "memory": 147, "integer2": 147,
+                          "fp2": 146, "integer3": 147, "fp3": 147,
+                          "integer4": 147, "fp4": 146},
+    },
+}
+
+
+def test_cluster_goldens_bit_identical():
+    for (kind, benchmark, instructions), expected in CLUSTER_GOLDEN.items():
+        result = run_single(benchmark, kind, num_instructions=instructions,
+                            seed=1)
+        assert result.committed_instructions == expected["committed_instructions"]
+        # exact float equality on purpose: the contract is bit-identity
+        assert result.elapsed_ns == expected["elapsed_ns"]
+        assert result.ipc == expected["ipc"]
+        assert result.mean_slip_ns == expected["mean_slip_ns"]
+        assert result.total_energy_nj == expected["total_energy_nj"]
+        assert result.recoveries == expected["recoveries"]
+        assert result.domain_cycles == expected["domain_cycles"]
+
+
+def test_cluster_machine_replicates_execution_resources():
+    """The builder materialises per-replica queues, channels and power models."""
+    workload = make_workload("perl", seed=1)
+    machine = build_processor(workload.trace(10), topology="cluster2",
+                              workload=workload)
+    assert set(machine.exec_units) == {"int", "fp", "mem", "int2", "fp2"}
+    assert set(machine.dispatch_channels) == {"int", "fp", "mem", "int2", "fp2"}
+    # 7 links, every one a crossing on the identity-assignment cluster machine
+    assert len(machine.all_channels) == 7
+    assert all(ch.counts_as_fifo for ch in machine.all_channels)
+    # the FIFO power complex scales UP beyond the paper's five crossings
+    full_machine = build_processor(workload.trace(10), topology="gals5",
+                                   workload=make_workload("perl", seed=1))
+    full = _fifo_power_ports(full_machine)
+    assert _fifo_power_ports(machine) == max(1, round(full * 7 / 5))
+    # replicas carry their own (renamed) energy models in their own domains
+    registered = {model.name
+                  for blocks in machine.power._blocks_by_domain.values()
+                  for model in blocks}
+    assert {"iq_int2", "alu_int2", "iq_fp2", "alu_fp2",
+            "clock_integer2", "clock_fp2"} <= registered
+    # only the primary integer cluster resolves branches
+    assert machine.exec_units["int"].branch_unit is not None
+    assert machine.exec_units["int2"].branch_unit is None
+
+
+def test_replicas_actually_receive_work():
+    result = run_single("perl", "cluster2", num_instructions=SMALL, seed=1)
+    assert result.mean_iq_occupancy["int2"] > 0
+
+
+def test_cluster_scenario_equivalent_on_wheel_and_heap_schedulers():
+    scenario = Scenario(name="eq", topology="cluster2", workload="perl",
+                        num_instructions=SMALL)
+
+    def run(use_wheel):
+        topology = scenario.build_topology()
+        config = scenario.build_config()
+        plan = scenario.build_plan(topology, config.technology)
+        trace, workload = scenario.build_trace()
+        machine = Processor(trace, config=config, plan=plan,
+                            workload=workload, topology=topology,
+                            engine=SimulationEngine(use_wheel=use_wheel))
+        return machine.run()
+
+    assert asdict(run(True)) == asdict(run(False))
+
+
+def test_cluster_scenario_event_wakeup_bit_identical_to_scan():
+    event = run_scenario(Scenario(name="w", topology="cluster2",
+                                  workload="perl", num_instructions=SMALL,
+                                  config={"wakeup_scheme": "event"}))
+    scan = run_scenario(Scenario(name="w", topology="cluster2",
+                                 workload="perl", num_instructions=SMALL,
+                                 config={"wakeup_scheme": "scan"}))
+    assert asdict(event.result) == asdict(scan.result)
