@@ -2,7 +2,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-gals",
-    version="2.7.0",
+    version="2.8.0",
     description=(
         "Reproduction of 'Power and Performance Evaluation of Globally "
         "Asynchronous Locally Synchronous Processors' "

@@ -462,6 +462,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {stats.removed} stale entr"
               f"{'y' if stats.removed == 1 else 'ies'} "
               f"({stats.bytes_freed / 1024:.1f} KiB), kept {stats.kept}")
+    elif args.action == "verify":
+        stats = store.verify()
+        print(f"results store: {store.root}")
+        print(f"checked {stats.checked} entr"
+              f"{'y' if stats.checked == 1 else 'ies'}: "
+              f"{stats.ok} ok, {stats.quarantined} quarantined")
+        if stats.quarantined:
+            print(f"(quarantined entries moved to {store.quarantine_dir}; "
+                  f"inspect with 'repro cache quarantine')")
+            return 1
+    elif args.action == "claims":
+        claims = store.list_claims()
+        print(f"results store: {store.root}")
+        print(f"claim lease TTL: {store.claim_ttl:.0f}s")
+        if not claims:
+            print("(no claims)")
+            return 0
+        print(f"{'key':<14} {'owner':<24} {'pid':>7} {'host':<16} "
+              f"{'age s':>7}  state")
+        for claim in claims:
+            state = "expired" if claim.expired else "live"
+            print(f"{claim.key[:12]:<14} {claim.owner or '-':<24} "
+                  f"{claim.pid:>7} {claim.host:<16} {claim.age:>7.1f}  "
+                  f"{state}")
+    elif args.action == "quarantine":
+        if getattr(args, "clear", False):
+            removed = store.clear_quarantine()
+            print(f"removed {removed} quarantined file"
+                  f"{'' if removed == 1 else 's'} from "
+                  f"{store.quarantine_dir}")
+            return 0
+        quarantined = store.quarantined()
+        print(f"quarantine: {store.quarantine_dir}")
+        if not quarantined:
+            print("(empty)")
+            return 0
+        for item in quarantined:
+            print(f"{item.kind:<8} {item.path.name}")
+            if item.reason:
+                print(f"         {item.reason}")
+        print(f"{len(quarantined)} file{'' if len(quarantined) == 1 else 's'}"
+              f" (clear with 'repro cache quarantine --clear')")
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
@@ -664,13 +706,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_parser = sub.add_parser(
         "cache", help="inspect/maintain the persistent results store")
-    cache_parser.add_argument("action", choices=("ls", "gc", "clear"),
+    cache_parser.add_argument("action",
+                              choices=("ls", "gc", "clear", "verify",
+                                       "claims", "quarantine"),
                               help="ls: list entries; gc: drop entries from "
                                    "other code fingerprints; clear: drop "
-                                   "everything")
+                                   "everything; verify: checksum-scan every "
+                                   "entry (quarantines corrupt ones); "
+                                   "claims: list live/expired claim leases; "
+                                   "quarantine: list (or --clear) "
+                                   "quarantined files")
     cache_parser.add_argument("--cache-dir", metavar="PATH", dest="cache_dir",
                               help="results-store root (default: "
                                    "REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_parser.add_argument("--clear", action="store_true",
+                              help="with 'quarantine': delete the "
+                                   "quarantined files after inspection")
     cache_parser.set_defaults(handler=_cmd_cache)
 
     bench_parser = sub.add_parser(

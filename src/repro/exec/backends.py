@@ -53,6 +53,38 @@ def timed_run_scenario(scenario: Scenario) -> Tuple[ScenarioResult, float]:
     return outcome, time.perf_counter() - start
 
 
+# ------------------------------------------------------ failure classification
+#: Exception types that indicate the *fabric* failed, not the simulation.
+INFRASTRUCTURE_ERRORS = (OSError, BrokenProcessPool)
+
+
+def is_infrastructure_error(exc: BaseException) -> bool:
+    """True when ``exc`` is an infrastructure failure worth retrying.
+
+    Infrastructure failures -- ``OSError`` (filesystem hiccups, torn reads,
+    spawn failures) and a :class:`BrokenProcessPool` -- are transient shapes:
+    the same scenario may well succeed on the next attempt, so the fabric
+    retries them with backoff.  Everything else is a *deterministic*
+    simulation exception: retrying would fail identically, so those fail
+    fast (and poison jobs are quarantined instead of retried).
+    """
+    return isinstance(exc, INFRASTRUCTURE_ERRORS)
+
+
+def retry_delay(backoff: float, attempt: int, token: str) -> float:
+    """Exponential backoff with deterministic per-(token, attempt) jitter.
+
+    Attempt ``k`` (1-based) waits ``backoff * 2**(k-1)`` plus a jitter drawn
+    from ``random.Random(f"{token}:{k}")`` -- deterministic so chaos runs
+    replay identically, jittered so a fleet of retrying workers does not
+    stampede the shared store in lockstep.  Capped at 5 seconds.
+    """
+    import random
+    base = backoff * (2 ** max(attempt - 1, 0))
+    jitter = random.Random(f"{token}:{attempt}").uniform(0.0, backoff)
+    return min(base + jitter, 5.0)
+
+
 # ------------------------------------------------------------------- handles
 @dataclass
 class JobHandle:
@@ -172,6 +204,7 @@ class LocalPoolBackend(JobBackend):
         self._executor: Optional[ProcessPoolExecutor] = None
         self._serial: List[JobHandle] = []
         self._specs: Tuple[WorkloadSpec, ...] = ()
+        self._rebuilds = 0
 
     def warm(self, specs: Sequence[WorkloadSpec]) -> None:
         """Warm the parent's workload memo and remember the specs for workers."""
@@ -186,20 +219,30 @@ class LocalPoolBackend(JobBackend):
                 else default_jobs())
         workers = min(max(1, jobs), len(self._handles))
         if workers > 1:
-            try:
-                self._executor = ProcessPoolExecutor(
-                    max_workers=workers, initializer=warm_worker,
-                    initargs=(self._specs,))
-                self._futures = {
-                    self._executor.submit(timed_run_scenario, handle.scenario):
-                    handle for handle in self._handles}
-            except (OSError, PermissionError):
-                # Pool infrastructure failure (sandboxes without fork/sem
-                # support): the parent can still run everything itself.
-                self._teardown_pool()
+            # Pool infrastructure failure (sandboxes without fork/sem
+            # support): the parent can still run everything itself.
+            self._start_pool(self._handles)
         if self._executor is None:
             self._serial = list(self._handles)
         return list(self._handles)
+
+    def _start_pool(self, handles: Sequence[JobHandle]) -> bool:
+        """Build the executor and submit ``handles``; False on infra failure."""
+        jobs = (self.config.jobs if self.config.jobs is not None
+                else default_jobs())
+        workers = min(max(1, jobs), max(len(handles), 1))
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers, initializer=warm_worker,
+                initargs=(self._specs,))
+            self._futures = {
+                self._executor.submit(timed_run_scenario, handle.scenario):
+                handle for handle in handles}
+            return True
+        except (OSError, PermissionError):
+            self._futures.clear()
+            self._teardown_pool()
+            return False
 
     def poll(self) -> List[JobHandle]:
         """Wait for pool completions (or run one in-process fallback job)."""
@@ -211,13 +254,22 @@ class LocalPoolBackend(JobBackend):
                 try:
                     outcome, seconds = future.result()
                 except (OSError, PermissionError, BrokenProcessPool):
-                    # The pool died mid-sweep: divert this job and every
-                    # still-queued one to the in-process fallback.
-                    self._serial.append(handle)
-                    self._serial.extend(self._futures.values())
-                    self._serial.sort(key=lambda pending: pending.index)
+                    # The pool died mid-sweep -- an infrastructure failure:
+                    # rebuild it (with backoff) up to max_retries times before
+                    # degrading this job and every still-queued one to the
+                    # in-process fallback.
+                    pending = [handle] + list(self._futures.values())
+                    pending.sort(key=lambda item: item.index)
                     self._futures.clear()
                     self._teardown_pool()
+                    self._rebuilds += 1
+                    if self._rebuilds <= self.config.max_retries:
+                        time.sleep(retry_delay(self.config.retry_backoff,
+                                               self._rebuilds, "local-pool"))
+                        if self._start_pool(pending):
+                            break
+                    self._serial.extend(pending)
+                    self._serial.sort(key=lambda item: item.index)
                     break
                 except KeyError:
                     # A spawn/forkserver worker re-imported the package with
@@ -313,7 +365,9 @@ class SubprocessBackend(JobBackend):
         workers = min(max(1, jobs), len(self._handles))
         command = [sys.executable, "-m", "repro.exec.worker",
                    "--store", str(self.store.root), "--exit-when-idle",
-                   "--poll-interval", str(self.config.poll_interval)]
+                   "--poll-interval", str(self.config.poll_interval),
+                   "--max-retries", str(self.config.max_retries),
+                   "--retry-backoff", str(self.config.retry_backoff)]
         for _ in range(workers):
             try:
                 self._workers.append(subprocess.Popen(
@@ -327,6 +381,7 @@ class SubprocessBackend(JobBackend):
 
     def poll(self) -> List[JobHandle]:
         """Collect results the workers published into the shared store."""
+        from .worker import read_error, withdraw_error
         if not self._pending:
             return []
         completed: List[JobHandle] = []
@@ -340,6 +395,18 @@ class SubprocessBackend(JobBackend):
                 self._pending.remove(handle)
         if completed:
             return completed
+        for handle in list(self._pending):
+            key = self.store.key_for(handle.scenario)
+            marker = read_error(self.store, key)
+            if marker is not None and marker.get("quarantined"):
+                # A worker gave up on this job (poison scenario, exhausted
+                # retries, or a registry name only this process knows):
+                # compute it in-process immediately so the sweep finishes or
+                # the real exception surfaces with full context.
+                self._pending.remove(handle)
+                done = handle.complete(*timed_run_scenario(handle.scenario))
+                withdraw_error(self.store, key)
+                return [done]
         if not any(worker.poll() is None for worker in self._workers):
             # Every worker has exited yet jobs remain (a worker crashed, or
             # a scenario references registry names only this process knows):
@@ -352,7 +419,16 @@ class SubprocessBackend(JobBackend):
         return []
 
     def cancel(self) -> None:
-        """Terminate the workers and withdraw unclaimed queue files."""
+        """Stop the workers, release their claims, withdraw queued jobs.
+
+        Termination escalates: ``terminate()`` (SIGTERM) first, and any
+        worker still alive after the 5 s grace ``wait`` gets ``kill()``
+        (SIGKILL) and a blocking reap.  Claims the stopped workers still
+        held are then released outright -- the holders are provably dead,
+        so a cancelled sweep can be resumed immediately instead of waiting
+        out the lease TTL.
+        """
+        from ..results.store import _hostname
         for worker in self._workers:
             if worker.poll() is None:
                 worker.terminate()
@@ -361,7 +437,12 @@ class SubprocessBackend(JobBackend):
                 worker.wait(timeout=5)
             except subprocess.TimeoutExpired:  # pragma: no cover - defensive
                 worker.kill()
+                worker.wait()
+        pids = {worker.pid for worker in self._workers}
         self._workers.clear()
+        for claim in self.store.list_claims():
+            if claim.pid in pids and claim.host == _hostname():
+                self.store.release_claim(claim.key)
         for handle in self._pending:
             self._dequeue(handle.scenario)
         self._pending.clear()

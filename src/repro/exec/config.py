@@ -40,7 +40,13 @@ class ExecutionConfig:
     ``None``/``False`` = uncached); ``warm_start`` pre-builds the sweep's
     workloads in every worker; ``poll_interval`` is the completion-poll
     period (seconds) for backends that poll shared state rather than wait on
-    in-process futures.
+    in-process futures.  ``max_retries`` bounds how often an
+    *infrastructure* failure (``OSError``, a broken process pool, a torn
+    job file) is retried with exponential backoff before the job is given
+    up on -- deterministic simulation exceptions are never retried; they
+    fail fast.  ``retry_backoff`` is the backoff base delay in seconds
+    (attempt ``k`` waits ``retry_backoff * 2**k`` plus deterministic
+    jitter).
     """
 
     backend: str = "local"
@@ -48,12 +54,18 @@ class ExecutionConfig:
     store: Any = True
     warm_start: bool = True
     poll_interval: float = 0.05
+    max_retries: int = 3
+    retry_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         if self.jobs is not None and self.jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
 
     def resolve_store(self) -> Optional["ResultsStore"]:
         """This configuration's results store (``None`` when uncached)."""

@@ -3,17 +3,31 @@
 One worker process drains the job queue of a results store: it scans
 ``<store root>/queue/`` for job files (one canonical scenario JSON each,
 written by :class:`~repro.exec.backends.SubprocessBackend` or by hand),
-claims individual jobs via the store's atomic claim files, runs the claimed
-scenario through the single :func:`~repro.core.scenario.run_scenario` path
-and publishes the result with the store's atomic ``put()``.  Because the
-*only* coordination substrate is the store directory, any number of workers
--- on this machine or on other hosts sharing the filesystem -- can drain the
-same queue without double-computing or torn writes.
+claims individual jobs via the store's atomic *leased* claim files, runs the
+claimed scenario through the single
+:func:`~repro.core.scenario.run_scenario` path and publishes the result with
+the store's atomic ``put()``.  Because the *only* coordination substrate is
+the store directory, any number of workers -- on this machine or on other
+hosts sharing the filesystem -- can drain the same queue without
+double-computing or torn writes.
 
-A job that raises is recorded as a ``<key>.err`` marker (with the
-traceback) instead of looping forever; the submitting parent falls back to
-computing such jobs in-process, which re-raises the real exception with
-full context.
+Failure handling is the point of this module:
+
+* while computing, the worker **heartbeats** its claim
+  (:meth:`~repro.results.store.ResultsStore.heartbeat_claim`); a worker that
+  dies mid-job (SIGKILL, power loss) simply stops heartbeating, and after
+  ``REPRO_CLAIM_TTL`` seconds any other worker breaks the expired lease and
+  recomputes -- no job is ever wedged forever;
+* failures are **classified**: infrastructure errors (``OSError``, a broken
+  pool, a torn job file) are retried in place with exponential backoff and
+  deterministic jitter up to ``--max-retries``, while deterministic
+  simulation exceptions fail fast;
+* a job that keeps failing is recorded as a ``<key>.err`` marker whose JSON
+  carries the growing attempt count and, once given up on, is **quarantined**
+  (the queue file moves to ``<store>/quarantine/jobs/``) -- a poison
+  scenario stops one job, not the fleet.  The submitting parent computes
+  quarantined jobs in-process, which re-raises the real exception with full
+  context.
 
 Usage::
 
@@ -25,19 +39,30 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import threading
 import time
 import traceback
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.scenario import Scenario
-from ..results.store import ResultsStore
+from ..results.store import ResultsStore, temp_path_for
+from .faults import inject, set_role
 
 #: Queue directory name under the store root.
 QUEUE_DIR = "queue"
 
 #: Consecutive empty queue scans before an ``--exit-when-idle`` worker exits.
+#: Scans that find queued-but-claimed jobs do *not* count as idle: the claim
+#: holder may be dead, and its lease expiry would make the job claimable.
 IDLE_SCANS = 3
+
+#: Default bound on infrastructure-failure retries (mirrors
+#: :class:`~repro.exec.config.ExecutionConfig.max_retries`).
+DEFAULT_MAX_RETRIES = 3
+
+#: Default backoff base delay in seconds.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 def queue_dir(store: ResultsStore) -> Path:
@@ -51,7 +76,7 @@ def job_path(store: ResultsStore, key: str) -> Path:
 
 
 def error_path(store: ResultsStore, key: str) -> Path:
-    """Failure-marker path of one job (holds the worker's traceback)."""
+    """Failure-marker path of one job (JSON: attempts, error, traceback)."""
     return queue_dir(store) / f"{key}.err"
 
 
@@ -62,9 +87,14 @@ def enqueue_job(store: ResultsStore, scenario: Scenario,
         key = store.key_for(scenario)
     path = job_path(store, key)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_suffix(f".tmp.{os.getpid()}")
-    temporary.write_text(json.dumps(
-        {"key": key, "scenario": scenario.to_dict()}, indent=1))
+    fault = inject("worker.enqueue")
+    # host+pid+thread+serial-unique temp name (the store's own scheme): two
+    # hosts sharing the store over NFS can collide on a bare pid
+    temporary = temp_path_for(path)
+    text = json.dumps({"key": key, "scenario": scenario.to_dict()}, indent=1)
+    if fault is not None and fault.action == "torn":
+        text = text[:len(text) // 2]
+    temporary.write_text(text)
     os.replace(temporary, path)
     # a fresh submission supersedes any stale failure marker for the key
     withdraw_error(store, key)
@@ -87,6 +117,30 @@ def withdraw_error(store: ResultsStore, key: str) -> None:
         pass
 
 
+def read_error(store: ResultsStore, key: str) -> Optional[Dict[str, Any]]:
+    """Parse one failure marker; None when absent or unreadable."""
+    try:
+        payload = json.loads(error_path(store, key).read_text())
+        return payload if isinstance(payload, dict) else None
+    except (OSError, ValueError):
+        return None
+
+
+def write_error(store: ResultsStore, key: str, attempts: int, error: str,
+                trace: str, infrastructure: bool, quarantined: bool) -> None:
+    """Record (atomically) one job's failure state in its ``.err`` marker."""
+    path = error_path(store, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = temp_path_for(path)
+    temporary.write_text(json.dumps({
+        "key": key, "attempts": attempts, "error": error,
+        "traceback": trace, "infrastructure": infrastructure,
+        "quarantined": quarantined,
+        "updated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }, indent=1))
+    os.replace(temporary, path)
+
+
 def pending_jobs(store: ResultsStore) -> List[Path]:
     """Job files currently queued, oldest key first (stable across workers)."""
     directory = queue_dir(store)
@@ -96,7 +150,7 @@ def pending_jobs(store: ResultsStore) -> List[Path]:
 
 
 def _load_job(path: Path) -> Optional[Scenario]:
-    """Parse one job file; None when it is torn/foreign (skip it)."""
+    """Parse one job file; None when it is torn/foreign (quarantine it)."""
     try:
         payload = json.loads(path.read_text())
         return Scenario.from_dict(payload["scenario"])
@@ -104,63 +158,148 @@ def _load_job(path: Path) -> Optional[Scenario]:
         return None
 
 
-def run_one(store: ResultsStore, owner: str = "") -> bool:
+class _ClaimHeartbeat:
+    """Background thread refreshing one claim's lease while a job computes.
+
+    Beats every quarter TTL, stops when the job finishes or the lease turns
+    out to be broken (the claim file vanished under us: another worker
+    decided we were dead -- publishing our result anyway is harmless, the
+    store's puts are idempotent, but resurrecting the claim would not be).
+    """
+
+    def __init__(self, store: ResultsStore, key: str) -> None:
+        self.store = store
+        self.key = key
+        self.interval = max(store.claim_ttl / 4.0, 0.05)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name=f"claim-heartbeat-{key[:8]}")
+
+    def start(self) -> None:
+        """Start beating."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop beating and reap the thread."""
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            if inject("worker.heartbeat") is not None:
+                continue  # injected stall: skip this beat
+            if not self.store.heartbeat_claim(self.key):
+                return  # lease broken by another worker: stop resurrecting it
+
+
+def run_one(store: ResultsStore, owner: str = "",
+            max_retries: int = DEFAULT_MAX_RETRIES,
+            retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> bool:
     """Claim and run at most one queued job; True when one was processed.
 
     Processing means: the job was claimed, computed (or found already
-    published) and its queue file removed -- or it failed and a ``.err``
-    marker was written.  False means nothing was claimable this scan (queue
-    empty, or every remaining job is claimed by another worker).
+    published) and its queue file removed -- or it failed terminally and was
+    quarantined with a ``.err`` marker.  False means nothing was claimable
+    this scan (queue empty, or every remaining job is claimed by another
+    worker whose lease is still live).
     """
-    from .backends import timed_run_scenario
+    from .backends import (is_infrastructure_error, retry_delay,
+                           timed_run_scenario)
     for path in pending_jobs(store):
         key = path.stem
         if store.entry_path(key).exists():
             # someone already published this job's result
             withdraw_job(store, key)
             continue
+        marker = read_error(store, key)
+        if marker is not None and marker.get("quarantined"):
+            continue  # given up on; the submitting parent owns it now
         if not store.try_claim(key, owner=owner):
             continue
+        heartbeat = _ClaimHeartbeat(store, key)
+        heartbeat.start()
         try:
             if store.entry_path(key).exists():
                 # published between the scan and the claim
                 withdraw_job(store, key)
                 return True
+            inject("worker.claimed")  # injected death mid-claim (os._exit)
             scenario = _load_job(path)
             if scenario is None:
+                # enqueue writes atomically, so an unparseable job file is
+                # corruption, not a mid-write read: quarantine it
+                write_error(store, key, attempts=1, error="torn job file",
+                            trace="", infrastructure=True, quarantined=True)
+                store.quarantine_file(path, kind="jobs",
+                                      reason="torn job file")
+                return True
+            attempts = int(marker.get("attempts", 0)) if marker else 0
+            while True:
+                attempts += 1
+                try:
+                    outcome, seconds = timed_run_scenario(scenario)
+                    store.put(outcome, wall_seconds=seconds)
+                except Exception as exc:
+                    infrastructure = is_infrastructure_error(exc)
+                    write_error(store, key, attempts=attempts,
+                                error=f"{type(exc).__name__}: {exc}",
+                                trace=traceback.format_exc(),
+                                infrastructure=infrastructure,
+                                quarantined=False)
+                    if infrastructure and attempts <= max_retries:
+                        time.sleep(retry_delay(retry_backoff, attempts, key))
+                        continue  # transient shape: try again, lease held
+                    # poison scenario (deterministic failure) or retries
+                    # exhausted: quarantine so the rest of the fleet moves on
+                    write_error(store, key, attempts=attempts,
+                                error=f"{type(exc).__name__}: {exc}",
+                                trace=traceback.format_exc(),
+                                infrastructure=infrastructure,
+                                quarantined=True)
+                    store.quarantine_file(
+                        path, kind="jobs",
+                        reason=f"{type(exc).__name__}: {exc} "
+                               f"(after {attempts} attempt"
+                               f"{'' if attempts == 1 else 's'})")
+                    return True
+                # success: a transient failure never leaves a lasting marker
+                withdraw_error(store, key)
                 withdraw_job(store, key)
                 return True
-            try:
-                outcome, seconds = timed_run_scenario(scenario)
-            except Exception:
-                error_path(store, key).write_text(traceback.format_exc())
-                withdraw_job(store, key)
-                return True
-            store.put(outcome, wall_seconds=seconds)
-            withdraw_job(store, key)
-            return True
         finally:
+            heartbeat.stop()
             store.release_claim(key)
     return False
 
 
 def drain(store: ResultsStore, poll_interval: float = 0.05,
-          exit_when_idle: bool = False, owner: str = "") -> int:
+          exit_when_idle: bool = False, owner: str = "",
+          max_retries: int = DEFAULT_MAX_RETRIES,
+          retry_backoff: float = DEFAULT_RETRY_BACKOFF) -> int:
     """Worker main loop; returns the number of jobs this worker processed.
 
     With ``exit_when_idle`` the loop ends after :data:`IDLE_SCANS`
-    consecutive scans that found nothing claimable (the parent-driven
-    sweep shape); without it the worker serves the queue indefinitely (the
-    standing multi-host worker shape).
+    consecutive scans of a truly *empty* queue (the parent-driven sweep
+    shape); without it the worker serves the queue indefinitely (the
+    standing multi-host worker shape).  A scan that found queued jobs all
+    claimed elsewhere counts as busy, not idle: the holder may be a dead
+    worker whose lease is about to expire, and abandoning the queue then
+    would orphan the job until the submitting parent's fallback.
     """
     processed = 0
     idle_scans = 0
     while True:
-        if run_one(store, owner=owner):
+        if run_one(store, owner=owner, max_retries=max_retries,
+                   retry_backoff=retry_backoff):
             processed += 1
             idle_scans = 0
             continue
-        idle_scans += 1
+        if any(read_error(store, path.stem) is None
+               or not read_error(store, path.stem).get("quarantined")
+               for path in pending_jobs(store)):
+            idle_scans = 0  # claimed-but-pending jobs: busy-wait on leases
+        else:
+            idle_scans += 1
         if exit_when_idle and idle_scans >= IDLE_SCANS:
             return processed
         time.sleep(poll_interval)
@@ -171,7 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.exec.worker",
         description="Drain a results store's sweep-job queue (claim jobs "
-                    "via atomic claim files, publish results atomically).")
+                    "via leased claim files, heartbeat while computing, "
+                    "publish results atomically).")
     parser.add_argument("--store", required=True, metavar="PATH",
                         help="results-store root shared with the submitter")
     parser.add_argument("--poll-interval", type=float, default=0.05,
@@ -180,12 +320,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--exit-when-idle", action="store_true",
                         help="exit after the queue stays empty for a few "
                              "scans instead of serving forever")
+    parser.add_argument("--max-retries", type=int,
+                        default=DEFAULT_MAX_RETRIES, metavar="N",
+                        help="infrastructure-failure retries per job before "
+                             f"quarantine (default {DEFAULT_MAX_RETRIES})")
+    parser.add_argument("--retry-backoff", type=float,
+                        default=DEFAULT_RETRY_BACKOFF, metavar="SECONDS",
+                        help="exponential-backoff base delay "
+                             f"(default {DEFAULT_RETRY_BACKOFF})")
     args = parser.parse_args(argv)
+    set_role("worker")  # fault plans target workers without hitting parents
     store = ResultsStore(root=args.store)
     owner = f"{os.uname().nodename}:{os.getpid()}" if hasattr(os, "uname") \
         else str(os.getpid())
     processed = drain(store, poll_interval=args.poll_interval,
-                      exit_when_idle=args.exit_when_idle, owner=owner)
+                      exit_when_idle=args.exit_when_idle, owner=owner,
+                      max_retries=args.max_retries,
+                      retry_backoff=args.retry_backoff)
     return 0 if processed >= 0 else 1
 
 

@@ -27,6 +27,8 @@ import hashlib
 import itertools
 import json
 import os
+import re
+import socket
 import threading
 import time
 import warnings
@@ -38,14 +40,23 @@ from ..core.domains import get_topology
 from ..core.dvfs import get_policy
 from ..core.scenario import (Scenario, ScenarioResult, _result_from_dict,
                              _result_to_dict)
+from ..exec.faults import inject
 from .fingerprint import code_fingerprint
 
 #: Environment variable overriding the default store location.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Environment variable overriding the claim-lease TTL (seconds).
+CLAIM_TTL_ENV_VAR = "REPRO_CLAIM_TTL"
+
+#: Default claim-lease TTL: a claim whose holder has not heartbeat for this
+#: long is considered dead and may be broken by any other worker.
+DEFAULT_CLAIM_TTL = 60.0
+
 #: Bump when the on-disk entry layout changes; part of every cache key, so a
 #: format change invalidates old stores instead of misreading them.
-STORE_FORMAT = 1
+#: (2: entries carry a SHA-256 payload checksum verified on every read.)
+STORE_FORMAT = 2
 
 #: Scenario fields that do not influence the simulation.
 _METADATA_FIELDS = ("name", "description")
@@ -53,6 +64,45 @@ _METADATA_FIELDS = ("name", "description")
 #: Process-wide serial for temp-file names, so concurrent same-key writers
 #: (threads share a pid, and a thread id can be recycled) never collide.
 _temp_serial = itertools.count()
+
+
+def _hostname() -> str:
+    """This host's name, sanitised for use inside file names."""
+    return re.sub(r"[^A-Za-z0-9-]", "-", socket.gethostname()) or "host"
+
+
+def temp_path_for(path: Path) -> Path:
+    """A writer-unique temporary sibling of ``path`` (atomic-publish source).
+
+    The name embeds host + pid + thread id + a process-wide serial, so
+    concurrent writers -- other threads, other processes, other *hosts*
+    sharing the store over NFS (where pids alone collide) -- never consume
+    each other's temp file.
+    """
+    return path.with_suffix(".tmp.%s.%d.%d.%d" % (
+        _hostname(), os.getpid(), threading.get_ident(), next(_temp_serial)))
+
+
+def default_claim_ttl() -> float:
+    """``$REPRO_CLAIM_TTL`` (seconds), else :data:`DEFAULT_CLAIM_TTL`."""
+    raw = os.environ.get(CLAIM_TTL_ENV_VAR)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_CLAIM_TTL
+
+
+def payload_checksum(result_payload: Any) -> str:
+    """SHA-256 of a result payload's canonical JSON (the integrity field).
+
+    Computed over a canonical re-serialisation (sorted keys, no whitespace)
+    so the checksum survives the entry's pretty-printed storage form; floats
+    round-trip exactly through :mod:`json`, so verification is exact.
+    """
+    text = json.dumps(result_payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -145,14 +195,59 @@ class GcStats:
     bytes_freed: int = 0
 
 
+@dataclass
+class VerifyStats:
+    """Outcome of a ``verify`` pass over the stored entries."""
+
+    checked: int = 0
+    ok: int = 0
+    quarantined: int = 0
+
+
+@dataclass(frozen=True)
+class ClaimInfo:
+    """One live claim file's record (what ``repro cache claims`` prints).
+
+    ``age`` is seconds since the holder's last heartbeat; ``expired`` means
+    the lease outlived the store's TTL and :meth:`ResultsStore.try_claim`
+    will break it on the next contention.
+    """
+
+    key: str
+    owner: str
+    pid: int
+    host: str
+    created: str
+    age: float
+    ttl: float
+
+    @property
+    def expired(self) -> bool:
+        """True when the holder stopped heartbeating for longer than the TTL."""
+        return self.age > self.ttl
+
+
+@dataclass(frozen=True)
+class QuarantinedFile:
+    """One quarantined file: its resting place, origin kind and reason."""
+
+    path: Path
+    kind: str
+    reason: str
+
+
 # ---------------------------------------------------------------------- store
 class ResultsStore:
     """Content-addressed store memoizing scenario runs on disk."""
 
     def __init__(self, root: Optional[Union[str, Path]] = None,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None,
+                 claim_ttl: Optional[float] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
         self.fingerprint = fingerprint or code_fingerprint()
+        #: lease TTL for claim files (``REPRO_CLAIM_TTL`` unless overridden)
+        self.claim_ttl = claim_ttl if claim_ttl is not None \
+            else default_claim_ttl()
         #: probe counters for this store instance (reported by the CLI)
         self.hits = 0
         self.misses = 0
@@ -188,11 +283,22 @@ class ResultsStore:
         when the entry was stored (what a hit saves)."""
         path = self.entry_path(self.key_for(scenario))
         try:
+            inject("store.get")
             payload = json.loads(path.read_text())
+            if payload.get("checksum") != payload_checksum(payload["result"]):
+                raise ValueError("entry checksum mismatch")
             result = _result_from_dict(payload["result"])
             seconds = float(payload.get("wall_seconds", 0.0))
-        except (OSError, ValueError, KeyError, TypeError):
-            # absent, corrupt or foreign file: a plain miss
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # A present-but-unreadable entry is never a plain miss: the file
+            # is torn, bit-rotted or foreign.  Quarantine it (so the next
+            # probe misses cleanly and recomputes) instead of serving from
+            # -- or repeatedly tripping over -- a corrupt file.
+            self.quarantine_file(path, kind="entries",
+                                 reason=f"{type(exc).__name__}: {exc}")
             self.misses += 1
             return None
         self.hits += 1
@@ -204,29 +310,40 @@ class ResultsStore:
 
     def put(self, outcome: ScenarioResult,
             wall_seconds: float = 0.0) -> str:
-        """Store one result; returns its key.  Writes are atomic."""
+        """Store one result; returns its key.  Writes are atomic.
+
+        The entry embeds a SHA-256 checksum of its result payload, verified
+        on every :meth:`get` -- a torn or bit-rotted entry is quarantined
+        and treated as a miss instead of being served.
+        """
+        fault = inject("store.put")
         scenario = outcome.scenario
         key = self.key_for(scenario)
         path = self.entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        result_payload = _result_to_dict(outcome.result)
         payload = {
             "format": STORE_FORMAT,
             "key": key,
             "fingerprint": self.fingerprint,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "wall_seconds": wall_seconds,
+            "checksum": payload_checksum(result_payload),
             "scenario": scenario.to_dict(),
-            "result": _result_to_dict(outcome.result),
+            "result": result_payload,
         }
-        # the temp name must be unique per *writer*, not just per process:
-        # two service threads racing put() on one key would otherwise share
-        # a temp path and one os.replace would consume the other's file
-        temporary = path.with_suffix(".tmp.%d.%d.%d" % (
-            os.getpid(), threading.get_ident(), next(_temp_serial)))
+        # the temp name must be unique per *writer*, not just per process
+        # (or per host: stores can be shared over NFS) -- see temp_path_for
+        temporary = temp_path_for(path)
         # not sort_keys: JSON objects keep insertion order, so dict-valued
         # result fields (domain_cycles, ...) reload in their original order
         # and a cached run is indistinguishable from a fresh one
-        temporary.write_text(json.dumps(payload, indent=1))
+        text = json.dumps(payload, indent=1)
+        if fault is not None and fault.action == "torn":
+            # injected torn write: publish only the first half of the bytes,
+            # as a writer that lost power mid-write would have
+            text = text[:len(text) // 2]
+        temporary.write_text(text)
         os.replace(temporary, path)
         return key
 
@@ -243,25 +360,95 @@ class ResultsStore:
     def try_claim(self, key: str, owner: str = "") -> bool:
         """Atomically claim ``key`` for computation; False if already claimed.
 
-        The claim is a file created with ``O_CREAT | O_EXCL`` -- the
-        filesystem guarantees exactly one concurrent claimer wins, which is
-        what lets several worker processes share one store root (the
-        ``subprocess`` job backend's coordination substrate) without
-        computing the same scenario twice.  Claims are advisory: :meth:`put`
-        itself stays safe under unclaimed concurrent writers (atomic
-        ``os.replace``, last writer wins with identical bytes).
+        The claim is a *leased* JSON record (owner, pid, host, heartbeat)
+        created with ``O_CREAT | O_EXCL`` -- the filesystem guarantees
+        exactly one concurrent claimer wins, which is what lets several
+        worker processes share one store root (the ``subprocess`` job
+        backend's coordination substrate) without computing the same
+        scenario twice.  The lease is kept alive by
+        :meth:`heartbeat_claim`; a claim whose holder stopped heartbeating
+        for longer than :attr:`claim_ttl` (a SIGKILLed or powered-off
+        worker) is **broken** here, so a dead worker never wedges a job
+        forever.  Claims are advisory: :meth:`put` itself stays safe under
+        unclaimed concurrent writers (atomic ``os.replace``, last writer
+        wins with identical bytes).
         """
         self.claims_dir.mkdir(parents=True, exist_ok=True)
-        try:
-            descriptor = os.open(self.claim_path(key),
-                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
+        for attempt in range(2):
+            try:
+                descriptor = os.open(self.claim_path(key),
+                                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if attempt or not self._break_expired_claim(key):
+                    return False
+                continue  # expired lease broken: retry the exclusive create
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump({"pid": os.getpid(), "owner": owner,
+                           "host": _hostname(),
+                           "created": time.strftime("%Y-%m-%dT%H:%M:%S")},
+                          handle)
+            return True
+        return False  # pragma: no cover - a third racer won both rounds
+
+    def _break_expired_claim(self, key: str) -> bool:
+        """Remove ``key``'s claim iff its lease expired; True when removed.
+
+        The removal is a rename to a breaker-unique name first, so when two
+        workers race to break one expired claim exactly one rename succeeds
+        -- the loser's rename raises and it reports the claim unbroken.
+        """
+        info = self.claim_info(key)
+        if info is None or not info.expired:
             return False
-        with os.fdopen(descriptor, "w") as handle:
-            json.dump({"pid": os.getpid(), "owner": owner,
-                       "created": time.strftime("%Y-%m-%dT%H:%M:%S")},
-                      handle)
+        wreck = temp_path_for(self.claim_path(key))
+        try:
+            os.rename(self.claim_path(key), wreck)
+        except OSError:
+            return False  # lost the break race, or the holder released
+        wreck.unlink()
         return True
+
+    def heartbeat_claim(self, key: str) -> bool:
+        """Refresh ``key``'s lease; False when the claim no longer exists.
+
+        The heartbeat is the claim file's mtime (``os.utime`` never
+        recreates a removed file, so a worker whose lease was broken learns
+        it here instead of resurrecting a zombie claim).
+        """
+        try:
+            os.utime(self.claim_path(key))
+        except OSError:
+            return False
+        return True
+
+    def claim_info(self, key: str) -> Optional[ClaimInfo]:
+        """The live claim record for ``key`` (None when unclaimed)."""
+        path = self.claim_path(key)
+        try:
+            age = time.time() - path.stat().st_mtime
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            try:  # torn/unreadable claim record: judge it by mtime alone
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                return None
+            record = {}
+        return ClaimInfo(key=key, owner=str(record.get("owner", "?")),
+                         pid=int(record.get("pid", 0)),
+                         host=str(record.get("host", "?")),
+                         created=str(record.get("created", "?")),
+                         age=age, ttl=self.claim_ttl)
+
+    def list_claims(self) -> List[ClaimInfo]:
+        """Every current claim's record (live and expired), sorted by key."""
+        if not self.claims_dir.is_dir():
+            return []
+        found = []
+        for path in sorted(self.claims_dir.glob("*.claim")):
+            info = self.claim_info(path.stem)
+            if info is not None:
+                found.append(info)
+        return found
 
     def release_claim(self, key: str) -> None:
         """Drop ``key``'s claim file (no-op when absent)."""
@@ -273,6 +460,87 @@ class ResultsStore:
     def claimed(self, key: str) -> bool:
         """True while some worker holds a claim on ``key``."""
         return self.claim_path(key).exists()
+
+    # ------------------------------------------------------------- quarantine
+    @property
+    def quarantine_dir(self) -> Path:
+        """Directory receiving corrupt entries and poison jobs."""
+        return self.root / "quarantine"
+
+    def quarantine_file(self, path: Path, kind: str, reason: str) -> Path:
+        """Move ``path`` into quarantine with a ``.reason`` sidecar.
+
+        ``kind`` buckets the file (``entries`` for store entries, ``jobs``
+        for queue files).  Returns the quarantined path; when the file
+        vanished first (a racing quarantiner won), returns the intended
+        destination anyway.
+        """
+        target_dir = self.quarantine_dir / kind
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return target
+        try:
+            (target_dir / (path.name + ".reason")).write_text(reason + "\n")
+        except OSError:  # pragma: no cover - the move itself already landed
+            pass
+        return target
+
+    def quarantined(self) -> List[QuarantinedFile]:
+        """Every quarantined file with its kind and recorded reason."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        found = []
+        for path in sorted(self.quarantine_dir.glob("*/*")):
+            if path.name.endswith(".reason"):
+                continue
+            reason_path = path.parent / (path.name + ".reason")
+            try:
+                reason = reason_path.read_text().strip()
+            except OSError:
+                reason = "?"
+            found.append(QuarantinedFile(path=path, kind=path.parent.name,
+                                         reason=reason))
+        return found
+
+    def clear_quarantine(self) -> int:
+        """Remove every quarantined file; returns the number removed."""
+        removed = 0
+        for item in self.quarantined():
+            reason_path = item.path.parent / (item.path.name + ".reason")
+            for path in (item.path, reason_path):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            removed += 1
+        return removed
+
+    def verify(self) -> VerifyStats:
+        """Scan every stored entry; quarantine torn/bit-rotted ones.
+
+        An entry passes when it parses as JSON and its embedded checksum
+        matches a recomputation over the result payload.  Entries from
+        other code fingerprints are still *verified* (their bytes must be
+        sound) but are ``gc``'s business, not corruption.
+        """
+        stats = VerifyStats()
+        for path in list(self._entry_files()):
+            stats.checked += 1
+            try:
+                payload = json.loads(path.read_text())
+                if (payload.get("checksum")
+                        != payload_checksum(payload["result"])):
+                    raise ValueError("entry checksum mismatch")
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                self.quarantine_file(path, kind="entries",
+                                     reason=f"{type(exc).__name__}: {exc}")
+                stats.quarantined += 1
+                continue
+            stats.ok += 1
+        return stats
 
     # -------------------------------------------------------------- inventory
     def _entry_files(self) -> Iterator[Path]:

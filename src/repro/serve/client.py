@@ -8,6 +8,13 @@ identical to the key a local ``repro run --cache`` would use, and a hit's
 body is byte-identical to ``repro run --json``.  With ``wait`` set it polls
 *202 Accepted* replies until the queued computation lands (or the deadline
 passes), mirroring a prun-style submit-and-poll loop.
+
+Every request in this module is an idempotent GET, so :func:`request_json`
+retries transparently: connection failures (``URLError``/``OSError``) and
+*429*/*503* replies are retried with capped exponential backoff -- honouring
+the server's ``Retry-After`` when it sends one -- before the final reply
+(or error) is surfaced.  A saturated or briefly unreachable service
+therefore looks like a slow request, not a crash, to ``repro query``.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
-from urllib.error import HTTPError
+from urllib.error import HTTPError, URLError
 from urllib.parse import urlencode
 from urllib.request import urlopen
 
@@ -24,6 +31,12 @@ from ..core.scenario import Scenario
 
 __all__ = ["QueryReply", "query_compare", "query_health", "query_scenario",
            "request_json", "scenario_query_url"]
+
+#: HTTP statuses that mean "try again shortly" for an idempotent GET.
+RETRYABLE_STATUSES = (429, 503)
+
+#: Hard ceiling on one retry's backoff sleep (seconds).
+MAX_BACKOFF = 2.0
 
 
 @dataclass
@@ -65,18 +78,53 @@ class QueryReply:
         return ""
 
 
-def request_json(url: str, timeout: float = 30.0) -> QueryReply:
-    """GET one URL, returning the reply whatever the HTTP status code is."""
-    try:
-        with urlopen(url, timeout=timeout) as response:
-            return QueryReply(code=response.status,
-                              body=response.read().decode("utf-8"),
-                              headers=dict(response.headers))
-    except HTTPError as error:
-        # 4xx/5xx carry a JSON error body too -- surface it, don't raise
-        return QueryReply(code=error.code,
-                          body=error.read().decode("utf-8"),
-                          headers=dict(error.headers))
+def _retry_sleep(reply: Optional[QueryReply], attempt: int,
+                 backoff: float) -> float:
+    """The capped backoff before retry ``attempt`` (honours Retry-After)."""
+    delay = min(backoff * (2 ** attempt), MAX_BACKOFF)
+    if reply is not None and "Retry-After" in reply.headers:
+        try:
+            delay = max(delay, float(reply.headers["Retry-After"]))
+        except ValueError:
+            pass
+    return min(delay, MAX_BACKOFF)
+
+
+def request_json(url: str, timeout: float = 30.0, retries: int = 3,
+                 backoff: float = 0.1) -> QueryReply:
+    """GET one URL, returning the reply whatever the HTTP status code is.
+
+    GETs against the service are idempotent, so transient failures --
+    a refused/reset connection (``URLError``, ``OSError``) or a
+    *429*/*503* reply -- are retried up to ``retries`` times with capped
+    exponential backoff, honouring a ``Retry-After`` header when the
+    server sends one.  The last reply (or the last connection error) is
+    surfaced once the budget is spent.
+    """
+    last_error: Optional[Exception] = None
+    reply: Optional[QueryReply] = None
+    for attempt in range(retries + 1):
+        if attempt:
+            time.sleep(_retry_sleep(reply, attempt - 1, backoff))
+        try:
+            with urlopen(url, timeout=timeout) as response:
+                return QueryReply(code=response.status,
+                                  body=response.read().decode("utf-8"),
+                                  headers=dict(response.headers))
+        except HTTPError as error:
+            # 4xx/5xx carry a JSON error body too -- surface it, don't raise
+            reply = QueryReply(code=error.code,
+                               body=error.read().decode("utf-8"),
+                               headers=dict(error.headers))
+            last_error = None
+            if error.code not in RETRYABLE_STATUSES:
+                return reply
+        except (URLError, OSError) as error:
+            last_error = error
+            reply = None
+    if reply is not None:
+        return reply
+    raise last_error  # type: ignore[misc]  # loop always ran once
 
 
 def scenario_query_url(base_url: str, scenario: Scenario) -> str:
@@ -103,7 +151,8 @@ def query_scenario(base_url: str, scenario: Scenario,
     deadline = time.monotonic() + wait
     while True:
         reply = request_json(url, timeout=timeout)
-        if reply.code != 202 or time.monotonic() >= deadline:
+        # 429 (saturated queue) is as transient as 202: keep polling
+        if reply.code not in (202, 429) or time.monotonic() >= deadline:
             return reply
         time.sleep(poll)
 
@@ -118,6 +167,6 @@ def query_compare(base_url: str,
     deadline = time.monotonic() + wait
     while True:
         reply = request_json(url, timeout=timeout)
-        if reply.code != 202 or time.monotonic() >= deadline:
+        if reply.code not in (202, 429) or time.monotonic() >= deadline:
             return reply
         time.sleep(poll)

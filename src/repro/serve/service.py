@@ -20,15 +20,26 @@ Misses are *batched*: the drain thread collects everything queued during
 one poll interval and runs it as a single
 :func:`~repro.results.resume_sweep` over the service's job backend, so a
 burst of cold queries warms the store with one warm-started sweep instead
-of one process pool per request.  A scenario whose computation raises is
-remembered as a failure and reported with *500* instead of being retried
-forever.
+of one process pool per request.  Failures are classified like the rest of
+the fabric: infrastructure errors (``OSError``, a broken pool) are retried
+with backoff so a transient hiccup never becomes a lasting *500*, while a
+scenario whose computation fails deterministically is remembered as a
+failure and reported with *500* (once) instead of being retried forever.
+
+The service degrades instead of collapsing: the miss queue is bounded
+(``max_pending``), and a cold query arriving at a full queue gets *429 Too
+Many Requests* with a ``Retry-After`` header instead of growing the queue
+without limit; ``/compare`` scans its grid under a per-request deadline
+(``request_deadline``) and returns *202* early rather than stalling the
+connection; ``/health`` reports queue depth, quarantine count and drain
+liveness so a load balancer can tell a saturated replica from a dead one.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -129,6 +140,12 @@ class _Handler(BaseHTTPRequestHandler):
         elif status == "failed":
             self._reply_json(500, {"status": "failed", "key": key,
                                    "error": body}, status, key)
+        elif status == "saturated":
+            self._reply_json(429, {"status": "saturated", "key": key,
+                                   "retry_after":
+                                   self.service.retry_after_seconds()},
+                            status, key,
+                            retry_after=self.service.retry_after_seconds())
         else:
             self._reply_json(202, {"status": "pending", "key": key},
                             status, key)
@@ -142,11 +159,17 @@ class _Handler(BaseHTTPRequestHandler):
             num_instructions=int(params.get(
                 "instructions", [str(DEFAULT_INSTRUCTIONS)])[0]),
             seed=int(params.get("seed", ["1"])[0]))
-        self._reply_json(200 if payload["status"] == "complete" else 202,
-                         payload, payload["status"])
+        if payload["status"] == "complete":
+            code, retry_after = 200, 0
+        elif payload.get("saturated"):
+            code, retry_after = 429, self.service.retry_after_seconds()
+        else:
+            code, retry_after = 202, 0
+        self._reply_json(code, payload, payload["status"],
+                         retry_after=retry_after)
 
     def _reply_raw(self, code: int, body: str, status: str = "",
-                   key: str = "") -> None:
+                   key: str = "", retry_after: int = 0) -> None:
         payload = body.encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -155,13 +178,16 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("X-Repro-Status", status)
         if key:
             self.send_header("X-Repro-Key", key)
+        if retry_after:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(payload)
 
     def _reply_json(self, code: int, payload: Dict[str, Any],
-                    status: str = "", key: str = "") -> None:
+                    status: str = "", key: str = "",
+                    retry_after: int = 0) -> None:
         self._reply_raw(code, json.dumps(payload, indent=1, sort_keys=True),
-                        status, key)
+                        status, key, retry_after)
 
 
 class ResultsService:
@@ -171,7 +197,10 @@ class ResultsService:
     does (default: the default store); ``execution`` is an
     :class:`~repro.exec.ExecutionConfig` or a job-backend name whose
     ``store`` field is rebound to the service's store.  ``port=0`` binds an
-    ephemeral port (see :attr:`url` after :meth:`start`).
+    ephemeral port (see :attr:`url` after :meth:`start`).  ``max_pending``
+    bounds the miss queue (cold queries beyond it get 429 +
+    ``Retry-After``); ``request_deadline`` bounds how long one ``/compare``
+    request may scan its grid before answering 202 with what it knows.
     """
 
     def __init__(self,
@@ -180,6 +209,8 @@ class ResultsService:
                  host: str = "127.0.0.1",
                  port: int = 8000,
                  poll_interval: float = 0.25,
+                 max_pending: int = 128,
+                 request_deadline: float = 10.0,
                  verbose: bool = False) -> None:
         resolved = resolve_store(store)
         self.store = resolved if resolved is not None else ResultsStore()
@@ -191,6 +222,8 @@ class ResultsService:
         self.host = host
         self.port = port
         self.poll_interval = poll_interval
+        self.max_pending = max_pending
+        self.request_deadline = request_deadline
         self.verbose = verbose
         self._pending: Dict[str, Scenario] = {}
         self._failures: Dict[str, str] = {}
@@ -252,26 +285,44 @@ class ResultsService:
             print(f"[repro serve] {message}", flush=True)
 
     # -------------------------------------------------------------- requests
+    def retry_after_seconds(self) -> int:
+        """The ``Retry-After`` value sent with 429 replies (whole seconds).
+
+        One poll interval (rounded up) is when the drain thread will next
+        shrink the queue, so it is the earliest retry that can succeed.
+        """
+        return max(1, int(self.poll_interval) +
+                   (0 if self.poll_interval == int(self.poll_interval)
+                    else 1))
+
     def health(self) -> Dict[str, Any]:
-        """The /health payload."""
+        """The /health payload (queue depth, quarantine, drain liveness)."""
         with self._lock:
             pending = len(self._pending)
             failed = len(self._failures)
+        drain_alive = any(thread.name == "repro-serve-drain"
+                          and thread.is_alive() for thread in self._threads)
         return {
-            "status": "ok",
+            "status": "ok" if drain_alive or not self._threads
+            else "degraded",
             "store": str(self.store.root),
             "fingerprint": self.store.fingerprint,
             "backend": self.execution.backend,
             "pending": pending,
+            "max_pending": self.max_pending,
             "failed": failed,
+            "quarantined": len(self.store.quarantined()),
+            "drain_alive": drain_alive,
         }
 
     def lookup(self, scenario: Scenario) -> Tuple[str, str, str]:
         """Probe one scenario: ``(status, key, body)``.
 
         ``status`` is ``"hit"`` (body = the stored result's canonical JSON),
-        ``"failed"`` (body = the recorded error) or ``"pending"`` (the
-        scenario was queued for the drain thread; body empty).
+        ``"failed"`` (body = the recorded error), ``"saturated"`` (the miss
+        queue is full -- mapped to 429 + ``Retry-After``; nothing was
+        queued) or ``"pending"`` (the scenario was queued for the drain
+        thread; body empty).
         """
         key = self.store.key_for(scenario)
         hit = self.store.get_with_seconds(scenario)
@@ -280,26 +331,49 @@ class ResultsService:
         with self._lock:
             if key in self._failures:
                 return "failed", key, self._failures.pop(key)
+            if (key not in self._pending
+                    and len(self._pending) >= self.max_pending):
+                return "saturated", key, ""
             self._pending.setdefault(key, scenario)
         self._wake.set()
         return "pending", key, ""
 
     def compare(self, **grid_fields: Any) -> Dict[str, Any]:
-        """Probe the design-space grid; records+table once fully stored."""
+        """Probe the design-space grid; records+table once fully stored.
+
+        The scan runs under the service's per-request deadline: when it
+        expires mid-grid, the un-probed remainder counts as missing and the
+        request answers early (202) instead of stalling the connection.
+        """
         from ..analysis.report import design_space_records, design_space_table
         grid = design_space_scenarios(**grid_fields)
+        deadline = time.monotonic() + self.request_deadline
         outcomes = []
         missing = 0
-        for scenario in grid:
+        saturated = 0
+        deadline_hit = False
+        for index, scenario in enumerate(grid):
+            if time.monotonic() > deadline:
+                missing += len(grid) - index
+                deadline_hit = True
+                break
             hit = self.store.get_with_seconds(scenario)
             if hit is None:
                 missing += 1
-                self.lookup(scenario)  # enqueue the miss
+                status, _, _ = self.lookup(scenario)  # enqueue the miss
+                if status == "saturated":
+                    saturated += 1
             else:
                 outcomes.append(hit[0])
         if missing:
-            return {"status": "pending", "missing": missing,
-                    "total": len(grid)}
+            payload: Dict[str, Any] = {"status": "pending",
+                                       "missing": missing,
+                                       "total": len(grid)}
+            if saturated:
+                payload["saturated"] = saturated
+            if deadline_hit:
+                payload["deadline_exceeded"] = True
+            return payload
         return {
             "status": "complete",
             "total": len(grid),
@@ -327,8 +401,10 @@ class ResultsService:
 
         Exposed for tests and synchronous draining.  The happy path is a
         single batched :func:`resume_sweep` on the configured backend; if
-        the sweep raises, each scenario is retried individually so one bad
-        scenario is recorded as a failure without poisoning the batch.
+        the sweep raises, each scenario is retried individually -- with
+        backoff for infrastructure errors, so a transient ``OSError`` never
+        becomes a lasting 500 -- and only a deterministic failure (or one
+        that outlives the retry budget) is recorded for the 500 reply.
         """
         if batch is None:
             with self._lock:
@@ -342,13 +418,34 @@ class ResultsService:
             resume_sweep(scenarios, execution=self.execution)
         except Exception:
             for key, scenario in batch.items():
-                try:
-                    run_cached(scenario, store=self.store)
-                except Exception as exc:
+                error = self._compute_with_retries(key, scenario)
+                if error is not None:
                     with self._lock:
-                        self._failures[key] = (
-                            f"{type(exc).__name__}: {exc}")
+                        self._failures[key] = error
         with self._lock:
             for key in batch:
                 self._pending.pop(key, None)
         return len(batch)
+
+    def _compute_with_retries(self, key: str,
+                              scenario: Scenario) -> Optional[str]:
+        """Compute one scenario; the recorded error string, or None on success.
+
+        Infrastructure failures are retried with the execution config's
+        backoff/budget (the same classification the workers use);
+        deterministic simulation exceptions are recorded immediately.
+        """
+        from ..exec.backends import is_infrastructure_error, retry_delay
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                run_cached(scenario, store=self.store)
+                return None
+            except Exception as exc:
+                if (is_infrastructure_error(exc)
+                        and attempts <= self.execution.max_retries):
+                    time.sleep(retry_delay(self.execution.retry_backoff,
+                                           attempts, key))
+                    continue
+                return f"{type(exc).__name__}: {exc}"

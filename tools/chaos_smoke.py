@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""CI chaos test: the sweep fabric under a deterministic fault storm.
+
+Drives a multi-worker sweep through worker kills, injected ``OSError``s and
+torn entry writes (a seeded :class:`repro.exec.faults.FaultPlan`), then
+asserts the *bit-identity contract*: the design-space records and table of
+the storm-ridden store are byte-identical to a clean serial run's.
+
+The storm, step by step (every fault scheduled by the plan, so the run
+replays identically):
+
+1. **clean run** -- the design-space grid on the ``serial`` backend into
+   store A; its records/table are the reference bytes;
+2. **victim worker** -- a real ``python -m repro.exec.worker`` process
+   whose plan kills it (``os._exit(137)``) right after it wins its second
+   claim: it publishes one result, then dies *holding a claim* -- the
+   SIGKILL/power-loss shape;
+3. **survivor worker** -- a second worker whose plan injects a transient
+   ``OSError`` on its first entry write (exercising the retry/backoff path)
+   and tears the bytes of a later one (exercising checksum quarantine).
+   With ``REPRO_CLAIM_TTL=2`` it breaks the victim's expired lease,
+   recomputes the orphaned job and drains the rest of the queue;
+4. **resume** -- an in-process :func:`repro.results.resume_sweep` fills
+   whatever the storm left missing (the torn entry is quarantined on read
+   and recomputed);
+5. **verdict** -- records/table must equal the clean run's bytes, ``repro
+   cache verify`` semantics must report every entry ok, no queue files or
+   claims may remain, and the fault log must show the storm actually fired
+   (exit + raise + torn events).
+
+Exits nonzero on the first violated expectation.  Usage::
+
+    python tools/chaos_smoke.py [--instructions N] [--fault-log PATH]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.report import design_space_records, design_space_table
+from repro.core.experiments import design_space_scenarios
+from repro.exec import ExecutionConfig
+from repro.exec.faults import (FAULT_LOG_ENV_VAR, FAULT_PLAN_ENV_VAR,
+                               FaultPlan, FaultRule)
+from repro.exec.worker import pending_jobs, enqueue_job
+from repro.results import resume_sweep
+from repro.results.store import CLAIM_TTL_ENV_VAR, ResultsStore
+
+#: Lease TTL (seconds) for the storm: short enough that the survivor breaks
+#: the dead victim's claim within the smoke budget.
+CLAIM_TTL = 2.0
+
+#: The plan that kills the victim right after its second claim win.
+VICTIM_PLAN = FaultPlan(seed=1202, rules=(
+    FaultRule(site="worker.claimed", action="exit", hits=(1,), role="worker",
+              message="injected worker death mid-claim"),
+))
+
+#: The plan that makes the survivor's store writes misbehave (but lets it
+#: live): a transient OSError on its first put, torn bytes on its third.
+SURVIVOR_PLAN = FaultPlan(seed=1202, rules=(
+    FaultRule(site="store.put", action="raise", hits=(0,), role="worker",
+              message="injected transient store failure"),
+    FaultRule(site="store.put", action="torn", hits=(2,), role="worker",
+              message="injected torn entry write"),
+))
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def worker_env(plan_path: Path, fault_log: Path) -> dict:
+    """Environment for one faulty worker process (plan + TTL + log)."""
+    env = dict(os.environ)
+    env[FAULT_PLAN_ENV_VAR] = str(plan_path)
+    env[FAULT_LOG_ENV_VAR] = str(fault_log)
+    env[CLAIM_TTL_ENV_VAR] = str(CLAIM_TTL)
+    source = str(REPO / "src")
+    existing = env.get("PYTHONPATH", "")
+    if source not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = source + (os.pathsep + existing
+                                      if existing else "")
+    return env
+
+
+def spawn_worker(store: Path, env: dict) -> subprocess.Popen:
+    """Start one real worker process against ``store``."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.exec.worker", "--store", str(store),
+         "--exit-when-idle", "--poll-interval", "0.05",
+         "--retry-backoff", "0.01"],
+        cwd=REPO, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def reference_bytes(runs) -> bytes:
+    """The canonical bytes of a sweep's records + table (the contract)."""
+    outcomes = [run.outcome for run in runs]
+    records = design_space_records(outcomes)
+    table = design_space_table(outcomes)
+    return json.dumps({"records": records, "table": table},
+                      sort_keys=True).encode("utf-8")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instructions", type=int, default=240)
+    parser.add_argument("--timeout", type=float, default=180.0,
+                        help="overall deadline for the storm phase "
+                             "(default: 180)")
+    parser.add_argument("--fault-log", metavar="PATH",
+                        help="write the fired-fault log here (default: "
+                             "inside the temp dir; CI uploads it)")
+    args = parser.parse_args()
+
+    grid = design_space_scenarios(workloads=["perl"],
+                                  num_instructions=args.instructions)
+    print(f"design-space grid: {len(grid)} scenarios "
+          f"({args.instructions} instructions each)", flush=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as temp:
+        workdir = Path(temp)
+        fault_log = (Path(args.fault_log).resolve() if args.fault_log
+                     else workdir / "faults.jsonl")
+
+        # ---- phase 1: the clean serial reference ------------------------
+        print("[1/5] clean serial run ...", flush=True)
+        store_a = ResultsStore(root=workdir / "store-clean")
+        clean_runs = resume_sweep(grid, execution=ExecutionConfig(
+            backend="serial", store=store_a))
+        reference = reference_bytes(clean_runs)
+
+        # ---- phase 2: the victim worker dies holding a claim ------------
+        print("[2/5] victim worker (killed mid-claim) ...", flush=True)
+        store_b = ResultsStore(root=workdir / "store-chaos",
+                               claim_ttl=CLAIM_TTL)
+        for scenario in grid:
+            enqueue_job(store_b, scenario)
+        victim_plan = workdir / "victim-plan.json"
+        victim_plan.write_text(VICTIM_PLAN.to_json())
+        victim = spawn_worker(store_b.root, worker_env(victim_plan,
+                                                       fault_log))
+        victim.wait(timeout=args.timeout)
+        if victim.returncode != 137:
+            fail(f"victim exited {victim.returncode}, expected the injected "
+                 f"death (137)")
+        held = store_b.list_claims()
+        if len(held) != 1:
+            fail(f"victim should die holding exactly one claim, found "
+                 f"{len(held)}")
+        print(f"      victim died holding claim {held[0].key[:12]} "
+              f"(published {len(store_b.entries())} result(s) first)",
+              flush=True)
+
+        # ---- phase 3: the survivor breaks the lease and drains ----------
+        print("[3/5] survivor worker (retries, torn write, lease break) "
+              "...", flush=True)
+        survivor_plan = workdir / "survivor-plan.json"
+        survivor_plan.write_text(SURVIVOR_PLAN.to_json())
+        survivor = spawn_worker(store_b.root, worker_env(survivor_plan,
+                                                         fault_log))
+        survivor.wait(timeout=args.timeout)
+        if survivor.returncode != 0:
+            fail(f"survivor exited {survivor.returncode}, expected 0")
+        if pending_jobs(store_b):
+            fail(f"queue not drained: {len(pending_jobs(store_b))} job(s) "
+                 f"left")
+        if store_b.list_claims():
+            fail("claims left behind after the survivor drained the queue")
+
+        # ---- phase 4: resume fills what the storm corrupted -------------
+        print("[4/5] resume_sweep over the stormed store ...", flush=True)
+        chaos_runs = resume_sweep(grid, execution=ExecutionConfig(
+            backend="serial", store=store_b))
+        recomputed = sum(1 for run in chaos_runs if not run.cached)
+        print(f"      {recomputed} scenario(s) recomputed (torn/corrupt "
+              f"entries)", flush=True)
+
+        # ---- phase 5: the verdict ---------------------------------------
+        print("[5/5] verifying bit-identity and store integrity ...",
+              flush=True)
+        chaos = reference_bytes(chaos_runs)
+        if chaos != reference:
+            fail("design-space records/table differ from the clean run")
+        stats = store_b.verify()
+        if stats.quarantined or stats.ok != stats.checked:
+            fail(f"store verify found corruption after the resume: "
+                 f"{stats.checked} checked, {stats.ok} ok, "
+                 f"{stats.quarantined} quarantined")
+        if stats.checked < len(grid):
+            fail(f"store holds {stats.checked} entries, expected at least "
+                 f"{len(grid)}")
+        events = [json.loads(line)
+                  for line in fault_log.read_text().splitlines() if line]
+        actions = {event["action"] for event in events}
+        for expected in ("exit", "raise", "torn"):
+            if expected not in actions:
+                fail(f"fault log records no {expected!r} event -- the storm "
+                     f"never fired ({sorted(actions)})")
+        print(f"      {len(events)} faults fired "
+              f"({', '.join(sorted(actions))}); results byte-identical; "
+              f"store verifies clean", flush=True)
+        if args.fault_log is None:
+            time.sleep(0)  # the temp-dir log dies with the TemporaryDirectory
+
+    print("chaos smoke: OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
